@@ -1,0 +1,42 @@
+//! Criterion: one dynamic update vs one static recomputation (experiment
+//! E9's wall-clock counterpart).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmpc_bench::tree_stream;
+use dmpc_connectivity::{DmpcConnectivity, StaticCc};
+use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
+use dmpc_graph::streams::replay;
+
+fn bench_static_vs_dynamic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cc_maintenance");
+    for n in [64usize, 256] {
+        let params = DmpcParams::new(n, 3 * n);
+        let ups = tree_stream(n, 120, 2);
+        group.bench_function(BenchmarkId::new("dynamic_stream", n), |b| {
+            b.iter(|| {
+                let mut alg = DmpcConnectivity::new(params);
+                for &u in ups.iter().take(60) {
+                    alg.apply(u);
+                }
+            })
+        });
+        let g = replay(n, &ups);
+        let edges: Vec<_> = g.edges().collect();
+        group.bench_function(BenchmarkId::new("static_recompute_x60", n), |b| {
+            let st = StaticCc::new(n, params.storage_machines());
+            b.iter(|| {
+                for _ in 0..60 {
+                    let _ = st.recompute(&edges);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_static_vs_dynamic
+}
+criterion_main!(benches);

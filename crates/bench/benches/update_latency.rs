@@ -1,0 +1,75 @@
+//! Criterion: wall-clock cost of one simulated update for every dynamic
+//! algorithm (the simulator's own speed; complements the round metrics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmpc_bench::{standard_stream, tree_stream};
+use dmpc_connectivity::DmpcConnectivity;
+use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
+use dmpc_matching::cs::{CsMatching, CsParams};
+use dmpc_matching::{DmpcMaximalMatching, DmpcThreeHalves};
+use dmpc_reduction::ReducedConnectivity;
+
+fn bench_updates(c: &mut Criterion) {
+    let n = 128;
+    let params = DmpcParams::new(n, 3 * n);
+    let mut group = c.benchmark_group("per_update");
+
+    group.bench_function(BenchmarkId::new("maximal_matching", n), |b| {
+        let ups = standard_stream(n, 200, 1);
+        b.iter(|| {
+            let mut alg = DmpcMaximalMatching::new(params);
+            for &u in ups.iter().take(60) {
+                alg.apply(u);
+            }
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("three_halves", n), |b| {
+        let ups = standard_stream(n, 200, 1);
+        b.iter(|| {
+            let mut alg = DmpcThreeHalves::new(params);
+            for &u in ups.iter().take(60) {
+                alg.apply(u);
+            }
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("cs_matching", n), |b| {
+        let ups = standard_stream(n, 200, 1);
+        b.iter(|| {
+            let mut alg = CsMatching::new(n, CsParams::defaults(n, 0.3));
+            for &u in ups.iter().take(60) {
+                alg.apply(u);
+            }
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("connectivity", n), |b| {
+        let ups = tree_stream(n, 200, 1);
+        b.iter(|| {
+            let mut alg = DmpcConnectivity::new(params);
+            for &u in ups.iter().take(60) {
+                alg.apply(u);
+            }
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("reduction_hdt", n), |b| {
+        let ups = tree_stream(n, 200, 1);
+        b.iter(|| {
+            let mut alg = ReducedConnectivity::new(n);
+            for &u in ups.iter().take(60) {
+                alg.apply(u);
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_updates
+}
+criterion_main!(benches);

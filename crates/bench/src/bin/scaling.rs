@@ -1,0 +1,52 @@
+//! Scaling sweeps with fitted growth exponents vs N (checks the *shape* of
+//! every Table 1 row: rounds flat; communication ~ sqrt(N) or flat).
+
+use dmpc_bench::sweep;
+use dmpc_connectivity::DmpcConnectivity;
+use dmpc_core::report::render_sweep;
+use dmpc_matching::{DmpcMaximalMatching, DmpcThreeHalves};
+use dmpc_reduction::ReducedConnectivity;
+
+fn main() {
+    let sizes = [64usize, 128, 256, 512];
+    let steps = 120;
+
+    let sw = sweep(
+        |_, p| Box::new(DmpcMaximalMatching::new(p)),
+        &sizes,
+        steps,
+        1,
+        false,
+    );
+    println!("{}", render_sweep("maximal matching (Table 1 row 1)", &sw));
+
+    let sw = sweep(
+        |_, p| Box::new(DmpcThreeHalves::new(p)),
+        &sizes,
+        steps,
+        1,
+        false,
+    );
+    println!("{}", render_sweep("3/2-approx matching (row 2)", &sw));
+
+    let sw = sweep(
+        |_, p| Box::new(DmpcConnectivity::new(p)),
+        &sizes,
+        steps,
+        1,
+        true,
+    );
+    println!("{}", render_sweep("connectivity (row 4)", &sw));
+
+    let sw = sweep(
+        |n, _| Box::new(ReducedConnectivity::new(n)),
+        &sizes,
+        steps,
+        1,
+        true,
+    );
+    println!("{}", render_sweep("reduction/HDT connectivity (row 7)", &sw));
+
+    println!("Expected: rounds exponent ~0 for rows 1-4; communication exponent ~0.5");
+    println!("for sqrt(N) rows and ~0 for the reduction rows.");
+}

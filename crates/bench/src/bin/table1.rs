@@ -1,0 +1,35 @@
+//! Regenerates the paper's Table 1 empirically (experiments E1-E6).
+
+use dmpc_bench::measure_table1;
+use dmpc_core::report::{render_table, TableRow};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let steps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    println!("Empirical Table 1: n = {n}, m_max = {}, {steps} churn updates\n", 3 * n);
+    let rows = measure_table1(n, steps, 42);
+    let rendered: Vec<TableRow> = rows
+        .into_iter()
+        .map(|r| TableRow {
+            name: r.name.to_string(),
+            claimed: (
+                r.claimed.0.to_string(),
+                r.claimed.1.to_string(),
+                r.claimed.2.to_string(),
+            ),
+            agg: r.agg,
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table("Table 1 (worst case per update; measured on the simulator)", &rendered)
+    );
+    println!("Columns: claimed = paper bound, measured = worst case over the stream.");
+    println!("'viol' counts capacity/model violations (must be 0).");
+}

@@ -1,0 +1,166 @@
+//! Shared drivers for the benchmark binaries and Criterion benches: run
+//! each algorithm over the standard workloads and collect the Table-1
+//! quantities.
+
+use dmpc_connectivity::{DmpcConnectivity, DmpcMst};
+use dmpc_core::experiment::ScalingSweep;
+use dmpc_core::{DmpcParams, DynamicGraphAlgorithm, WeightedDynamicGraphAlgorithm};
+use dmpc_graph::streams::{self, Update, WeightedUpdate};
+use dmpc_matching::cs::{CsMatching, CsParams};
+use dmpc_matching::{DmpcMaximalMatching, DmpcThreeHalves};
+use dmpc_mpc::AggregateMetrics;
+use dmpc_reduction::{ReducedConnectivity, ReducedMatching, ReducedMst};
+
+/// Standard workload: build-up plus churn, sized to the vertex count.
+pub fn standard_stream(n: usize, steps: usize, seed: u64) -> Vec<Update> {
+    streams::churn_stream(n, 2 * n, steps, 0.5, seed)
+}
+
+/// Worst-case connectivity workload: every deletion splits a tree.
+pub fn tree_stream(n: usize, steps: usize, seed: u64) -> Vec<Update> {
+    streams::tree_churn_stream(n, steps, seed)
+}
+
+/// Runs an unweighted dynamic algorithm over a stream.
+pub fn run_unweighted<A: DynamicGraphAlgorithm + ?Sized>(
+    alg: &mut A,
+    ups: &[Update],
+) -> AggregateMetrics {
+    let mut agg = AggregateMetrics::default();
+    for &u in ups {
+        let m = alg.apply(u);
+        agg.absorb(&m);
+    }
+    agg
+}
+
+/// Runs a weighted dynamic algorithm over a weighted stream.
+pub fn run_weighted<A: WeightedDynamicGraphAlgorithm>(
+    alg: &mut A,
+    ups: &[WeightedUpdate],
+) -> AggregateMetrics {
+    let mut agg = AggregateMetrics::default();
+    for &u in ups {
+        let m = alg.apply(u);
+        agg.absorb(&m);
+    }
+    agg
+}
+
+/// Table-1 style measurement of every algorithm at one size.
+pub struct Table1Row {
+    /// Row label.
+    pub name: &'static str,
+    /// Claimed (rounds, machines, communication).
+    pub claimed: (&'static str, &'static str, &'static str),
+    /// Measured aggregate.
+    pub agg: AggregateMetrics,
+}
+
+/// Measures all eight Table-1 rows at vertex count `n` with `steps` churn
+/// updates.
+pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
+    let m_max = 3 * n;
+    let params = DmpcParams::new(n, m_max);
+    let ups = standard_stream(n, steps, seed);
+    let tree_ups = tree_stream(n, steps, seed);
+    let wups = streams::with_weights(&ups, 1000, seed);
+
+    let mut rows = Vec::new();
+
+    let mut mm = DmpcMaximalMatching::new(params);
+    rows.push(Table1Row {
+        name: "Maximal matching",
+        claimed: ("O(1)", "O(1)", "O(sqrt N)"),
+        agg: run_unweighted(&mut mm, &ups),
+    });
+
+    let mut th = DmpcThreeHalves::new(params);
+    rows.push(Table1Row {
+        name: "3/2-app. matching",
+        claimed: ("O(1)", "O(n/sqrt N)", "O(sqrt N)"),
+        agg: run_unweighted(&mut th, &ups),
+    });
+
+    let mut cs = CsMatching::new(n, CsParams::defaults(n, 0.3));
+    rows.push(Table1Row {
+        name: "(2+eps)-app. matching",
+        claimed: ("O(1)", "~O(1)", "~O(1)"),
+        agg: run_unweighted(&mut cs, &ups),
+    });
+
+    let mut cc = DmpcConnectivity::new(params);
+    rows.push(Table1Row {
+        name: "Connected comps",
+        claimed: ("O(1)", "O(sqrt N)", "O(sqrt N)"),
+        agg: run_unweighted(&mut cc, &tree_ups),
+    });
+
+    let mut mst = DmpcMst::new(params, 0.1);
+    rows.push(Table1Row {
+        name: "(1+eps)-MST",
+        claimed: ("O(1)", "O(sqrt N)", "O(sqrt N)"),
+        agg: run_weighted(&mut mst, &wups),
+    });
+
+    let mut rmm = ReducedMatching::new(n, m_max);
+    rows.push(Table1Row {
+        name: "Reduction: maximal matching",
+        claimed: ("O(sqrt m)", "O(1)", "O(1)"),
+        agg: run_unweighted(&mut rmm, &ups),
+    });
+
+    let mut rcc = ReducedConnectivity::new(n);
+    rows.push(Table1Row {
+        name: "Reduction: connected comps",
+        claimed: ("~O(1) am.", "O(1)", "O(1)"),
+        agg: run_unweighted(&mut rcc, &tree_ups),
+    });
+
+    let mut rmst = ReducedMst::new(n);
+    rows.push(Table1Row {
+        name: "Reduction: MST",
+        claimed: ("O(m) (subst.)", "O(1)", "O(1)"),
+        agg: run_weighted(&mut rmst, &wups),
+    });
+
+    rows
+}
+
+/// Scaling sweep of one constructor over doubling sizes.
+pub fn sweep<F>(mut make: F, sizes: &[usize], steps: usize, seed: u64, tree: bool) -> ScalingSweep
+where
+    F: FnMut(usize, DmpcParams) -> Box<dyn DynamicGraphAlgorithm>,
+{
+    let mut sw = ScalingSweep::default();
+    for &n in sizes {
+        let params = DmpcParams::new(n, 3 * n);
+        let mut alg = make(n, params);
+        let ups = if tree {
+            tree_stream(n, steps, seed)
+        } else {
+            standard_stream(n, steps, seed)
+        };
+        let agg = run_unweighted(alg.as_mut(), &ups);
+        sw.push(params.input_size(), agg);
+    }
+    sw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_runs_and_is_clean() {
+        let rows = measure_table1(48, 60, 3);
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert_eq!(r.agg.violations, 0, "{} violated the model", r.name);
+            assert!(r.agg.updates > 0);
+        }
+        // Dynamic rows are O(1) rounds; reduction rows are not.
+        assert!(rows[0].agg.max_rounds <= 24);
+        assert!(rows[3].agg.max_rounds <= 12);
+    }
+}

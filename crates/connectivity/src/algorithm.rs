@@ -1,0 +1,334 @@
+//! Drivers binding the connectivity/MST machine programs to the simulator,
+//! plus audits used by the test suite.
+
+use crate::machine::{ConnMachine, EntryKind, VertexState};
+use crate::messages::ConnMsg;
+use crate::preprocess;
+use dmpc_core::{DmpcParams, DynamicGraphAlgorithm, WeightedDynamicGraphAlgorithm};
+use dmpc_eulertour::indexed::CompId;
+use dmpc_graph::{Edge, Weight, V};
+use dmpc_mpc::{Cluster, ClusterConfig, MachineId, UpdateMetrics};
+use std::collections::HashMap;
+
+/// Shared driver for plain connectivity and MST mode.
+pub struct ConnDriver {
+    cluster: Cluster<ConnMachine>,
+    params: DmpcParams,
+    block: usize,
+}
+
+impl ConnDriver {
+    fn new(params: DmpcParams, mst_mode: bool) -> Self {
+        let machines = params.storage_machines();
+        let block = params.n.div_ceil(machines).max(1);
+        let machines = params.n.div_ceil(block); // machines actually used
+        let progs = (0..machines as MachineId)
+            .map(|id| ConnMachine::new(id, params.n, block, mst_mode))
+            .collect();
+        let mut cfg = ClusterConfig::with_capacity(params.capacity_words());
+        cfg.track_flows = true;
+        ConnDriver {
+            cluster: Cluster::new(progs, cfg),
+            params,
+            block,
+        }
+    }
+
+    fn owner(&self, v: V) -> MachineId {
+        ConnMachine::owner_of(v, self.block)
+    }
+
+    fn run(&mut self, to: MachineId, msg: ConnMsg) -> UpdateMetrics {
+        self.cluster.inject(to, msg);
+        self.cluster.run_update()
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &DmpcParams {
+        &self.params
+    }
+
+    /// Number of machines in the cluster.
+    pub fn n_machines(&self) -> usize {
+        self.cluster.n_machines()
+    }
+
+    fn vertex_state(&self, v: V) -> &VertexState {
+        self.cluster
+            .machine(self.owner(v))
+            .vertex(v)
+            .expect("vertex not found at its owner")
+    }
+
+    /// Component label of `v` (result extraction; not a metered query).
+    pub fn comp_of(&self, v: V) -> CompId {
+        self.vertex_state(v).comp
+    }
+
+    /// True if `a` and `b` are connected.
+    pub fn connected(&self, a: V, b: V) -> bool {
+        self.comp_of(a) == self.comp_of(b)
+    }
+
+    /// All component labels (index = vertex).
+    pub fn component_labels(&self) -> Vec<CompId> {
+        (0..self.params.n as V).map(|v| self.comp_of(v)).collect()
+    }
+
+    /// The current spanning forest (edge, weight), extracted from tree
+    /// entries at child endpoints.
+    pub fn tree_edges(&self) -> Vec<(Edge, Weight)> {
+        let mut out = Vec::new();
+        for m in self.cluster.machines() {
+            for (&v, st) in m.vertices() {
+                for (&far, &(kind, w)) in &st.adj {
+                    if let EntryKind::Tree { lo, .. } = kind {
+                        if lo % 2 == 0 {
+                            out.push((Edge::new(v, far), w));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Sum of spanning-forest edge weights (the maintained MSF weight).
+    pub fn forest_weight(&self) -> Weight {
+        self.tree_edges().iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Bulk-loads an initial graph (the preprocessing step): computes a
+    /// spanning forest and canonical tours centrally and installs the
+    /// sharded state. See `preprocess` for the metered simulation of the
+    /// paper's O(log n)-round distributed construction.
+    pub fn bulk_load(&mut self, edges: &[(Edge, Weight)]) {
+        let states = preprocess::build_states(self.params.n, edges);
+        for (v, st) in states {
+            let owner = self.owner(v);
+            self.cluster.machine_mut(owner).load_vertex(v, st);
+        }
+    }
+
+    /// Structural audit (tests): component labelling is consistent, index
+    /// lists partition each tour, adjacency entries are symmetric, tree
+    /// entries pair up parent/child spans, and cached far indexes are live.
+    pub fn audit(&self) -> Result<(), String> {
+        let n = self.params.n;
+        let mut comp: Vec<CompId> = Vec::with_capacity(n);
+        let mut size: Vec<u64> = Vec::with_capacity(n);
+        let mut idx: Vec<Vec<u64>> = Vec::with_capacity(n);
+        let mut adj: Vec<HashMap<V, (EntryKind, Weight)>> = vec![HashMap::new(); n];
+        for v in 0..n as V {
+            let st = self.vertex_state(v);
+            comp.push(st.comp);
+            size.push(st.size);
+            idx.push(st.idx.clone());
+            adj[v as usize] = st.adj.iter().map(|(&k, &e)| (k, e)).collect();
+        }
+        // Group by comp.
+        let mut members: HashMap<CompId, Vec<V>> = HashMap::new();
+        for v in 0..n as V {
+            members.entry(comp[v as usize]).or_default().push(v);
+        }
+        for (&c, vs) in &members {
+            let k = vs.len() as u64;
+            let elen = 4 * (k - 1);
+            let mut seen = vec![false; elen as usize + 1];
+            for &v in vs {
+                if size[v as usize] != k {
+                    return Err(format!(
+                        "vertex {v}: stored size {} but component {c} has {k} members",
+                        size[v as usize]
+                    ));
+                }
+                for &i in &idx[v as usize] {
+                    if i < 1 || i > elen {
+                        return Err(format!("vertex {v}: index {i} out of 1..={elen}"));
+                    }
+                    if seen[i as usize] {
+                        return Err(format!("component {c}: duplicate index {i}"));
+                    }
+                    seen[i as usize] = true;
+                }
+            }
+            if seen[1..].iter().any(|&s| !s) {
+                return Err(format!("component {c}: missing tour positions"));
+            }
+            // The component id equals the root vertex (f = 1) unless
+            // singleton.
+            if k > 1 {
+                let root = c as V;
+                if idx[root as usize].first() != Some(&1) {
+                    return Err(format!("component {c}: id is not its root vertex"));
+                }
+            }
+        }
+        // Adjacency symmetry and annotations.
+        for v in 0..n as V {
+            for (&far, &(kind, w)) in &adj[v as usize] {
+                let Some(&(rk, rw)) = adj[far as usize].get(&v) else {
+                    return Err(format!("asymmetric edge ({v},{far})"));
+                };
+                if rw != w {
+                    return Err(format!("weight mismatch on ({v},{far})"));
+                }
+                if comp[v as usize] != comp[far as usize] {
+                    return Err(format!("edge ({v},{far}) spans components"));
+                }
+                match (kind, rk) {
+                    (EntryKind::Tree { lo, hi }, EntryKind::Tree { lo: rlo, hi: rhi }) => {
+                        // One side must be the inner (child) pair.
+                        let child_here = lo % 2 == 0;
+                        let (clo, chi, plo, phi) = if child_here {
+                            (lo, hi, rlo, rhi)
+                        } else {
+                            (rlo, rhi, lo, hi)
+                        };
+                        if plo + 1 != clo || chi + 1 != phi {
+                            return Err(format!(
+                                "tree edge ({v},{far}) pairs mismatch: child ({clo},{chi}) parent ({plo},{phi})"
+                            ));
+                        }
+                        let cv = if child_here { v } else { far };
+                        if idx[cv as usize].first() != Some(&clo)
+                            || idx[cv as usize].last() != Some(&chi)
+                        {
+                            return Err(format!(
+                                "tree edge ({v},{far}): child span is not the child's f/l"
+                            ));
+                        }
+                    }
+                    (EntryKind::NonTree { cached, far_comp }, EntryKind::NonTree { .. }) => {
+                        if !idx[far as usize].contains(&cached)
+                            && !(cached == 0 && idx[far as usize].is_empty())
+                        {
+                            return Err(format!(
+                                "non-tree edge ({v},{far}): cached index {cached} is not an index of {far}"
+                            ));
+                        }
+                        if far_comp != comp[far as usize] {
+                            return Err(format!(
+                                "non-tree edge ({v},{far}): far_comp {far_comp} but {far} is in {}",
+                                comp[far as usize]
+                            ));
+                        }
+                    }
+                    _ => return Err(format!("edge ({v},{far}) tree/non-tree disagreement")),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fully dynamic connectivity in the DMPC model (paper Section 5):
+/// O(1) rounds per update, O(sqrt N) active machines, O(sqrt N)
+/// communication per round, worst case.
+pub struct DmpcConnectivity {
+    driver: ConnDriver,
+}
+
+impl DmpcConnectivity {
+    /// New empty instance.
+    pub fn new(params: DmpcParams) -> Self {
+        DmpcConnectivity {
+            driver: ConnDriver::new(params, false),
+        }
+    }
+
+    /// Preprocess an initial edge set.
+    pub fn bulk_load(&mut self, edges: &[Edge]) {
+        let w: Vec<(Edge, Weight)> = edges.iter().map(|&e| (e, 1)).collect();
+        self.driver.bulk_load(&w);
+    }
+
+    /// The underlying driver (state extraction, audits).
+    pub fn driver(&self) -> &ConnDriver {
+        &self.driver
+    }
+
+    /// True if `a` and `b` are currently connected.
+    pub fn connected(&self, a: V, b: V) -> bool {
+        self.driver.connected(a, b)
+    }
+
+    /// Component labels for all vertices.
+    pub fn component_labels(&self) -> Vec<CompId> {
+        self.driver.component_labels()
+    }
+}
+
+impl DynamicGraphAlgorithm for DmpcConnectivity {
+    fn name(&self) -> &'static str {
+        "dmpc-connectivity"
+    }
+
+    fn insert(&mut self, e: Edge) -> UpdateMetrics {
+        let to = self.driver.owner(e.u);
+        self.driver.run(to, ConnMsg::Insert { e, w: 1 })
+    }
+
+    fn delete(&mut self, e: Edge) -> UpdateMetrics {
+        let to = self.driver.owner(e.u);
+        self.driver.run(to, ConnMsg::Delete { e })
+    }
+}
+
+/// Fully dynamic (1+eps)-approximate MST in the DMPC model (paper
+/// Section 5.1). Per-update bounds match connectivity; the approximation
+/// factor comes only from bucketed preprocessing.
+pub struct DmpcMst {
+    driver: ConnDriver,
+    epsilon: f64,
+}
+
+impl DmpcMst {
+    /// New empty instance; `epsilon` controls preprocessing bucketing.
+    pub fn new(params: DmpcParams, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0);
+        DmpcMst {
+            driver: ConnDriver::new(params, true),
+            epsilon,
+        }
+    }
+
+    /// Preprocess an initial weighted edge set with (1+eps) weight
+    /// bucketing (Section 5.1).
+    pub fn bulk_load(&mut self, edges: &[(Edge, Weight)]) {
+        let bucketed = preprocess::bucketize(edges, self.epsilon);
+        self.driver.bulk_load(&bucketed);
+    }
+
+    /// The underlying driver (state extraction, audits).
+    pub fn driver(&self) -> &ConnDriver {
+        &self.driver
+    }
+
+    /// Weight of the maintained spanning forest.
+    pub fn forest_weight(&self) -> Weight {
+        self.driver.forest_weight()
+    }
+
+    /// True if `a` and `b` are currently connected.
+    pub fn connected(&self, a: V, b: V) -> bool {
+        self.driver.connected(a, b)
+    }
+}
+
+impl WeightedDynamicGraphAlgorithm for DmpcMst {
+    fn name(&self) -> &'static str {
+        "dmpc-mst"
+    }
+
+    fn insert(&mut self, e: Edge, w: Weight) -> UpdateMetrics {
+        let to = self.driver.owner(e.u);
+        self.driver.run(to, ConnMsg::Insert { e, w })
+    }
+
+    fn delete(&mut self, e: Edge) -> UpdateMetrics {
+        let to = self.driver.owner(e.u);
+        self.driver.run(to, ConnMsg::Delete { e })
+    }
+}

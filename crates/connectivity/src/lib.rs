@@ -1,0 +1,34 @@
+//! DMPC fully-dynamic connectivity and (1+eps)-approximate MST (paper
+//! Section 5), plus the static MPC baselines they are compared against.
+//!
+//! The dynamic algorithms run as *distributed machine programs* on the
+//! `dmpc-mpc` simulator:
+//!
+//! * Vertices are partitioned across `O(sqrt N)` owner machines; each owned
+//!   vertex stores its component id, component size, Euler-tour index list,
+//!   and adjacency entries (tree entries carry their two tour indexes, the
+//!   paper's per-edge index annotation; non-tree entries carry a cached tour
+//!   index of the far endpoint used for O(1) side classification under cuts).
+//! * Every structural change is an O(1)-word broadcast of [`dmpc_eulertour::indexed::TourOp`]s
+//!   which each machine applies locally — O(1) rounds, O(sqrt N) active
+//!   machines, O(sqrt N) total communication per update, exactly the paper's
+//!   Table 1 rows 4 and 5.
+//! * Tree-edge deletions trigger the paper's one-round replacement search:
+//!   every machine reports at most one candidate crossing edge to a
+//!   rendezvous machine named in the broadcast, which reconnects (choosing
+//!   the minimum-weight candidate in MST mode).
+//!
+//! Component ids equal the current *root vertex* of each tree, so machines
+//! allocate fresh ids after splits without coordination (the detached side's
+//! new root is the cut edge's child endpoint).
+
+pub mod algorithm;
+pub mod machine;
+pub mod messages;
+pub mod preprocess;
+pub mod static_cc;
+pub mod static_mst;
+
+pub use algorithm::{DmpcConnectivity, DmpcMst};
+pub use static_cc::StaticCc;
+pub use static_mst::StaticMst;

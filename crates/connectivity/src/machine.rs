@@ -1,0 +1,788 @@
+//! The owner-machine program for distributed connectivity/MST.
+//!
+//! Each machine owns a contiguous block of vertices. For every owned vertex
+//! it stores: component id (= root vertex of its tree), component size, the
+//! vertex's Euler-tour index list, and its adjacency entries. Tree entries
+//! carry the edge's two tour indexes on this endpoint's side (the paper's
+//! per-edge annotation); non-tree entries carry one cached tour index of the
+//! far endpoint, kept valid under every broadcast op, so that cut-side
+//! classification is local.
+
+use crate::messages::{ConnMsg, CutMode, StructBroadcast, VertexInfo};
+use dmpc_eulertour::indexed::{apply_op_to_vertex, map_reroot, CompId, TourOp};
+use dmpc_eulertour::TourIx;
+use dmpc_graph::{Edge, Weight, V};
+use dmpc_mpc::{Envelope, Machine, MachineId, Outbox, RoundCtx};
+use std::collections::BTreeMap;
+
+/// An adjacency entry at one endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryKind {
+    /// Spanning-tree edge; `lo`/`hi` are its two tour indexes on this side.
+    /// This endpoint is the child iff `lo` is even (arrival parity).
+    Tree {
+        /// Lower tour index on this side.
+        lo: TourIx,
+        /// Higher tour index on this side.
+        hi: TourIx,
+    },
+    /// Non-tree edge; `cached` is some current tour index of the far
+    /// endpoint (0 iff the far endpoint is a singleton) and `far_comp` is
+    /// the far endpoint's component id. Between a cut and its replacement
+    /// link, a non-tree edge can *cross* the two sides, so all cached-index
+    /// maps are keyed by `far_comp`, not the owner's component.
+    NonTree {
+        /// Cached far-endpoint tour index.
+        cached: TourIx,
+        /// Far endpoint's component id.
+        far_comp: CompId,
+    },
+}
+
+/// Per-owned-vertex state.
+#[derive(Clone, Debug)]
+pub struct VertexState {
+    /// Component id (= current root vertex of the tree).
+    pub comp: CompId,
+    /// Component size in vertices.
+    pub size: u64,
+    /// Sorted tour indexes of this vertex.
+    pub idx: Vec<TourIx>,
+    /// neighbor -> (kind, weight).
+    pub adj: BTreeMap<V, (EntryKind, Weight)>,
+}
+
+impl VertexState {
+    fn singleton(v: V) -> Self {
+        VertexState {
+            comp: v,
+            size: 1,
+            idx: Vec::new(),
+            adj: BTreeMap::new(),
+        }
+    }
+
+    fn f(&self) -> TourIx {
+        self.idx.first().copied().unwrap_or(0)
+    }
+
+    fn l(&self) -> TourIx {
+        self.idx.last().copied().unwrap_or(0)
+    }
+
+    fn info(&self, v: V) -> VertexInfo {
+        VertexInfo {
+            v,
+            comp: self.comp,
+            size: self.size,
+            f: self.f(),
+            l: self.l(),
+        }
+    }
+}
+
+/// The connectivity/MST owner machine.
+pub struct ConnMachine {
+    id: MachineId,
+    block: usize,
+    mst_mode: bool,
+    verts: BTreeMap<V, VertexState>,
+    /// Pending MST path-max aggregation at the rendezvous:
+    /// (e, w, f(x), x's vertex id).
+    pending_mst: Option<(Edge, Weight, TourIx, V)>,
+}
+
+impl ConnMachine {
+    /// Creates the machine with its owned vertex block.
+    pub fn new(id: MachineId, n_vertices: usize, block: usize, mst_mode: bool) -> Self {
+        let lo = id as usize * block;
+        let hi = ((id as usize + 1) * block).min(n_vertices);
+        let verts = (lo..hi).map(|v| (v as V, VertexState::singleton(v as V))).collect();
+        ConnMachine {
+            id,
+            block,
+            mst_mode,
+            verts,
+            pending_mst: None,
+        }
+    }
+
+    /// Owner machine of vertex `v` under this partitioning.
+    pub fn owner_of(v: V, block: usize) -> MachineId {
+        (v as usize / block) as MachineId
+    }
+
+    fn owner(&self, v: V) -> MachineId {
+        Self::owner_of(v, self.block)
+    }
+
+    /// Read access for result extraction and audits (not part of the model).
+    pub fn vertex(&self, v: V) -> Option<&VertexState> {
+        self.verts.get(&v)
+    }
+
+    /// All owned vertex states.
+    pub fn vertices(&self) -> impl Iterator<Item = (&V, &VertexState)> {
+        self.verts.iter()
+    }
+
+    /// Direct state injection for bulk loading during preprocessing.
+    pub fn load_vertex(&mut self, v: V, st: VertexState) {
+        self.verts.insert(v, st);
+    }
+
+    fn st(&self, v: V) -> &VertexState {
+        self.verts.get(&v).expect("vertex not owned by this machine")
+    }
+
+    fn st_mut(&mut self, v: V) -> &mut VertexState {
+        self.verts.get_mut(&v).expect("vertex not owned by this machine")
+    }
+
+    // ----- protocol steps -------------------------------------------------
+
+    fn handle_insert(&mut self, e: Edge, w: Weight, out: &mut Outbox<ConnMsg>) {
+        let u = e.u;
+        debug_assert!(!self.st(u).adj.contains_key(&e.v), "duplicate insert {e}");
+        let x = self.st(u).info(u);
+        out.send(self.owner(e.v), ConnMsg::InsQuery { e, w, x });
+    }
+
+    fn handle_ins_query(
+        &mut self,
+        e: Edge,
+        w: Weight,
+        x: VertexInfo,
+        ctx: &RoundCtx,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        let y = e.other(x.v);
+        let ys = self.st(y);
+        let (y_comp, y_size, y_f, y_l) = (ys.comp, ys.size, ys.f(), ys.l());
+        if y_comp == x.comp {
+            // Intra-component edge.
+            if self.mst_mode {
+                // Find the max-weight tree edge on the x..y path first.
+                self.pending_mst = Some((e, w, x.f, x.v));
+                let q = ConnMsg::PathMaxQuery {
+                    comp: y_comp,
+                    fx: x.f,
+                    lx: x.l,
+                    fy: y_f,
+                    ly: y_l,
+                    e,
+                    w,
+                    rendezvous: self.id,
+                };
+                for m in 0..ctx.n_machines as MachineId {
+                    out.send(m, q.clone());
+                }
+            } else {
+                let owner_x = self.owner(x.v);
+                let ys = self.st_mut(y);
+                ys.adj.insert(
+                    x.v,
+                    (EntryKind::NonTree { cached: x.f, far_comp: x.comp }, w),
+                );
+                out.send(
+                    owner_x,
+                    ConnMsg::AddNonTree {
+                        e,
+                        w,
+                        at: x.v,
+                        cached_far: y_f,
+                    },
+                );
+            }
+        } else {
+            // Cross-component: reroot y's tree at y, then link after f(x).
+            let reroot = if y_size > 1 && y_f != 1 {
+                Some(TourOp::Reroot {
+                    comp: y_comp,
+                    elen: 4 * (y_size - 1),
+                    l_y: y_l,
+                    y,
+                })
+            } else {
+                None
+            };
+            // Erratum fix: splice position 0 when x is the root of its tree.
+            let fx = if x.f <= 1 { 0 } else { x.f };
+            let main = TourOp::Link {
+                a: x.comp,
+                b: y_comp,
+                x: x.v,
+                y,
+                fx,
+                elen_b: 4 * (y_size - 1),
+            };
+            let b = StructBroadcast {
+                reroot,
+                main,
+                merged_size: x.size + y_size,
+                x_after: 0,
+                edge: e,
+                weight: w,
+                cut_mode: CutMode::Remove,
+                rendezvous: None,
+            };
+            for m in 0..ctx.n_machines as MachineId {
+                out.send(m, ConnMsg::Apply(b));
+            }
+        }
+    }
+
+    fn handle_delete(&mut self, e: Edge, ctx: &RoundCtx, out: &mut Outbox<ConnMsg>) {
+        let u = e.u;
+        let (kind, _w) = *self
+            .st(u)
+            .adj
+            .get(&e.v)
+            .unwrap_or_else(|| panic!("delete of absent edge {e}"));
+        match kind {
+            EntryKind::NonTree { .. } => {
+                self.st_mut(u).adj.remove(&e.v);
+                out.send(self.owner(e.v), ConnMsg::DelNonTree { e, at: e.v });
+            }
+            EntryKind::Tree { lo, hi } => {
+                if lo % 2 == 0 {
+                    // u is the child: the parent's owner must compute the
+                    // surviving parent index, then broadcast.
+                    out.send(
+                        self.owner(e.v),
+                        ConnMsg::NeedParentCut {
+                            e,
+                            parent: e.v,
+                            fy: lo,
+                            ly: hi,
+                            mode: CutMode::Remove,
+                            search: true,
+                            then_link: None,
+                        },
+                    );
+                } else {
+                    // u is the parent: broadcast directly.
+                    self.broadcast_cut(e, u, lo + 1, hi - 1, CutMode::Remove, true, None, ctx, out);
+                }
+            }
+        }
+    }
+
+    /// Builds and broadcasts a cut of tree edge `e` whose parent endpoint is
+    /// `parent` (owned by this machine) and whose child spans `fy..=ly`.
+    #[allow(clippy::too_many_arguments)]
+    fn broadcast_cut(
+        &mut self,
+        e: Edge,
+        parent: V,
+        fy: TourIx,
+        ly: TourIx,
+        mode: CutMode,
+        search: bool,
+        then_link: Option<(Edge, Weight)>,
+        ctx: &RoundCtx,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        let child = e.other(parent);
+        let ps = self.st(parent);
+        let span = (ly - fy + 1) + 2;
+        let x_after = ps
+            .idx
+            .iter()
+            .filter(|&&s| s != fy - 1 && s != ly + 1)
+            .map(|&s| if s > ly { s - span } else { s })
+            .min()
+            .unwrap_or(0);
+        let main = TourOp::Cut {
+            comp: ps.comp,
+            x: parent,
+            y: child,
+            fy,
+            ly,
+            new_comp: child,
+        };
+        let b = StructBroadcast {
+            reroot: None,
+            main,
+            merged_size: 0,
+            x_after,
+            edge: e,
+            weight: 0,
+            cut_mode: mode,
+            rendezvous: if search { Some(self.id) } else { None },
+        };
+        for m in 0..ctx.n_machines as MachineId {
+            out.send(m, ConnMsg::Apply(b));
+        }
+        if let Some((le, lw)) = then_link {
+            // The link's InsQuery is processed after the Apply broadcast in
+            // the same round (Apply messages are handled first).
+            out.send(self.owner(le.u), ConnMsg::StartLink { e: le, w: lw });
+        }
+    }
+
+    /// Applies a broadcast to all owned state; returns the local best
+    /// replacement candidate when the broadcast requests a search.
+    fn apply_broadcast(&mut self, b: &StructBroadcast) -> Option<(Edge, Weight)> {
+        let mut best: Option<(Weight, Edge)> = None;
+        let verts: Vec<V> = self.verts.keys().copied().collect();
+        for v in verts {
+            let mut st = self.verts.remove(&v).unwrap();
+            self.apply_to_vertex(v, &mut st, b, &mut best);
+            self.verts.insert(v, st);
+        }
+        // Materialize the new/updated edge entries at owned endpoints.
+        match b.main {
+            TourOp::Link { x, y, fx, elen_b, .. } => {
+                if let Some(st) = self.verts.get_mut(&x) {
+                    st.adj.insert(
+                        y,
+                        (
+                            EntryKind::Tree {
+                                lo: fx + 1,
+                                hi: fx + elen_b + 4,
+                            },
+                            b.weight,
+                        ),
+                    );
+                }
+                if let Some(st) = self.verts.get_mut(&y) {
+                    st.adj.insert(
+                        x,
+                        (
+                            EntryKind::Tree {
+                                lo: fx + 2,
+                                hi: fx + elen_b + 3,
+                            },
+                            b.weight,
+                        ),
+                    );
+                }
+            }
+            TourOp::Cut { x, y, fy, ly, .. } => match b.cut_mode {
+                CutMode::Remove => {
+                    if let Some(st) = self.verts.get_mut(&x) {
+                        st.adj.remove(&y);
+                    }
+                    if let Some(st) = self.verts.get_mut(&y) {
+                        st.adj.remove(&x);
+                    }
+                }
+                CutMode::Demote => {
+                    // The edge stays in the graph as a (crossing, until the
+                    // follow-up link) non-tree edge.
+                    let child_singleton = ly == fy + 1;
+                    let (comp, new_comp) = match b.main {
+                        TourOp::Cut { comp, new_comp, .. } => (comp, new_comp),
+                        _ => unreachable!(),
+                    };
+                    if let Some(st) = self.verts.get_mut(&x) {
+                        let w = st.adj.get(&y).map(|&(_, w)| w).unwrap_or(0);
+                        st.adj.insert(
+                            y,
+                            (
+                                EntryKind::NonTree {
+                                    cached: if child_singleton { 0 } else { 1 },
+                                    far_comp: new_comp,
+                                },
+                                w,
+                            ),
+                        );
+                    }
+                    if let Some(st) = self.verts.get_mut(&y) {
+                        let w = st.adj.get(&x).map(|&(_, w)| w).unwrap_or(0);
+                        st.adj.insert(
+                            x,
+                            (
+                                EntryKind::NonTree {
+                                    cached: b.x_after,
+                                    far_comp: comp,
+                                },
+                                w,
+                            ),
+                        );
+                    }
+                }
+            },
+            TourOp::Reroot { .. } => unreachable!("reroot is never a main op"),
+        }
+        best.map(|(w, e)| (e, w))
+    }
+
+    /// Applies the broadcast ops to one vertex's indexes, size, component id
+    /// and adjacency annotations; collects crossing candidates during cuts.
+    ///
+    /// Tree entries always live in the owner's component's index space;
+    /// non-tree cached indexes live in `far_comp`'s index space (the two can
+    /// differ transiently between a cut and its reconnecting link).
+    fn apply_to_vertex(
+        &self,
+        v: V,
+        st: &mut VertexState,
+        b: &StructBroadcast,
+        best: &mut Option<(Weight, Edge)>,
+    ) {
+        // 1. Reroot (links only): a bijection on the absorbed component's
+        // index space.
+        if let Some(r @ TourOp::Reroot { comp, elen, l_y, .. }) = b.reroot {
+            if st.comp == comp {
+                apply_op_to_vertex(&r, v, st.comp, &mut st.idx);
+                for (_, (kind, _)) in st.adj.iter_mut() {
+                    if let EntryKind::Tree { lo, hi } = kind {
+                        let (a, c) = (map_reroot(*lo, elen, l_y), map_reroot(*hi, elen, l_y));
+                        *lo = a.min(c);
+                        *hi = a.max(c);
+                    }
+                }
+            }
+            for (_, (kind, _)) in st.adj.iter_mut() {
+                if let EntryKind::NonTree { cached, far_comp } = kind {
+                    if *far_comp == comp {
+                        *cached = map_reroot(*cached, elen, l_y);
+                    }
+                }
+            }
+        }
+        // 2. Main op.
+        match b.main {
+            TourOp::Link { a, b: bc, fx, elen_b, .. } => {
+                let old = st.comp;
+                let shift_b = fx + 2;
+                let shift_a = elen_b + 4;
+                if old == a || old == bc {
+                    st.comp = apply_op_to_vertex(&b.main, v, old, &mut st.idx);
+                    st.size = b.merged_size;
+                    for (_, (kind, _)) in st.adj.iter_mut() {
+                        if let EntryKind::Tree { lo, hi } = kind {
+                            let map = |i: TourIx| {
+                                if old == bc {
+                                    i + shift_b
+                                } else if i > fx {
+                                    i + shift_a
+                                } else {
+                                    i
+                                }
+                            };
+                            *lo = map(*lo);
+                            *hi = map(*hi);
+                        }
+                    }
+                }
+                for (_, (kind, _)) in st.adj.iter_mut() {
+                    if let EntryKind::NonTree { cached, far_comp } = kind {
+                        if *far_comp == bc {
+                            // cached == 0 means the far endpoint was a
+                            // singleton, i.e. it is the link's y, whose
+                            // first new index is fx+2 (== 0 + shift_b).
+                            *cached += shift_b;
+                            *far_comp = a;
+                        } else if *far_comp == a {
+                            if *cached == 0 {
+                                // Far endpoint was a singleton = the link's
+                                // x; its first new index is fx+1 (fx = 0).
+                                *cached = fx + 1;
+                            } else if *cached > fx {
+                                *cached += shift_a;
+                            }
+                        }
+                    }
+                }
+            }
+            TourOp::Cut {
+                comp,
+                x,
+                y,
+                fy,
+                ly,
+                new_comp,
+            } => {
+                let was_member = st.comp == comp;
+                let span = (ly - fy + 1) + 2;
+                let k_sub = (ly - fy + 3) / 4;
+                let child_singleton = ly == fy + 1;
+                let mut my_detached = false;
+                if was_member {
+                    let old_size = st.size;
+                    st.comp = apply_op_to_vertex(&b.main, v, st.comp, &mut st.idx);
+                    my_detached = st.comp == new_comp;
+                    st.size = if my_detached { k_sub } else { old_size - k_sub };
+                }
+                for (&far, (kind, w)) in st.adj.iter_mut() {
+                    // The cut edge's own entries are rewritten afterwards.
+                    if (v == x && far == y) || (v == y && far == x) {
+                        continue;
+                    }
+                    match kind {
+                        EntryKind::Tree { lo, hi } => {
+                            if !was_member {
+                                continue;
+                            }
+                            // A surviving tree edge lies on one side.
+                            let map = |i: TourIx| {
+                                if i > fy && i < ly {
+                                    i - fy
+                                } else if i > ly {
+                                    i - span
+                                } else {
+                                    i
+                                }
+                            };
+                            *lo = map(*lo);
+                            *hi = map(*hi);
+                        }
+                        EntryKind::NonTree { cached, far_comp } => {
+                            if *far_comp != comp {
+                                continue;
+                            }
+                            // Classify the far side, repairing the dying
+                            // indexes of the cut edge's endpoints.
+                            if far == y {
+                                *far_comp = new_comp;
+                                *cached = if child_singleton { 0 } else { 1 };
+                            } else if far == x {
+                                *cached = b.x_after;
+                            } else if *cached > fy && *cached < ly {
+                                *far_comp = new_comp;
+                                *cached -= fy;
+                            } else if *cached > ly {
+                                *cached -= span;
+                            }
+                            if b.rendezvous.is_some()
+                                && was_member
+                                && (*far_comp == new_comp) != my_detached
+                            {
+                                // Crossing edge: replacement candidate.
+                                let e = Edge::new(v, far);
+                                let cand = (*w, e);
+                                if best.map_or(true, |cur| cand < cur) {
+                                    *best = Some(cand);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            TourOp::Reroot { .. } => unreachable!(),
+        }
+    }
+
+    fn handle_path_max_query(
+        &mut self,
+        comp: CompId,
+        fx: TourIx,
+        lx: TourIx,
+        fy: TourIx,
+        ly: TourIx,
+        rendezvous: MachineId,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        let mut best: Option<(Weight, Edge)> = None;
+        for (&v, st) in &self.verts {
+            if st.comp != comp {
+                continue;
+            }
+            for (&far, &(kind, w)) in &st.adj {
+                if let EntryKind::Tree { lo, hi } = kind {
+                    // Process each tree edge once: at its child endpoint.
+                    if lo % 2 != 0 {
+                        continue;
+                    }
+                    // Child's subtree span is [lo, hi]; the edge is on the
+                    // x..y path iff the span contains exactly one endpoint.
+                    let contains_x = lo <= fx && lx <= hi;
+                    let contains_y = lo <= fy && ly <= hi;
+                    if contains_x ^ contains_y {
+                        let cand = (w, Edge::new(v, far));
+                        // Max weight; tie-break toward the smaller edge for
+                        // determinism.
+                        let better = match best {
+                            None => true,
+                            Some((bw, be)) => w > bw || (w == bw && Edge::new(v, far) < be),
+                        };
+                        if better {
+                            best = Some(cand);
+                        }
+                    }
+                }
+            }
+        }
+        out.send(
+            rendezvous,
+            ConnMsg::PathMaxReply {
+                best: best.map(|(w, e)| (e, w)),
+            },
+        );
+    }
+
+    fn finish_path_max(&mut self, replies: Vec<Option<(Edge, Weight)>>, out: &mut Outbox<ConnMsg>) {
+        let (e, w, fx, x_v) = self.pending_mst.take().expect("no pending MST insert");
+        let mut best: Option<(Weight, Edge)> = None;
+        for r in replies.into_iter().flatten() {
+            let cand = (r.1, r.0);
+            let better = match best {
+                None => true,
+                Some((bw, be)) => cand.0 > bw || (cand.0 == bw && cand.1 < be),
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+        let y = e.other(x_v);
+        match best {
+            Some((dw, d)) if dw > w => {
+                // Swap: demote d, then link e. The demote must be initiated
+                // at d's parent endpoint owner.
+                out.send(self.owner(d.u), ConnMsg::StartSwap { d, e, w });
+            }
+            _ => {
+                // Keep the tree; e becomes a non-tree edge.
+                let cached_far = self.st(y).f();
+                let comp = self.st(y).comp;
+                self.st_mut(y)
+                    .adj
+                    .insert(x_v, (EntryKind::NonTree { cached: fx, far_comp: comp }, w));
+                out.send(
+                    self.owner(x_v),
+                    ConnMsg::AddNonTree {
+                        e,
+                        w,
+                        at: x_v,
+                        cached_far,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_start_swap(&mut self, d: Edge, e: Edge, w: Weight, ctx: &RoundCtx, out: &mut Outbox<ConnMsg>) {
+        let u = d.u;
+        let (kind, _) = *self.st(u).adj.get(&d.v).expect("swap edge missing");
+        let EntryKind::Tree { lo, hi } = kind else {
+            panic!("swap target {d} is not a tree edge");
+        };
+        if lo % 2 == 0 {
+            // u is the child; hand off to the parent's owner.
+            out.send(
+                self.owner(d.v),
+                ConnMsg::NeedParentCut {
+                    e: d,
+                    parent: d.v,
+                    fy: lo,
+                    ly: hi,
+                    mode: CutMode::Demote,
+                    search: false,
+                    then_link: Some((e, w)),
+                },
+            );
+        } else {
+            self.broadcast_cut(d, u, lo + 1, hi - 1, CutMode::Demote, false, Some((e, w)), ctx, out);
+        }
+    }
+}
+
+impl Machine for ConnMachine {
+    type Msg = ConnMsg;
+
+    fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<ConnMsg>>, out: &mut Outbox<ConnMsg>) {
+        // Structural broadcasts apply before any other message in the same
+        // round, so follow-up protocol steps see post-op state.
+        let (applies, rest): (Vec<_>, Vec<_>) = inbox
+            .into_iter()
+            .partition(|env| matches!(env.msg, ConnMsg::Apply(_)));
+        let mut candidates: Vec<Option<(Edge, Weight)>> = Vec::new();
+        let mut path_replies: Vec<Option<(Edge, Weight)>> = Vec::new();
+        let mut rendezvous_for_candidates: Option<MachineId> = None;
+        for env in applies {
+            let ConnMsg::Apply(b) = env.msg else { unreachable!() };
+            let cand = self.apply_broadcast(&b);
+            if let Some(r) = b.rendezvous {
+                rendezvous_for_candidates = Some(r);
+                candidates.push(cand);
+            }
+        }
+        if let Some(r) = rendezvous_for_candidates {
+            for c in candidates {
+                out.send(r, ConnMsg::Candidate { best: c });
+            }
+        }
+        let mut replacement_candidates: Vec<Option<(Edge, Weight)>> = Vec::new();
+        for env in rest {
+            match env.msg {
+                ConnMsg::Insert { e, w } => self.handle_insert(e, w, out),
+                ConnMsg::Delete { e } => self.handle_delete(e, ctx, out),
+                ConnMsg::InsQuery { e, w, x } => self.handle_ins_query(e, w, x, ctx, out),
+                ConnMsg::AddNonTree { e, w, at, cached_far } => {
+                    let far = e.other(at);
+                    let comp = self.st(at).comp;
+                    self.st_mut(at).adj.insert(
+                        far,
+                        (EntryKind::NonTree { cached: cached_far, far_comp: comp }, w),
+                    );
+                }
+                ConnMsg::DelNonTree { e, at } => {
+                    let far = e.other(at);
+                    self.st_mut(at).adj.remove(&far);
+                }
+                ConnMsg::NeedParentCut {
+                    e,
+                    parent,
+                    fy,
+                    ly,
+                    mode,
+                    search,
+                    then_link,
+                } => {
+                    self.broadcast_cut(e, parent, fy, ly, mode, search, then_link, ctx, out);
+                }
+                ConnMsg::Candidate { best } => replacement_candidates.push(best),
+                ConnMsg::StartLink { e, w } => self.handle_insert_replacement(e, w, out),
+                ConnMsg::PathMaxQuery {
+                    comp,
+                    fx,
+                    lx,
+                    fy,
+                    ly,
+                    rendezvous,
+                    ..
+                } => self.handle_path_max_query(comp, fx, lx, fy, ly, rendezvous, out),
+                ConnMsg::PathMaxReply { best } => path_replies.push(best),
+                ConnMsg::StartSwap { d, e, w } => self.handle_start_swap(d, e, w, ctx, out),
+                ConnMsg::Apply(_) => unreachable!(),
+                ConnMsg::Ack => {}
+            }
+        }
+        if !replacement_candidates.is_empty() {
+            // All candidates arrive in one round; pick the global minimum.
+            let best = replacement_candidates
+                .into_iter()
+                .flatten()
+                .map(|(e, w)| (w, e))
+                .min();
+            if let Some((w, e)) = best {
+                out.send(self.owner(e.u), ConnMsg::StartLink { e, w });
+            }
+        }
+        if !path_replies.is_empty() {
+            self.finish_path_max(path_replies, out);
+        }
+    }
+
+    fn memory_words(&self) -> usize {
+        let mut words = 4;
+        for st in self.verts.values() {
+            words += 4 + st.idx.len() + 4 * st.adj.len();
+        }
+        words
+    }
+}
+
+impl ConnMachine {
+    /// A replacement/StartLink insertion: the edge already exists as a
+    /// non-tree entry at both owners; re-run the insert query path (the
+    /// Apply handler converts the entries to tree entries).
+    fn handle_insert_replacement(&mut self, e: Edge, w: Weight, out: &mut Outbox<ConnMsg>) {
+        let u = e.u;
+        let x = self.st(u).info(u);
+        out.send(self.owner(e.v), ConnMsg::InsQuery { e, w, x });
+    }
+}

@@ -1,0 +1,206 @@
+//! Message vocabulary of the distributed connectivity/MST protocol.
+
+use dmpc_eulertour::indexed::{CompId, TourOp};
+use dmpc_eulertour::TourIx;
+use dmpc_graph::{Edge, Weight, V};
+use dmpc_mpc::{MachineId, Payload};
+
+/// O(1)-word summary of one endpoint's tour state, shipped between the two
+/// endpoint owners during an update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VertexInfo {
+    /// The vertex.
+    pub v: V,
+    /// Component id (= root vertex of its tree).
+    pub comp: CompId,
+    /// Component size (vertices).
+    pub size: u64,
+    /// First tour appearance (0 if singleton).
+    pub f: TourIx,
+    /// Last tour appearance (0 if singleton).
+    pub l: TourIx,
+}
+
+/// What happens to the cut edge's adjacency entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CutMode {
+    /// The edge is being deleted from the graph.
+    Remove,
+    /// The edge stays in the graph as a non-tree edge (MST swaps).
+    Demote,
+}
+
+/// The O(1)-word broadcast every machine receives on a structural change.
+#[derive(Clone, Copy, Debug)]
+pub struct StructBroadcast {
+    /// Optional reroot of the absorbed side (links only).
+    pub reroot: Option<TourOp>,
+    /// The main op: a link or a cut.
+    pub main: TourOp,
+    /// Merged component size (links) — the absorbed side cannot derive it.
+    pub merged_size: u64,
+    /// Valid tour index of the cut's parent endpoint after the cut
+    /// (0 if it becomes a singleton); repairs cached far-endpoint indexes.
+    pub x_after: TourIx,
+    /// The graph edge being linked or cut.
+    pub edge: Edge,
+    /// Weight of a linked edge (1 in plain connectivity).
+    pub weight: Weight,
+    /// For cuts: what to do with the edge's adjacency entries.
+    pub cut_mode: CutMode,
+    /// For cuts in delete mode: the rendezvous machine for the replacement
+    /// search; `None` disables the search (MST swap cuts reconnect
+    /// immediately via the new edge).
+    pub rendezvous: Option<MachineId>,
+}
+
+/// Protocol messages.
+#[derive(Clone, Debug)]
+pub enum ConnMsg {
+    /// Injected: insert edge `e` with weight `w`.
+    Insert {
+        /// The new edge.
+        e: Edge,
+        /// Its weight (1 for plain connectivity).
+        w: Weight,
+    },
+    /// Injected: delete edge `e`.
+    Delete {
+        /// The edge to remove.
+        e: Edge,
+    },
+    /// owner(x) -> owner(y): continue an insertion with x's state.
+    InsQuery {
+        /// The new edge.
+        e: Edge,
+        /// Its weight.
+        w: Weight,
+        /// State of the endpoint owned by the sender.
+        x: VertexInfo,
+    },
+    /// owner(y) -> owner(x): the edge is intra-component; record it as a
+    /// non-tree entry at vertex `at`.
+    AddNonTree {
+        /// The edge.
+        e: Edge,
+        /// Its weight.
+        w: Weight,
+        /// The endpoint whose owner should record the entry.
+        at: V,
+        /// A current tour index of the far endpoint, cached for cut
+        /// side-classification.
+        cached_far: TourIx,
+    },
+    /// Remove the non-tree entry of `e` at vertex `at`.
+    DelNonTree {
+        /// The edge.
+        e: Edge,
+        /// The endpoint whose owner should drop the entry.
+        at: V,
+    },
+    /// child-owner -> parent-owner: a tree-edge cut where the receiver owns
+    /// the parent endpoint; carries the child's span so the parent owner can
+    /// compute its surviving index and broadcast the cut.
+    NeedParentCut {
+        /// The tree edge being cut.
+        e: Edge,
+        /// The parent endpoint (owned by the receiver).
+        parent: V,
+        /// Child endpoint's first appearance.
+        fy: TourIx,
+        /// Child endpoint's last appearance.
+        ly: TourIx,
+        /// Remove (deletion) or demote (MST swap).
+        mode: CutMode,
+        /// Run the replacement search after the cut.
+        search: bool,
+        /// Link this edge right after the cut (MST swaps).
+        then_link: Option<(Edge, Weight)>,
+    },
+    /// Broadcast: apply a structural change.
+    Apply(StructBroadcast),
+    /// machine -> rendezvous: local best replacement candidate (if any).
+    Candidate {
+        /// Minimum-weight locally stored crossing edge, if any.
+        best: Option<(Edge, Weight)>,
+    },
+    /// rendezvous -> owner(e.u): link edge `e` (already present as a
+    /// non-tree entry at both owners, or about to be created by a swap).
+    StartLink {
+        /// The edge to link.
+        e: Edge,
+        /// Its weight.
+        w: Weight,
+    },
+    /// Broadcast: find the max-weight tree edge on the path between the two
+    /// spans; every machine replies to `rendezvous`.
+    PathMaxQuery {
+        /// Component being queried.
+        comp: CompId,
+        /// `f(x)` of one endpoint.
+        fx: TourIx,
+        /// `l(x)` of one endpoint.
+        lx: TourIx,
+        /// `f(y)` of the other endpoint.
+        fy: TourIx,
+        /// `l(y)` of the other endpoint.
+        ly: TourIx,
+        /// Candidate new edge.
+        e: Edge,
+        /// Candidate weight.
+        w: Weight,
+        /// Who aggregates the replies.
+        rendezvous: MachineId,
+    },
+    /// machine -> rendezvous: local max-weight on-path tree edge.
+    PathMaxReply {
+        /// Local maximum (edge, weight) among owned on-path tree edges.
+        best: Option<(Edge, Weight)>,
+    },
+    /// rendezvous -> owner(d.u): demote tree edge `d`, then link `e`
+    /// (an MST swap).
+    StartSwap {
+        /// Tree edge to demote.
+        d: Edge,
+        /// New edge to link.
+        e: Edge,
+        /// New edge's weight.
+        w: Weight,
+    },
+    /// No-op acknowledgement (kept for protocol symmetry in tests).
+    Ack,
+}
+
+impl Payload for ConnMsg {
+    fn size_words(&self) -> usize {
+        match self {
+            ConnMsg::Insert { .. } => 3,
+            ConnMsg::Delete { .. } => 2,
+            ConnMsg::InsQuery { .. } => 8,
+            ConnMsg::AddNonTree { .. } => 5,
+            ConnMsg::DelNonTree { .. } => 3,
+            ConnMsg::NeedParentCut { .. } => 9,
+            // reroot (4) + main (6) + size/x_after/edge/weight/mode/rdv.
+            ConnMsg::Apply(_) => 16,
+            ConnMsg::Candidate { .. } => 3,
+            ConnMsg::StartLink { .. } => 3,
+            ConnMsg::PathMaxQuery { .. } => 10,
+            ConnMsg::PathMaxReply { .. } => 3,
+            ConnMsg::StartSwap { .. } => 5,
+            ConnMsg::Ack => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_constant_words() {
+        let e = Edge::new(0, 1);
+        assert!(ConnMsg::Insert { e, w: 1 }.size_words() <= 16);
+        assert!(ConnMsg::Ack.size_words() >= 1);
+        assert_eq!(ConnMsg::Delete { e }.size_words(), 2);
+    }
+}

@@ -1,0 +1,209 @@
+//! Static MPC baseline: connected components by min-label propagation.
+//!
+//! This is the classic O(log n)-ish-round, all-machines-active,
+//! Omega(N)-communication static recomputation (in the spirit of
+//! Chitnis et al. \[14\] and the O(log n)-round algorithms the paper cites).
+//! It exists to quantify the dynamic algorithm's advantage: rerunning this
+//! after every update costs rounds that grow with the graph and
+//! communication proportional to the number of edges, while the dynamic
+//! algorithm pays O(1) rounds and O(sqrt N) words.
+
+use dmpc_graph::{Edge, V};
+use dmpc_mpc::{Cluster, ClusterConfig, Envelope, Machine, MachineId, Outbox, Payload, RoundCtx, UpdateMetrics};
+use std::collections::BTreeMap;
+
+/// Messages of the label-propagation program.
+#[derive(Clone, Debug)]
+pub enum LpMsg {
+    /// Injected: start propagating (each machine seeds its own vertices).
+    Start,
+    /// New candidate label for vertex `v`.
+    Label {
+        /// Target vertex.
+        v: V,
+        /// Proposed (smaller) label.
+        label: V,
+    },
+}
+
+impl Payload for LpMsg {
+    fn size_words(&self) -> usize {
+        match self {
+            LpMsg::Start => 1,
+            LpMsg::Label { .. } => 2,
+        }
+    }
+}
+
+/// Owner machine: holds a block of vertices with adjacency and labels.
+pub struct LpMachine {
+    block: usize,
+    verts: BTreeMap<V, (V, Vec<V>)>, // v -> (label, neighbors)
+}
+
+impl LpMachine {
+    fn owner(&self, v: V) -> MachineId {
+        (v as usize / self.block) as MachineId
+    }
+
+    fn propose(&mut self, v: V, label: V, out: &mut Outbox<LpMsg>) {
+        let (cur, nbrs) = self.verts.get_mut(&v).expect("vertex not owned");
+        if label < *cur {
+            *cur = label;
+            let nbrs = nbrs.clone();
+            let l = *cur;
+            for u in nbrs {
+                out.send(self.owner(u), LpMsg::Label { v: u, label: l });
+            }
+        }
+    }
+}
+
+impl Machine for LpMachine {
+    type Msg = LpMsg;
+
+    fn on_messages(&mut self, _ctx: &RoundCtx, inbox: Vec<Envelope<LpMsg>>, out: &mut Outbox<LpMsg>) {
+        for env in inbox {
+            match env.msg {
+                LpMsg::Start => {
+                    let seeds: Vec<(V, V)> = self.verts.iter().map(|(&v, _)| (v, v)).collect();
+                    for (v, l) in seeds {
+                        // Seed by announcing the own label to neighbors.
+                        let nbrs = self.verts[&v].1.clone();
+                        for u in nbrs {
+                            out.send(self.owner(u), LpMsg::Label { v: u, label: l });
+                        }
+                    }
+                }
+                LpMsg::Label { v, label } => self.propose(v, label, out),
+            }
+        }
+    }
+
+    fn memory_words(&self) -> usize {
+        self.verts.values().map(|(_, n)| 2 + n.len()).sum()
+    }
+}
+
+/// The static CC recomputation baseline.
+pub struct StaticCc {
+    n: usize,
+    machines: usize,
+    block: usize,
+}
+
+impl StaticCc {
+    /// Baseline over `n` vertices with `machines` owner machines.
+    pub fn new(n: usize, machines: usize) -> Self {
+        let machines = machines.max(1);
+        let block = n.div_ceil(machines).max(1);
+        StaticCc {
+            n,
+            machines: n.div_ceil(block),
+            block,
+        }
+    }
+
+    /// Recomputes components from scratch, returning per-vertex labels
+    /// (min vertex id in each component) and the full run's metrics.
+    pub fn recompute(&self, edges: &[Edge]) -> (Vec<V>, UpdateMetrics) {
+        let mut progs: Vec<LpMachine> = (0..self.machines)
+            .map(|i| {
+                let lo = i * self.block;
+                let hi = ((i + 1) * self.block).min(self.n);
+                LpMachine {
+                    block: self.block,
+                    verts: (lo..hi).map(|v| (v as V, (v as V, Vec::new()))).collect(),
+                }
+            })
+            .collect();
+        for e in edges {
+            let ou = e.u as usize / self.block;
+            let ov = e.v as usize / self.block;
+            progs[ou].verts.get_mut(&e.u).unwrap().1.push(e.v);
+            progs[ov].verts.get_mut(&e.v).unwrap().1.push(e.u);
+        }
+        // The static algorithm needs Omega(N) communication; caps are
+        // intentionally unenforced — the point is to measure raw volume.
+        let mut cluster = Cluster::new(progs, ClusterConfig::default());
+        for m in 0..self.machines as MachineId {
+            cluster.inject(m, LpMsg::Start);
+        }
+        let metrics = cluster.run_update();
+        let mut labels = vec![0 as V; self.n];
+        for m in 0..self.machines as MachineId {
+            for (&v, (label, _)) in &cluster.machine(m).verts {
+                labels[v as usize] = *label;
+            }
+        }
+        (labels, metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpc_graph::{generators, DynamicGraph};
+
+    fn partitions_equal(a: &[V], b: &[V]) -> bool {
+        let norm = |labels: &[V]| {
+            let mut map = std::collections::HashMap::new();
+            labels
+                .iter()
+                .map(|&l| {
+                    let next = map.len() as V;
+                    *map.entry(l).or_insert(next)
+                })
+                .collect::<Vec<V>>()
+        };
+        norm(a) == norm(b)
+    }
+
+    #[test]
+    fn labels_match_bfs() {
+        for seed in 0..5 {
+            let es = generators::gnm(60, 80, seed);
+            let g = DynamicGraph::from_edges(60, &es);
+            let cc = StaticCc::new(60, 8);
+            let (labels, metrics) = cc.recompute(&es);
+            assert!(partitions_equal(&labels, &g.components()));
+            assert!(metrics.rounds >= 2);
+        }
+    }
+
+    #[test]
+    fn communication_scales_with_edges() {
+        let es_small = generators::gnm(128, 128, 1);
+        let es_big = generators::gnm(128, 1024, 1);
+        let cc = StaticCc::new(128, 12);
+        let (_, m_small) = cc.recompute(&es_small);
+        let (_, m_big) = cc.recompute(&es_big);
+        assert!(
+            m_big.total_words > 2 * m_small.total_words,
+            "{} vs {}",
+            m_big.total_words,
+            m_small.total_words
+        );
+    }
+
+    #[test]
+    fn path_graph_needs_many_rounds() {
+        // Min-label propagation on a path takes Theta(n) rounds — the
+        // worst case that motivates contraction-based algorithms; random
+        // graphs finish in O(log n).
+        let es = generators::path(64);
+        let cc = StaticCc::new(64, 8);
+        let (labels, metrics) = cc.recompute(&es);
+        assert!(labels.iter().all(|&l| l == 0));
+        assert!(metrics.rounds >= 32);
+    }
+
+    #[test]
+    fn empty_graph_single_round() {
+        let cc = StaticCc::new(10, 2);
+        let (labels, metrics) = cc.recompute(&[]);
+        assert_eq!(labels, (0..10).collect::<Vec<V>>());
+        // Seeding round only; no labels to propagate.
+        assert!(metrics.rounds <= 1);
+    }
+}

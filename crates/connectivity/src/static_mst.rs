@@ -1,0 +1,124 @@
+//! Static MPC baseline: (1+eps)-approximate MST by weight-bucketed
+//! label propagation — exactly the scheme the paper's Section 5.1 sketches
+//! for preprocessing ("bucket the edges by weights and compute connected
+//! components by considering the edges in buckets of increasing weights").
+//!
+//! Each bucket runs one connected-components pass over the edges of that
+//! bucket (with the components formed so far contracted), so the total
+//! round count is `O(#buckets * rounds(CC))` and the communication is
+//! `Omega(N)` — the static costs the dynamic algorithm avoids.
+
+use crate::static_cc::StaticCc;
+use dmpc_graph::{Edge, UnionFind, Weight};
+use dmpc_mpc::UpdateMetrics;
+
+/// The bucketed static MST baseline.
+pub struct StaticMst {
+    n: usize,
+    machines: usize,
+    epsilon: f64,
+}
+
+impl StaticMst {
+    /// Baseline over `n` vertices with the given machine count and bucket
+    /// base `1 + epsilon`.
+    pub fn new(n: usize, machines: usize, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0);
+        StaticMst {
+            n,
+            machines,
+            epsilon,
+        }
+    }
+
+    /// Recomputes a (1+eps)-approximate MSF weight from scratch. Returns
+    /// `(approx_weight, accumulated_metrics)` where the metrics sum the
+    /// per-bucket CC passes (rounds add up; communication adds up).
+    pub fn recompute(&self, edges: &[(Edge, Weight)]) -> (Weight, UpdateMetrics) {
+        // Bucket by rounded-down powers of (1+eps).
+        let base = 1.0 + self.epsilon;
+        let bucket_of = |w: Weight| -> u32 {
+            if w <= 1 {
+                0
+            } else {
+                ((w as f64).ln() / base.ln()).floor() as u32
+            }
+        };
+        let mut buckets: std::collections::BTreeMap<u32, Vec<Edge>> = Default::default();
+        for &(e, w) in edges {
+            buckets.entry(bucket_of(w)).or_default().push(e);
+        }
+        let mut total = UpdateMetrics::default();
+        let mut uf = UnionFind::new(self.n);
+        let mut weight: Weight = 0;
+        // Contracted vertex labels so far: map each vertex to its current
+        // representative before running the bucket's CC pass.
+        for (b, es) in buckets {
+            let bucket_w = base.powi(b as i32).round().max(1.0) as Weight;
+            // Edges re-expressed over representatives (self-loops dropped).
+            let contracted: Vec<Edge> = es
+                .iter()
+                .filter_map(|e| {
+                    let (ru, rv) = (uf.find(e.u), uf.find(e.v));
+                    (ru != rv).then(|| Edge::new(ru, rv))
+                })
+                .collect();
+            let cc = StaticCc::new(self.n, self.machines);
+            let (_, m) = cc.recompute(&contracted);
+            total.rounds += m.rounds;
+            total.max_active_machines = total.max_active_machines.max(m.max_active_machines);
+            total.max_words_per_round = total.max_words_per_round.max(m.max_words_per_round);
+            total.total_words += m.total_words;
+            total.total_messages += m.total_messages;
+            // Count the merges this bucket makes (Kruskal over contracted
+            // multigraph): each merge contributes one bucketed weight.
+            for e in &contracted {
+                if uf.union(e.u, e.v) {
+                    weight += bucket_w;
+                }
+            }
+        }
+        (weight, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpc_graph::generators;
+    use dmpc_graph::mst::msf_weight;
+    use dmpc_graph::streams::edge_weight;
+
+    fn weighted(n: usize, m: usize, seed: u64) -> Vec<(Edge, Weight)> {
+        generators::gnm(n, m, seed)
+            .into_iter()
+            .map(|e| (e, edge_weight(e, 1000, seed)))
+            .collect()
+    }
+
+    #[test]
+    fn weight_within_factor_of_kruskal() {
+        for seed in 0..4 {
+            let es = weighted(48, 120, seed);
+            let exact = msf_weight(48, &es);
+            let eps = 0.2;
+            let (approx, metrics) = StaticMst::new(48, 6, eps).recompute(&es);
+            assert!(metrics.rounds >= 2);
+            // Bucketing rounds weights *down*, so approx <= exact, and the
+            // true weight of the chosen forest is within (1+eps) of optimal.
+            assert!(approx as f64 <= exact as f64 + 1e-9, "{approx} vs {exact}");
+            assert!(
+                exact as f64 <= approx as f64 * (1.0 + eps) * 1.001 + 1.0,
+                "{approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_grow_with_buckets() {
+        let es = weighted(48, 120, 9);
+        let (_, coarse) = StaticMst::new(48, 6, 2.0).recompute(&es);
+        let (_, fine) = StaticMst::new(48, 6, 0.05).recompute(&es);
+        assert!(fine.rounds > coarse.rounds);
+    }
+}

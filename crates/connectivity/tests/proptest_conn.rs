@@ -1,0 +1,53 @@
+//! Property tests: arbitrary valid update sequences through the distributed
+//! connectivity algorithm — full audits, components vs ground truth, and
+//! constant-rounds bounds, for every generated case.
+
+use dmpc_connectivity::DmpcConnectivity;
+use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
+use dmpc_graph::{DynamicGraph, Edge};
+use proptest::prelude::*;
+
+fn partitions_equal(a: &[u32], b: &[u32]) -> bool {
+    let norm = |labels: &[u32]| {
+        let mut map = std::collections::HashMap::new();
+        labels
+            .iter()
+            .map(|&l| {
+                let next = map.len() as u32;
+                *map.entry(l).or_insert(next)
+            })
+            .collect::<Vec<u32>>()
+    };
+    norm(a) == norm(b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn connectivity_matches_ground_truth(
+        ops in proptest::collection::vec((0u32..20, 0u32..20, any::<bool>()), 1..120)
+    ) {
+        let n = 20usize;
+        let params = DmpcParams::new(n, 120);
+        let mut alg = DmpcConnectivity::new(params);
+        let mut g = DynamicGraph::new(n);
+        for (a, b, ins) in ops {
+            if a == b { continue; }
+            let e = Edge::new(a, b);
+            let m = if ins && !g.has_edge(e) {
+                g.insert(e).unwrap();
+                alg.insert(e)
+            } else if !ins && g.has_edge(e) {
+                g.delete(e).unwrap();
+                alg.delete(e)
+            } else {
+                continue;
+            };
+            prop_assert!(m.clean(), "violations: {:?}", m.violations);
+            prop_assert!(m.rounds <= 10, "rounds {}", m.rounds);
+            alg.driver().audit().map_err(|e| TestCaseError::fail(e))?;
+            prop_assert!(partitions_equal(&alg.component_labels(), &g.components()));
+        }
+    }
+}

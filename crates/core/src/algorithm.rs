@@ -1,0 +1,85 @@
+//! The interface implemented by every DMPC dynamic algorithm in this
+//! workspace.
+
+use dmpc_graph::{Edge, Update, Weight, WeightedUpdate};
+use dmpc_mpc::UpdateMetrics;
+
+/// A fully-dynamic distributed graph algorithm: processes one edge update at
+/// a time and reports the DMPC cost of each.
+pub trait DynamicGraphAlgorithm {
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Processes an edge insertion, returning the update's metered cost.
+    fn insert(&mut self, e: Edge) -> UpdateMetrics;
+
+    /// Processes an edge deletion, returning the update's metered cost.
+    fn delete(&mut self, e: Edge) -> UpdateMetrics;
+
+    /// Applies any unweighted update.
+    fn apply(&mut self, u: Update) -> UpdateMetrics {
+        match u {
+            Update::Insert(e) => self.insert(e),
+            Update::Delete(e) => self.delete(e),
+        }
+    }
+}
+
+/// A fully-dynamic distributed algorithm on weighted graphs (the MST
+/// algorithms).
+pub trait WeightedDynamicGraphAlgorithm {
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Processes a weighted edge insertion.
+    fn insert(&mut self, e: Edge, w: Weight) -> UpdateMetrics;
+
+    /// Processes an edge deletion.
+    fn delete(&mut self, e: Edge) -> UpdateMetrics;
+
+    /// Applies any weighted update.
+    fn apply(&mut self, u: WeightedUpdate) -> UpdateMetrics {
+        match u {
+            WeightedUpdate::Insert(e, w) => self.insert(e, w),
+            WeightedUpdate::Delete(e) => self.delete(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy {
+        inserts: usize,
+        deletes: usize,
+    }
+
+    impl DynamicGraphAlgorithm for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn insert(&mut self, _e: Edge) -> UpdateMetrics {
+            self.inserts += 1;
+            UpdateMetrics::default()
+        }
+        fn delete(&mut self, _e: Edge) -> UpdateMetrics {
+            self.deletes += 1;
+            UpdateMetrics::default()
+        }
+    }
+
+    #[test]
+    fn apply_dispatches() {
+        let mut d = Dummy {
+            inserts: 0,
+            deletes: 0,
+        };
+        let e = Edge::new(0, 1);
+        d.apply(Update::Insert(e));
+        d.apply(Update::Delete(e));
+        d.apply(Update::Insert(e));
+        assert_eq!((d.inserts, d.deletes), (2, 1));
+        assert_eq!(d.name(), "dummy");
+    }
+}

@@ -1,0 +1,165 @@
+//! Experiment drivers: replay update streams through an algorithm, verify
+//! the maintained solution after every update, aggregate worst-case costs,
+//! and fit growth exponents across input sizes.
+
+use crate::algorithm::DynamicGraphAlgorithm;
+use dmpc_graph::{DynamicGraph, Update};
+use dmpc_mpc::{loglog_slope, AggregateMetrics, UpdateMetrics};
+
+/// Replays `updates` through `alg`, aggregating per-update worst cases.
+pub fn run_stream<A: DynamicGraphAlgorithm>(alg: &mut A, updates: &[Update]) -> AggregateMetrics {
+    let mut agg = AggregateMetrics::default();
+    for &u in updates {
+        let m = alg.apply(u);
+        agg.absorb(&m);
+    }
+    agg
+}
+
+/// Replays `updates`, maintaining the ground-truth graph alongside and
+/// calling `verify(graph, last_metrics)` after every update. The verifier
+/// panics (with context) on any divergence, making failures easy to bisect.
+pub fn run_stream_verified<A, F>(
+    n: usize,
+    alg: &mut A,
+    updates: &[Update],
+    mut verify: F,
+) -> AggregateMetrics
+where
+    A: DynamicGraphAlgorithm,
+    F: FnMut(&DynamicGraph, &UpdateMetrics),
+{
+    let mut g = DynamicGraph::new(n);
+    let mut agg = AggregateMetrics::default();
+    for (step, &u) in updates.iter().enumerate() {
+        match u {
+            Update::Insert(e) => g.insert(e).unwrap_or_else(|err| {
+                panic!("invalid stream at step {step}: {err}");
+            }),
+            Update::Delete(e) => g.delete(e).unwrap_or_else(|err| {
+                panic!("invalid stream at step {step}: {err}");
+            }),
+        }
+        let m = alg.apply(u);
+        assert!(
+            m.clean(),
+            "model violation at step {step} ({u:?}): {:?}",
+            m.violations
+        );
+        verify(&g, &m);
+        agg.absorb(&m);
+    }
+    agg
+}
+
+/// One measured point of a scaling sweep.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Input size `N = n + m_max`.
+    pub input_size: usize,
+    /// Aggregated metrics at this size.
+    pub agg: AggregateMetrics,
+}
+
+/// A scaling sweep over input sizes, with log-log slope fits against `N` for
+/// the three Table-1 quantities.
+#[derive(Clone, Debug, Default)]
+pub struct ScalingSweep {
+    /// The measured points, in increasing `N`.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingSweep {
+    /// Adds a measured point.
+    pub fn push(&mut self, input_size: usize, agg: AggregateMetrics) {
+        self.points.push(ScalingPoint { input_size, agg });
+    }
+
+    fn slope_of<F: Fn(&AggregateMetrics) -> f64>(&self, f: F) -> f64 {
+        let pts: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .map(|p| (p.input_size as f64, f(&p.agg).max(1.0)))
+            .collect();
+        loglog_slope(&pts)
+    }
+
+    /// Growth exponent of worst-case rounds per update vs `N`
+    /// (≈ 0 means O(1) rounds — the paper's headline).
+    pub fn rounds_slope(&self) -> f64 {
+        self.slope_of(|a| a.max_rounds as f64)
+    }
+
+    /// Growth exponent of worst-case active machines vs `N`.
+    pub fn machines_slope(&self) -> f64 {
+        self.slope_of(|a| a.max_active_machines as f64)
+    }
+
+    /// Growth exponent of worst-case communication per round vs `N`
+    /// (≈ 0.5 corresponds to the paper's `O(sqrt N)` rows).
+    pub fn words_slope(&self) -> f64 {
+        self.slope_of(|a| a.max_words_per_round as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpc_graph::Edge;
+
+    struct Counter;
+    impl DynamicGraphAlgorithm for Counter {
+        fn name(&self) -> &'static str {
+            "counter"
+        }
+        fn insert(&mut self, _e: Edge) -> UpdateMetrics {
+            let mut m = UpdateMetrics::default();
+            m.rounds = 2;
+            m.max_active_machines = 3;
+            m.max_words_per_round = 10;
+            m
+        }
+        fn delete(&mut self, _e: Edge) -> UpdateMetrics {
+            let mut m = UpdateMetrics::default();
+            m.rounds = 4;
+            m
+        }
+    }
+
+    #[test]
+    fn run_stream_aggregates() {
+        let e = Edge::new(0, 1);
+        let ups = vec![Update::Insert(e), Update::Delete(e), Update::Insert(e)];
+        let agg = run_stream(&mut Counter, &ups);
+        assert_eq!(agg.updates, 3);
+        assert_eq!(agg.max_rounds, 4);
+        assert_eq!(agg.max_active_machines, 3);
+    }
+
+    #[test]
+    fn verified_run_tracks_graph() {
+        let e = Edge::new(0, 1);
+        let ups = vec![Update::Insert(e), Update::Delete(e)];
+        let mut sizes = Vec::new();
+        run_stream_verified(3, &mut Counter, &ups, |g, _| sizes.push(g.m()));
+        assert_eq!(sizes, vec![1, 0]);
+    }
+
+    #[test]
+    fn sweep_slopes() {
+        let mut sweep = ScalingSweep::default();
+        for k in 6..12 {
+            let n = 1usize << k;
+            let mut agg = AggregateMetrics::default();
+            let mut m = UpdateMetrics::default();
+            m.rounds = 5; // flat
+            m.max_active_machines = (n as f64).sqrt() as usize; // sqrt growth
+            m.max_words_per_round = n; // linear growth
+            agg.absorb(&m);
+            sweep.push(n, agg);
+        }
+        assert!(sweep.rounds_slope().abs() < 0.05);
+        assert!((sweep.machines_slope() - 0.5).abs() < 0.05);
+        assert!((sweep.words_slope() - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,28 @@
+//! The DMPC model layer: model parameters, the dynamic-algorithm interface,
+//! verified experiment drivers, and Table-1-style reporting.
+//!
+//! The paper defines the **DMPC** model (Section 2): machines with
+//! `O(sqrt(N))`-word memories, where `N = n + m` is the input size; a
+//! dynamic algorithm processes each edge insertion/deletion in synchronous
+//! rounds, and its complexity is the triple
+//! *(rounds per update, active machines per round, communication per round)*.
+//! This crate turns those definitions into code:
+//!
+//! * [`DmpcParams`] — derives `S`, the machine count, and related quantities
+//!   from `n` and the edge capacity, exactly as the paper's algorithms assume.
+//! * [`DynamicGraphAlgorithm`] / [`WeightedDynamicGraphAlgorithm`] — the
+//!   interface every distributed algorithm in this workspace implements.
+//! * [`experiment`] — drivers that replay update streams, verify the
+//!   maintained solution against references after every update, and
+//!   aggregate worst-case metrics; plus scaling sweeps with log-log slope
+//!   fits used to check Table 1's growth shapes.
+//! * [`report`] — plain-text table rendering for the bench binaries.
+
+pub mod algorithm;
+pub mod experiment;
+pub mod model;
+pub mod report;
+
+pub use algorithm::{DynamicGraphAlgorithm, WeightedDynamicGraphAlgorithm};
+pub use experiment::{run_stream, run_stream_verified, ScalingPoint, ScalingSweep};
+pub use model::DmpcParams;

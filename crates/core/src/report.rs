@@ -1,0 +1,112 @@
+//! Plain-text table rendering for the bench binaries (no external deps).
+
+use dmpc_mpc::AggregateMetrics;
+
+/// One row of a Table-1-style report.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// Algorithm / problem name.
+    pub name: String,
+    /// Paper-claimed bounds (rounds, machines, communication), free text.
+    pub claimed: (String, String, String),
+    /// Measured aggregate.
+    pub agg: AggregateMetrics,
+}
+
+/// Renders rows as an aligned plain-text table comparing paper claims with
+/// measured worst cases.
+pub fn render_table(title: &str, rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let header = format!(
+        "{:<26} | {:>14} | {:>9} | {:>16} | {:>10} | {:>16} | {:>12} | {:>5}\n",
+        "problem",
+        "claimed rounds",
+        "rounds",
+        "claimed machines",
+        "machines",
+        "claimed comm",
+        "comm (words)",
+        "viol"
+    );
+    let width = header.len();
+    out.push_str(&"-".repeat(width.saturating_sub(1)));
+    out.push('\n');
+    out.push_str(&header);
+    out.push_str(&"-".repeat(width.saturating_sub(1)));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<26} | {:>14} | {:>9} | {:>16} | {:>10} | {:>16} | {:>12} | {:>5}\n",
+            r.name,
+            r.claimed.0,
+            r.agg.max_rounds,
+            r.claimed.1,
+            r.agg.max_active_machines,
+            r.claimed.2,
+            r.agg.max_words_per_round,
+            r.agg.violations,
+        ));
+    }
+    out
+}
+
+/// Renders a scaling sweep as `N, rounds, machines, words` rows plus fitted
+/// slopes.
+pub fn render_sweep(name: &str, sweep: &crate::experiment::ScalingSweep) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("scaling of {name} (worst case per update)\n"));
+    out.push_str(&format!(
+        "{:>10} | {:>7} | {:>9} | {:>12}\n",
+        "N", "rounds", "machines", "words/round"
+    ));
+    for p in &sweep.points {
+        out.push_str(&format!(
+            "{:>10} | {:>7} | {:>9} | {:>12}\n",
+            p.input_size, p.agg.max_rounds, p.agg.max_active_machines, p.agg.max_words_per_round
+        ));
+    }
+    out.push_str(&format!(
+        "fitted exponents vs N: rounds {:+.3}, machines {:+.3}, words {:+.3}\n",
+        sweep.rounds_slope(),
+        sweep.machines_slope(),
+        sweep.words_slope()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rows() {
+        let mut agg = AggregateMetrics::default();
+        let mut m = dmpc_mpc::UpdateMetrics::default();
+        m.rounds = 3;
+        m.max_active_machines = 2;
+        m.max_words_per_round = 40;
+        agg.absorb(&m);
+        let rows = vec![TableRow {
+            name: "maximal matching".into(),
+            claimed: ("O(1)".into(), "O(1)".into(), "O(sqrt N)".into()),
+            agg,
+        }];
+        let s = render_table("Table 1", &rows);
+        assert!(s.contains("maximal matching"));
+        assert!(s.contains("O(sqrt N)"));
+        assert!(s.contains(" 3 "));
+    }
+
+    #[test]
+    fn renders_sweep() {
+        let mut sweep = crate::experiment::ScalingSweep::default();
+        let mut agg = AggregateMetrics::default();
+        agg.absorb(&dmpc_mpc::UpdateMetrics::default());
+        sweep.push(1024, agg);
+        let s = render_sweep("connectivity", &sweep);
+        assert!(s.contains("1024"));
+        assert!(s.contains("fitted exponents"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Sequential Euler tour trees over the sequence treap.
+//!
+//! Each tree's Euler tour is a treap sequence of *elements*: one self-loop
+//! element per vertex (its permanent representative) and two directed arc
+//! elements per tree edge. `link`/`cut`/`reroot` are O(log n) expected.
+//!
+//! Flag bits (used by the HDT connectivity structure in `dmpc-seqdyn`):
+//! * [`EttForest::VERTEX_MARK`] — set on a vertex element to indicate "this
+//!   vertex has incident non-tree edges at this level".
+//! * [`EttForest::EDGE_MARK`] — set on the canonical arc of a tree edge to
+//!   indicate "this tree edge has level exactly this forest's level".
+
+use crate::treap::{NodeId, SeqTreap, NIL};
+use dmpc_graph::{Edge, V};
+use std::collections::HashMap;
+
+/// An element of an Euler tour sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Elem {
+    /// A vertex's permanent self-loop occurrence.
+    Vert(V),
+    /// A directed arc of a tree edge.
+    Arc(V, V),
+}
+
+/// A forest of Euler tour trees on vertices `0..n`.
+pub struct EttForest {
+    treap: SeqTreap<Elem>,
+    vnode: Vec<NodeId>,
+    arcs: HashMap<(V, V), NodeId>,
+}
+
+impl EttForest {
+    /// Flag bit marking vertices (see module docs).
+    pub const VERTEX_MARK: u8 = 1;
+    /// Flag bit marking canonical tree-edge arcs.
+    pub const EDGE_MARK: u8 = 2;
+
+    /// `n` singleton trees.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let mut treap = SeqTreap::new(seed);
+        let vnode = (0..n as V).map(|v| treap.alloc(Elem::Vert(v))).collect();
+        EttForest {
+            treap,
+            vnode,
+            arcs: HashMap::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.vnode.len()
+    }
+
+    /// Treap root identifying `v`'s tree (stable only until the next
+    /// structural update).
+    pub fn tree_of(&self, v: V) -> NodeId {
+        self.treap.root_of(self.vnode[v as usize])
+    }
+
+    /// True if `a` and `b` are in the same tree.
+    pub fn connected(&self, a: V, b: V) -> bool {
+        self.tree_of(a) == self.tree_of(b)
+    }
+
+    /// Number of vertices in `v`'s tree (a tree of k vertices has
+    /// `3k-2` sequence elements: k self-loops + 2(k-1) arcs).
+    pub fn tree_size(&self, v: V) -> usize {
+        (self.treap.seq_len(self.tree_of(v)) + 2) / 3
+    }
+
+    /// True if `(u,v)` is a tree edge of this forest.
+    pub fn has_edge(&self, u: V, v: V) -> bool {
+        self.arcs.contains_key(&(u, v))
+    }
+
+    /// Rotates `v`'s tour so it begins at `v`'s self-loop element.
+    pub fn reroot(&mut self, v: V) {
+        let x = self.vnode[v as usize];
+        let (a, b) = self.treap.split_before(x);
+        self.treap.merge(b, a);
+    }
+
+    /// Links the trees of `u` and `v` with a new tree edge. Panics if they
+    /// are already connected.
+    pub fn link(&mut self, u: V, v: V) {
+        assert!(!self.connected(u, v), "link({u},{v}) would create a cycle");
+        self.reroot(u);
+        self.reroot(v);
+        let uv = self.treap.alloc(Elem::Arc(u, v));
+        let vu = self.treap.alloc(Elem::Arc(v, u));
+        self.arcs.insert((u, v), uv);
+        self.arcs.insert((v, u), vu);
+        let tu = self.tree_of(u);
+        let tv = self.tree_of(v);
+        // Tour(u) ++ (u,v) ++ Tour(v) ++ (v,u).
+        let r = self.treap.merge(tu, uv);
+        let r = self.treap.merge(r, tv);
+        self.treap.merge(r, vu);
+    }
+
+    /// Cuts tree edge `(u,v)`. Panics if it is not a tree edge.
+    pub fn cut(&mut self, u: V, v: V) {
+        let a1 = self.arcs.remove(&(u, v)).expect("not a tree edge");
+        let a2 = self.arcs.remove(&(v, u)).expect("not a tree edge");
+        let (first, second) = if self.treap.precedes(a1, a2) {
+            (a1, a2)
+        } else {
+            (a2, a1)
+        };
+        let (before, _rest) = self.treap.split_before(first);
+        let (mid_with_arcs, after) = self.treap.split_after(second);
+        // mid_with_arcs = [first, inner..., second]; strip both arcs.
+        let (first_alone, mid) = self.treap.split_after(first);
+        debug_assert_eq!(first_alone, first);
+        let (inner, second_alone) = if mid == NIL {
+            (NIL, NIL)
+        } else {
+            self.treap.split_before(second)
+        };
+        debug_assert!(mid == NIL || second_alone == second);
+        let _ = inner; // inner subtree tour: one resulting tree
+        let _ = mid_with_arcs;
+        self.treap.merge(before, after);
+        self.treap.dealloc(first);
+        self.treap.dealloc(second);
+    }
+
+    /// Sets/clears the vertex mark on `v`.
+    pub fn mark_vertex(&mut self, v: V, on: bool) {
+        self.treap
+            .set_flags(self.vnode[v as usize], Self::VERTEX_MARK, on);
+    }
+
+    /// True if `v` carries the vertex mark.
+    pub fn vertex_marked(&self, v: V) -> bool {
+        self.treap.flags(self.vnode[v as usize]) & Self::VERTEX_MARK != 0
+    }
+
+    /// Sets/clears the edge mark on tree edge `e` (canonical arc `u->v`).
+    pub fn mark_edge(&mut self, e: Edge, on: bool) {
+        let arc = *self.arcs.get(&(e.u, e.v)).expect("not a tree edge");
+        self.treap.set_flags(arc, Self::EDGE_MARK, on);
+    }
+
+    /// Finds any marked vertex in `v`'s tree.
+    pub fn find_marked_vertex(&self, v: V) -> Option<V> {
+        let root = self.tree_of(v);
+        self.treap
+            .find_flag(root, Self::VERTEX_MARK)
+            .map(|x| match *self.treap.val(x) {
+                Elem::Vert(w) => w,
+                Elem::Arc(..) => unreachable!("vertex mark on an arc"),
+            })
+    }
+
+    /// Finds any marked tree edge in `v`'s tree.
+    pub fn find_marked_edge(&self, v: V) -> Option<Edge> {
+        let root = self.tree_of(v);
+        self.treap
+            .find_flag(root, Self::EDGE_MARK)
+            .map(|x| match *self.treap.val(x) {
+                Elem::Arc(a, b) => Edge::new(a, b),
+                Elem::Vert(_) => unreachable!("edge mark on a vertex"),
+            })
+    }
+
+    /// The vertices of `v`'s tree in tour order (O(k); testing and
+    /// small-tree enumeration).
+    pub fn tree_vertices(&self, v: V) -> Vec<V> {
+        self.treap
+            .in_order(self.tree_of(v))
+            .into_iter()
+            .filter_map(|x| match *self.treap.val(x) {
+                Elem::Vert(w) => Some(w),
+                Elem::Arc(..) => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpc_graph::UnionFind;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn link_cut_basics() {
+        let mut f = EttForest::new(5, 1);
+        assert!(!f.connected(0, 1));
+        assert_eq!(f.tree_size(0), 1);
+        f.link(0, 1);
+        f.link(1, 2);
+        assert!(f.connected(0, 2));
+        assert_eq!(f.tree_size(0), 3);
+        assert!(f.has_edge(0, 1));
+        f.cut(0, 1);
+        assert!(!f.connected(0, 2));
+        assert!(f.connected(1, 2));
+        assert_eq!(f.tree_size(1), 2);
+        assert_eq!(f.tree_size(0), 1);
+    }
+
+    #[test]
+    fn cut_adjacent_arcs_leaf() {
+        let mut f = EttForest::new(2, 2);
+        f.link(0, 1);
+        assert_eq!(f.tree_size(0), 2);
+        f.cut(0, 1);
+        assert_eq!(f.tree_size(0), 1);
+        assert_eq!(f.tree_size(1), 1);
+        // Re-link in the opposite direction.
+        f.link(1, 0);
+        assert!(f.connected(0, 1));
+    }
+
+    #[test]
+    fn tree_vertices_enumeration() {
+        let mut f = EttForest::new(6, 3);
+        f.link(0, 1);
+        f.link(1, 2);
+        f.link(1, 3);
+        let mut vs = f.tree_vertices(2);
+        vs.sort_unstable();
+        assert_eq!(vs, vec![0, 1, 2, 3]);
+        assert_eq!(f.tree_vertices(5), vec![5]);
+    }
+
+    #[test]
+    fn marks_follow_structure() {
+        let mut f = EttForest::new(6, 4);
+        f.link(0, 1);
+        f.link(1, 2);
+        f.link(3, 4);
+        f.mark_vertex(2, true);
+        assert!(f.vertex_marked(2));
+        assert_eq!(f.find_marked_vertex(0), Some(2));
+        assert_eq!(f.find_marked_vertex(3), None);
+        f.mark_edge(Edge::new(0, 1), true);
+        assert_eq!(f.find_marked_edge(2), Some(Edge::new(0, 1)));
+        // After cutting (1,2), vertex 2's mark leaves 0's tree.
+        f.cut(1, 2);
+        assert_eq!(f.find_marked_vertex(0), None);
+        assert_eq!(f.find_marked_vertex(2), Some(2));
+        f.mark_vertex(2, false);
+        assert_eq!(f.find_marked_vertex(2), None);
+    }
+
+    #[test]
+    fn randomized_against_union_find() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..20 {
+            let n = 24;
+            let mut f = EttForest::new(n, trial);
+            let mut edges: Vec<Edge> = Vec::new();
+            for _ in 0..200 {
+                let a = rng.gen_range(0..n as V);
+                let b = rng.gen_range(0..n as V);
+                if a == b {
+                    continue;
+                }
+                if rng.gen_bool(0.7) {
+                    if !f.connected(a, b) {
+                        f.link(a, b);
+                        edges.push(Edge::new(a, b));
+                    }
+                } else if !edges.is_empty() {
+                    let i = rng.gen_range(0..edges.len());
+                    let e = edges.swap_remove(i);
+                    f.cut(e.u, e.v);
+                }
+                // Cross-check connectivity against a rebuilt union-find.
+                let mut uf = UnionFind::new(n);
+                for e in &edges {
+                    uf.union(e.u, e.v);
+                }
+                for _ in 0..10 {
+                    let x = rng.gen_range(0..n as V);
+                    let y = rng.gen_range(0..n as V);
+                    assert_eq!(f.connected(x, y), uf.same(x, y), "trial {trial}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reroot_preserves_membership_and_size() {
+        let mut f = EttForest::new(8, 7);
+        for v in 1..8 {
+            f.link(v - 1, v);
+        }
+        for v in 0..8 {
+            f.reroot(v);
+            assert_eq!(f.tree_size(0), 8);
+            let mut vs = f.tree_vertices(3);
+            vs.sort_unstable();
+            assert_eq!(vs, (0..8).collect::<Vec<_>>());
+        }
+    }
+}

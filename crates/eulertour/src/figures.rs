@@ -1,0 +1,146 @@
+//! The worked examples of the paper's Figures 1 and 2, exposed as reusable
+//! scenarios. The unit tests here are the "golden" reproduction of both
+//! figures; the `euler_tour_figures` example renders them.
+//!
+//! Vertex naming in both figures: `a=0, b=1, c=2, d=3, e=4, f=5, g=6`.
+
+use crate::explicit::ExplicitTour;
+use crate::indexed::IndexedForest;
+use dmpc_graph::{Edge, V};
+
+/// Human-readable name of a figure vertex.
+pub fn vertex_name(v: V) -> char {
+    (b'a' + v as u8) as char
+}
+
+/// Figure 1 tree 1: root `b`, edges (b,c), (c,d), (b,e).
+pub fn fig1_tree1_edges() -> Vec<Edge> {
+    vec![Edge::new(1, 2), Edge::new(2, 3), Edge::new(1, 4)]
+}
+
+/// Figure 1 tree 2: root `a`, edges (a,f), (f,g).
+pub fn fig1_tree2_edges() -> Vec<Edge> {
+    vec![Edge::new(0, 5), Edge::new(5, 6)]
+}
+
+/// Figure 2 tree: root `a`, edges (a,b), (b,c), (c,d), (b,e), (a,f), (f,g).
+pub fn fig2_edges() -> Vec<Edge> {
+    vec![
+        Edge::new(0, 1),
+        Edge::new(1, 2),
+        Edge::new(2, 3),
+        Edge::new(1, 4),
+        Edge::new(0, 5),
+        Edge::new(5, 6),
+    ]
+}
+
+/// Figure 1 scenario, explicit representation. Returns the three stages:
+/// (i) the initial two tours, (ii) tree 1 rerooted at `e`, (iii) after the
+/// insertion of edge (e,g).
+pub fn fig1_explicit() -> (Vec<ExplicitTour>, ExplicitTour, ExplicitTour) {
+    let t1 = ExplicitTour::from_tree(&fig1_tree1_edges(), 1);
+    let t2 = ExplicitTour::from_tree(&fig1_tree2_edges(), 0);
+    let mut t1_rerooted = t1.clone();
+    t1_rerooted.reroot(4);
+    let mut merged = t2.clone();
+    merged.link(6, t1.clone(), 4);
+    (vec![t1, t2], t1_rerooted, merged)
+}
+
+/// Figure 2 scenario, explicit representation. Returns (i) the initial tour
+/// and (iii) the two tours after deleting edge (a,b).
+pub fn fig2_explicit() -> (ExplicitTour, ExplicitTour, ExplicitTour) {
+    let t = ExplicitTour::from_tree(&fig2_edges(), 0);
+    let mut remaining = t.clone();
+    let detached = remaining.cut(0, 1);
+    (t, detached, remaining)
+}
+
+/// Figure 1 scenario on the indexed (distributed-style) representation.
+pub fn fig1_indexed() -> IndexedForest {
+    let mut fo = IndexedForest::new(7);
+    fo.load_tree(&fig1_tree1_edges(), 1);
+    fo.load_tree(&fig1_tree2_edges(), 0);
+    fo
+}
+
+/// Figure 2 scenario on the indexed representation.
+pub fn fig2_indexed() -> IndexedForest {
+    let mut fo = IndexedForest::new(7);
+    fo.load_tree(&fig2_edges(), 0);
+    fo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Figure 1(i): both tours and every bracket.
+    #[test]
+    fn golden_fig1_initial() {
+        let (initial, _, _) = fig1_explicit();
+        assert_eq!(initial[0].seq(), &[1, 2, 2, 3, 3, 2, 2, 1, 1, 4, 4, 1]);
+        assert_eq!(initial[1].seq(), &[0, 5, 5, 6, 6, 5, 5, 0]);
+    }
+
+    /// Paper Figure 1(ii): tree 1 rerooted at e.
+    #[test]
+    fn golden_fig1_reroot() {
+        let (_, rerooted, _) = fig1_explicit();
+        assert_eq!(rerooted.seq(), &[4, 1, 1, 2, 2, 3, 3, 2, 2, 1, 1, 4]);
+    }
+
+    /// Paper Figure 1(iii): the merged tour after inserting (e,g).
+    #[test]
+    fn golden_fig1_link() {
+        let (_, _, merged) = fig1_explicit();
+        assert_eq!(
+            merged.seq(),
+            &[0, 5, 5, 6, 6, 4, 4, 1, 1, 2, 2, 3, 3, 2, 2, 1, 1, 4, 4, 6, 6, 5, 5, 0]
+        );
+    }
+
+    /// Paper Figure 2(i) and (iii).
+    #[test]
+    fn golden_fig2_cut() {
+        let (initial, detached, remaining) = fig2_explicit();
+        assert_eq!(
+            initial.seq(),
+            &[0, 1, 1, 2, 2, 3, 3, 2, 2, 1, 1, 4, 4, 1, 1, 0, 0, 5, 5, 6, 6, 5, 5, 0]
+        );
+        assert_eq!(detached.seq(), &[1, 2, 2, 3, 3, 2, 2, 1, 1, 4, 4, 1]);
+        assert_eq!(remaining.seq(), &[0, 5, 5, 6, 6, 5, 5, 0]);
+    }
+
+    /// The indexed representation reproduces the explicit one on both
+    /// figures, index set by index set.
+    #[test]
+    fn indexed_matches_explicit_fig1() {
+        let mut fo = fig1_indexed();
+        fo.link(6, 4);
+        let (_, _, merged) = fig1_explicit();
+        for v in 0..7 {
+            assert_eq!(fo.indexes(v).to_vec(), merged.indexes(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn indexed_matches_explicit_fig2() {
+        let mut fo = fig2_indexed();
+        fo.cut(0, 1);
+        let (_, detached, remaining) = fig2_explicit();
+        for v in [1u32, 2, 3, 4] {
+            assert_eq!(fo.indexes(v).to_vec(), detached.indexes(v), "vertex {v}");
+        }
+        for v in [0u32, 5, 6] {
+            assert_eq!(fo.indexes(v).to_vec(), remaining.indexes(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn vertex_names() {
+        assert_eq!(vertex_name(0), 'a');
+        assert_eq!(vertex_name(6), 'g');
+    }
+}

@@ -1,0 +1,39 @@
+//! Euler tour machinery for the DMPC reproduction.
+//!
+//! The paper's Section 5 maintains, for every connected component, an Euler
+//! tour ("E-tour") of a spanning tree, represented *implicitly*: each vertex
+//! knows the set of tour indexes at which it appears, and updates are pure
+//! arithmetic maps on those indexes that every machine can apply locally
+//! after receiving an `O(1)`-word broadcast. This crate provides:
+//!
+//! * [`explicit::ExplicitTour`] — the tour as an explicit sequence, by direct
+//!   splicing. Obviously correct; used as differential-testing ground truth
+//!   and to render the paper's Figures 1 and 2.
+//! * [`indexed::IndexedForest`] — the paper's index arithmetic (reroot, link,
+//!   cut, ancestor tests, path-edge tests). This is the representation the
+//!   distributed algorithm shards across machines.
+//! * [`figures`] — the exact worked examples of the paper's Figures 1 and 2,
+//!   used as golden tests and by the figure-reproduction example.
+//! * [`treap`] / [`ett`] — a sequence treap with parent pointers and
+//!   subtree aggregates, and Euler-tour trees built on it. These power the
+//!   sequential Holm–de Lichtenberg–Thorup connectivity structure that the
+//!   paper's Section 7 reduction consumes.
+//!
+//! Tour conventions (matching the paper): the tour of a tree `T` rooted at
+//! `r` is the sequence of endpoints of traversed edges, each edge traversed
+//! twice, so its length is `4(|T|-1)`; positions are 1-based; `f(v)`/`l(v)`
+//! are the first/last positions of `v`. A singleton tree has an empty tour
+//! and `f = l = 0`.
+
+pub mod explicit;
+pub mod ett;
+pub mod figures;
+pub mod indexed;
+pub mod treap;
+
+pub use explicit::ExplicitTour;
+pub use ett::EttForest;
+pub use indexed::IndexedForest;
+
+/// Tour index (1-based; 0 means "no appearance", i.e. a singleton vertex).
+pub type TourIx = u64;

@@ -1,0 +1,139 @@
+//! Differential property tests: the paper's index arithmetic
+//! ([`IndexedForest`]) against literal sequence splicing
+//! ([`ExplicitTour`]) and against union-find connectivity, over random
+//! structural update sequences.
+
+use dmpc_eulertour::indexed::CompId;
+use dmpc_eulertour::{ExplicitTour, IndexedForest};
+use dmpc_graph::{Edge, UnionFind, V};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A mirrored pair of representations driven by the same operations.
+struct Mirror {
+    indexed: IndexedForest,
+    explicit: HashMap<CompId, ExplicitTour>,
+}
+
+impl Mirror {
+    fn new(n: usize) -> Self {
+        Mirror {
+            indexed: IndexedForest::new(n),
+            explicit: (0..n as CompId)
+                .map(|c| (c, ExplicitTour::singleton()))
+                .collect(),
+        }
+    }
+
+    fn link(&mut self, x: V, y: V) {
+        let (ca, cb) = (self.indexed.comp_of(x), self.indexed.comp_of(y));
+        self.indexed.link(x, y);
+        let tb = self.explicit.remove(&cb).unwrap();
+        let ta = self.explicit.get_mut(&ca).unwrap();
+        ta.link(x, tb, y);
+    }
+
+    fn cut(&mut self, x: V, y: V) {
+        let ca = self.indexed.comp_of(x);
+        self.indexed.cut(x, y);
+        // The parent side always keeps `ca`; the child (detached) side gets
+        // the fresh id.
+        let (new_cx, new_cy) = (self.indexed.comp_of(x), self.indexed.comp_of(y));
+        let child_comp = if new_cx == ca { new_cy } else { new_cx };
+        assert_ne!(child_comp, ca);
+        let detached = self.explicit.get_mut(&ca).unwrap().cut(x, y);
+        self.explicit.insert(child_comp, detached);
+    }
+
+    fn check(&self) {
+        self.indexed.verify().expect("indexed verify");
+        for v in 0..self.indexed.n() as V {
+            let comp = self.indexed.comp_of(v);
+            let tour = &self.explicit[&comp];
+            assert_eq!(
+                self.indexed.indexes(v).to_vec(),
+                tour.indexes(v),
+                "vertex {v} index sets diverged"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random link/cut sequences: the two representations stay identical and
+    /// connectivity matches union-find recomputation.
+    #[test]
+    fn indexed_matches_explicit_random(ops in proptest::collection::vec((0u32..12, 0u32..12, any::<bool>()), 1..120)) {
+        let n = 12usize;
+        let mut m = Mirror::new(n);
+        let mut edges: Vec<Edge> = Vec::new();
+        for (a, b, ins) in ops {
+            if a == b { continue; }
+            let e = Edge::new(a, b);
+            if ins {
+                if !m.indexed.connected(a, b) {
+                    m.link(a, b);
+                    edges.push(e);
+                    m.check();
+                }
+            } else if m.indexed.is_tree_edge(e) {
+                m.cut(a, b);
+                edges.retain(|&x| x != e);
+                m.check();
+            }
+        }
+        // Final connectivity cross-check.
+        let mut uf = UnionFind::new(n);
+        for e in &edges {
+            uf.union(e.u, e.v);
+        }
+        for x in 0..n as V {
+            for y in 0..n as V {
+                prop_assert_eq!(m.indexed.connected(x, y), uf.same(x, y));
+            }
+        }
+    }
+
+    /// Ancestor tests agree with a BFS-computed parent relation.
+    #[test]
+    fn ancestor_matches_bfs(extra in 0usize..8, seed in 0u64..500) {
+        let n = 16usize;
+        let edges = dmpc_graph::generators::random_tree_plus(n, 0, seed);
+        let _ = extra;
+        let mut fo = IndexedForest::new(n);
+        fo.load_tree(&edges, 0);
+        // BFS parents from root 0.
+        let g = dmpc_graph::DynamicGraph::from_edges(n, &edges);
+        let mut parent = vec![u32::MAX; n];
+        let mut order = vec![0u32];
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        let mut qi = 0;
+        while qi < order.len() {
+            let x = order[qi];
+            qi += 1;
+            for y in g.neighbors(x) {
+                if !seen[y as usize] {
+                    seen[y as usize] = true;
+                    parent[y as usize] = x;
+                    order.push(y);
+                }
+            }
+        }
+        let is_anc = |u: V, w: V| {
+            let mut cur = w;
+            loop {
+                if cur == u { return true; }
+                if parent[cur as usize] == u32::MAX { return false; }
+                cur = parent[cur as usize];
+            }
+        };
+        for u in 0..n as V {
+            for w in 0..n as V {
+                prop_assert_eq!(fo.is_ancestor(u, w), is_anc(u, w), "u={} w={}", u, w);
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! A simple dynamic graph used as ground truth by all verification code.
+//!
+//! The DMPC algorithms keep their own distributed state; tests replay the same
+//! update stream into a [`DynamicGraph`] and cross-check solutions against it.
+
+use crate::{Edge, V};
+use std::collections::BTreeSet;
+
+/// Errors returned by [`DynamicGraph`] mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// The edge already exists (on insert).
+    DuplicateEdge(Edge),
+    /// The edge does not exist (on delete).
+    MissingEdge(Edge),
+    /// An endpoint is out of range.
+    VertexOutOfRange(V),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::DuplicateEdge(e) => write!(f, "edge {e} already present"),
+            GraphError::MissingEdge(e) => write!(f, "edge {e} not present"),
+            GraphError::VertexOutOfRange(v) => write!(f, "vertex {v} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected simple graph on vertices `0..n` supporting edge insertions
+/// and deletions. Adjacency is kept in ordered sets so iteration order is
+/// deterministic (important for reproducible experiments).
+#[derive(Clone, Debug, Default)]
+pub struct DynamicGraph {
+    adj: Vec<BTreeSet<V>>,
+    m: usize,
+}
+
+impl DynamicGraph {
+    /// Creates an empty graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DynamicGraph {
+            adj: vec![BTreeSet::new(); n],
+            m: 0,
+        }
+    }
+
+    /// Creates a graph from an edge list.
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        let mut g = DynamicGraph::new(n);
+        for &e in edges {
+            g.insert(e).expect("duplicate edge in from_edges");
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges currently present.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    fn check(&self, e: Edge) -> Result<(), GraphError> {
+        if (e.u as usize) >= self.n() {
+            return Err(GraphError::VertexOutOfRange(e.u));
+        }
+        if (e.v as usize) >= self.n() {
+            return Err(GraphError::VertexOutOfRange(e.v));
+        }
+        Ok(())
+    }
+
+    /// Inserts an edge; errors if it is already present.
+    pub fn insert(&mut self, e: Edge) -> Result<(), GraphError> {
+        self.check(e)?;
+        if !self.adj[e.u as usize].insert(e.v) {
+            return Err(GraphError::DuplicateEdge(e));
+        }
+        self.adj[e.v as usize].insert(e.u);
+        self.m += 1;
+        Ok(())
+    }
+
+    /// Deletes an edge; errors if it is absent.
+    pub fn delete(&mut self, e: Edge) -> Result<(), GraphError> {
+        self.check(e)?;
+        if !self.adj[e.u as usize].remove(&e.v) {
+            return Err(GraphError::MissingEdge(e));
+        }
+        self.adj[e.v as usize].remove(&e.u);
+        self.m -= 1;
+        Ok(())
+    }
+
+    /// True if the edge is present.
+    pub fn has_edge(&self, e: Edge) -> bool {
+        self.adj
+            .get(e.u as usize)
+            .map_or(false, |s| s.contains(&e.v))
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: V) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Iterates over the neighbors of `v` in increasing order.
+    pub fn neighbors(&self, v: V) -> impl Iterator<Item = V> + '_ {
+        self.adj[v as usize].iter().copied()
+    }
+
+    /// Iterates over all edges in normalized, sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&v| (u as V) < v)
+                .map(move |&v| Edge {
+                    u: u as V,
+                    v,
+                })
+        })
+    }
+
+    /// Connected component labels computed from scratch (BFS). Labels are the
+    /// minimum vertex id in each component.
+    pub fn components(&self) -> Vec<V> {
+        let n = self.n();
+        let mut label = vec![V::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for s in 0..n {
+            if label[s] != V::MAX {
+                continue;
+            }
+            label[s] = s as V;
+            queue.push_back(s as V);
+            while let Some(x) = queue.pop_front() {
+                for y in self.neighbors(x) {
+                    if label[y as usize] == V::MAX {
+                        label[y as usize] = s as V;
+                        queue.push_back(y);
+                    }
+                }
+            }
+        }
+        label
+    }
+
+    /// True if `a` and `b` are in the same connected component (BFS check).
+    pub fn connected(&self, a: V, b: V) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut seen = vec![false; self.n()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[a as usize] = true;
+        queue.push_back(a);
+        while let Some(x) = queue.pop_front() {
+            if x == b {
+                return true;
+            }
+            for y in self.neighbors(x) {
+                if !seen[y as usize] {
+                    seen[y as usize] = true;
+                    queue.push_back(y);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_delete_roundtrip() {
+        let mut g = DynamicGraph::new(4);
+        let e = Edge::new(0, 2);
+        g.insert(e).unwrap();
+        assert!(g.has_edge(e));
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.insert(e), Err(GraphError::DuplicateEdge(e)));
+        g.delete(e).unwrap();
+        assert!(!g.has_edge(e));
+        assert_eq!(g.delete(e), Err(GraphError::MissingEdge(e)));
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut g = DynamicGraph::new(3);
+        assert_eq!(
+            g.insert(Edge::new(0, 5)),
+            Err(GraphError::VertexOutOfRange(5))
+        );
+    }
+
+    #[test]
+    fn components_and_connected() {
+        let mut g = DynamicGraph::new(6);
+        g.insert(Edge::new(0, 1)).unwrap();
+        g.insert(Edge::new(1, 2)).unwrap();
+        g.insert(Edge::new(3, 4)).unwrap();
+        let labels = g.components();
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[0]);
+        assert!(g.connected(0, 2));
+        assert!(!g.connected(0, 3));
+        assert!(g.connected(5, 5));
+    }
+
+    #[test]
+    fn edges_iterates_sorted_normalized() {
+        let mut g = DynamicGraph::new(5);
+        g.insert(Edge::new(4, 1)).unwrap();
+        g.insert(Edge::new(0, 3)).unwrap();
+        let es: Vec<Edge> = g.edges().collect();
+        assert_eq!(es, vec![Edge::new(0, 3), Edge::new(1, 4)]);
+    }
+}

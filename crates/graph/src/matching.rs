@@ -1,0 +1,205 @@
+//! Matching verification utilities and greedy baselines.
+//!
+//! The dynamic matching algorithms are verified against these checks:
+//! validity (no shared endpoints, edges present), maximality (no free-free
+//! edge), and absence of short augmenting paths (which certifies the 3/2
+//! approximation per Hopcroft–Karp, as used by the paper's Lemma 4.1).
+
+use crate::{DynamicGraph, Edge, V};
+use std::collections::{BTreeMap, HashSet};
+
+/// A matching represented as a mate map: `mate[v] = Some(u)` iff (u,v) is a
+/// matching edge. Kept in a sorted map for deterministic iteration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Matching {
+    mate: BTreeMap<V, V>,
+}
+
+impl Matching {
+    /// An empty matching.
+    pub fn new() -> Self {
+        Matching::default()
+    }
+
+    /// Builds a matching from a list of pairwise-disjoint edges.
+    pub fn from_edges(edges: &[Edge]) -> Self {
+        let mut m = Matching::new();
+        for &e in edges {
+            m.add(e);
+        }
+        m
+    }
+
+    /// Number of matched edges.
+    pub fn size(&self) -> usize {
+        self.mate.len() / 2
+    }
+
+    /// The mate of `v`, if matched.
+    pub fn mate(&self, v: V) -> Option<V> {
+        self.mate.get(&v).copied()
+    }
+
+    /// True if `v` is matched.
+    pub fn is_matched(&self, v: V) -> bool {
+        self.mate.contains_key(&v)
+    }
+
+    /// True if edge `e` is in the matching.
+    pub fn contains(&self, e: Edge) -> bool {
+        self.mate(e.u) == Some(e.v)
+    }
+
+    /// Adds a matching edge; panics if either endpoint is already matched.
+    pub fn add(&mut self, e: Edge) {
+        assert!(!self.is_matched(e.u), "endpoint {} already matched", e.u);
+        assert!(!self.is_matched(e.v), "endpoint {} already matched", e.v);
+        self.mate.insert(e.u, e.v);
+        self.mate.insert(e.v, e.u);
+    }
+
+    /// Removes a matching edge; panics if absent.
+    pub fn remove(&mut self, e: Edge) {
+        assert!(self.contains(e), "edge {e} not in matching");
+        self.mate.remove(&e.u);
+        self.mate.remove(&e.v);
+    }
+
+    /// Iterates over the matched edges in normalized sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.mate
+            .iter()
+            .filter(|(&a, &b)| a < b)
+            .map(|(&a, &b)| Edge { u: a, v: b })
+    }
+}
+
+/// Checks that `m` is a valid matching of `g`: every matched edge exists in
+/// `g` and no vertex has two mates (structurally guaranteed, re-checked).
+pub fn is_valid_matching(g: &DynamicGraph, m: &Matching) -> bool {
+    let mut used: HashSet<V> = HashSet::new();
+    for e in m.edges() {
+        if !g.has_edge(e) {
+            return false;
+        }
+        if !used.insert(e.u) || !used.insert(e.v) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks maximality: no edge of `g` has both endpoints free.
+pub fn is_maximal_matching(g: &DynamicGraph, m: &Matching) -> bool {
+    g.edges()
+        .all(|e| m.is_matched(e.u) || m.is_matched(e.v))
+}
+
+/// Counts edges of `g` whose endpoints are both free — the number of
+/// "violations" of maximality. Used for the (2+eps) almost-maximal audits.
+pub fn maximality_violations(g: &DynamicGraph, m: &Matching) -> usize {
+    g.edges()
+        .filter(|e| !m.is_matched(e.u) && !m.is_matched(e.v))
+        .count()
+}
+
+/// Greedy maximal matching scanning edges in sorted order (deterministic).
+pub fn greedy_maximal(g: &DynamicGraph) -> Matching {
+    let mut m = Matching::new();
+    for e in g.edges() {
+        if !m.is_matched(e.u) && !m.is_matched(e.v) {
+            m.add(e);
+        }
+    }
+    m
+}
+
+/// True if there exists an augmenting path of length at most `max_len`
+/// (edges) with respect to `m`. Only odd lengths are meaningful. For
+/// `max_len = 3` this is the certificate used by the paper's Lemma 4.1:
+/// a maximal matching with no length-3 augmenting path is 3/2-approximate.
+pub fn has_short_augmenting_path(g: &DynamicGraph, m: &Matching, max_len: usize) -> bool {
+    // Length-1: free--free edge (non-maximality).
+    if max_len >= 1 && !is_maximal_matching(g, m) {
+        return true;
+    }
+    if max_len < 3 {
+        return false;
+    }
+    // Length-3: free u — w — mate(w)=w' — z free, z != u.
+    for u in 0..g.n() as V {
+        if m.is_matched(u) {
+            continue;
+        }
+        for w in g.neighbors(u) {
+            let Some(wp) = m.mate(w) else { continue };
+            for z in g.neighbors(wp) {
+                if z != u && z != w && !m.is_matched(z) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> DynamicGraph {
+        DynamicGraph::from_edges(n, &crate::generators::path(n))
+    }
+
+    #[test]
+    fn matching_add_remove() {
+        let mut m = Matching::new();
+        m.add(Edge::new(0, 1));
+        assert!(m.is_matched(0) && m.is_matched(1));
+        assert_eq!(m.mate(0), Some(1));
+        assert_eq!(m.size(), 1);
+        m.remove(Edge::new(0, 1));
+        assert_eq!(m.size(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matching_rejects_conflicts() {
+        let mut m = Matching::new();
+        m.add(Edge::new(0, 1));
+        m.add(Edge::new(1, 2));
+    }
+
+    #[test]
+    fn greedy_is_valid_and_maximal() {
+        let g = path_graph(7);
+        let m = greedy_maximal(&g);
+        assert!(is_valid_matching(&g, &m));
+        assert!(is_maximal_matching(&g, &m));
+    }
+
+    #[test]
+    fn detects_length_one_augmenting_path() {
+        let g = path_graph(2);
+        let m = Matching::new();
+        assert!(has_short_augmenting_path(&g, &m, 1));
+        assert_eq!(maximality_violations(&g, &m), 1);
+    }
+
+    #[test]
+    fn detects_length_three_augmenting_path() {
+        // Path 0-1-2-3 with only (1,2) matched: 0-1-2-3 is augmenting.
+        let g = path_graph(4);
+        let m = Matching::from_edges(&[Edge::new(1, 2)]);
+        assert!(is_maximal_matching(&g, &m));
+        assert!(!has_short_augmenting_path(&g, &m, 1));
+        assert!(has_short_augmenting_path(&g, &m, 3));
+    }
+
+    #[test]
+    fn no_short_path_when_perfectly_matched() {
+        let g = path_graph(4);
+        let m = Matching::from_edges(&[Edge::new(0, 1), Edge::new(2, 3)]);
+        assert!(!has_short_augmenting_path(&g, &m, 3));
+    }
+}

@@ -1,0 +1,134 @@
+//! Reference spanning forest / minimum spanning forest algorithms.
+
+use crate::{DynamicGraph, Edge, UnionFind, Weight, V};
+
+/// Kruskal's algorithm over an explicit weighted edge list. Returns the
+/// minimum spanning forest edges and the total weight. Ties are broken by the
+/// normalized edge ordering so results are deterministic.
+pub fn kruskal(n: usize, edges: &[(Edge, Weight)]) -> (Vec<Edge>, Weight) {
+    let mut es: Vec<(Weight, Edge)> = edges.iter().map(|&(e, w)| (w, e)).collect();
+    es.sort_unstable();
+    let mut uf = UnionFind::new(n);
+    let mut forest = Vec::new();
+    let mut total: Weight = 0;
+    for (w, e) in es {
+        if uf.union(e.u, e.v) {
+            forest.push(e);
+            total += w;
+        }
+    }
+    (forest, total)
+}
+
+/// Weight of the minimum spanning forest (convenience).
+pub fn msf_weight(n: usize, edges: &[(Edge, Weight)]) -> Weight {
+    kruskal(n, edges).1
+}
+
+/// A BFS spanning forest of `g` (one tree per connected component).
+pub fn spanning_forest(g: &DynamicGraph) -> Vec<Edge> {
+    let n = g.n();
+    let mut seen = vec![false; n];
+    let mut forest = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n as V {
+        if seen[s as usize] {
+            continue;
+        }
+        seen[s as usize] = true;
+        queue.push_back(s);
+        while let Some(x) = queue.pop_front() {
+            for y in g.neighbors(x) {
+                if !seen[y as usize] {
+                    seen[y as usize] = true;
+                    forest.push(Edge::new(x, y));
+                    queue.push_back(y);
+                }
+            }
+        }
+    }
+    forest
+}
+
+/// Checks that `forest` is a spanning forest of `g`: acyclic, edges present,
+/// and connecting exactly the components of `g`.
+pub fn is_spanning_forest(g: &DynamicGraph, forest: &[Edge]) -> bool {
+    let mut uf = UnionFind::new(g.n());
+    for &e in forest {
+        if !g.has_edge(e) {
+            return false;
+        }
+        if !uf.union(e.u, e.v) {
+            return false; // cycle
+        }
+    }
+    // Same number of components as the graph itself.
+    let g_components = {
+        let labels = g.components();
+        let mut set: Vec<V> = labels.clone();
+        set.sort_unstable();
+        set.dedup();
+        set.len()
+    };
+    uf.components() == g_components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::streams::edge_weight;
+
+    #[test]
+    fn kruskal_on_square_with_diagonal() {
+        // Square 0-1-2-3 plus diagonal; weights force specific tree.
+        let edges = vec![
+            (Edge::new(0, 1), 1),
+            (Edge::new(1, 2), 4),
+            (Edge::new(2, 3), 2),
+            (Edge::new(0, 3), 3),
+            (Edge::new(0, 2), 10),
+        ];
+        let (forest, w) = kruskal(4, &edges);
+        assert_eq!(forest.len(), 3);
+        assert_eq!(w, 1 + 2 + 3);
+    }
+
+    #[test]
+    fn kruskal_on_disconnected_graph() {
+        let edges = vec![(Edge::new(0, 1), 5), (Edge::new(2, 3), 7)];
+        let (forest, w) = kruskal(4, &edges);
+        assert_eq!(forest.len(), 2);
+        assert_eq!(w, 12);
+    }
+
+    #[test]
+    fn spanning_forest_valid_on_random_graph() {
+        let es = generators::gnm(40, 80, 2);
+        let g = DynamicGraph::from_edges(40, &es);
+        let f = spanning_forest(&g);
+        assert!(is_spanning_forest(&g, &f));
+    }
+
+    #[test]
+    fn spanning_forest_detects_cycle() {
+        let es = vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)];
+        let g = DynamicGraph::from_edges(3, &es);
+        assert!(!is_spanning_forest(&g, &es)); // all three edges form a cycle
+        assert!(is_spanning_forest(&g, &es[..2]));
+    }
+
+    #[test]
+    fn msf_weight_monotone_under_extra_edges() {
+        let n = 30;
+        let base = generators::random_tree_plus(n, 10, 3);
+        let wedges: Vec<(Edge, Weight)> =
+            base.iter().map(|&e| (e, edge_weight(e, 50, 1))).collect();
+        let w1 = msf_weight(n, &wedges);
+        // Adding an edge can only keep or reduce MSF weight.
+        let mut more = wedges.clone();
+        more.push((Edge::new(0, (n - 1) as u32), 1));
+        let w2 = msf_weight(n, &more);
+        assert!(w2 <= w1);
+    }
+}

@@ -1,0 +1,332 @@
+//! Update streams: the sequences of edge insertions/deletions that drive the
+//! dynamic algorithms, plus generators for the workload patterns used in the
+//! paper-shaped experiments.
+
+use crate::{DynamicGraph, Edge, Weight, V};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An unweighted graph update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Update {
+    /// Insert an edge that is currently absent.
+    Insert(Edge),
+    /// Delete an edge that is currently present.
+    Delete(Edge),
+}
+
+impl Update {
+    /// The edge being inserted or deleted.
+    pub fn edge(&self) -> Edge {
+        match *self {
+            Update::Insert(e) | Update::Delete(e) => e,
+        }
+    }
+
+    /// True for insertions.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Update::Insert(_))
+    }
+}
+
+/// A weighted graph update (for MST maintenance).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightedUpdate {
+    /// Insert an absent edge with the given weight.
+    Insert(Edge, Weight),
+    /// Delete a present edge.
+    Delete(Edge),
+}
+
+impl WeightedUpdate {
+    /// The edge being inserted or deleted.
+    pub fn edge(&self) -> Edge {
+        match *self {
+            WeightedUpdate::Insert(e, _) | WeightedUpdate::Delete(e) => e,
+        }
+    }
+
+    /// Drops weights, producing the unweighted update.
+    pub fn unweighted(&self) -> Update {
+        match *self {
+            WeightedUpdate::Insert(e, _) => Update::Insert(e),
+            WeightedUpdate::Delete(e) => Update::Delete(e),
+        }
+    }
+}
+
+/// Builds update streams that are *valid by construction*: inserts only absent
+/// edges, deletes only present ones. Internally tracks the evolving graph.
+pub struct StreamBuilder {
+    rng: StdRng,
+    graph: DynamicGraph,
+    present: Vec<Edge>,
+    updates: Vec<Update>,
+}
+
+impl StreamBuilder {
+    /// A builder over `n` vertices seeded deterministically.
+    pub fn new(n: usize, seed: u64) -> Self {
+        StreamBuilder {
+            rng: StdRng::seed_from_u64(seed),
+            graph: DynamicGraph::new(n),
+            present: Vec::new(),
+            updates: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Edges currently present.
+    pub fn m(&self) -> usize {
+        self.present.len()
+    }
+
+    fn random_absent_edge(&mut self) -> Option<Edge> {
+        let n = self.graph.n() as V;
+        if n < 2 {
+            return None;
+        }
+        // Rejection sampling; fine while the graph is sparse relative to n^2.
+        for _ in 0..10_000 {
+            let a = self.rng.gen_range(0..n);
+            let b = self.rng.gen_range(0..n);
+            if a == b {
+                continue;
+            }
+            let e = Edge::new(a, b);
+            if !self.graph.has_edge(e) {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Appends a random insertion; returns the edge if one was found.
+    pub fn random_insert(&mut self) -> Option<Edge> {
+        let e = self.random_absent_edge()?;
+        self.graph.insert(e).expect("absent edge");
+        self.present.push(e);
+        self.updates.push(Update::Insert(e));
+        Some(e)
+    }
+
+    /// Appends a deletion of a uniformly random present edge.
+    pub fn random_delete(&mut self) -> Option<Edge> {
+        if self.present.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.present.len());
+        let e = self.present.swap_remove(i);
+        self.graph.delete(e).expect("present edge");
+        self.updates.push(Update::Delete(e));
+        Some(e)
+    }
+
+    /// Appends the insertion of a specific (absent) edge.
+    pub fn insert(&mut self, e: Edge) {
+        self.graph.insert(e).expect("insert of present edge");
+        self.present.push(e);
+        self.updates.push(Update::Insert(e));
+    }
+
+    /// Appends the deletion of a specific (present) edge.
+    pub fn delete(&mut self, e: Edge) {
+        self.graph.delete(e).expect("delete of absent edge");
+        let i = self
+            .present
+            .iter()
+            .position(|&x| x == e)
+            .expect("edge tracked");
+        self.present.swap_remove(i);
+        self.updates.push(Update::Delete(e));
+    }
+
+    /// Finishes the stream.
+    pub fn build(self) -> Vec<Update> {
+        self.updates
+    }
+}
+
+/// Insert `m` random edges, then churn for `steps` updates with the given
+/// probability of insertion (deletions otherwise). This is the default mixed
+/// workload for Table-1 experiments.
+pub fn churn_stream(n: usize, m: usize, steps: usize, p_insert: f64, seed: u64) -> Vec<Update> {
+    let mut b = StreamBuilder::new(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    for _ in 0..m {
+        b.random_insert();
+    }
+    for _ in 0..steps {
+        let do_insert = rng.gen_bool(p_insert) || b.m() == 0;
+        if do_insert {
+            if b.random_insert().is_none() {
+                b.random_delete();
+            }
+        } else {
+            b.random_delete();
+        }
+    }
+    b.build()
+}
+
+/// Insert-only stream of `m` random edges (the paper's Section 4 algorithm
+/// starts from the empty graph).
+pub fn insert_only_stream(n: usize, m: usize, seed: u64) -> Vec<Update> {
+    let mut b = StreamBuilder::new(n, seed);
+    for _ in 0..m {
+        if b.random_insert().is_none() {
+            break;
+        }
+    }
+    b.build()
+}
+
+/// Sliding-window stream: insert `window` edges, then for `steps` updates
+/// alternately insert a fresh edge and delete the oldest one. Models evolving
+/// social-network edges with bounded lifetime.
+pub fn sliding_window_stream(n: usize, window: usize, steps: usize, seed: u64) -> Vec<Update> {
+    let mut b = StreamBuilder::new(n, seed);
+    let mut fifo: std::collections::VecDeque<Edge> = std::collections::VecDeque::new();
+    for _ in 0..window {
+        if let Some(e) = b.random_insert() {
+            fifo.push_back(e);
+        }
+    }
+    for _ in 0..steps {
+        if let Some(e) = b.random_insert() {
+            fifo.push_back(e);
+        }
+        if fifo.len() > window {
+            let old = fifo.pop_front().unwrap();
+            b.delete(old);
+        }
+    }
+    b.build()
+}
+
+/// A forest-heavy stream: builds a random spanning tree then repeatedly
+/// deletes a random *tree* edge and reinserts an edge reconnecting the two
+/// sides. This is the worst case for connectivity/MST maintenance (every
+/// deletion splits a component and forces a replacement search).
+pub fn tree_churn_stream(n: usize, steps: usize, seed: u64) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = StreamBuilder::new(n, seed ^ 0xdead_beef);
+    // Random spanning tree: attach each vertex to a random earlier vertex.
+    let mut tree: Vec<Edge> = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n as V {
+        let p = rng.gen_range(0..v);
+        let e = Edge::new(p, v);
+        b.insert(e);
+        tree.push(e);
+    }
+    for _ in 0..steps {
+        if tree.is_empty() {
+            break;
+        }
+        let i = rng.gen_range(0..tree.len());
+        let e = tree.swap_remove(i);
+        b.delete(e);
+        // Reconnect with a fresh random edge across the cut if possible,
+        // otherwise reinsert the same edge.
+        let replacement = e;
+        b.insert(replacement);
+        tree.push(replacement);
+    }
+    b.build()
+}
+
+/// Attaches deterministic pseudo-random weights to an unweighted stream.
+/// Weights are in `1..=max_w`; a given edge always receives the same weight
+/// (so delete/re-insert cycles are consistent).
+pub fn with_weights(updates: &[Update], max_w: Weight, seed: u64) -> Vec<WeightedUpdate> {
+    updates
+        .iter()
+        .map(|u| match *u {
+            Update::Insert(e) => WeightedUpdate::Insert(e, edge_weight(e, max_w, seed)),
+            Update::Delete(e) => WeightedUpdate::Delete(e),
+        })
+        .collect()
+}
+
+/// Deterministic per-edge weight in `1..=max_w` derived by hashing.
+pub fn edge_weight(e: Edge, max_w: Weight, seed: u64) -> Weight {
+    let mut h = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((e.u as u64) << 32 | e.v as u64);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    1 + h % max_w
+}
+
+/// Replays a stream into a fresh [`DynamicGraph`], returning the final graph.
+/// Panics if the stream is invalid (insert of present / delete of absent).
+pub fn replay(n: usize, updates: &[Update]) -> DynamicGraph {
+    let mut g = DynamicGraph::new(n);
+    for u in updates {
+        match *u {
+            Update::Insert(e) => g.insert(e).expect("valid stream"),
+            Update::Delete(e) => g.delete(e).expect("valid stream"),
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_stream_is_valid() {
+        let ups = churn_stream(50, 100, 500, 0.5, 7);
+        let g = replay(50, &ups); // panics if invalid
+        assert!(g.m() <= 50 * 49 / 2);
+    }
+
+    #[test]
+    fn insert_only_has_no_deletes() {
+        let ups = insert_only_stream(30, 60, 1);
+        assert!(ups.iter().all(|u| u.is_insert()));
+        assert_eq!(ups.len(), 60);
+    }
+
+    #[test]
+    fn sliding_window_bounds_edges() {
+        let ups = sliding_window_stream(40, 30, 200, 3);
+        let g = replay(40, &ups);
+        assert!(g.m() <= 31, "window should cap live edges, got {}", g.m());
+    }
+
+    #[test]
+    fn tree_churn_keeps_tree_size() {
+        let ups = tree_churn_stream(20, 50, 9);
+        let g = replay(20, &ups);
+        assert_eq!(g.m(), 19);
+        // Every deletion in the stream is immediately followed by a reconnect.
+        let labels = g.components();
+        assert!(labels.iter().all(|&l| l == labels[0]));
+    }
+
+    #[test]
+    fn weights_are_stable_per_edge() {
+        let e = Edge::new(3, 9);
+        assert_eq!(edge_weight(e, 100, 5), edge_weight(e, 100, 5));
+        let ups = vec![Update::Insert(e), Update::Delete(e), Update::Insert(e)];
+        let w = with_weights(&ups, 100, 5);
+        match (w[0], w[2]) {
+            (WeightedUpdate::Insert(_, a), WeightedUpdate::Insert(_, b)) => assert_eq!(a, b),
+            _ => panic!("unexpected shapes"),
+        }
+    }
+
+    #[test]
+    fn stream_builder_deterministic() {
+        let a = churn_stream(25, 40, 100, 0.4, 42);
+        let b = churn_stream(25, 40, 100, 0.4, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,28 @@
+//! DMPC fully-dynamic matching algorithms (paper Sections 3, 4 and 6) and
+//! the static MPC baselines they are measured against.
+//!
+//! * [`maximal`] — Section 3: a deterministic fully-dynamic **maximal
+//!   matching** with O(1) rounds per update, O(1) active machines per round
+//!   and O(sqrt N) communication per round, in the worst case. The
+//!   distinctive machinery is all here: a coordinator machine `M_C` holding
+//!   the **update-history** ring buffer, stats machines with exact
+//!   per-vertex records, storage machines holding adjacency lists with
+//!   *stale-but-repairable* matching annotations, round-robin machine
+//!   refresh, and the heavy/light vertex split with alive/suspended edge
+//!   sets (threshold `tau = ceil(sqrt(2 m_max))`).
+//! * [`threehalves`] — Section 4: the 3/2-approximate extension that
+//!   maintains free-neighbor counters and eliminates every augmenting path
+//!   of length <= 3 after each update.
+//! * [`cs`] — Section 6: the (2+eps)-approximate almost-maximal matching in
+//!   the style of Charikar–Solomon, with the level decomposition and the
+//!   four schedulers executing bounded batches per update cycle.
+//! * [`static_mm`] — the static MPC baseline (Israeli–Itai-style randomized
+//!   maximal matching in O(log n) rounds with Omega(N) communication).
+
+pub mod cs;
+pub mod maximal;
+pub mod static_mm;
+pub mod threehalves;
+
+pub use maximal::DmpcMaximalMatching;
+pub use threehalves::DmpcThreeHalves;

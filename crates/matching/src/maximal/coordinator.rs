@@ -1,0 +1,1321 @@
+//! The coordinator machine `M_C`: buffers the update-history, tracks which
+//! machine has seen which history prefix, and orchestrates every update as
+//! a constant number of request/reply waves.
+//!
+//! In 3/2 mode, scans of a heavy vertex consult *both* its alive set (on
+//! its storage machine) and its suspended stack (on its overflow machine):
+//! a free neighbor hiding among suspended edges would otherwise survive as
+//! the far end of a length-3 augmenting path. The plain Section 3 algorithm
+//! only needs the alive set (maximality is restored either way).
+
+use super::msg::{Ann, HistEntry, HistSlice, MatchMsg, StatRec, NO_MATE};
+use super::Layout;
+use dmpc_graph::{Edge, Update, V};
+use dmpc_mpc::MachineId;
+use std::collections::{HashMap, VecDeque};
+
+/// What to do once a batch of stats records arrives.
+#[derive(Clone, Debug)]
+pub enum StatsThen {
+    /// Initial fetch of an insert's endpoints.
+    InsPrimary,
+    /// Second insert wave: the endpoints' mates.
+    InsMates,
+    /// Initial fetch of a delete's endpoints.
+    DelPrimary,
+    /// Records needed to perform a queued mutation, then resume the free
+    /// loop.
+    Mutate(MutateAction),
+}
+
+/// A queued matching mutation awaiting the stats of its participants.
+#[derive(Clone, Copy, Debug)]
+pub enum MutateAction {
+    /// Add `(a, b)` to the matching.
+    MatchPair {
+        /// One endpoint.
+        a: V,
+        /// The other endpoint.
+        b: V,
+    },
+    /// Heavy steal: unmatch `(w, wm)`, match `(z, w)`, queue `wm`.
+    Steal {
+        /// The free heavy vertex.
+        z: V,
+        /// The stolen neighbor.
+        w: V,
+        /// Its (light) former mate.
+        wm: V,
+    },
+    /// Length-3 augmentation: unmatch `(w, wp)`, match `(z, w)` and
+    /// `(wp, q)`.
+    AugRotate {
+        /// The free vertex the path starts at.
+        z: V,
+        /// Its matched neighbor.
+        w: V,
+        /// `w`'s former mate.
+        wp: V,
+        /// The free endpoint closing the path.
+        q: V,
+    },
+    /// Safety-net rotation: unmatch `(a, b)`, match `(a, x)` and `(b, y)`
+    /// (the both-sides-free check on a freshly created matched edge).
+    CheckRotate {
+        /// One endpoint of the new matched edge.
+        a: V,
+        /// The other endpoint.
+        b: V,
+        /// Pre-free witness adjacent to `a`.
+        x: V,
+        /// Pre-free witness adjacent to `b` (distinct from `x`).
+        y: V,
+    },
+    /// Section 4 insert case: unmatch `(u, up)`, match `(u, v)` and
+    /// `(up, w)`.
+    InsAugRotate {
+        /// The matched endpoint of the inserted edge.
+        u: V,
+        /// Its former mate.
+        up: V,
+        /// The free endpoint of the inserted edge.
+        v: V,
+        /// The free neighbor of `up` closing the path.
+        w: V,
+    },
+}
+
+/// Why a free-neighbor scan was issued.
+#[derive(Clone, Copy, Debug)]
+pub enum ScanPurpose {
+    /// Try to rematch free vertex `z`.
+    Rematch,
+    /// Section 4 insert check at `up = mate(u)` (excluding `v`).
+    InsAug {
+        /// Matched endpoint.
+        u: V,
+        /// Its mate being scanned.
+        up: V,
+        /// Free endpoint of the new edge.
+        v: V,
+    },
+    /// Final scan of a length-3 augmentation at `wp` (excluding `z`).
+    AugFinal {
+        /// Path start.
+        z: V,
+        /// Matched neighbor.
+        w: V,
+        /// Its mate being scanned.
+        wp: V,
+    },
+}
+
+/// Coordinator protocol phase.
+#[derive(Clone, Debug)]
+pub enum Phase {
+    /// No update in flight.
+    Idle,
+    /// Awaiting `StatReply` batches.
+    AwaitStats {
+        /// Replies still missing.
+        expect: usize,
+        /// Continuation.
+        then: StatsThen,
+    },
+    /// Awaiting `MovedOut` replies from heavy transitions.
+    AwaitMovedOut {
+        /// Replies still missing.
+        expect: usize,
+    },
+    /// Awaiting `DelReply` probes.
+    AwaitDelProbes {
+        /// Replies still missing.
+        expect: usize,
+        /// Whether each endpoint's alive-set copy was removed.
+        found_alive: HashMap<V, bool>,
+    },
+    /// Awaiting `FetchReply` refills.
+    AwaitFetch {
+        /// Replies still missing.
+        expect: usize,
+    },
+    /// Awaiting scan replies for free heavy vertex `z` (alive scan plus, in
+    /// 3/2 mode, the suspended scan).
+    AwaitScanHeavy {
+        /// The free heavy vertex.
+        z: V,
+        /// Replies still missing.
+        expect: usize,
+        /// Free neighbors reported so far.
+        free: Vec<V>,
+        /// Steal candidate from the alive scan.
+        steal: Option<(V, V)>,
+    },
+    /// Awaiting free-neighbor scan replies (1 machine for a light vertex,
+    /// 2 for a heavy one in 3/2 mode).
+    AwaitScanFree {
+        /// Scanned vertex.
+        z: V,
+        /// Why.
+        purpose: ScanPurpose,
+        /// Replies still missing.
+        expect: usize,
+        /// Free neighbors reported so far.
+        found: Vec<V>,
+    },
+    /// Awaiting `ScanAdjReply` batches for an augmentation search at `z`.
+    AwaitAugAdj {
+        /// Path start.
+        z: V,
+        /// Replies still missing.
+        expect: usize,
+    },
+    /// Awaiting `CounterReply` batches for the augmentation search at `z`.
+    AwaitAugCounters {
+        /// Path start.
+        z: V,
+        /// Candidate (w, mate(w), mate-is-light) triples in scan order.
+        cands: Vec<(V, V, bool)>,
+        /// Replies still missing.
+        expect: usize,
+        /// Counters received so far.
+        got: Vec<(V, u32)>,
+    },
+    /// Checking a new matched edge `(a,b)`: scanning `a` for a free witness
+    /// outside the in-update free set.
+    AwaitCheckScanA {
+        /// One endpoint.
+        a: V,
+        /// The other endpoint.
+        b: V,
+        /// Replies still missing.
+        expect: usize,
+        /// Witnesses found so far.
+        found: Vec<V>,
+    },
+    /// Checking `(a,b)`: scanning `b` for a witness distinct from `x`.
+    AwaitCheckScanB {
+        /// One endpoint.
+        a: V,
+        /// The other endpoint.
+        b: V,
+        /// The witness at `a`.
+        x: V,
+        /// Replies still missing.
+        expect: usize,
+        /// Witnesses found so far.
+        found: Vec<V>,
+    },
+    /// Awaiting `ScanAdjReply` batches for the end-of-update counter commit.
+    AwaitCommitAdj {
+        /// Replies still missing.
+        expect: usize,
+        /// Adjacency gathered so far, merged per vertex.
+        got: HashMap<V, Vec<V>>,
+    },
+}
+
+/// The per-update working memory.
+#[derive(Debug, Default)]
+pub struct Ctx {
+    /// The update being processed.
+    pub upd: Option<Update>,
+    /// Cached records, kept current with local mutations.
+    pub stat: HashMap<V, StatRec>,
+    /// Snapshot of records at first fetch (pre-update statuses).
+    pub pre: HashMap<V, StatRec>,
+    /// Free vertices still to process.
+    pub free_list: Vec<V>,
+    /// Vertices certified free-and-pathless; re-queued after any later
+    /// matching mutation, since a rematch elsewhere can create a new
+    /// length-3 path ending at them (fixpoint bounded by the O(1)
+    /// mutations per update).
+    pub parked: Vec<V>,
+    /// Fetched adjacency lists (light vertices: complete).
+    pub adj: HashMap<V, Vec<(V, Ann)>>,
+    /// Direct counter deltas (relation changes).
+    pub counter_deltas: HashMap<V, i64>,
+    /// Matched edges created this update, pending the both-sides-free
+    /// safety check (3/2 mode).
+    pub new_edges: Vec<(V, V)>,
+}
+
+impl Ctx {
+    /// Vertices whose matched-status now differs from the pre-update
+    /// snapshot; `true` = now free.
+    pub fn status_diff(&self) -> Vec<(V, bool)> {
+        let mut out = Vec::new();
+        for (&v, rec) in &self.stat {
+            if let Some(p) = self.pre.get(&v) {
+                if p.matched() != rec.matched() {
+                    out.push((v, !rec.matched()));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// The coordinator machine state.
+pub struct Coordinator {
+    /// Machine layout.
+    pub layout: Layout,
+    /// Section 4 mode: maintain counters + eliminate length-3 paths.
+    pub three_halves: bool,
+    hist: VecDeque<(u64, HistEntry)>,
+    next_seq: u64,
+    last_seen: HashMap<MachineId, u64>,
+    rr_cursor: usize,
+    overflow_of: HashMap<V, MachineId>,
+    free_overflow: Vec<MachineId>,
+    suspended: HashMap<V, usize>,
+    /// Current protocol phase.
+    pub phase: Phase,
+    /// Per-update working memory.
+    pub ctx: Ctx,
+    out: Vec<(MachineId, MatchMsg)>,
+}
+
+impl Coordinator {
+    /// Creates the coordinator for the given layout.
+    pub fn new(layout: Layout, three_halves: bool) -> Self {
+        let base = layout.overflow_base();
+        Coordinator {
+            layout,
+            three_halves,
+            hist: VecDeque::new(),
+            next_seq: 1,
+            last_seen: HashMap::new(),
+            rr_cursor: 0,
+            overflow_of: HashMap::new(),
+            free_overflow: (0..layout.n_overflow)
+                .rev()
+                .map(|i| base + i as MachineId)
+                .collect(),
+            suspended: HashMap::new(),
+            phase: Phase::Idle,
+            ctx: Ctx::default(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Bulk-load hook: registers an overflow assignment made during
+    /// preprocessing.
+    pub fn preassign_overflow(&mut self, v: V, machine: MachineId, count: usize) {
+        self.free_overflow.retain(|&m| m != machine);
+        self.overflow_of.insert(v, machine);
+        self.suspended.insert(v, count);
+    }
+
+    /// True when no update is in flight.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.phase, Phase::Idle)
+    }
+
+    // ---- history helpers -------------------------------------------------
+
+    fn push_hist(&mut self, e: HistEntry) {
+        self.hist.push_back((self.next_seq, e));
+        self.next_seq += 1;
+    }
+
+    fn hist_for(&mut self, machine: MachineId) -> HistSlice {
+        let seen = self.last_seen.get(&machine).copied().unwrap_or(0);
+        let slice: HistSlice = self
+            .hist
+            .iter()
+            .filter(|&&(seq, _)| seq > seen)
+            .copied()
+            .collect();
+        self.last_seen.insert(machine, self.next_seq - 1);
+        slice
+    }
+
+    fn trim_hist(&mut self) {
+        let first_store = 1 + self.layout.n_stats;
+        let total = self.layout.total_machines();
+        let min_seen = (first_store..total)
+            .map(|m| self.last_seen.get(&(m as MachineId)).copied().unwrap_or(0))
+            .min()
+            .unwrap_or(0);
+        while let Some(&(seq, _)) = self.hist.front() {
+            if seq <= min_seen {
+                self.hist.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Current history length (tests assert it stays bounded by the
+    /// refresh cycle).
+    pub fn hist_len(&self) -> usize {
+        self.hist.len()
+    }
+
+    /// The history entries with sequence number greater than `seen`
+    /// (read-only; used by audits to replicate a machine's repair).
+    pub fn hist_suffix(&self, seen: u64) -> HistSlice {
+        self.hist
+            .iter()
+            .filter(|&&(seq, _)| seq > seen)
+            .copied()
+            .collect()
+    }
+
+    // ---- small senders ---------------------------------------------------
+
+    fn send(&mut self, to: MachineId, msg: MatchMsg) {
+        self.out.push((to, msg));
+    }
+
+    fn send_storage(&mut self, v: V, build: impl FnOnce(HistSlice) -> MatchMsg) {
+        let m = self.layout.storage_of(v);
+        let h = self.hist_for(m);
+        self.out.push((m, build(h)));
+    }
+
+    fn send_overflow(&mut self, v: V, build: impl FnOnce(HistSlice) -> MatchMsg) {
+        let m = self.overflow_of[&v];
+        let h = self.hist_for(m);
+        self.out.push((m, build(h)));
+    }
+
+    fn push_stat(&mut self, v: V) {
+        let rec = self.ctx.stat[&v];
+        let m = self.layout.stats_of(v);
+        self.send(m, MatchMsg::StatSet(vec![(v, rec)]));
+    }
+
+    fn fetch_stats(&mut self, vs: Vec<V>, then: StatsThen) {
+        let mut by_machine: HashMap<MachineId, Vec<V>> = HashMap::new();
+        for v in vs {
+            if self.ctx.stat.contains_key(&v) {
+                continue;
+            }
+            by_machine
+                .entry(self.layout.stats_of(v))
+                .or_default()
+                .push(v);
+        }
+        if by_machine.is_empty() {
+            self.after_stats(then);
+            return;
+        }
+        let expect = by_machine.len();
+        for (m, vs) in by_machine {
+            self.send(m, MatchMsg::StatQuery(vs));
+        }
+        self.phase = Phase::AwaitStats { expect, then };
+    }
+
+    fn light(&self, v: V) -> bool {
+        !self.ctx.stat[&v].heavy
+    }
+
+    fn ann_of(&self, v: V) -> Ann {
+        let r = &self.ctx.stat[&v];
+        if r.matched() {
+            Ann {
+                matched: true,
+                mate: r.mate,
+                mate_light: !self.ctx.stat[&r.mate].heavy,
+            }
+        } else {
+            Ann::free()
+        }
+    }
+
+    /// Issues a free-neighbor scan for `z`: the storage machine, plus the
+    /// overflow machine in 3/2 mode when `z` is heavy with suspended edges.
+    /// `z_heavy` is passed explicitly because `z`'s record may not be
+    /// cached (it can come from an adjacency annotation).
+    fn scan_free(&mut self, z: V, z_heavy: bool, exclude: Vec<V>, purpose: ScanPurpose) {
+        let mut expect = 1;
+        let ex = exclude.clone();
+        self.send_storage(z, |hist| MatchMsg::ScanFree { z, exclude: ex, hist });
+        if self.three_halves
+            && z_heavy
+            && self.suspended.get(&z).copied().unwrap_or(0) > 0
+        {
+            self.send_overflow(z, |hist| MatchMsg::ScanFree { z, exclude, hist });
+            expect += 1;
+        }
+        self.phase = Phase::AwaitScanFree {
+            z,
+            purpose,
+            expect,
+            found: Vec::new(),
+        };
+    }
+
+    // ---- matching mutations -----------------------------------------------
+
+    fn do_match(&mut self, a: V, b: V) {
+        debug_assert!(
+            !self.ctx.stat[&a].matched() && !self.ctx.stat[&b].matched(),
+            "match({a},{b}) on matched vertex"
+        );
+        self.ctx.stat.get_mut(&a).unwrap().mate = b;
+        self.ctx.stat.get_mut(&b).unwrap().mate = a;
+        let (al, bl) = (self.light(a), self.light(b));
+        let e = Edge::new(a, b);
+        let (ul, vl) = if e.u == a { (al, bl) } else { (bl, al) };
+        self.push_hist(HistEntry::MatchAdd(e, ul, vl));
+        self.push_stat(a);
+        self.push_stat(b);
+        self.ctx.free_list.retain(|&x| x != a && x != b);
+        if self.three_halves {
+            self.ctx.new_edges.push((a, b));
+        }
+    }
+
+    fn do_unmatch(&mut self, a: V, b: V) {
+        debug_assert_eq!(self.ctx.stat[&a].mate, b);
+        self.ctx.stat.get_mut(&a).unwrap().mate = NO_MATE;
+        self.ctx.stat.get_mut(&b).unwrap().mate = NO_MATE;
+        self.push_hist(HistEntry::MatchDel(Edge::new(a, b)));
+        self.push_stat(a);
+        self.push_stat(b);
+    }
+
+    // ---- entry points ------------------------------------------------------
+
+    /// Starts processing an injected update; returns outbound messages.
+    pub fn start(&mut self, upd: Update) -> Vec<(MachineId, MatchMsg)> {
+        assert!(self.is_idle(), "update already in flight");
+        self.ctx = Ctx {
+            upd: Some(upd),
+            ..Default::default()
+        };
+        let e = upd.edge();
+        match upd {
+            Update::Insert(_) => self.fetch_stats(vec![e.u, e.v], StatsThen::InsPrimary),
+            Update::Delete(_) => self.fetch_stats(vec![e.u, e.v], StatsThen::DelPrimary),
+        }
+        std::mem::take(&mut self.out)
+    }
+
+    /// Feeds one reply message; returns outbound messages.
+    pub fn reply(&mut self, msg: MatchMsg) -> Vec<(MachineId, MatchMsg)> {
+        let phase = std::mem::replace(&mut self.phase, Phase::Idle);
+        match (phase, msg) {
+            (Phase::AwaitStats { mut expect, then }, MatchMsg::StatReply(recs)) => {
+                for (v, r) in recs {
+                    self.ctx.stat.insert(v, r);
+                    self.ctx.pre.entry(v).or_insert(r);
+                }
+                expect -= 1;
+                if expect == 0 {
+                    self.after_stats(then);
+                } else {
+                    self.phase = Phase::AwaitStats { expect, then };
+                }
+            }
+            (Phase::AwaitMovedOut { mut expect }, MatchMsg::MovedOut { v, entries }) => {
+                expect -= 1;
+                if !entries.is_empty() {
+                    *self.suspended.entry(v).or_default() += entries.len();
+                    self.send_overflow(v, |hist| MatchMsg::AddSuspended { v, entries, hist });
+                }
+                if expect == 0 {
+                    self.insert_place_edge();
+                } else {
+                    self.phase = Phase::AwaitMovedOut { expect };
+                }
+            }
+            (
+                Phase::AwaitDelProbes {
+                    mut expect,
+                    mut found_alive,
+                },
+                MatchMsg::DelReply { at, found, alive },
+            ) => {
+                // Only an alive-set removal can trigger a suspended-stack
+                // refill; a suspended removal leaves the alive set intact.
+                if found && alive {
+                    found_alive.insert(at, true);
+                } else if found && !alive {
+                    // Suspended copy removed: account for it.
+                    if let Some(c) = self.suspended.get_mut(&at) {
+                        *c -= 1;
+                    }
+                }
+                found_alive.entry(at).or_insert(false);
+                expect -= 1;
+                if expect == 0 {
+                    self.delete_after_probes(found_alive);
+                } else {
+                    self.phase = Phase::AwaitDelProbes { expect, found_alive };
+                }
+            }
+            (Phase::AwaitFetch { mut expect }, MatchMsg::FetchReply { v, entry }) => {
+                expect -= 1;
+                if let Some(entry) = entry {
+                    *self.suspended.get_mut(&v).unwrap() -= 1;
+                    self.send_storage(v, |hist| MatchMsg::AddAlive { at: v, entry, hist });
+                }
+                if expect == 0 {
+                    self.delete_after_refill();
+                } else {
+                    self.phase = Phase::AwaitFetch { expect };
+                }
+            }
+            (
+                Phase::AwaitScanHeavy {
+                    z,
+                    mut expect,
+                    mut free,
+                    steal,
+                },
+                reply,
+            ) => {
+                let steal = match reply {
+                    MatchMsg::ScanHeavyReply {
+                        free: f, steal: s, ..
+                    } => {
+                        free.extend(f);
+                        s.or(steal)
+                    }
+                    MatchMsg::ScanFreeReply { q, .. } => {
+                        free.extend(q);
+                        steal
+                    }
+                    other => panic!("unexpected reply in heavy scan: {other:?}"),
+                };
+                expect -= 1;
+                if expect == 0 {
+                    self.on_scan_heavy(z, free, steal);
+                } else {
+                    self.phase = Phase::AwaitScanHeavy {
+                        z,
+                        expect,
+                        free,
+                        steal,
+                    };
+                }
+            }
+            (
+                Phase::AwaitScanFree {
+                    z,
+                    purpose,
+                    mut expect,
+                    mut found,
+                },
+                MatchMsg::ScanFreeReply { q, .. },
+            ) => {
+                found.extend(q);
+                expect -= 1;
+                if expect == 0 {
+                    found.sort_unstable();
+                    self.on_scan_free(z, purpose, found.first().copied());
+                } else {
+                    self.phase = Phase::AwaitScanFree {
+                        z,
+                        purpose,
+                        expect,
+                        found,
+                    };
+                }
+            }
+            (Phase::AwaitAugAdj { z, mut expect }, MatchMsg::ScanAdjReply { z: v, entries }) => {
+                self.ctx.adj.insert(v, entries);
+                expect -= 1;
+                if expect == 0 {
+                    self.aug_counters(z);
+                } else {
+                    self.phase = Phase::AwaitAugAdj { z, expect };
+                }
+            }
+            (
+                Phase::AwaitAugCounters {
+                    z,
+                    cands,
+                    mut expect,
+                    mut got,
+                },
+                MatchMsg::CounterReply(rs),
+            ) => {
+                got.extend(rs);
+                expect -= 1;
+                if expect == 0 {
+                    self.aug_pick(z, cands, got);
+                } else {
+                    self.phase = Phase::AwaitAugCounters {
+                        z,
+                        cands,
+                        expect,
+                        got,
+                    };
+                }
+            }
+            (
+                Phase::AwaitCheckScanA {
+                    a,
+                    b,
+                    mut expect,
+                    mut found,
+                },
+                MatchMsg::ScanFreeReply { q, .. },
+            ) => {
+                found.extend(q);
+                expect -= 1;
+                if expect == 0 {
+                    found.sort_unstable();
+                    match found.first().copied() {
+                        Some(x) => self.check_scan_b(a, b, x),
+                        None => self.pre_commit(),
+                    }
+                } else {
+                    self.phase = Phase::AwaitCheckScanA {
+                        a,
+                        b,
+                        expect,
+                        found,
+                    };
+                }
+            }
+            (
+                Phase::AwaitCheckScanB {
+                    a,
+                    b,
+                    x,
+                    mut expect,
+                    mut found,
+                },
+                MatchMsg::ScanFreeReply { q, .. },
+            ) => {
+                found.extend(q);
+                expect -= 1;
+                if expect == 0 {
+                    found.sort_unstable();
+                    match found.first().copied() {
+                        Some(y) => self.fetch_stats(
+                            vec![x, y],
+                            StatsThen::Mutate(MutateAction::CheckRotate { a, b, x, y }),
+                        ),
+                        None => self.pre_commit(),
+                    }
+                } else {
+                    self.phase = Phase::AwaitCheckScanB {
+                        a,
+                        b,
+                        x,
+                        expect,
+                        found,
+                    };
+                }
+            }
+            (
+                Phase::AwaitCommitAdj {
+                    mut expect,
+                    mut got,
+                },
+                MatchMsg::ScanAdjReply { z, entries },
+            ) => {
+                got.entry(z)
+                    .or_default()
+                    .extend(entries.iter().map(|&(n, _)| n));
+                expect -= 1;
+                if expect == 0 {
+                    self.commit_counters(got);
+                } else {
+                    self.phase = Phase::AwaitCommitAdj { expect, got };
+                }
+            }
+            (phase, msg) => panic!("coordinator in {phase:?} got unexpected {msg:?}"),
+        }
+        std::mem::take(&mut self.out)
+    }
+
+    // ---- insert flow -------------------------------------------------------
+
+    fn after_stats(&mut self, then: StatsThen) {
+        match then {
+            StatsThen::InsPrimary => {
+                let e = self.ctx.upd.unwrap().edge();
+                let mut mates = Vec::new();
+                for v in [e.u, e.v] {
+                    let r = self.ctx.stat[&v];
+                    if r.matched() {
+                        mates.push(r.mate);
+                    }
+                }
+                self.fetch_stats(mates, StatsThen::InsMates);
+            }
+            StatsThen::InsMates => self.insert_transitions(),
+            StatsThen::DelPrimary => self.delete_probes(),
+            StatsThen::Mutate(action) => self.run_mutation(action),
+        }
+    }
+
+    fn insert_transitions(&mut self) {
+        let e = self.ctx.upd.unwrap().edge();
+        let tau = self.layout.tau as u32;
+        let mut transitions = Vec::new();
+        for v in [e.u, e.v] {
+            let r = self.ctx.stat.get_mut(&v).unwrap();
+            r.degree += 1;
+            if r.degree == tau + 1 {
+                r.heavy = true;
+                transitions.push(v);
+            }
+        }
+        for &v in &transitions {
+            self.push_hist(HistEntry::Heavy(v));
+            let ov = self
+                .free_overflow
+                .pop()
+                .expect("overflow pool exhausted; raise Layout::n_overflow");
+            self.overflow_of.insert(v, ov);
+            self.suspended.insert(v, 0);
+            let mate = self.ctx.stat[&v].mate;
+            let mate = (mate != NO_MATE).then_some(mate);
+            self.send_storage(v, |hist| MatchMsg::MakeHeavy { v, mate, hist });
+        }
+        self.push_stat(e.u);
+        self.push_stat(e.v);
+        if transitions.is_empty() {
+            self.insert_place_edge();
+        } else {
+            self.phase = Phase::AwaitMovedOut {
+                expect: transitions.len(),
+            };
+        }
+    }
+
+    fn insert_place_edge(&mut self) {
+        let e = self.ctx.upd.unwrap().edge();
+        for (at, nbr) in [(e.u, e.v), (e.v, e.u)] {
+            let ann = self.ann_of(nbr);
+            if self.ctx.stat[&at].heavy {
+                *self.suspended.get_mut(&at).unwrap() += 1;
+                self.send_overflow(at, |hist| MatchMsg::AddSuspended {
+                    v: at,
+                    entries: vec![(nbr, ann)],
+                    hist,
+                });
+            } else {
+                self.send_storage(at, |hist| MatchMsg::AddEdge { at, nbr, ann, hist });
+            }
+        }
+        if self.three_halves {
+            let (pu, pv) = (self.ctx.pre[&e.u], self.ctx.pre[&e.v]);
+            if !pv.matched() {
+                *self.ctx.counter_deltas.entry(e.u).or_default() += 1;
+            }
+            if !pu.matched() {
+                *self.ctx.counter_deltas.entry(e.v).or_default() += 1;
+            }
+        }
+        self.insert_decide();
+    }
+
+    fn insert_decide(&mut self) {
+        let e = self.ctx.upd.unwrap().edge();
+        let (ru, rv) = (self.ctx.stat[&e.u], self.ctx.stat[&e.v]);
+        match (ru.matched(), rv.matched()) {
+            (true, true) => self.pre_commit(),
+            (false, false) => {
+                self.do_match(e.u, e.v);
+                self.pre_commit();
+            }
+            (m_u, _) => {
+                let (u, v) = if m_u { (e.u, e.v) } else { (e.v, e.u) };
+                if self.three_halves {
+                    let up = self.ctx.stat[&u].mate;
+                    let up_heavy = self.ctx.stat[&up].heavy;
+                    // Exclude v and anything freed so far as witnesses.
+                    let mut ex = vec![v];
+                    ex.extend(self.in_update_free());
+                    self.scan_free(up, up_heavy, ex, ScanPurpose::InsAug { u, up, v });
+                } else if self.ctx.stat[&v].heavy {
+                    self.ctx.free_list.push(v);
+                    self.process_free();
+                } else {
+                    self.pre_commit();
+                }
+            }
+        }
+    }
+
+    // ---- delete flow -------------------------------------------------------
+
+    fn delete_probes(&mut self) {
+        let e = self.ctx.upd.unwrap().edge();
+        let mut expect = 0;
+        for (at, nbr) in [(e.u, e.v), (e.v, e.u)] {
+            self.send_storage(at, |hist| MatchMsg::DelEdge { at, nbr, hist });
+            expect += 1;
+            if self.ctx.stat[&at].heavy && self.overflow_of.contains_key(&at) {
+                self.send_overflow(at, |hist| MatchMsg::DelEdge { at, nbr, hist });
+                expect += 1;
+            }
+        }
+        self.phase = Phase::AwaitDelProbes {
+            expect,
+            found_alive: HashMap::new(),
+        };
+    }
+
+    fn delete_after_probes(&mut self, found_alive: HashMap<V, bool>) {
+        let e = self.ctx.upd.unwrap().edge();
+        let mut fetches = 0;
+        for v in [e.u, e.v] {
+            let suspended = self.suspended.get(&v).copied().unwrap_or(0);
+            if self.ctx.stat[&v].heavy
+                && found_alive.get(&v).copied().unwrap_or(false)
+                && suspended > 0
+            {
+                self.send_overflow(v, |hist| MatchMsg::FetchSuspended { v, hist });
+                fetches += 1;
+            }
+        }
+        if fetches > 0 {
+            self.phase = Phase::AwaitFetch { expect: fetches };
+        } else {
+            self.delete_after_refill();
+        }
+    }
+
+    fn delete_after_refill(&mut self) {
+        let e = self.ctx.upd.unwrap().edge();
+        let tau = self.layout.tau as u32;
+        for v in [e.u, e.v] {
+            let (newdeg, was_heavy) = {
+                let r = self.ctx.stat.get_mut(&v).unwrap();
+                r.degree -= 1;
+                (r.degree, r.heavy)
+            };
+            if was_heavy && newdeg == tau {
+                self.ctx.stat.get_mut(&v).unwrap().heavy = false;
+                self.push_hist(HistEntry::Light(v));
+                debug_assert_eq!(
+                    self.suspended.get(&v).copied().unwrap_or(0),
+                    0,
+                    "alive = min(tau, deg) keeps the stack empty at the transition"
+                );
+                self.send_storage(v, |hist| MatchMsg::MakeLight { v, hist });
+                if let Some(ov) = self.overflow_of.remove(&v) {
+                    self.send(ov, MatchMsg::ReleaseOverflow { v });
+                    self.free_overflow.push(ov);
+                }
+                self.suspended.remove(&v);
+            }
+        }
+        self.push_stat(e.u);
+        self.push_stat(e.v);
+        if self.three_halves {
+            let (pu, pv) = (self.ctx.pre[&e.u], self.ctx.pre[&e.v]);
+            if !pv.matched() {
+                *self.ctx.counter_deltas.entry(e.u).or_default() -= 1;
+            }
+            if !pu.matched() {
+                *self.ctx.counter_deltas.entry(e.v).or_default() -= 1;
+            }
+        }
+        if self.ctx.stat[&e.u].mate == e.v {
+            self.do_unmatch(e.u, e.v);
+            self.ctx.free_list.push(e.u);
+            self.ctx.free_list.push(e.v);
+            self.process_free();
+        } else {
+            self.pre_commit();
+        }
+    }
+
+    // ---- the free-vertex loop ----------------------------------------------
+
+    fn process_free(&mut self) {
+        // Drop entries that got matched along the way.
+        let stat = &self.ctx.stat;
+        self.ctx.free_list.retain(|v| !stat[v].matched());
+        // Heavy vertices first: their steals may free further light
+        // vertices, and finishing them first keeps every remaining free
+        // vertex light (which the augmentation accounting relies on).
+        let heavy_z = self
+            .ctx
+            .free_list
+            .iter()
+            .copied()
+            .find(|&v| self.ctx.stat[&v].heavy);
+        let Some(z) = heavy_z.or_else(|| self.ctx.free_list.first().copied()) else {
+            self.pre_commit();
+            return;
+        };
+        if self.ctx.stat[&z].heavy {
+            let mut expect = 1;
+            self.send_storage(z, |hist| MatchMsg::ScanHeavy { z, hist });
+            if self.three_halves && self.suspended.get(&z).copied().unwrap_or(0) > 0 {
+                self.send_overflow(z, |hist| MatchMsg::ScanFree {
+                    z,
+                    exclude: Vec::new(),
+                    hist,
+                });
+                expect += 1;
+            }
+            self.phase = Phase::AwaitScanHeavy {
+                z,
+                expect,
+                free: Vec::new(),
+                steal: None,
+            };
+        } else {
+            self.scan_free(z, false, Vec::new(), ScanPurpose::Rematch);
+        }
+    }
+
+    fn on_scan_heavy(&mut self, z: V, mut free: Vec<V>, steal: Option<(V, V)>) {
+        free.sort_unstable();
+        if let Some(&q) = free.first() {
+            self.fetch_stats(
+                vec![q],
+                StatsThen::Mutate(MutateAction::MatchPair { a: z, b: q }),
+            );
+        } else if let Some((w, wm)) = steal {
+            self.fetch_stats(
+                vec![w, wm],
+                StatsThen::Mutate(MutateAction::Steal { z, w, wm }),
+            );
+        } else {
+            // The counting argument (tau^2 > 2 m_max) guarantees a steal
+            // candidate among tau all-matched alive neighbors.
+            panic!("heavy vertex {z} found neither free neighbor nor light-mated neighbor");
+        }
+    }
+
+    fn on_scan_free(&mut self, z: V, purpose: ScanPurpose, q: Option<V>) {
+        match purpose {
+            ScanPurpose::Rematch => {
+                if let Some(q) = q {
+                    self.fetch_stats(
+                        vec![q],
+                        StatsThen::Mutate(MutateAction::MatchPair { a: z, b: q }),
+                    );
+                } else if self.three_halves {
+                    self.aug_search(z);
+                } else {
+                    self.park(z);
+                    self.process_free();
+                }
+            }
+            ScanPurpose::InsAug { u, up, v } => {
+                if let Some(w) = q {
+                    self.fetch_stats(
+                        vec![w],
+                        StatsThen::Mutate(MutateAction::InsAugRotate { u, up, v, w }),
+                    );
+                } else if self.ctx.stat[&v].heavy {
+                    self.ctx.free_list.push(v);
+                    self.process_free();
+                } else {
+                    self.pre_commit();
+                }
+            }
+            ScanPurpose::AugFinal { z, w, wp } => {
+                if let Some(q) = q {
+                    self.fetch_stats(
+                        vec![w, wp, q],
+                        StatsThen::Mutate(MutateAction::AugRotate { z, w, wp, q }),
+                    );
+                } else {
+                    panic!("counter promised a free neighbor of {wp} but the scan found none");
+                }
+            }
+        }
+    }
+
+    fn run_mutation(&mut self, action: MutateAction) {
+        match action {
+            MutateAction::MatchPair { a, b } => {
+                self.do_match(a, b);
+            }
+            MutateAction::Steal { z, w, wm } => {
+                self.do_unmatch(w, wm);
+                self.do_match(z, w);
+                self.ctx.free_list.push(wm);
+            }
+            MutateAction::AugRotate { z, w, wp, q } => {
+                self.do_unmatch(w, wp);
+                self.do_match(z, w);
+                self.do_match(wp, q);
+            }
+            MutateAction::InsAugRotate { u, up, v, w } => {
+                self.do_unmatch(u, up);
+                self.do_match(u, v);
+                self.do_match(up, w);
+            }
+            MutateAction::CheckRotate { a, b, x, y } => {
+                self.do_unmatch(a, b);
+                self.do_match(a, x);
+                self.do_match(b, y);
+            }
+        }
+        // Mutations invalidate earlier no-path certificates: re-queue.
+        let parked = std::mem::take(&mut self.ctx.parked);
+        self.ctx.free_list.extend(parked);
+        self.process_free();
+    }
+
+    /// Vertices freed during this update that are still free (invalid as
+    /// augmentation witnesses: their own neighborhoods are re-verified via
+    /// the parked/requeue loop instead).
+    fn in_update_free(&self) -> Vec<V> {
+        self.ctx
+            .status_diff()
+            .into_iter()
+            .filter(|&(_, now_free)| now_free)
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// Certifies `z` free with no applicable move; re-checked only if a
+    /// later mutation occurs in this update.
+    fn park(&mut self, z: V) {
+        self.ctx.free_list.retain(|&x| x != z);
+        if !self.ctx.parked.contains(&z) {
+            self.ctx.parked.push(z);
+        }
+    }
+
+    // ---- Section 4 augmentation search ---------------------------------------
+
+    fn aug_search(&mut self, z: V) {
+        let mut want: Vec<V> = vec![z];
+        want.extend(self.ctx.free_list.iter().copied());
+        for (v, _) in self.ctx.status_diff() {
+            want.push(v);
+        }
+        want.sort_unstable();
+        want.dedup();
+        want.retain(|v| !self.ctx.adj.contains_key(v));
+        if want.is_empty() {
+            self.aug_counters(z);
+            return;
+        }
+        let expect = want.len();
+        for v in want {
+            debug_assert!(self.light(v), "augmentation participants are light");
+            self.send_storage(v, |hist| MatchMsg::ScanAdj { z: v, hist });
+        }
+        self.phase = Phase::AwaitAugAdj { z, expect };
+    }
+
+    fn aug_counters(&mut self, z: V) {
+        let cands: Vec<(V, V, bool)> = self.ctx.adj[&z]
+            .iter()
+            .filter(|(_, ann)| ann.matched)
+            .map(|&(w, ann)| (w, ann.mate, ann.mate_light))
+            .collect();
+        if cands.is_empty() {
+            self.park(z);
+            self.process_free();
+            return;
+        }
+        let mut by_machine: HashMap<MachineId, Vec<V>> = HashMap::new();
+        for &(_, wp, _) in &cands {
+            by_machine
+                .entry(self.layout.stats_of(wp))
+                .or_default()
+                .push(wp);
+        }
+        let expect = by_machine.len();
+        for (m, vs) in by_machine {
+            self.send(m, MatchMsg::CounterQuery(vs));
+        }
+        self.phase = Phase::AwaitAugCounters {
+            z,
+            cands,
+            expect,
+            got: Vec::new(),
+        };
+    }
+
+    fn aug_pick(&mut self, z: V, cands: Vec<(V, V, bool)>, got: Vec<(V, u32)>) {
+        let counters: HashMap<V, u32> = got.into_iter().collect();
+        let diff = self.ctx.status_diff();
+        let adj_has = |v: V, w: V| -> bool {
+            self.ctx
+                .adj
+                .get(&v)
+                .map_or(false, |l| l.iter().any(|&(x, _)| x == w))
+        };
+        for &(w, wp, wp_light) in &cands {
+            let mut c = counters.get(&wp).copied().unwrap_or(0) as i64;
+            // Stored counters reflect pre-update statuses; adjust for every
+            // status change made during this update, then exclude z itself.
+            for &(d, now_free) in &diff {
+                if adj_has(d, wp) {
+                    c += if now_free { 1 } else { -1 };
+                }
+            }
+            if adj_has(z, wp) {
+                c -= 1;
+            }
+            if c >= 1 {
+                self.scan_free(wp, !wp_light, vec![z], ScanPurpose::AugFinal { z, w, wp });
+                return;
+            }
+        }
+        self.park(z);
+        self.process_free();
+    }
+
+    // ---- finalization ---------------------------------------------------------
+
+    /// Before committing counters: run the both-sides-free safety check on
+    /// every matched edge created during this update. A new matched edge
+    /// whose two endpoints *both* still have free neighbors (outside the
+    /// in-update free set, whose ends are re-verified separately via the
+    /// parked/requeue loop) is the middle of a length-3 augmenting path;
+    /// augmenting it matches two more free vertices, so the loop terminates.
+    fn pre_commit(&mut self) {
+        if !self.three_halves {
+            self.finalize();
+            return;
+        }
+        while let Some((a, b)) = self.ctx.new_edges.pop() {
+            // Rotations may have re-unmatched the pair since.
+            if self.ctx.stat[&a].mate != b {
+                continue;
+            }
+            let exclude = self.in_update_free();
+            let a_heavy = self.ctx.stat[&a].heavy;
+            let mut expect = 1;
+            let ex = exclude.clone();
+            self.send_storage(a, |hist| MatchMsg::ScanFree {
+                z: a,
+                exclude: ex,
+                hist,
+            });
+            if a_heavy && self.suspended.get(&a).copied().unwrap_or(0) > 0 {
+                self.send_overflow(a, |hist| MatchMsg::ScanFree {
+                    z: a,
+                    exclude,
+                    hist,
+                });
+                expect += 1;
+            }
+            self.phase = Phase::AwaitCheckScanA {
+                a,
+                b,
+                expect,
+                found: Vec::new(),
+            };
+            return;
+        }
+        self.finalize();
+    }
+
+    fn check_scan_b(&mut self, a: V, b: V, x: V) {
+        let mut exclude = self.in_update_free();
+        exclude.push(x);
+        let b_heavy = self.ctx.stat[&b].heavy;
+        let mut expect = 1;
+        let ex = exclude.clone();
+        self.send_storage(b, |hist| MatchMsg::ScanFree {
+            z: b,
+            exclude: ex,
+            hist,
+        });
+        if b_heavy && self.suspended.get(&b).copied().unwrap_or(0) > 0 {
+            self.send_overflow(b, |hist| MatchMsg::ScanFree {
+                z: b,
+                exclude,
+                hist,
+            });
+            expect += 1;
+        }
+        self.phase = Phase::AwaitCheckScanB {
+            a,
+            b,
+            x,
+            expect,
+            found: Vec::new(),
+        };
+    }
+
+    fn finalize(&mut self) {
+        if self.three_halves {
+            let diff = self.ctx.status_diff();
+            let missing: Vec<V> = diff
+                .iter()
+                .map(|&(v, _)| v)
+                .filter(|v| !self.ctx.adj.contains_key(v))
+                .collect();
+            if !missing.is_empty() {
+                let mut expect = 0;
+                for v in missing {
+                    self.send_storage(v, |hist| MatchMsg::ScanAdj { z: v, hist });
+                    expect += 1;
+                    if self.ctx.stat[&v].heavy
+                        && self.suspended.get(&v).copied().unwrap_or(0) > 0
+                    {
+                        self.send_overflow(v, |hist| MatchMsg::ScanAdj { z: v, hist });
+                        expect += 1;
+                    }
+                }
+                self.phase = Phase::AwaitCommitAdj {
+                    expect,
+                    got: HashMap::new(),
+                };
+                return;
+            }
+            let got: HashMap<V, Vec<V>> = diff
+                .iter()
+                .map(|&(v, _)| {
+                    (
+                        v,
+                        self.ctx.adj[&v].iter().map(|&(n, _)| n).collect::<Vec<V>>(),
+                    )
+                })
+                .collect();
+            self.commit_counters(got);
+        } else {
+            self.refresh_and_idle();
+        }
+    }
+
+    fn commit_counters(&mut self, mut adjacency: HashMap<V, Vec<V>>) {
+        for (v, _) in self.ctx.status_diff() {
+            if !adjacency.contains_key(&v) {
+                let l: Vec<V> = self.ctx.adj[&v].iter().map(|&(n, _)| n).collect();
+                adjacency.insert(v, l);
+            }
+        }
+        let mut deltas = std::mem::take(&mut self.ctx.counter_deltas);
+        for (v, now_free) in self.ctx.status_diff() {
+            let d = if now_free { 1 } else { -1 };
+            for &nbr in &adjacency[&v] {
+                *deltas.entry(nbr).or_default() += d;
+            }
+        }
+        let mut by_machine: HashMap<(MachineId, i64), Vec<V>> = HashMap::new();
+        for (v, d) in deltas {
+            if d != 0 {
+                by_machine
+                    .entry((self.layout.stats_of(v), d))
+                    .or_default()
+                    .push(v);
+            }
+        }
+        for ((m, d), vs) in by_machine {
+            self.send(m, MatchMsg::CounterDelta(vs, d as i32));
+        }
+        self.refresh_and_idle();
+    }
+
+    fn refresh_and_idle(&mut self) {
+        let first = 1 + self.layout.n_stats;
+        let count = self.layout.n_storage + self.layout.n_overflow;
+        let m = (first + self.rr_cursor % count) as MachineId;
+        self.rr_cursor = (self.rr_cursor + 1) % count;
+        let h = self.hist_for(m);
+        if !h.is_empty() {
+            self.send(m, MatchMsg::Refresh(h));
+        }
+        self.trim_hist();
+        self.phase = Phase::Idle;
+    }
+}

@@ -1,0 +1,371 @@
+//! Cluster assembly, the public algorithm type, bulk preprocessing, result
+//! extraction and deep structural audits.
+
+use super::coordinator::Coordinator;
+use super::msg::{Ann, HistSlice, MatchMsg, StatRec, NO_MATE};
+use super::stats::StatsMachine;
+use super::storage::{OverflowMachine, StorageMachine, StoreVertex};
+use super::Layout;
+use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
+use dmpc_graph::matching::Matching;
+use dmpc_graph::{DynamicGraph, Edge, Update, V};
+use dmpc_mpc::{
+    Cluster, ClusterConfig, Envelope, Machine, MachineId, Outbox, RoundCtx, UpdateMetrics,
+    COORDINATOR,
+};
+
+/// One machine of the matching cluster.
+pub enum Role {
+    /// The coordinator `M_C`.
+    Coord(Coordinator),
+    /// A stats machine.
+    Stats(StatsMachine),
+    /// A storage machine.
+    Storage(StorageMachine),
+    /// An overflow machine.
+    Overflow(OverflowMachine),
+}
+
+impl Machine for Role {
+    type Msg = MatchMsg;
+
+    fn on_messages(
+        &mut self,
+        _ctx: &RoundCtx,
+        inbox: Vec<Envelope<MatchMsg>>,
+        out: &mut Outbox<MatchMsg>,
+    ) {
+        match self {
+            Role::Coord(c) => {
+                for env in inbox {
+                    let msgs = if env.from == Envelope::<MatchMsg>::EXTERNAL {
+                        match env.msg {
+                            MatchMsg::Insert(e) => c.start(Update::Insert(e)),
+                            MatchMsg::Delete(e) => c.start(Update::Delete(e)),
+                            other => panic!("unexpected injected message {other:?}"),
+                        }
+                    } else {
+                        c.reply(env.msg)
+                    };
+                    for (to, m) in msgs {
+                        out.send(to, m);
+                    }
+                }
+            }
+            Role::Stats(s) => {
+                for env in inbox {
+                    if let Some(r) = s.handle(env.msg) {
+                        out.send(COORDINATOR, r);
+                    }
+                }
+            }
+            Role::Storage(s) => {
+                for env in inbox {
+                    if let Some(r) = s.handle(env.msg) {
+                        out.send(COORDINATOR, r);
+                    }
+                }
+            }
+            Role::Overflow(o) => {
+                for env in inbox {
+                    if let Some(r) = o.handle(env.msg) {
+                        out.send(COORDINATOR, r);
+                    }
+                }
+            }
+        }
+    }
+
+    fn memory_words(&self) -> usize {
+        match self {
+            // The coordinator's footprint is dominated by the history
+            // buffer and the per-machine sync table, both O(sqrt N).
+            Role::Coord(c) => 8 + 4 * c.hist_len(),
+            Role::Stats(s) => s.memory_words(),
+            Role::Storage(s) => s.memory_words(),
+            Role::Overflow(o) => o.memory_words(),
+        }
+    }
+}
+
+/// Fully-dynamic maximal matching in the DMPC model (paper Section 3):
+/// O(1) rounds and O(1) active machines per update, O(sqrt N) communication
+/// per round, worst case.
+pub struct DmpcMaximalMatching {
+    cluster: Cluster<Role>,
+    layout: Layout,
+    params: DmpcParams,
+    /// Section 4 mode flag (set by [`crate::threehalves::DmpcThreeHalves`]).
+    pub(crate) three_halves: bool,
+}
+
+impl DmpcMaximalMatching {
+    /// Creates an empty instance.
+    pub fn new(params: DmpcParams) -> Self {
+        Self::with_mode(params, false)
+    }
+
+    pub(crate) fn with_mode(params: DmpcParams, three_halves: bool) -> Self {
+        let layout = Layout::new(&params);
+        let mut machines = Vec::with_capacity(layout.total_machines());
+        machines.push(Role::Coord(Coordinator::new(layout, three_halves)));
+        for i in 0..layout.n_stats {
+            let lo = (i * layout.stats_block) as V;
+            let hi = (((i + 1) * layout.stats_block).min(layout.n)) as V;
+            machines.push(Role::Stats(StatsMachine::new(lo, hi)));
+        }
+        for i in 0..layout.n_storage {
+            let lo = (i * layout.storage_block) as V;
+            let hi = (((i + 1) * layout.storage_block).min(layout.n)) as V;
+            machines.push(Role::Storage(StorageMachine::new(lo, hi, layout.tau)));
+        }
+        for _ in 0..layout.n_overflow {
+            machines.push(Role::Overflow(OverflowMachine::default()));
+        }
+        let mut cfg = ClusterConfig::with_capacity(params.capacity_words());
+        cfg.track_flows = true;
+        DmpcMaximalMatching {
+            cluster: Cluster::new(machines, cfg),
+            layout,
+            params,
+            three_halves,
+        }
+    }
+
+    /// The machine layout in use.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &DmpcParams {
+        &self.params
+    }
+
+    fn coord(&self) -> &Coordinator {
+        match self.cluster.machine(COORDINATOR) {
+            Role::Coord(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    fn stats_rec(&self, v: V) -> StatRec {
+        match self.cluster.machine(self.layout.stats_of(v)) {
+            Role::Stats(s) => *s.record(v).expect("missing record"),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Extracts the maintained matching (result extraction, not metered).
+    pub fn matching(&self) -> Matching {
+        let mut edges = Vec::new();
+        for v in 0..self.layout.n as V {
+            let r = self.stats_rec(v);
+            if r.matched() && v < r.mate {
+                edges.push(Edge::new(v, r.mate));
+            }
+        }
+        Matching::from_edges(&edges)
+    }
+
+    /// Bulk preprocessing from an initial graph: a greedy maximal matching
+    /// plus the heavy/light storage split, installed directly (the paper
+    /// computes this with a randomized O(log n)-round matching algorithm;
+    /// the static baseline exhibits those costs on the same simulator).
+    pub fn bulk_load(&mut self, edges: &[Edge]) {
+        assert!(
+            !self.three_halves,
+            "the Section 4 algorithm starts from the empty graph (paper assumption)"
+        );
+        let g = DynamicGraph::from_edges(self.layout.n, edges);
+        let m = dmpc_graph::matching::greedy_maximal(&g);
+        let tau = self.layout.tau;
+        let n = self.layout.n;
+        let recs: Vec<StatRec> = (0..n as V)
+            .map(|v| StatRec {
+                degree: g.degree(v) as u32,
+                mate: m.mate(v).unwrap_or(NO_MATE),
+                heavy: g.degree(v) > tau,
+                free_nbrs: 0,
+            })
+            .collect();
+        let ann_of = |u: V| -> Ann {
+            match m.mate(u) {
+                Some(mu) => Ann {
+                    matched: true,
+                    mate: mu,
+                    mate_light: g.degree(mu) <= tau,
+                },
+                None => Ann::free(),
+            }
+        };
+        // Stats machines.
+        for v in 0..n as V {
+            let sm = self.layout.stats_of(v);
+            match self.cluster.machine_mut(sm) {
+                Role::Stats(s) => s.load(v, recs[v as usize]),
+                _ => unreachable!(),
+            }
+        }
+        // Storage + overflow.
+        let mut next_overflow = self.layout.overflow_base();
+        let mut preassign = Vec::new();
+        for v in 0..n as V {
+            let mut entries: Vec<(V, Ann)> = g.neighbors(v).map(|u| (u, ann_of(u))).collect();
+            let heavy = recs[v as usize].heavy;
+            let mut suspended = Vec::new();
+            if heavy {
+                // Mate edge first, then split at tau.
+                if let Some(mv) = m.mate(v) {
+                    if let Some(pos) = entries.iter().position(|&(x, _)| x == mv) {
+                        entries.swap(0, pos);
+                    }
+                }
+                if entries.len() > tau {
+                    suspended = entries.split_off(tau);
+                }
+            }
+            let sm = self.layout.storage_of(v);
+            match self.cluster.machine_mut(sm) {
+                Role::Storage(s) => s.load(v, StoreVertex { heavy, entries }),
+                _ => unreachable!(),
+            }
+            if heavy {
+                let ov = next_overflow;
+                next_overflow += 1;
+                assert!(
+                    (ov as usize) < self.layout.total_machines(),
+                    "overflow pool exhausted during bulk load"
+                );
+                match self.cluster.machine_mut(ov) {
+                    Role::Overflow(o) => o.load(v, suspended.clone(), 0),
+                    _ => unreachable!(),
+                }
+                preassign.push((v, ov, suspended.len()));
+            }
+        }
+        match self.cluster.machine_mut(COORDINATOR) {
+            Role::Coord(c) => {
+                for (v, ov, count) in preassign {
+                    c.preassign_overflow(v, ov, count);
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Deep structural audit against the ground-truth graph: matching
+    /// validity and maximality, record exactness, the heavy/light and
+    /// alive/suspended invariants, annotation coherence (annotations plus
+    /// the pending history suffix equal the truth), and counter exactness
+    /// in 3/2 mode.
+    pub fn audit(&self, g: &DynamicGraph) -> Result<(), String> {
+        let n = self.layout.n;
+        let tau = self.layout.tau;
+        let m = self.matching();
+        if !dmpc_graph::matching::is_valid_matching(g, &m) {
+            return Err("matching invalid".into());
+        }
+        if !dmpc_graph::matching::is_maximal_matching(g, &m) {
+            return Err("matching not maximal".into());
+        }
+        let coord = self.coord();
+        for v in 0..n as V {
+            let r = self.stats_rec(v);
+            if r.degree as usize != g.degree(v) {
+                return Err(format!("vertex {v}: degree {} != {}", r.degree, g.degree(v)));
+            }
+            if r.heavy != (g.degree(v) > tau) {
+                return Err(format!("vertex {v}: heavy flag wrong"));
+            }
+            if r.matched() != m.is_matched(v) || (r.matched() && m.mate(v) != Some(r.mate)) {
+                return Err(format!("vertex {v}: mate record wrong"));
+            }
+            if self.three_halves {
+                let actual = g.neighbors(v).filter(|&u| !m.is_matched(u)).count() as u32;
+                if r.free_nbrs != actual {
+                    return Err(format!(
+                        "vertex {v}: counter {} != actual {actual}",
+                        r.free_nbrs
+                    ));
+                }
+            }
+        }
+        // Storage invariants + annotation coherence.
+        for v in 0..n as V {
+            let sm = self.layout.storage_of(v);
+            let sv = match self.cluster.machine(sm) {
+                Role::Storage(s) => s.vertex(v).expect("missing store vertex").clone(),
+                _ => unreachable!(),
+            };
+            let machine_seen = match self.cluster.machine(sm) {
+                Role::Storage(s) => s.last_seen(),
+                _ => unreachable!(),
+            };
+            let deg = g.degree(v);
+            let expect_alive = if sv.heavy { deg.min(tau) } else { deg };
+            if sv.heavy != (deg > tau) {
+                return Err(format!("storage {v}: heavy flag wrong"));
+            }
+            if sv.entries.len() != expect_alive {
+                return Err(format!(
+                    "storage {v}: alive {} != expected {expect_alive}",
+                    sv.entries.len()
+                ));
+            }
+            let suffix = coord_suffix(coord, machine_seen);
+            for (nbr, mut ann) in sv.entries {
+                if !g.has_edge(Edge::new(v, nbr)) {
+                    return Err(format!("storage {v}: stale edge to {nbr}"));
+                }
+                for (_, h) in &suffix {
+                    super::msg::repair_entry(h, nbr, &mut ann);
+                }
+                let truth_m = m.is_matched(nbr);
+                if ann.matched != truth_m {
+                    return Err(format!(
+                        "storage {v}->{nbr}: repaired matched={} truth={truth_m}",
+                        ann.matched
+                    ));
+                }
+                if truth_m {
+                    let mate = m.mate(nbr).unwrap();
+                    if ann.mate != mate {
+                        return Err(format!("storage {v}->{nbr}: repaired mate wrong"));
+                    }
+                    if ann.mate_light != (g.degree(mate) <= tau) {
+                        return Err(format!("storage {v}->{nbr}: repaired mate_light wrong"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn coord_suffix(c: &Coordinator, seen: u64) -> HistSlice {
+    c.hist_suffix(seen)
+}
+
+impl DynamicGraphAlgorithm for DmpcMaximalMatching {
+    fn name(&self) -> &'static str {
+        if self.three_halves {
+            "dmpc-3/2-matching"
+        } else {
+            "dmpc-maximal-matching"
+        }
+    }
+
+    fn insert(&mut self, e: Edge) -> UpdateMetrics {
+        self.cluster.inject(COORDINATOR, MatchMsg::Insert(e));
+        self.cluster.run_update()
+    }
+
+    fn delete(&mut self, e: Edge) -> UpdateMetrics {
+        self.cluster.inject(COORDINATOR, MatchMsg::Delete(e));
+        self.cluster.run_update()
+    }
+}
+
+#[allow(dead_code)]
+fn never(_: MachineId) {}

@@ -1,0 +1,124 @@
+//! Section 3: fully-dynamic maximal matching in the DMPC model.
+//!
+//! Machine roles (ids in order): the **coordinator** `M_C` (id 0), which
+//! buffers the update-history `H` and orchestrates every update; **stats
+//! machines** holding exact per-vertex records (degree, mate, heavy flag,
+//! and — in 3/2 mode — the free-neighbor counter of Section 4); **storage
+//! machines** holding adjacency lists annotated with each neighbor's
+//! matching status (stale by up to one refresh cycle, repaired by replaying
+//! the history suffix attached to every coordinator message); and an
+//! **overflow pool** holding the *suspended* edges of heavy vertices (the
+//! paper's `getSuspended` stack).
+//!
+//! A vertex is *heavy* iff its degree exceeds `tau = ceil(sqrt(2 m_max))`;
+//! heavy vertices keep exactly `min(tau, deg)` *alive* edges on their owner
+//! machine (the invariant is maintained with O(1)-edge moves per update:
+//! new edges of heavy vertices go to the suspended stack, and a deletion
+//! from the alive set pulls one suspended edge back).
+//!
+//! Differences from the paper's presentation, all documented here:
+//! * Light vertices are packed by static contiguous vertex blocks instead
+//!   of the dynamic `fits`/`toFit`/`moveEdges` repacking; the repacking
+//!   exists to bound machine count and per-machine memory, which the static
+//!   blocks already achieve for the evaluated workloads (violations are
+//!   metered, and the suite asserts there are none).
+//! * The history does not need explicit edge-insert/delete entries because
+//!   adjacency structure is push-updated within each update; only matching
+//!   and heavy/light *annotations* ride the history (`MatchAdd`, `MatchDel`,
+//!   `Heavy`, `Light`).
+//! * Alive sets store, with each edge, the neighbor's mate and whether that
+//!   mate is light (repairable via the history); this is what lets the
+//!   heavy-vertex steal pick a light-mated neighbor with O(1) active
+//!   machines, matching Table 1 row 1.
+
+pub mod coordinator;
+pub mod driver;
+pub mod msg;
+pub mod stats;
+pub mod storage;
+
+pub use driver::DmpcMaximalMatching;
+
+use dmpc_core::DmpcParams;
+use dmpc_mpc::MachineId;
+
+/// Machine layout derived from the model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Layout {
+    /// Number of vertices.
+    pub n: usize,
+    /// Stats machines hold `stats_block` consecutive vertex records each.
+    pub stats_block: usize,
+    /// Number of stats machines.
+    pub n_stats: usize,
+    /// Storage machines own `storage_block` consecutive vertices each.
+    pub storage_block: usize,
+    /// Number of storage machines.
+    pub n_storage: usize,
+    /// Number of overflow machines in the pool.
+    pub n_overflow: usize,
+    /// Heavy/light threshold `tau`.
+    pub tau: usize,
+}
+
+impl Layout {
+    /// Derives the layout from the model parameters.
+    pub fn new(params: &DmpcParams) -> Self {
+        let n = params.n;
+        let sqrt_n = params.sqrt_n();
+        let stats_block = sqrt_n.max(1);
+        let n_stats = n.div_ceil(stats_block).max(1);
+        let n_storage = params.storage_machines();
+        let storage_block = n.div_ceil(n_storage).max(1);
+        let n_storage = n.div_ceil(storage_block).max(1);
+        Layout {
+            n,
+            stats_block,
+            n_stats,
+            storage_block,
+            n_storage,
+            n_overflow: sqrt_n.max(4),
+            tau: params.heavy_threshold(),
+        }
+    }
+
+    /// Total machine count (coordinator + stats + storage + overflow).
+    pub fn total_machines(&self) -> usize {
+        1 + self.n_stats + self.n_storage + self.n_overflow
+    }
+
+    /// Stats machine of vertex `v`.
+    pub fn stats_of(&self, v: u32) -> MachineId {
+        1 + (v as usize / self.stats_block) as MachineId
+    }
+
+    /// Storage machine of vertex `v`.
+    pub fn storage_of(&self, v: u32) -> MachineId {
+        (1 + self.n_stats + v as usize / self.storage_block) as MachineId
+    }
+
+    /// First machine id of the overflow pool.
+    pub fn overflow_base(&self) -> MachineId {
+        (1 + self.n_stats + self.n_storage) as MachineId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_partitions_vertices() {
+        let params = DmpcParams::new(100, 300);
+        let l = Layout::new(&params);
+        assert_eq!(l.tau, 25);
+        for v in 0..100u32 {
+            let s = l.stats_of(v);
+            assert!(s >= 1 && (s as usize) <= l.n_stats);
+            let st = l.storage_of(v);
+            assert!(st as usize > l.n_stats && (st as usize) <= l.n_stats + l.n_storage);
+        }
+        assert!(l.total_machines() > l.n_stats + l.n_storage);
+        assert_eq!(l.overflow_base() as usize, 1 + l.n_stats + l.n_storage);
+    }
+}

@@ -1,0 +1,102 @@
+//! Stats machines: exact per-vertex records.
+
+use super::msg::{MatchMsg, StatRec};
+use dmpc_graph::V;
+use std::collections::BTreeMap;
+
+/// A stats machine owning a contiguous block of vertex records. Records are
+/// exact at all times: the coordinator pushes every change as part of the
+/// update that causes it.
+#[derive(Debug, Default)]
+pub struct StatsMachine {
+    recs: BTreeMap<V, StatRec>,
+}
+
+impl StatsMachine {
+    /// Creates the machine owning vertices `lo..hi`.
+    pub fn new(lo: V, hi: V) -> Self {
+        StatsMachine {
+            recs: (lo..hi).map(|v| (v, StatRec::new())).collect(),
+        }
+    }
+
+    /// Read access for audits/extraction.
+    pub fn record(&self, v: V) -> Option<&StatRec> {
+        self.recs.get(&v)
+    }
+
+    /// Direct load for bulk preprocessing.
+    pub fn load(&mut self, v: V, rec: StatRec) {
+        self.recs.insert(v, rec);
+    }
+
+    /// Handles one request, possibly producing a reply for the coordinator.
+    pub fn handle(&mut self, msg: MatchMsg) -> Option<MatchMsg> {
+        match msg {
+            MatchMsg::StatQuery(vs) => Some(MatchMsg::StatReply(
+                vs.iter().map(|&v| (v, self.recs[&v])).collect(),
+            )),
+            MatchMsg::StatSet(rs) => {
+                for (v, r) in rs {
+                    self.recs.insert(v, r);
+                }
+                None
+            }
+            MatchMsg::CounterDelta(vs, delta) => {
+                for v in vs {
+                    let r = self.recs.get_mut(&v).expect("vertex not owned");
+                    let nv = r.free_nbrs as i64 + delta as i64;
+                    debug_assert!(nv >= 0, "counter of {v} went negative");
+                    r.free_nbrs = nv.max(0) as u32;
+                }
+                None
+            }
+            MatchMsg::CounterQuery(vs) => Some(MatchMsg::CounterReply(
+                vs.iter().map(|&v| (v, self.recs[&v].free_nbrs)).collect(),
+            )),
+            other => panic!("stats machine got unexpected message {other:?}"),
+        }
+    }
+
+    /// Memory footprint in words.
+    pub fn memory_words(&self) -> usize {
+        1 + 4 * self.recs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_set_roundtrip() {
+        let mut m = StatsMachine::new(0, 10);
+        let mut r = StatRec::new();
+        r.degree = 3;
+        r.mate = 7;
+        m.handle(MatchMsg::StatSet(vec![(2, r)]));
+        let reply = m.handle(MatchMsg::StatQuery(vec![2, 3])).unwrap();
+        match reply {
+            MatchMsg::StatReply(rs) => {
+                assert_eq!(rs[0].0, 2);
+                assert_eq!(rs[0].1.degree, 3);
+                assert!(rs[0].1.matched());
+                assert!(!rs[1].1.matched());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn counters() {
+        let mut m = StatsMachine::new(0, 5);
+        m.handle(MatchMsg::CounterDelta(vec![1, 2], 2));
+        m.handle(MatchMsg::CounterDelta(vec![1], -1));
+        match m.handle(MatchMsg::CounterQuery(vec![1, 2])).unwrap() {
+            MatchMsg::CounterReply(rs) => {
+                assert_eq!(rs, vec![(1, 1), (2, 2)]);
+            }
+            _ => panic!(),
+        }
+    }
+}

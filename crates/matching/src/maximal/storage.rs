@@ -1,0 +1,424 @@
+//! Storage machines (adjacency lists with repairable annotations) and the
+//! overflow pool (suspended-edge stacks of heavy vertices).
+
+use super::msg::{repair_entry, Ann, HistSlice, MatchMsg};
+use dmpc_graph::V;
+use std::collections::BTreeMap;
+
+/// Per-owned-vertex storage: the full adjacency of a light vertex, or the
+/// alive set of a heavy one.
+#[derive(Clone, Debug, Default)]
+pub struct StoreVertex {
+    /// Heavy flag (mirrors the stats record, repaired with the state).
+    pub heavy: bool,
+    /// (neighbor, annotation) entries.
+    pub entries: Vec<(V, Ann)>,
+}
+
+/// A storage machine owning a contiguous vertex block.
+#[derive(Debug, Default)]
+pub struct StorageMachine {
+    verts: BTreeMap<V, StoreVertex>,
+    last_seen: u64,
+    tau: usize,
+}
+
+impl StorageMachine {
+    /// Creates the machine owning vertices `lo..hi`, with heavy threshold
+    /// `tau` (the alive-set capacity).
+    pub fn new(lo: V, hi: V, tau: usize) -> Self {
+        StorageMachine {
+            verts: (lo..hi).map(|v| (v, StoreVertex::default())).collect(),
+            last_seen: 0,
+            tau,
+        }
+    }
+
+    /// Read access for audits.
+    pub fn vertex(&self, v: V) -> Option<&StoreVertex> {
+        self.verts.get(&v)
+    }
+
+    /// Direct load for bulk preprocessing.
+    pub fn load(&mut self, v: V, sv: StoreVertex) {
+        self.verts.insert(v, sv);
+    }
+
+    /// Sets the history synchronization point (bulk preprocessing).
+    pub fn set_last_seen(&mut self, seq: u64) {
+        self.last_seen = seq;
+    }
+
+    /// The history sequence number this machine has replayed up to.
+    pub fn last_seen(&self) -> u64 {
+        self.last_seen
+    }
+
+    fn repair(&mut self, hist: &HistSlice) {
+        for &(seq, entry) in hist {
+            if seq <= self.last_seen {
+                continue;
+            }
+            for sv in self.verts.values_mut() {
+                // Heavy/light flag of the *owned* vertex itself.
+                for (nbr, ann) in sv.entries.iter_mut() {
+                    repair_entry(&entry, *nbr, ann);
+                }
+            }
+            match entry {
+                super::msg::HistEntry::Heavy(c) => {
+                    if let Some(sv) = self.verts.get_mut(&c) {
+                        sv.heavy = true;
+                    }
+                }
+                super::msg::HistEntry::Light(c) => {
+                    if let Some(sv) = self.verts.get_mut(&c) {
+                        sv.heavy = false;
+                    }
+                }
+                _ => {}
+            }
+            self.last_seen = seq;
+        }
+    }
+
+    /// Handles one request; may produce a reply for the coordinator.
+    pub fn handle(&mut self, msg: MatchMsg) -> Option<MatchMsg> {
+        match msg {
+            MatchMsg::Refresh(hist) => {
+                self.repair(&hist);
+                None
+            }
+            MatchMsg::AddEdge { at, nbr, ann, hist } => {
+                self.repair(&hist);
+                let sv = self.verts.get_mut(&at).expect("vertex not owned");
+                debug_assert!(sv.entries.iter().all(|&(x, _)| x != nbr));
+                sv.entries.push((nbr, ann));
+                None
+            }
+            MatchMsg::DelEdge { at, nbr, hist } => {
+                self.repair(&hist);
+                let sv = self.verts.get_mut(&at).expect("vertex not owned");
+                let before = sv.entries.len();
+                sv.entries.retain(|&(x, _)| x != nbr);
+                Some(MatchMsg::DelReply {
+                    at,
+                    found: sv.entries.len() < before,
+                    alive: true,
+                })
+            }
+            MatchMsg::ScanFree { z, exclude, hist } => {
+                self.repair(&hist);
+                let sv = &self.verts[&z];
+                let q = sv
+                    .entries
+                    .iter()
+                    .find(|&&(nbr, ann)| !ann.matched && !exclude.contains(&nbr))
+                    .map(|&(nbr, _)| nbr);
+                Some(MatchMsg::ScanFreeReply { z, q })
+            }
+            MatchMsg::ScanAdj { z, hist } => {
+                self.repair(&hist);
+                Some(MatchMsg::ScanAdjReply {
+                    z,
+                    entries: self.verts[&z].entries.clone(),
+                })
+            }
+            MatchMsg::ScanHeavy { z, hist } => {
+                self.repair(&hist);
+                let sv = &self.verts[&z];
+                debug_assert!(sv.heavy);
+                let free = sv
+                    .entries
+                    .iter()
+                    .find(|&&(_, ann)| !ann.matched)
+                    .map(|&(nbr, _)| nbr);
+                let steal = sv
+                    .entries
+                    .iter()
+                    .find(|&&(_, ann)| ann.matched && ann.mate_light)
+                    .map(|&(nbr, ann)| (nbr, ann.mate));
+                Some(MatchMsg::ScanHeavyReply { z, free, steal })
+            }
+            MatchMsg::MakeHeavy { v, mate, hist } => {
+                self.repair(&hist);
+                let keep = self.tau;
+                let sv = self.verts.get_mut(&v).expect("vertex not owned");
+                sv.heavy = true;
+                // Keep the mate edge among the alive set: move it first.
+                if let Some(m) = mate {
+                    if let Some(pos) = sv.entries.iter().position(|&(x, _)| x == m) {
+                        sv.entries.swap(0, pos);
+                    }
+                }
+                let entries = if sv.entries.len() > keep {
+                    sv.entries.split_off(keep)
+                } else {
+                    Vec::new()
+                };
+                Some(MatchMsg::MovedOut { v, entries })
+            }
+            MatchMsg::AddAlive { at, entry, hist } => {
+                self.repair(&hist);
+                let sv = self.verts.get_mut(&at).expect("vertex not owned");
+                sv.entries.push(entry);
+                None
+            }
+            MatchMsg::MakeLight { v, hist } => {
+                self.repair(&hist);
+                let sv = self.verts.get_mut(&v).expect("vertex not owned");
+                sv.heavy = false;
+                None
+            }
+            other => panic!("storage machine got unexpected message {other:?}"),
+        }
+    }
+
+    /// Memory footprint in words.
+    pub fn memory_words(&self) -> usize {
+        2 + self
+            .verts
+            .values()
+            .map(|sv| 2 + 4 * sv.entries.len())
+            .sum::<usize>()
+    }
+}
+
+/// An overflow machine: the suspended-edge stack of (at most) one heavy
+/// vertex at a time.
+#[derive(Debug, Default)]
+pub struct OverflowMachine {
+    assigned: Option<V>,
+    edges: Vec<(V, Ann)>,
+    last_seen: u64,
+}
+
+impl OverflowMachine {
+    /// The vertex whose stack this machine holds.
+    pub fn assigned(&self) -> Option<V> {
+        self.assigned
+    }
+
+    /// Number of suspended edges held.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Read access for audits.
+    pub fn edges(&self) -> &[(V, Ann)] {
+        &self.edges
+    }
+
+    /// Direct load for bulk preprocessing.
+    pub fn load(&mut self, v: V, edges: Vec<(V, Ann)>, last_seen: u64) {
+        self.assigned = Some(v);
+        self.edges = edges;
+        self.last_seen = last_seen;
+    }
+
+    fn repair(&mut self, hist: &HistSlice) {
+        for &(seq, entry) in hist {
+            if seq <= self.last_seen {
+                continue;
+            }
+            for (nbr, ann) in self.edges.iter_mut() {
+                repair_entry(&entry, *nbr, ann);
+            }
+            self.last_seen = seq;
+        }
+    }
+
+    /// Handles one request; may produce a reply.
+    pub fn handle(&mut self, msg: MatchMsg) -> Option<MatchMsg> {
+        match msg {
+            MatchMsg::Refresh(hist) => {
+                self.repair(&hist);
+                None
+            }
+            MatchMsg::AddSuspended { v, entries, hist } => {
+                self.repair(&hist);
+                if self.assigned.is_none() {
+                    self.assigned = Some(v);
+                }
+                debug_assert_eq!(self.assigned, Some(v));
+                self.edges.extend(entries);
+                None
+            }
+            MatchMsg::DelEdge { at, nbr, hist } => {
+                self.repair(&hist);
+                debug_assert_eq!(self.assigned, Some(at));
+                let before = self.edges.len();
+                self.edges.retain(|&(x, _)| x != nbr);
+                Some(MatchMsg::DelReply {
+                    at,
+                    found: self.edges.len() < before,
+                    alive: false,
+                })
+            }
+            MatchMsg::ScanFree { z, exclude, hist } => {
+                self.repair(&hist);
+                debug_assert_eq!(self.assigned, Some(z));
+                let q = self
+                    .edges
+                    .iter()
+                    .find(|&&(nbr, ann)| !ann.matched && !exclude.contains(&nbr))
+                    .map(|&(nbr, _)| nbr);
+                Some(MatchMsg::ScanFreeReply { z, q })
+            }
+            MatchMsg::FetchSuspended { v, hist } => {
+                self.repair(&hist);
+                debug_assert_eq!(self.assigned, Some(v));
+                Some(MatchMsg::FetchReply {
+                    v,
+                    entry: self.edges.pop(),
+                })
+            }
+            MatchMsg::ScanAdj { z, hist } => {
+                self.repair(&hist);
+                Some(MatchMsg::ScanAdjReply {
+                    z,
+                    entries: self.edges.clone(),
+                })
+            }
+            MatchMsg::ReleaseOverflow { v } => {
+                debug_assert_eq!(self.assigned, Some(v));
+                debug_assert!(self.edges.is_empty());
+                self.assigned = None;
+                None
+            }
+            other => panic!("overflow machine got unexpected message {other:?}"),
+        }
+    }
+
+    /// Memory footprint in words.
+    pub fn memory_words(&self) -> usize {
+        3 + 4 * self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::super::msg::HistEntry;
+    use dmpc_graph::Edge;
+
+    #[test]
+    fn add_del_scan() {
+        let mut m = StorageMachine::new(0, 4, 8);
+        m.handle(MatchMsg::AddEdge {
+            at: 1,
+            nbr: 9,
+            ann: Ann::free(),
+            hist: vec![],
+        });
+        m.handle(MatchMsg::AddEdge {
+            at: 1,
+            nbr: 8,
+            ann: Ann {
+                matched: true,
+                mate: 3,
+                mate_light: true,
+            },
+            hist: vec![],
+        });
+        match m
+            .handle(MatchMsg::ScanFree {
+                z: 1,
+                exclude: vec![],
+                hist: vec![],
+            })
+            .unwrap()
+        {
+            MatchMsg::ScanFreeReply { q, .. } => assert_eq!(q, Some(9)),
+            _ => panic!(),
+        }
+        match m
+            .handle(MatchMsg::ScanFree {
+                z: 1,
+                exclude: vec![9],
+                hist: vec![],
+            })
+            .unwrap()
+        {
+            MatchMsg::ScanFreeReply { q, .. } => assert_eq!(q, None),
+            _ => panic!(),
+        }
+        match m
+            .handle(MatchMsg::DelEdge {
+                at: 1,
+                nbr: 9,
+                hist: vec![],
+            })
+            .unwrap()
+        {
+            MatchMsg::DelReply { found, alive, .. } => {
+                assert!(found);
+                assert!(alive);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn history_repair_applies_once() {
+        let mut m = StorageMachine::new(0, 2, 8);
+        m.handle(MatchMsg::AddEdge {
+            at: 0,
+            nbr: 5,
+            ann: Ann::free(),
+            hist: vec![],
+        });
+        let h1 = vec![(1, HistEntry::MatchAdd(Edge::new(5, 6), true, true))];
+        m.handle(MatchMsg::Refresh(h1.clone()));
+        assert!(m.vertex(0).unwrap().entries[0].1.matched);
+        // Replaying the same suffix is a no-op (idempotent by seq).
+        let h2 = vec![
+            (1, HistEntry::MatchAdd(Edge::new(5, 6), true, true)),
+            (2, HistEntry::MatchDel(Edge::new(5, 6))),
+        ];
+        m.handle(MatchMsg::Refresh(h2));
+        assert!(!m.vertex(0).unwrap().entries[0].1.matched);
+        assert_eq!(m.last_seen(), 2);
+    }
+
+    #[test]
+    fn overflow_stack() {
+        let mut o = OverflowMachine::default();
+        o.handle(MatchMsg::AddSuspended {
+            v: 3,
+            entries: vec![(7, Ann::free()), (8, Ann::free())],
+            hist: vec![],
+        });
+        assert_eq!(o.assigned(), Some(3));
+        assert_eq!(o.len(), 2);
+        match o
+            .handle(MatchMsg::FetchSuspended { v: 3, hist: vec![] })
+            .unwrap()
+        {
+            MatchMsg::FetchReply { entry, .. } => assert_eq!(entry.unwrap().0, 8),
+            _ => panic!(),
+        }
+        match o
+            .handle(MatchMsg::DelEdge {
+                at: 3,
+                nbr: 7,
+                hist: vec![],
+            })
+            .unwrap()
+        {
+            MatchMsg::DelReply { found, alive, .. } => {
+                assert!(found);
+                assert!(!alive);
+            }
+            _ => panic!(),
+        }
+        assert!(o.is_empty());
+        o.handle(MatchMsg::ReleaseOverflow { v: 3 });
+        assert_eq!(o.assigned(), None);
+    }
+}

@@ -1,0 +1,285 @@
+//! Static MPC baseline: randomized maximal matching in O(log n) rounds
+//! (Israeli–Itai-style proposal/acceptance with coin flips, the algorithm
+//! the paper's preprocessing cites for initialization \[23\]).
+//!
+//! Rerunning this after every update is the static alternative the dynamic
+//! Section 3 algorithm is measured against: rounds grow logarithmically and
+//! communication is Omega(m) per round, versus O(1) rounds and O(sqrt N)
+//! words for the dynamic algorithm.
+
+use dmpc_graph::matching::Matching;
+use dmpc_graph::{Edge, V};
+use dmpc_mpc::{
+    Cluster, ClusterConfig, Envelope, Machine, MachineId, Outbox, Payload, RoundCtx, UpdateMetrics,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Messages of the proposal rounds.
+#[derive(Clone, Debug)]
+pub enum MmMsg {
+    /// Starts / keeps alive the round loop on a machine.
+    Tick,
+    /// `from` proposes to `to`.
+    Propose {
+        /// Proposing vertex.
+        from: V,
+        /// Proposed-to vertex.
+        to: V,
+    },
+    /// `a` accepted `b`: both are now matched.
+    Matched {
+        /// Acceptor.
+        a: V,
+        /// Proposer.
+        b: V,
+    },
+    /// Tell the owner of `v` that neighbor `w` is now matched.
+    NbrMatched {
+        /// Owned vertex to inform.
+        v: V,
+        /// The newly matched neighbor.
+        w: V,
+    },
+}
+
+impl Payload for MmMsg {
+    fn size_words(&self) -> usize {
+        match self {
+            MmMsg::Tick => 1,
+            _ => 2,
+        }
+    }
+}
+
+struct MmVertex {
+    free: bool,
+    mate: V,
+    pending: bool, // proposed this cycle, awaiting an accept
+    nbrs: Vec<(V, bool)>, // (neighbor, believed-free)
+}
+
+struct MmMachine {
+    block: usize,
+    rng: SmallRng,
+    verts: BTreeMap<V, MmVertex>,
+}
+
+impl MmMachine {
+    fn owner(&self, v: V) -> MachineId {
+        (v as usize / self.block) as MachineId
+    }
+}
+
+impl Machine for MmMachine {
+    type Msg = MmMsg;
+
+    /// Three-round cycles keyed off the global round number:
+    /// phase 0 — free vertices flip a coin and propose (marking `pending`,
+    /// which also blocks them from accepting); phase 1 — non-pending free
+    /// vertices accept the minimum proposer and commit (a proposer is
+    /// guaranteed still free when its accept arrives, because pending
+    /// vertices never accept); phase 2 — proposers receive the accept and
+    /// commit, stale `pending` flags clear at the next phase 0.
+    fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<MmMsg>>, out: &mut Outbox<MmMsg>) {
+        let mut proposals: BTreeMap<V, Vec<V>> = BTreeMap::new();
+        let mut tick = false;
+        for env in inbox {
+            match env.msg {
+                MmMsg::Tick => tick = true,
+                MmMsg::Propose { from, to } => proposals.entry(to).or_default().push(from),
+                MmMsg::Matched { a, b } => {
+                    // The proposer's pending proposal was accepted.
+                    let mv = self.verts.get_mut(&b).expect("proposer not owned");
+                    debug_assert!(mv.free && mv.pending, "accept for a non-pending vertex");
+                    mv.free = false;
+                    mv.pending = false;
+                    mv.mate = a;
+                    let nbrs: Vec<V> = mv.nbrs.iter().map(|&(w, _)| w).collect();
+                    for w in nbrs {
+                        out.send(self.owner(w), MmMsg::NbrMatched { v: w, w: b });
+                    }
+                }
+                MmMsg::NbrMatched { v, w } => {
+                    if let Some(mv) = self.verts.get_mut(&v) {
+                        for (x, f) in mv.nbrs.iter_mut() {
+                            if *x == w {
+                                *f = false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Acceptances: a free, non-pending proposed-to vertex accepts the
+        // minimum proposer and commits immediately (the proposer cannot have
+        // matched elsewhere this cycle).
+        for (to, mut props) in proposals {
+            props.sort_unstable();
+            let Some(mv) = self.verts.get_mut(&to) else { continue };
+            if !mv.free || mv.pending {
+                continue;
+            }
+            if let Some(&b) = props.first() {
+                mv.free = false;
+                mv.mate = b;
+                let nbrs: Vec<V> = mv.nbrs.iter().map(|&(w, _)| w).collect();
+                out.send(self.owner(b), MmMsg::Matched { a: to, b });
+                for w in nbrs {
+                    out.send(self.owner(w), MmMsg::NbrMatched { v: w, w: to });
+                }
+            }
+        }
+        if tick {
+            let phase = ctx.round % 3;
+            let mut any_active = false;
+            let vs: Vec<V> = self.verts.keys().copied().collect();
+            for v in vs {
+                if phase == 1 {
+                    // New cycle boundary: unaccepted proposals expire.
+                    self.verts.get_mut(&v).unwrap().pending = false;
+                }
+                let (free, pending, candidates): (bool, bool, Vec<V>) = {
+                    let mv = &self.verts[&v];
+                    (
+                        mv.free,
+                        mv.pending,
+                        mv.nbrs.iter().filter(|&&(_, f)| f).map(|&(w, _)| w).collect(),
+                    )
+                };
+                if !free || candidates.is_empty() {
+                    continue;
+                }
+                any_active = true;
+                if phase == 1 && !pending && self.rng.gen_bool(0.5) {
+                    let t = candidates[self.rng.gen_range(0..candidates.len())];
+                    self.verts.get_mut(&v).unwrap().pending = true;
+                    out.send(self.owner(t), MmMsg::Propose { from: v, to: t });
+                }
+            }
+            if any_active {
+                out.send(ctx.self_id, MmMsg::Tick);
+            }
+        }
+    }
+
+    fn memory_words(&self) -> usize {
+        self.verts.values().map(|m| 4 + 2 * m.nbrs.len()).sum()
+    }
+}
+
+/// The static maximal-matching recomputation baseline.
+pub struct StaticMaximalMatching {
+    n: usize,
+    machines: usize,
+    block: usize,
+    seed: u64,
+}
+
+impl StaticMaximalMatching {
+    /// Baseline over `n` vertices on `machines` owner machines.
+    pub fn new(n: usize, machines: usize, seed: u64) -> Self {
+        let machines = machines.max(1);
+        let block = n.div_ceil(machines).max(1);
+        StaticMaximalMatching {
+            n,
+            machines: n.div_ceil(block),
+            block,
+            seed,
+        }
+    }
+
+    /// Recomputes a maximal matching from scratch; returns it with the full
+    /// run's metrics. The believed-free flags make acceptance conservative,
+    /// so the result is always a valid matching; maximality follows because
+    /// active free vertices keep proposing while any free-free edge remains.
+    pub fn recompute(&self, edges: &[Edge]) -> (Matching, UpdateMetrics) {
+        let mut progs: Vec<MmMachine> = (0..self.machines)
+            .map(|i| {
+                let lo = (i * self.block) as V;
+                let hi = (((i + 1) * self.block).min(self.n)) as V;
+                MmMachine {
+                    block: self.block,
+                    rng: SmallRng::seed_from_u64(self.seed ^ ((i as u64) << 32)),
+                    verts: (lo..hi)
+                        .map(|v| {
+                            (
+                                v,
+                                MmVertex {
+                                    free: true,
+                                    mate: V::MAX,
+                                    pending: false,
+                                    nbrs: Vec::new(),
+                                },
+                            )
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        for e in edges {
+            progs[e.u as usize / self.block]
+                .verts
+                .get_mut(&e.u)
+                .unwrap()
+                .nbrs
+                .push((e.v, true));
+            progs[e.v as usize / self.block]
+                .verts
+                .get_mut(&e.v)
+                .unwrap()
+                .nbrs
+                .push((e.u, true));
+        }
+        let mut cluster = Cluster::new(progs, ClusterConfig::default());
+        for m in 0..self.machines as MachineId {
+            cluster.inject(m, MmMsg::Tick);
+        }
+        let metrics = cluster.run_update();
+        let mut edges_out = Vec::new();
+        for m in 0..self.machines as MachineId {
+            for (&v, mv) in &cluster.machine(m).verts {
+                if !mv.free && v < mv.mate {
+                    edges_out.push(Edge::new(v, mv.mate));
+                }
+            }
+        }
+        (Matching::from_edges(&edges_out), metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpc_graph::matching::{is_maximal_matching, is_valid_matching};
+    use dmpc_graph::{generators, DynamicGraph};
+
+    #[test]
+    fn produces_maximal_matching() {
+        for seed in 0..5 {
+            let es = generators::gnm(60, 150, seed);
+            let g = DynamicGraph::from_edges(60, &es);
+            let (m, metrics) = StaticMaximalMatching::new(60, 8, seed).recompute(&es);
+            assert!(is_valid_matching(&g, &m), "seed {seed}");
+            assert!(is_maximal_matching(&g, &m), "seed {seed}");
+            assert!(metrics.rounds >= 2);
+        }
+    }
+
+    #[test]
+    fn communication_scales_with_edges() {
+        let sparse = generators::gnm(100, 120, 3);
+        let dense = generators::gnm(100, 1200, 3);
+        let alg = StaticMaximalMatching::new(100, 10, 1);
+        let (_, ms) = alg.recompute(&sparse);
+        let (_, md) = alg.recompute(&dense);
+        assert!(md.total_words > ms.total_words);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let (m, _) = StaticMaximalMatching::new(10, 2, 1).recompute(&[]);
+        assert_eq!(m.size(), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Randomized end-to-end verification of the Section 3 maximal matching and
+//! the Section 4 3/2-approximate matching, with deep audits after every
+//! update (maximality, record exactness, alive/suspended invariants,
+//! annotation coherence, counters, no short augmenting paths).
+
+use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
+use dmpc_graph::maxmatch::maximum_matching_size;
+use dmpc_graph::streams::{self, Update};
+use dmpc_graph::{DynamicGraph, Edge};
+use dmpc_matching::{DmpcMaximalMatching, DmpcThreeHalves};
+
+fn drive<A: DynamicGraphAlgorithm>(
+    n: usize,
+    alg: &mut A,
+    ups: &[Update],
+    mut audit: impl FnMut(&DynamicGraph, usize),
+) -> usize {
+    let mut g = DynamicGraph::new(n);
+    let mut max_rounds = 0;
+    for (step, &u) in ups.iter().enumerate() {
+        let m = match u {
+            Update::Insert(e) => {
+                g.insert(e).unwrap();
+                alg.insert(e)
+            }
+            Update::Delete(e) => {
+                g.delete(e).unwrap();
+                alg.delete(e)
+            }
+        };
+        assert!(m.clean(), "step {step} ({u:?}): violations {:?}", m.violations);
+        max_rounds = max_rounds.max(m.rounds);
+        audit(&g, step);
+    }
+    max_rounds
+}
+
+#[test]
+fn maximal_random_churn_verified() {
+    let n = 40;
+    for seed in 0..3 {
+        let params = DmpcParams::new(n, 300);
+        let mut alg = DmpcMaximalMatching::new(params);
+        let ups = streams::churn_stream(n, 80, 240, 0.5, seed);
+        let rounds = drive(n, &mut alg, &ups, |_, _| {});
+        assert!(rounds <= 24, "rounds per update must be constant, got {rounds}");
+    }
+}
+
+#[test]
+fn maximal_audit_every_step() {
+    let n = 36;
+    let params = DmpcParams::new(n, 260);
+    let mut alg = DmpcMaximalMatching::new(params);
+    let mut g = DynamicGraph::new(n);
+    let ups = streams::churn_stream(n, 70, 200, 0.5, 11);
+    for (step, &u) in ups.iter().enumerate() {
+        let m = match u {
+            Update::Insert(e) => {
+                g.insert(e).unwrap();
+                alg.insert(e)
+            }
+            Update::Delete(e) => {
+                g.delete(e).unwrap();
+                alg.delete(e)
+            }
+        };
+        assert!(m.clean(), "step {step}: {:?}", m.violations);
+        alg.audit(&g)
+            .unwrap_or_else(|err| panic!("step {step} ({u:?}): {err}"));
+    }
+}
+
+#[test]
+fn maximal_star_graph_heavy_stress() {
+    // A star drives the center far beyond tau, exercising MakeHeavy, the
+    // suspended stack, refills and MakeLight on the way back down.
+    let n = 60;
+    let params = DmpcParams::new(n, 64);
+    let tau = params.heavy_threshold();
+    assert!(n - 1 > tau + 4, "star center must go heavy");
+    let mut alg = DmpcMaximalMatching::new(params);
+    let mut g = DynamicGraph::new(n);
+    let edges: Vec<Edge> = (1..n as u32).map(|v| Edge::new(0, v)).collect();
+    for (i, &e) in edges.iter().enumerate() {
+        g.insert(e).unwrap();
+        let m = alg.insert(e);
+        assert!(m.clean(), "insert {i}: {:?}", m.violations);
+        alg.audit(&g).unwrap_or_else(|err| panic!("insert {i}: {err}"));
+    }
+    // Delete in an interleaved order, including the matched edge.
+    let mut order = edges.clone();
+    order.reverse();
+    for (i, &e) in order.iter().enumerate() {
+        g.delete(e).unwrap();
+        let m = alg.delete(e);
+        assert!(m.clean(), "delete {i}: {:?}", m.violations);
+        alg.audit(&g).unwrap_or_else(|err| panic!("delete {i}: {err}"));
+    }
+    assert_eq!(alg.matching().size(), 0);
+}
+
+#[test]
+fn maximal_bulk_load_then_churn() {
+    let n = 32;
+    let params = DmpcParams::new(n, 200);
+    let edges = dmpc_graph::generators::gnm(n, 90, 5);
+    let mut alg = DmpcMaximalMatching::new(params);
+    alg.bulk_load(&edges);
+    let mut g = DynamicGraph::from_edges(n, &edges);
+    alg.audit(&g).unwrap();
+    // Delete everything, auditing as we go.
+    for (i, &e) in edges.iter().enumerate() {
+        g.delete(e).unwrap();
+        let m = alg.delete(e);
+        assert!(m.clean(), "delete {i}: {:?}", m.violations);
+        alg.audit(&g).unwrap_or_else(|err| panic!("delete {i}: {err}"));
+    }
+}
+
+#[test]
+fn three_halves_random_churn_verified() {
+    let n = 30;
+    for seed in 0..3 {
+        let params = DmpcParams::new(n, 220);
+        let mut alg = DmpcThreeHalves::new(params);
+        let mut g = DynamicGraph::new(n);
+        let ups = streams::churn_stream(n, 60, 160, 0.5, seed);
+        for (step, &u) in ups.iter().enumerate() {
+            let m = match u {
+                Update::Insert(e) => {
+                    g.insert(e).unwrap();
+                    alg.insert(e)
+                }
+                Update::Delete(e) => {
+                    g.delete(e).unwrap();
+                    alg.delete(e)
+                }
+            };
+            assert!(m.clean(), "seed {seed} step {step}: {:?}", m.violations);
+            alg.audit(&g)
+                .unwrap_or_else(|err| panic!("seed {seed} step {step} ({u:?}): {err}"));
+        }
+        // Empirical approximation factor: 3/2 of the maximum matching.
+        let max = maximum_matching_size(&g);
+        let got = alg.matching().size();
+        assert!(3 * got >= 2 * max, "|M|={got} vs maximum {max}");
+    }
+}
+
+#[test]
+fn three_halves_star_heavy_stress() {
+    let n = 50;
+    let params = DmpcParams::new(n, 56);
+    let mut alg = DmpcThreeHalves::new(params);
+    let mut g = DynamicGraph::new(n);
+    // Star plus a few rim edges so augmenting paths exist.
+    let mut edges: Vec<Edge> = (1..n as u32).map(|v| Edge::new(0, v)).collect();
+    edges.push(Edge::new(1, 2));
+    edges.push(Edge::new(3, 4));
+    edges.push(Edge::new(5, 6));
+    for (i, &e) in edges.iter().enumerate() {
+        g.insert(e).unwrap();
+        let m = alg.insert(e);
+        assert!(m.clean(), "insert {i}: {:?}", m.violations);
+        alg.audit(&g).unwrap_or_else(|err| panic!("insert {i}: {err}"));
+    }
+    for (i, &e) in edges.clone().iter().rev().enumerate() {
+        g.delete(e).unwrap();
+        let m = alg.delete(e);
+        assert!(m.clean(), "delete {i}: {:?}", m.violations);
+        alg.audit(&g).unwrap_or_else(|err| panic!("delete {i}: {err}"));
+    }
+}
+
+#[test]
+fn rounds_stay_constant_across_sizes() {
+    // The Table 1 headline for rows 1-2: rounds per update do not grow
+    // with N.
+    let mut worst = Vec::new();
+    for k in [5usize, 6, 7] {
+        let n = 1 << k;
+        let params = DmpcParams::new(n, 4 * n);
+        let mut alg = DmpcMaximalMatching::new(params);
+        let ups = streams::churn_stream(n, 2 * n, 60, 0.5, 9);
+        let mut g = DynamicGraph::new(n);
+        let mut max_rounds = 0;
+        for &u in &ups {
+            let m = match u {
+                Update::Insert(e) => {
+                    g.insert(e).unwrap();
+                    alg.insert(e)
+                }
+                Update::Delete(e) => {
+                    g.delete(e).unwrap();
+                    alg.delete(e)
+                }
+            };
+            assert!(m.clean(), "{:?}", m.violations);
+            max_rounds = max_rounds.max(m.rounds);
+        }
+        worst.push(max_rounds);
+    }
+    assert!(
+        worst.iter().all(|&r| r <= 24),
+        "rounds must be O(1): {worst:?}"
+    );
+}

@@ -1,0 +1,373 @@
+//! The synchronous round executor.
+//!
+//! A [`Cluster`] owns the machines and the in-flight messages. Driving an
+//! update means injecting external envelopes and running rounds until no
+//! messages remain in flight; the executor meters every round.
+
+use crate::machine::{Envelope, Machine};
+#[cfg(test)]
+use crate::machine::{Outbox, RoundCtx};
+use crate::metrics::{RoundMetrics, UpdateMetrics, Violation};
+use crate::parallel::step_machines;
+use crate::{MachineId, Payload};
+use std::collections::HashMap;
+
+/// Cluster configuration: the DMPC model parameters.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Machine memory / per-round send & receive cap `S`, in words.
+    pub capacity_words: usize,
+    /// Safety limit on rounds per update (quiescence failure guard).
+    pub max_rounds_per_update: usize,
+    /// Record per-(src,dst) flows for the entropy metric (small overhead).
+    pub track_flows: bool,
+    /// Step machines on multiple threads (bit-identical to serial).
+    pub parallel: bool,
+    /// Thread count for parallel stepping (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            capacity_words: usize::MAX,
+            max_rounds_per_update: 10_000,
+            track_flows: false,
+            parallel: false,
+            threads: 0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A config enforcing machine capacity `s` words.
+    pub fn with_capacity(s: usize) -> Self {
+        ClusterConfig {
+            capacity_words: s,
+            ..Default::default()
+        }
+    }
+}
+
+/// A set of machines plus in-flight messages.
+pub struct Cluster<M: Machine> {
+    machines: Vec<M>,
+    pending: Vec<Envelope<M::Msg>>,
+    cfg: ClusterConfig,
+    /// Metrics of the most recent update.
+    last_update: UpdateMetrics,
+    rounds_total: u64,
+}
+
+impl<M: Machine> Cluster<M> {
+    /// Creates a cluster over the given machine programs.
+    pub fn new(machines: Vec<M>, cfg: ClusterConfig) -> Self {
+        Cluster {
+            machines,
+            pending: Vec::new(),
+            cfg,
+            last_update: UpdateMetrics::default(),
+            rounds_total: 0,
+        }
+    }
+
+    /// Number of machines.
+    pub fn n_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// The configured capacity `S`.
+    pub fn capacity_words(&self) -> usize {
+        self.cfg.capacity_words
+    }
+
+    /// Immutable access to a machine's state (for result extraction — *not*
+    /// part of the model; algorithms must not use this to cheat rounds).
+    pub fn machine(&self, id: MachineId) -> &M {
+        &self.machines[id as usize]
+    }
+
+    /// Mutable access for out-of-band initialization (bulk loading during
+    /// preprocessing; metered separately by callers).
+    pub fn machine_mut(&mut self, id: MachineId) -> &mut M {
+        &mut self.machines[id as usize]
+    }
+
+    /// Iterate over all machines.
+    pub fn machines(&self) -> impl Iterator<Item = &M> {
+        self.machines.iter()
+    }
+
+    /// Queues an external message (the arriving update) for delivery in the
+    /// first round of the next `run_update` call.
+    pub fn inject(&mut self, to: MachineId, msg: M::Msg) {
+        self.pending.push(Envelope {
+            from: Envelope::<M::Msg>::EXTERNAL,
+            to,
+            msg,
+        });
+    }
+
+    /// Runs rounds until quiescence (no messages in flight) and returns the
+    /// update's metrics. Also retains them as [`Cluster::last_metrics`].
+    pub fn run_update(&mut self) -> UpdateMetrics {
+        let mut metrics = UpdateMetrics::default();
+        let mut round: u32 = 0;
+        while !self.pending.is_empty() {
+            if metrics.rounds >= self.cfg.max_rounds_per_update {
+                metrics.violations.push(Violation::RoundLimit {
+                    limit: self.cfg.max_rounds_per_update,
+                });
+                self.pending.clear();
+                break;
+            }
+            round += 1;
+            let rm = self.step_round(round, &mut metrics);
+            metrics.rounds += 1;
+            metrics.max_active_machines = metrics.max_active_machines.max(rm.active_machines);
+            metrics.max_words_per_round = metrics.max_words_per_round.max(rm.words);
+            metrics.total_words += rm.words;
+            metrics.total_messages += rm.messages;
+            metrics.per_round.push(rm);
+        }
+        self.rounds_total += metrics.rounds as u64;
+        self.last_update = metrics.clone();
+        metrics
+    }
+
+    /// Metrics of the most recent update.
+    pub fn last_metrics(&self) -> &UpdateMetrics {
+        &self.last_update
+    }
+
+    /// Total rounds executed over the cluster's lifetime.
+    pub fn rounds_total(&self) -> u64 {
+        self.rounds_total
+    }
+
+    /// Executes one synchronous round: deliver pending messages grouped by
+    /// receiver, step each receiver once, collect new outboxes.
+    fn step_round(&mut self, round: u32, update: &mut UpdateMetrics) -> RoundMetrics {
+        let delivered = std::mem::take(&mut self.pending);
+
+        // Group by receiver; deterministic order: stable sort by (to, from).
+        let mut inboxes: HashMap<MachineId, Vec<Envelope<M::Msg>>> = HashMap::new();
+        let mut rm = RoundMetrics {
+            round,
+            ..Default::default()
+        };
+        let mut recv_words: HashMap<MachineId, usize> = HashMap::new();
+        for env in delivered {
+            let w = env.msg.size_words();
+            // External injections are not machine-to-machine communication.
+            if env.from != Envelope::<M::Msg>::EXTERNAL {
+                rm.words += w;
+                rm.messages += 1;
+                *recv_words.entry(env.to).or_default() += w;
+                if self.cfg.track_flows {
+                    *update.flows.entry((env.from, env.to)).or_default() += w as u64;
+                }
+            }
+            inboxes.entry(env.to).or_default().push(env);
+        }
+        for (&m, &w) in &recv_words {
+            rm.max_recv_words = rm.max_recv_words.max(w);
+            if w > self.cfg.capacity_words {
+                update.violations.push(Violation::RecvCap {
+                    machine: m,
+                    words: w,
+                    cap: self.cfg.capacity_words,
+                    round,
+                });
+            }
+        }
+
+        // Deterministic processing order.
+        let mut groups: Vec<(usize, Vec<Envelope<M::Msg>>)> = inboxes
+            .into_iter()
+            .map(|(to, mut msgs)| {
+                msgs.sort_by_key(|e| e.from);
+                (to as usize, msgs)
+            })
+            .collect();
+        groups.sort_by_key(|g| g.0);
+        rm.active_machines = groups.len();
+
+        let n_machines = self.machines.len();
+        let threads = if self.cfg.parallel {
+            if self.cfg.threads == 0 {
+                std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            } else {
+                self.cfg.threads
+            }
+        } else {
+            1
+        };
+        let stepped: Vec<usize> = groups.iter().map(|g| g.0).collect();
+        let outputs = step_machines(&mut self.machines, groups, round, n_machines, threads);
+
+        // Send-cap accounting + new pending.
+        for (sender, envs) in outputs {
+            let sent: usize = envs.iter().map(|e| e.msg.size_words()).sum();
+            rm.max_send_words = rm.max_send_words.max(sent);
+            if sent > self.cfg.capacity_words {
+                update.violations.push(Violation::SendCap {
+                    machine: sender as MachineId,
+                    words: sent,
+                    cap: self.cfg.capacity_words,
+                    round,
+                });
+            }
+            self.pending.extend(envs);
+        }
+
+        // Memory accounting for the machines that acted this round.
+        for idx in stepped {
+            let words = self.machines[idx].memory_words();
+            if words > self.cfg.capacity_words {
+                update.violations.push(Violation::Memory {
+                    machine: idx as MachineId,
+                    words,
+                    cap: self.cfg.capacity_words,
+                    round,
+                });
+            }
+        }
+        rm
+    }
+}
+
+/// Convenience: inject a single message and drive it to quiescence.
+pub fn run_single_update<M: Machine>(
+    cluster: &mut Cluster<M>,
+    to: MachineId,
+    msg: M::Msg,
+) -> UpdateMetrics {
+    cluster.inject(to, msg);
+    cluster.run_update()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Relays a countdown token to the next machine until it hits zero.
+    struct Relay {
+        id: MachineId,
+        seen: u64,
+    }
+
+    impl Machine for Relay {
+        type Msg = u64;
+
+        fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<u64>>, out: &mut Outbox<u64>) {
+            for env in inbox {
+                self.seen += 1;
+                if env.msg > 0 {
+                    let next = (self.id + 1) % ctx.n_machines as MachineId;
+                    out.send(next, env.msg - 1);
+                }
+            }
+        }
+
+        fn memory_words(&self) -> usize {
+            2
+        }
+    }
+
+    fn relay_cluster(n: usize, cfg: ClusterConfig) -> Cluster<Relay> {
+        let machines = (0..n as MachineId).map(|id| Relay { id, seen: 0 }).collect();
+        Cluster::new(machines, cfg)
+    }
+
+    #[test]
+    fn token_ring_rounds_counted() {
+        let mut c = relay_cluster(4, ClusterConfig::default());
+        let m = run_single_update(&mut c, 0, 5);
+        // Round 1 delivers the injection, rounds 2..6 relay 4,3,2,1,0.
+        assert_eq!(m.rounds, 6);
+        assert_eq!(m.max_active_machines, 1);
+        // Injection itself is free; five relayed messages of one word each.
+        assert_eq!(m.total_words, 5);
+        assert!(m.clean());
+    }
+
+    #[test]
+    fn quiescent_cluster_runs_zero_rounds() {
+        let mut c = relay_cluster(3, ClusterConfig::default());
+        let m = c.run_update();
+        assert_eq!(m.rounds, 0);
+        assert!(m.clean());
+    }
+
+    #[test]
+    fn round_limit_violation_recorded() {
+        struct Forever;
+        impl Machine for Forever {
+            type Msg = u64;
+            fn on_messages(&mut self, ctx: &RoundCtx, _i: Vec<Envelope<u64>>, out: &mut Outbox<u64>) {
+                out.send(ctx.self_id, 1);
+            }
+        }
+        let mut c = Cluster::new(vec![Forever], ClusterConfig {
+            max_rounds_per_update: 10,
+            ..Default::default()
+        });
+        let m = run_single_update(&mut c, 0, 1);
+        assert!(matches!(m.violations[0], Violation::RoundLimit { limit: 10 }));
+    }
+
+    #[test]
+    fn send_cap_violation_recorded() {
+        struct Blaster;
+        impl Machine for Blaster {
+            type Msg = Vec<u64>;
+            fn on_messages(&mut self, _c: &RoundCtx, inbox: Vec<Envelope<Vec<u64>>>, out: &mut Outbox<Vec<u64>>) {
+                if inbox[0].from == Envelope::<Vec<u64>>::EXTERNAL {
+                    out.send(1, vec![0; 100]);
+                }
+            }
+        }
+        let mut c = Cluster::new(vec![Blaster, Blaster], ClusterConfig::with_capacity(10));
+        let m = run_single_update(&mut c, 0, vec![1]);
+        assert!(m
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SendCap { machine: 0, words: 100, .. })));
+        assert!(m
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::RecvCap { machine: 1, words: 100, .. })));
+    }
+
+    #[test]
+    fn flows_tracked_when_enabled() {
+        let mut cfg = ClusterConfig::default();
+        cfg.track_flows = true;
+        let mut c = relay_cluster(3, cfg);
+        let m = run_single_update(&mut c, 0, 3);
+        // 0->1, 1->2, 2->0 one word each.
+        assert_eq!(m.flows.len(), 3);
+        assert!((m.flow_entropy_bits() - (3f64).log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn broadcast_activates_all_machines() {
+        struct Hub;
+        impl Machine for Hub {
+            type Msg = u64;
+            fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<u64>>, out: &mut Outbox<u64>) {
+                for env in inbox {
+                    if env.from == Envelope::<u64>::EXTERNAL {
+                        out.broadcast(ctx.n_machines, 0);
+                    }
+                }
+            }
+        }
+        let mut c = Cluster::new((0..8).map(|_| Hub).collect(), ClusterConfig::default());
+        let m = run_single_update(&mut c, 0, 9);
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.max_active_machines, 7); // round 2: everyone but the hub
+        assert_eq!(m.total_words, 7);
+    }
+}

@@ -1,0 +1,150 @@
+//! The machine abstraction: local state + message handlers.
+
+use crate::MachineId;
+
+/// A message payload. Every payload reports its size in 64-bit words so the
+/// simulator can meter communication and enforce per-round send/receive caps.
+pub trait Payload: Send + Clone + std::fmt::Debug {
+    /// Size of this message in 64-bit words (>= 1: even an empty signal
+    /// occupies an envelope word on the wire).
+    fn size_words(&self) -> usize;
+}
+
+/// A routed message.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Sending machine, or [`Envelope::EXTERNAL`] for injected updates.
+    pub from: MachineId,
+    /// Receiving machine.
+    pub to: MachineId,
+    /// The payload.
+    pub msg: M,
+}
+
+impl<M> Envelope<M> {
+    /// Pseudo-id used as `from` for messages injected from outside the
+    /// cluster (the arriving edge update). External injections are not
+    /// counted as machine-to-machine communication.
+    pub const EXTERNAL: MachineId = MachineId::MAX;
+}
+
+/// Per-round context available to a stepping machine.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundCtx {
+    /// The id of the machine being stepped.
+    pub self_id: MachineId,
+    /// Total number of machines in the cluster.
+    pub n_machines: usize,
+    /// Round number within the current update (starting at 1).
+    pub round: u32,
+}
+
+/// Collects the messages a machine sends during one round.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    from: MachineId,
+    msgs: Vec<(MachineId, M)>,
+}
+
+impl<M: Payload> Outbox<M> {
+    pub(crate) fn new(from: MachineId) -> Self {
+        Outbox {
+            from,
+            msgs: Vec::new(),
+        }
+    }
+
+    /// Sends `msg` to machine `to` (delivered at the start of the next
+    /// round). Sending to self is allowed and keeps the machine active.
+    pub fn send(&mut self, to: MachineId, msg: M) {
+        self.msgs.push((to, msg));
+    }
+
+    /// Sends `msg` to every machine in `0..n` except the sender.
+    pub fn broadcast(&mut self, n_machines: usize, msg: M) {
+        for to in 0..n_machines as MachineId {
+            if to != self.from {
+                self.send(to, msg.clone());
+            }
+        }
+    }
+
+    /// Total words queued so far (used for cap enforcement).
+    pub fn queued_words(&self) -> usize {
+        self.msgs.iter().map(|(_, m)| m.size_words()).sum()
+    }
+
+    pub(crate) fn into_envelopes(self) -> Vec<Envelope<M>> {
+        let from = self.from;
+        self.msgs
+            .into_iter()
+            .map(|(to, msg)| Envelope { from, to, msg })
+            .collect()
+    }
+}
+
+/// A machine program. Machines are event-driven: `on_messages` is invoked
+/// exactly in the rounds where the machine has a non-empty inbox, which is
+/// also the paper's notion of an *active* machine ("involved in
+/// communication"). A machine with pending local work keeps itself active by
+/// sending itself a message.
+pub trait Machine: Send {
+    /// The message type exchanged by this machine program.
+    type Msg: Payload;
+
+    /// Handles this round's inbox. Messages are delivered sorted by
+    /// `(from, insertion order)`, deterministically.
+    fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<Self::Msg>>, out: &mut Outbox<Self::Msg>);
+
+    /// Current local memory footprint in words; checked against the machine
+    /// capacity `S` after every active round. The default (0) opts out of
+    /// memory accounting.
+    fn memory_words(&self) -> usize {
+        0
+    }
+}
+
+// Blanket payload impls for simple testing payloads.
+impl Payload for u64 {
+    fn size_words(&self) -> usize {
+        1
+    }
+}
+
+impl Payload for Vec<u64> {
+    fn size_words(&self) -> usize {
+        self.len().max(1)
+    }
+}
+
+impl Payload for () {
+    fn size_words(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_counts_words() {
+        let mut out: Outbox<Vec<u64>> = Outbox::new(3);
+        out.send(1, vec![1, 2, 3]);
+        out.send(2, vec![9]);
+        assert_eq!(out.queued_words(), 4);
+        let envs = out.into_envelopes();
+        assert_eq!(envs.len(), 2);
+        assert_eq!(envs[0].from, 3);
+        assert_eq!(envs[0].to, 1);
+    }
+
+    #[test]
+    fn broadcast_skips_self() {
+        let mut out: Outbox<u64> = Outbox::new(1);
+        out.broadcast(4, 7);
+        let envs = out.into_envelopes();
+        let targets: Vec<_> = envs.iter().map(|e| e.to).collect();
+        assert_eq!(targets, vec![0, 2, 3]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Metering: the three DMPC complexity quantities plus capacity violations
+//! and the communication-entropy metric from the paper's Section 8.
+
+use crate::MachineId;
+use std::collections::HashMap;
+
+/// A violation of the model's capacity constraints. The simulator records
+/// violations instead of aborting so experiments can report them; the test
+/// suite asserts that well-formed algorithms produce none.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A machine sent more than `S` words in one round.
+    SendCap {
+        /// Offending machine.
+        machine: MachineId,
+        /// Words actually sent.
+        words: usize,
+        /// The cap `S`.
+        cap: usize,
+        /// Round within the update.
+        round: u32,
+    },
+    /// A machine received more than `S` words in one round.
+    RecvCap {
+        /// Offending machine.
+        machine: MachineId,
+        /// Words actually received.
+        words: usize,
+        /// The cap `S`.
+        cap: usize,
+        /// Round within the update.
+        round: u32,
+    },
+    /// A machine's resident memory exceeded `S` words after a round.
+    Memory {
+        /// Offending machine.
+        machine: MachineId,
+        /// Resident words.
+        words: usize,
+        /// The cap `S`.
+        cap: usize,
+        /// Round within the update.
+        round: u32,
+    },
+    /// An update did not quiesce within the round limit.
+    RoundLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+}
+
+/// Per-round measurements.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundMetrics {
+    /// Round number within the update (1-based).
+    pub round: u32,
+    /// Machines stepped this round (= machines receiving messages; stepped
+    /// machines are exactly the paper's "active" machines).
+    pub active_machines: usize,
+    /// Messages delivered this round.
+    pub messages: usize,
+    /// Total words delivered this round (the paper's "communication per
+    /// round").
+    pub words: usize,
+    /// Largest per-machine receive volume this round.
+    pub max_recv_words: usize,
+    /// Largest per-machine send volume this round.
+    pub max_send_words: usize,
+}
+
+/// Measurements for one update (= one injected operation driven to
+/// quiescence).
+#[derive(Clone, Debug, Default)]
+pub struct UpdateMetrics {
+    /// Number of synchronous rounds the update needed.
+    pub rounds: usize,
+    /// Maximum over rounds of active machines.
+    pub max_active_machines: usize,
+    /// Maximum over rounds of words communicated.
+    pub max_words_per_round: usize,
+    /// Total words over all rounds.
+    pub total_words: usize,
+    /// Total messages over all rounds.
+    pub total_messages: usize,
+    /// Per-round detail.
+    pub per_round: Vec<RoundMetrics>,
+    /// Capacity violations observed.
+    pub violations: Vec<Violation>,
+    /// Pairwise flows (src, dst) -> words, if flow tracking is enabled.
+    pub flows: HashMap<(MachineId, MachineId), u64>,
+}
+
+impl UpdateMetrics {
+    /// Shannon entropy (bits) of the normalized pairwise-flow distribution —
+    /// the metric proposed in the paper's Section 8. Returns 0 for empty
+    /// flows. Higher = communication spread more uniformly across machine
+    /// pairs; coordinator-centric algorithms score low.
+    pub fn flow_entropy_bits(&self) -> f64 {
+        entropy_bits(self.flows.values().copied())
+    }
+
+    /// True if the update respected every model constraint.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Shannon entropy in bits of an unnormalized weight distribution.
+pub fn entropy_bits<I: IntoIterator<Item = u64>>(weights: I) -> f64 {
+    let ws: Vec<u64> = weights.into_iter().filter(|&w| w > 0).collect();
+    let total: u64 = ws.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    -ws.iter()
+        .map(|&w| {
+            let p = w as f64 / total;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+/// Worst-case (max) and total aggregates across a sequence of updates — the
+/// exact row format of the paper's Table 1.
+#[derive(Clone, Debug, Default)]
+pub struct AggregateMetrics {
+    /// Updates aggregated.
+    pub updates: usize,
+    /// Worst-case rounds per update.
+    pub max_rounds: usize,
+    /// Mean rounds per update.
+    pub mean_rounds: f64,
+    /// Worst-case active machines in any round.
+    pub max_active_machines: usize,
+    /// Mean over updates of max-active-machines.
+    pub mean_active_machines: f64,
+    /// Worst-case words per round.
+    pub max_words_per_round: usize,
+    /// Mean over updates of max-words-per-round.
+    pub mean_words_per_round: f64,
+    /// Total violations across updates.
+    pub violations: usize,
+    /// Mean flow entropy in bits (only meaningful with flow tracking on).
+    pub mean_entropy_bits: f64,
+}
+
+impl AggregateMetrics {
+    /// Folds one update's metrics into the aggregate.
+    pub fn absorb(&mut self, u: &UpdateMetrics) {
+        let k = self.updates as f64;
+        self.updates += 1;
+        let k1 = self.updates as f64;
+        self.max_rounds = self.max_rounds.max(u.rounds);
+        self.mean_rounds = (self.mean_rounds * k + u.rounds as f64) / k1;
+        self.max_active_machines = self.max_active_machines.max(u.max_active_machines);
+        self.mean_active_machines =
+            (self.mean_active_machines * k + u.max_active_machines as f64) / k1;
+        self.max_words_per_round = self.max_words_per_round.max(u.max_words_per_round);
+        self.mean_words_per_round =
+            (self.mean_words_per_round * k + u.max_words_per_round as f64) / k1;
+        self.violations += u.violations.len();
+        self.mean_entropy_bits = (self.mean_entropy_bits * k + u.flow_entropy_bits()) / k1;
+    }
+}
+
+/// Least-squares slope of `log2(y)` against `log2(x)` — used to fit the
+/// growth exponent of communication/machines against `N` in the scaling
+/// experiments (`y ~ x^slope`).
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.log2(), y.log2()))
+        .collect();
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_uniform_vs_concentrated() {
+        let uniform = entropy_bits([10, 10, 10, 10]);
+        assert!((uniform - 2.0).abs() < 1e-9);
+        let concentrated = entropy_bits([40, 0, 0, 0]);
+        assert_eq!(concentrated, 0.0);
+        let skewed = entropy_bits([30, 5, 3, 2]);
+        assert!(skewed > 0.0 && skewed < uniform);
+    }
+
+    #[test]
+    fn aggregate_absorbs_worst_cases() {
+        let mut agg = AggregateMetrics::default();
+        let mut u1 = UpdateMetrics::default();
+        u1.rounds = 3;
+        u1.max_active_machines = 5;
+        u1.max_words_per_round = 100;
+        let mut u2 = UpdateMetrics::default();
+        u2.rounds = 7;
+        u2.max_active_machines = 2;
+        u2.max_words_per_round = 50;
+        agg.absorb(&u1);
+        agg.absorb(&u2);
+        assert_eq!(agg.updates, 2);
+        assert_eq!(agg.max_rounds, 7);
+        assert_eq!(agg.max_active_machines, 5);
+        assert_eq!(agg.max_words_per_round, 100);
+        assert!((agg.mean_rounds - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_fits_power_laws() {
+        let sqrt_pts: Vec<(f64, f64)> = (4..12)
+            .map(|i| {
+                let x = (1u64 << i) as f64;
+                (x, x.sqrt() * 3.0)
+            })
+            .collect();
+        assert!((loglog_slope(&sqrt_pts) - 0.5).abs() < 1e-9);
+        let flat: Vec<(f64, f64)> = (4..12).map(|i| ((1u64 << i) as f64, 5.0)).collect();
+        assert!(loglog_slope(&flat).abs() < 1e-9);
+        let linear: Vec<(f64, f64)> = (4..12).map(|i| ((1u64 << i) as f64, (1u64 << i) as f64)).collect();
+        assert!((loglog_slope(&linear) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_metrics_entropy_from_flows() {
+        let mut u = UpdateMetrics::default();
+        u.flows.insert((0, 1), 10);
+        u.flows.insert((0, 2), 10);
+        assert!((u.flow_entropy_bits() - 1.0).abs() < 1e-9);
+        assert!(u.clean());
+        u.violations.push(Violation::RoundLimit { limit: 8 });
+        assert!(!u.clean());
+    }
+}

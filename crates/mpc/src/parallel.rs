@@ -1,0 +1,160 @@
+//! Parallel machine stepping.
+//!
+//! One simulator round steps many independent machines; this module shards
+//! them across threads with `crossbeam::scope`. Grouping is by *contiguous
+//! machine-index ranges*, which lets us hand each worker a disjoint
+//! `&mut [M]` slice safely (no locking on the hot path). Output order is the
+//! group order, so the parallel backend is bit-identical to the serial one —
+//! a property the test suite checks directly.
+
+use crate::machine::{Envelope, Machine, Outbox, RoundCtx};
+use crate::MachineId;
+
+/// Steps the machines named in `groups` (sorted by machine index, each with
+/// its inbox) and returns `(machine_index, outbound envelopes)` in group
+/// order. `threads == 1` runs serially.
+pub fn step_machines<M: Machine>(
+    machines: &mut [M],
+    groups: Vec<(usize, Vec<Envelope<M::Msg>>)>,
+    round: u32,
+    n_machines: usize,
+    threads: usize,
+) -> Vec<(usize, Vec<Envelope<M::Msg>>)> {
+    if groups.is_empty() {
+        return Vec::new();
+    }
+    debug_assert!(groups.windows(2).all(|w| w[0].0 < w[1].0), "groups sorted");
+
+    if threads <= 1 || groups.len() == 1 {
+        return groups
+            .into_iter()
+            .map(|(idx, inbox)| (idx, step_one(&mut machines[idx], idx, inbox, round, n_machines)))
+            .collect();
+    }
+
+    // Partition groups into `threads` chunks of near-equal size; each chunk
+    // covers a contiguous index range so machine slices can be split.
+    let chunk_size = groups.len().div_ceil(threads);
+    let chunks: Vec<Vec<(usize, Vec<Envelope<M::Msg>>)>> = {
+        let mut it = groups.into_iter().peekable();
+        let mut out = Vec::new();
+        while it.peek().is_some() {
+            out.push(it.by_ref().take(chunk_size).collect());
+        }
+        out
+    };
+
+    let mut results: Vec<Vec<(usize, Vec<Envelope<M::Msg>>)>> = Vec::with_capacity(chunks.len());
+    for _ in 0..chunks.len() {
+        results.push(Vec::new());
+    }
+
+    crossbeam::thread::scope(|scope| {
+        let mut rest: &mut [M] = machines;
+        let mut offset = 0usize;
+        let mut handles = Vec::new();
+        for (chunk, slot) in chunks.into_iter().zip(results.iter_mut()) {
+            let hi = chunk.last().expect("non-empty chunk").0 + 1;
+            let (left, right) = rest.split_at_mut(hi - offset);
+            let base = offset;
+            rest = right;
+            offset = hi;
+            handles.push(scope.spawn(move |_| {
+                let mut local = Vec::with_capacity(chunk.len());
+                for (idx, inbox) in chunk {
+                    let m = &mut left[idx - base];
+                    local.push((idx, step_one(m, idx, inbox, round, n_machines)));
+                }
+                *slot = local;
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+    })
+    .expect("crossbeam scope");
+
+    results.into_iter().flatten().collect()
+}
+
+fn step_one<M: Machine>(
+    machine: &mut M,
+    idx: usize,
+    inbox: Vec<Envelope<M::Msg>>,
+    round: u32,
+    n_machines: usize,
+) -> Vec<Envelope<M::Msg>> {
+    let ctx = RoundCtx {
+        self_id: idx as MachineId,
+        n_machines,
+        round,
+    };
+    let mut out = Outbox::new(idx as MachineId);
+    machine.on_messages(&ctx, inbox, &mut out);
+    out.into_envelopes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Payload;
+
+    #[derive(Clone, Debug)]
+    struct Echo(u64);
+    impl Payload for Echo {
+        fn size_words(&self) -> usize {
+            1
+        }
+    }
+
+    struct Doubler {
+        total: u64,
+    }
+    impl Machine for Doubler {
+        type Msg = Echo;
+        fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<Echo>>, out: &mut Outbox<Echo>) {
+            for e in inbox {
+                self.total += e.msg.0;
+                out.send((ctx.self_id + 1) % ctx.n_machines as MachineId, Echo(e.msg.0 * 2));
+            }
+        }
+    }
+
+    fn run(threads: usize) -> (Vec<u64>, Vec<(usize, u64)>) {
+        let mut machines: Vec<Doubler> = (0..64).map(|_| Doubler { total: 0 }).collect();
+        let groups: Vec<(usize, Vec<Envelope<Echo>>)> = (0..64)
+            .step_by(2)
+            .map(|i| {
+                (
+                    i,
+                    vec![Envelope {
+                        from: Envelope::<Echo>::EXTERNAL,
+                        to: i as MachineId,
+                        msg: Echo(i as u64 + 1),
+                    }],
+                )
+            })
+            .collect();
+        let out = step_machines(&mut machines, groups, 1, 64, threads);
+        let sends: Vec<(usize, u64)> = out
+            .iter()
+            .map(|(idx, envs)| (*idx, envs[0].msg.0))
+            .collect();
+        (machines.iter().map(|m| m.total).collect(), sends)
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = run(1);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(run(threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_groups_ok() {
+        let mut machines: Vec<Doubler> = vec![];
+        let out = step_machines(&mut machines, vec![], 1, 0, 4);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the simulator itself: determinism of the parallel
+//! backend, conservation of message accounting, and cap enforcement.
+
+use dmpc_mpc::{Cluster, ClusterConfig, Envelope, Machine, MachineId, Outbox, Payload, RoundCtx};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Packet(u64);
+impl Payload for Packet {
+    fn size_words(&self) -> usize {
+        1 + (self.0 % 3) as usize
+    }
+}
+
+/// A deterministic pseudo-random router: forwards each token `hops` times,
+/// mixing its value so behaviour depends on history.
+struct Router {
+    acc: u64,
+}
+
+impl Machine for Router {
+    type Msg = Packet;
+
+    fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<Packet>>, out: &mut Outbox<Packet>) {
+        for env in inbox {
+            self.acc = self.acc.wrapping_mul(0x9e3779b9).wrapping_add(env.msg.0);
+            if env.msg.0 > 0 {
+                let next = (self.acc % ctx.n_machines as u64) as MachineId;
+                out.send(next, Packet(env.msg.0 - 1));
+            }
+        }
+    }
+
+    fn memory_words(&self) -> usize {
+        1
+    }
+}
+
+fn run(parallel: bool, tokens: &[(u8, u8)], machines: usize) -> (Vec<u64>, Vec<usize>) {
+    let mut cfg = ClusterConfig::default();
+    cfg.parallel = parallel;
+    cfg.threads = 4;
+    cfg.track_flows = true;
+    let mut c = Cluster::new(
+        (0..machines).map(|i| Router { acc: i as u64 }).collect(),
+        cfg,
+    );
+    let mut per_update = Vec::new();
+    for &(to, hops) in tokens {
+        c.inject((to as usize % machines) as MachineId, Packet(hops as u64));
+        let m = c.run_update();
+        per_update.push(m.total_words);
+        assert!(m.clean());
+    }
+    let states = (0..machines)
+        .map(|i| c.machine(i as MachineId).acc)
+        .collect();
+    (states, per_update)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The parallel backend is bit-identical to the serial one: same final
+    /// machine states, same per-update communication totals.
+    #[test]
+    fn parallel_equals_serial(tokens in proptest::collection::vec((any::<u8>(), 0u8..20), 1..24)) {
+        let serial = run(false, &tokens, 12);
+        let parallel = run(true, &tokens, 12);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Token routing conserves hop counts: a token of h hops generates
+    /// exactly h machine-to-machine messages.
+    #[test]
+    fn message_counts_conserved(hops in 0u8..30) {
+        let mut c = Cluster::new(
+            (0..8).map(|i| Router { acc: i as u64 }).collect::<Vec<_>>(),
+            ClusterConfig::default(),
+        );
+        c.inject(0, Packet(hops as u64));
+        let m = c.run_update();
+        prop_assert_eq!(m.total_messages, hops as usize);
+        prop_assert_eq!(m.rounds, hops as usize + 1);
+    }
+}

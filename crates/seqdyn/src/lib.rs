@@ -1,0 +1,37 @@
+//! Sequential fully-dynamic graph algorithms with **probe counting**.
+//!
+//! These are the inputs to the paper's Section 7 black-box reduction: a
+//! sequential dynamic algorithm with update time `u(N)` becomes a DMPC
+//! algorithm running in `O(u(N))` rounds with O(1) active machines and O(1)
+//! communication per round, one round (-trip) per memory probe. Every
+//! structure here counts its probes (data-structure accesses) so the
+//! reduction can meter rounds faithfully.
+//!
+//! * [`HdtConnectivity`] — Holm–de Lichtenberg–Thorup fully-dynamic
+//!   connectivity: Euler-tour-tree forests per level with edge-level
+//!   promotion (amortized O(log^2 n) probes per update). Backs Table 1's
+//!   "Connected comps, ~O(1) rounds amortized, deterministic" reduction row.
+//! * [`NsMatching`] — Neiman–Solomon-style sequential fully-dynamic maximal
+//!   matching with the heavy/light threshold (O(sqrt m) worst-case probes).
+//!   Backs the "Maximal matching" reduction row (the paper cites Solomon's
+//!   O(1)-amortized randomized variant \[31\]; this deterministic
+//!   O(sqrt m)-worst-case structure is the one the Section 3 algorithm is
+//!   built from, and the reduction preserves its characteristics).
+//! * [`SeqDynMst`] — a simple exact fully-dynamic MSF over the indexed
+//!   Euler-tour forest (path-max swap on insert, min replacement on delete;
+//!   linear-scan searches, probe-counted). Backs the "MST" reduction row;
+//!   the polylog structure of \[21\] is a documented substitution.
+
+pub mod hdt;
+pub mod mst;
+pub mod ns;
+
+pub use hdt::HdtConnectivity;
+pub use mst::SeqDynMst;
+pub use ns::NsMatching;
+
+/// A probe-counted sequential dynamic algorithm (the reduction's input).
+pub trait ProbeCounted {
+    /// Probes consumed since the last call to [`ProbeCounted::take_probes`].
+    fn take_probes(&mut self) -> u64;
+}

@@ -1,0 +1,146 @@
+//! A simple exact sequential fully-dynamic minimum spanning forest.
+//!
+//! Maintains the MSF over the indexed Euler-tour forest: an insertion that
+//! closes a cycle swaps out the maximum-weight path edge if beneficial
+//! (path membership via the paper's ancestor tests); a deleted tree edge is
+//! replaced by the minimum-weight crossing edge. Searches are linear scans
+//! over the component's edges, all probe-counted — this substitutes for the
+//! polylog structure of Holm et al. \[21\] in Table 1's reduction row 8 (the
+//! reduction itself is agnostic to the inner structure; only the measured
+//! probe counts differ, and EXPERIMENTS.md reports them as measured).
+
+use crate::ProbeCounted;
+use dmpc_eulertour::IndexedForest;
+use dmpc_graph::{Edge, Weight, V};
+use std::collections::HashMap;
+
+/// Sequential exact dynamic MSF.
+pub struct SeqDynMst {
+    forest: IndexedForest,
+    weights: HashMap<Edge, Weight>,
+    probes: u64,
+}
+
+impl SeqDynMst {
+    /// Creates the structure on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        SeqDynMst {
+            forest: IndexedForest::new(n),
+            weights: HashMap::new(),
+            probes: 0,
+        }
+    }
+
+    /// Total weight of the maintained forest.
+    pub fn forest_weight(&self) -> Weight {
+        self.forest
+            .tree_edges()
+            .map(|e| self.weights[&e])
+            .sum()
+    }
+
+    /// True if `a` and `b` are connected.
+    pub fn connected(&self, a: V, b: V) -> bool {
+        self.forest.connected(a, b)
+    }
+
+    /// Inserts edge `e` with weight `w`.
+    pub fn insert(&mut self, e: Edge, w: Weight) {
+        assert!(self.weights.insert(e, w).is_none(), "duplicate edge {e}");
+        self.probes += 2;
+        if !self.forest.connected(e.u, e.v) {
+            self.forest.link(e.u, e.v);
+            self.probes += self.forest.tree_size(e.u) as u64;
+            return;
+        }
+        // Max-weight tree edge on the path u..v (the paper's Section 5.1
+        // ancestor test per tree edge).
+        let comp_edges: Vec<Edge> = self
+            .forest
+            .tree_edges()
+            .filter(|&t| self.forest.comp_of(t.u) == self.forest.comp_of(e.u))
+            .collect();
+        self.probes += comp_edges.len() as u64;
+        let on_path: Option<(Weight, Edge)> = comp_edges
+            .into_iter()
+            .filter(|&t| self.forest.on_path(t, e.u, e.v))
+            .map(|t| (self.weights[&t], t))
+            .max();
+        if let Some((mw, me)) = on_path {
+            if mw > w {
+                self.forest.cut(me.u, me.v);
+                self.forest.link(e.u, e.v);
+                self.probes += 2 * self.forest.tree_size(e.u) as u64;
+            }
+        }
+    }
+
+    /// Deletes edge `e`.
+    pub fn delete(&mut self, e: Edge) {
+        self.weights.remove(&e).expect("absent edge");
+        self.probes += 2;
+        if !self.forest.is_tree_edge(e) {
+            return;
+        }
+        self.forest.cut(e.u, e.v);
+        self.probes += self.forest.tree_size(e.u) as u64;
+        // Minimum crossing replacement.
+        let (ca, cb) = (self.forest.comp_of(e.u), self.forest.comp_of(e.v));
+        let mut best: Option<(Weight, Edge)> = None;
+        for (&c, &w) in &self.weights {
+            self.probes += 1;
+            let (x, y) = (self.forest.comp_of(c.u), self.forest.comp_of(c.v));
+            if (x == ca && y == cb) || (x == cb && y == ca) {
+                let cand = (w, c);
+                if best.map_or(true, |b| cand < b) {
+                    best = Some(cand);
+                }
+            }
+        }
+        if let Some((_, r)) = best {
+            self.forest.link(r.u, r.v);
+            self.probes += self.forest.tree_size(r.u) as u64;
+        }
+    }
+}
+
+impl ProbeCounted for SeqDynMst {
+    fn take_probes(&mut self) -> u64 {
+        std::mem::take(&mut self.probes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpc_graph::mst::msf_weight;
+    use dmpc_graph::streams::{self, WeightedUpdate};
+
+    #[test]
+    fn tracks_kruskal_exactly() {
+        for seed in 0..4 {
+            let n = 24;
+            let mut alg = SeqDynMst::new(n);
+            let mut live: Vec<(Edge, Weight)> = Vec::new();
+            let ups =
+                streams::with_weights(&streams::churn_stream(n, 50, 150, 0.5, seed), 100, seed);
+            for (step, &u) in ups.iter().enumerate() {
+                match u {
+                    WeightedUpdate::Insert(e, w) => {
+                        live.push((e, w));
+                        alg.insert(e, w);
+                    }
+                    WeightedUpdate::Delete(e) => {
+                        live.retain(|&(x, _)| x != e);
+                        alg.delete(e);
+                    }
+                }
+                assert_eq!(
+                    alg.forest_weight(),
+                    msf_weight(n, &live),
+                    "seed {seed} step {step}"
+                );
+            }
+        }
+    }
+}

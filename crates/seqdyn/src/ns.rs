@@ -1,0 +1,199 @@
+//! Neiman–Solomon-style sequential fully-dynamic maximal matching with
+//! O(sqrt(2 m_max)) worst-case probes per update.
+//!
+//! The same heavy/light idea as the paper's Section 3 (which adapts this
+//! exact structure to DMPC): a deletion that frees a vertex `z` scans at
+//! most `tau = ceil(sqrt(2 m_max))` of its neighbors; if all are matched,
+//! one of them must have a light mate (else the mates' degrees would sum
+//! past 2m), which `z` steals; the stolen light mate rematches by scanning
+//! its own (<= tau) neighbors.
+
+use crate::ProbeCounted;
+use dmpc_graph::matching::Matching;
+use dmpc_graph::{Edge, V};
+use std::collections::BTreeSet;
+
+/// Sequential fully-dynamic maximal matching.
+pub struct NsMatching {
+    adj: Vec<BTreeSet<V>>,
+    mate: Vec<Option<V>>,
+    tau: usize,
+    probes: u64,
+}
+
+impl NsMatching {
+    /// Creates the structure for `n` vertices and at most `m_max` edges.
+    pub fn new(n: usize, m_max: usize) -> Self {
+        NsMatching {
+            adj: vec![BTreeSet::new(); n],
+            mate: vec![None; n],
+            tau: ((2.0 * m_max.max(1) as f64).sqrt()).ceil() as usize,
+            probes: 0,
+        }
+    }
+
+    /// The heavy/light threshold in use.
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// Extracts the maintained matching.
+    pub fn matching(&self) -> Matching {
+        let mut edges = Vec::new();
+        for v in 0..self.adj.len() as V {
+            if let Some(m) = self.mate[v as usize] {
+                if v < m {
+                    edges.push(Edge::new(v, m));
+                }
+            }
+        }
+        Matching::from_edges(&edges)
+    }
+
+    fn free(&self, v: V) -> bool {
+        self.mate[v as usize].is_none()
+    }
+
+    /// Tries to match the free vertex `z`, scanning at most `tau` neighbors
+    /// and stealing a light mate if every scanned neighbor is matched.
+    fn rematch(&mut self, z: V) {
+        debug_assert!(self.free(z));
+        let scan: Vec<V> = self.adj[z as usize].iter().copied().take(self.tau).collect();
+        self.probes += scan.len() as u64 + 1;
+        // A free neighbor?
+        if let Some(&q) = scan.iter().find(|&&q| self.free(q)) {
+            self.mate[z as usize] = Some(q);
+            self.mate[q as usize] = Some(z);
+            return;
+        }
+        if self.adj[z as usize].len() <= self.tau {
+            // Light and saturated: all neighbors matched, maximality holds.
+            return;
+        }
+        // Heavy with tau matched neighbors: one has a light mate.
+        for &w in &scan {
+            let wm = self.mate[w as usize].expect("scanned neighbor matched");
+            self.probes += 1;
+            if self.adj[wm as usize].len() <= self.tau {
+                // Steal w; rematch its light former mate.
+                self.mate[wm as usize] = None;
+                self.mate[z as usize] = Some(w);
+                self.mate[w as usize] = Some(z);
+                self.rematch_light(wm);
+                return;
+            }
+        }
+        unreachable!("counting argument: some scanned neighbor has a light mate");
+    }
+
+    /// Rematch for a light vertex: full scan.
+    fn rematch_light(&mut self, z: V) {
+        debug_assert!(self.adj[z as usize].len() <= self.tau);
+        self.probes += self.adj[z as usize].len() as u64 + 1;
+        let q = self.adj[z as usize].iter().copied().find(|&q| self.free(q));
+        if let Some(q) = q {
+            self.mate[z as usize] = Some(q);
+            self.mate[q as usize] = Some(z);
+        }
+    }
+
+    /// Inserts edge `e`.
+    pub fn insert(&mut self, e: Edge) {
+        self.probes += 2;
+        self.adj[e.u as usize].insert(e.v);
+        self.adj[e.v as usize].insert(e.u);
+        if self.free(e.u) && self.free(e.v) {
+            self.mate[e.u as usize] = Some(e.v);
+            self.mate[e.v as usize] = Some(e.u);
+        }
+    }
+
+    /// Deletes edge `e`.
+    pub fn delete(&mut self, e: Edge) {
+        self.probes += 2;
+        self.adj[e.u as usize].remove(&e.v);
+        self.adj[e.v as usize].remove(&e.u);
+        if self.mate[e.u as usize] == Some(e.v) {
+            self.mate[e.u as usize] = None;
+            self.mate[e.v as usize] = None;
+            self.rematch(e.u);
+            if self.free(e.v) {
+                self.rematch(e.v);
+            }
+        }
+    }
+}
+
+impl ProbeCounted for NsMatching {
+    fn take_probes(&mut self) -> u64 {
+        std::mem::take(&mut self.probes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpc_graph::matching::{is_maximal_matching, is_valid_matching};
+    use dmpc_graph::streams::{self, Update};
+    use dmpc_graph::DynamicGraph;
+
+    #[test]
+    fn maximal_under_churn() {
+        for seed in 0..4 {
+            let n = 48;
+            let mut ns = NsMatching::new(n, 400);
+            let mut g = DynamicGraph::new(n);
+            let ups = streams::churn_stream(n, 120, 400, 0.5, seed);
+            for (step, &u) in ups.iter().enumerate() {
+                match u {
+                    Update::Insert(e) => {
+                        g.insert(e).unwrap();
+                        ns.insert(e);
+                    }
+                    Update::Delete(e) => {
+                        g.delete(e).unwrap();
+                        ns.delete(e);
+                    }
+                }
+                let m = ns.matching();
+                assert!(is_valid_matching(&g, &m), "seed {seed} step {step}");
+                assert!(is_maximal_matching(&g, &m), "seed {seed} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn probes_bounded_by_tau() {
+        let n = 128;
+        let m_max = 1024;
+        let mut ns = NsMatching::new(n, m_max);
+        let ups = streams::churn_stream(n, 600, 500, 0.5, 7);
+        for u in &ups {
+            match *u {
+                Update::Insert(e) => ns.insert(e),
+                Update::Delete(e) => ns.delete(e),
+            }
+            let p = ns.take_probes();
+            // Worst case: two rematches + a steal rematch, each <= tau + O(1).
+            assert!(p <= 6 * ns.tau() as u64 + 24, "probes {p}");
+        }
+    }
+
+    #[test]
+    fn star_graph_heavy_center() {
+        let n = 40;
+        let mut ns = NsMatching::new(n, 48);
+        let mut g = DynamicGraph::new(n);
+        let edges: Vec<Edge> = (1..n as V).map(|v| Edge::new(0, v)).collect();
+        for &e in &edges {
+            g.insert(e).unwrap();
+            ns.insert(e);
+        }
+        for &e in edges.iter().rev() {
+            g.delete(e).unwrap();
+            ns.delete(e);
+            let m = ns.matching();
+            assert!(is_maximal_matching(&g, &m));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Domain example: maintaining a (1+eps)-approximate minimum spanning tree
+//! of a weighted network under link-cost changes, compared against Kruskal.
+
+use dmpc::connectivity::DmpcMst;
+use dmpc::core::{DmpcParams, WeightedDynamicGraphAlgorithm};
+use dmpc::graph::mst::msf_weight;
+use dmpc::graph::streams::{self, WeightedUpdate};
+use dmpc::graph::{Edge, Weight};
+
+fn main() {
+    let n = 48;
+    let params = DmpcParams::new(n, 4 * n);
+    let mut alg = DmpcMst::new(params, 0.1);
+    let mut live: Vec<(Edge, Weight)> = Vec::new();
+
+    let ups = streams::with_weights(&streams::churn_stream(n, 2 * n, 150, 0.5, 5), 500, 5);
+    for (step, &u) in ups.iter().enumerate() {
+        match u {
+            WeightedUpdate::Insert(e, w) => {
+                live.push((e, w));
+                alg.insert(e, w);
+            }
+            WeightedUpdate::Delete(e) => {
+                live.retain(|&(x, _)| x != e);
+                alg.delete(e);
+            }
+        }
+        if step % 50 == 49 {
+            let got = alg.forest_weight();
+            let exact = msf_weight(n, &live);
+            println!(
+                "update {:>3}: maintained MSF weight {:>6}, Kruskal {:>6}",
+                step + 1,
+                got,
+                exact
+            );
+            // Without bucketed preprocessing the maintained forest is exact.
+            assert_eq!(got, exact);
+        }
+    }
+    println!("dynamic MSF tracked Kruskal exactly (approximation enters only");
+    println!("via bucketed preprocessing, as the paper notes).");
+}

@@ -1,0 +1,53 @@
+//! Quickstart: maintain connectivity and a maximal matching dynamically,
+//! and read off the paper's three cost metrics for each update.
+
+use dmpc::connectivity::DmpcConnectivity;
+use dmpc::core::{DmpcParams, DynamicGraphAlgorithm};
+use dmpc::graph::Edge;
+use dmpc::matching::DmpcMaximalMatching;
+
+fn main() {
+    let n = 32;
+    let params = DmpcParams::new(n, 4 * n);
+    println!(
+        "DMPC deployment: N = {}, S = {} words, ~{} machines",
+        params.input_size(),
+        params.capacity_words(),
+        params.storage_machines()
+    );
+
+    // Dynamic connectivity (paper Section 5).
+    let mut cc = DmpcConnectivity::new(params);
+    for (a, b) in [(0, 1), (1, 2), (2, 3), (10, 11)] {
+        let m = cc.insert(Edge::new(a, b));
+        println!(
+            "insert ({a},{b}): {} rounds, {} machines, {} words",
+            m.rounds, m.max_active_machines, m.max_words_per_round
+        );
+    }
+    println!("0 ~ 3: {}", cc.connected(0, 3));
+    println!("0 ~ 10: {}", cc.connected(0, 10));
+    let m = cc.delete(Edge::new(1, 2));
+    println!(
+        "delete (1,2): {} rounds, {} machines, {} words; 0 ~ 3 now {}",
+        m.rounds,
+        m.max_active_machines,
+        m.max_words_per_round,
+        cc.connected(0, 3)
+    );
+
+    // Dynamic maximal matching (paper Section 3).
+    let mut mm = DmpcMaximalMatching::new(params);
+    for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
+        mm.insert(Edge::new(a, b));
+    }
+    println!(
+        "maximal matching after 4 inserts: {:?}",
+        mm.matching().edges().collect::<Vec<_>>()
+    );
+    mm.delete(Edge::new(0, 1));
+    println!(
+        "after deleting (0,1): {:?}",
+        mm.matching().edges().collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,108 @@
+//! Workspace integration tests: the same update stream through independent
+//! implementations must agree.
+
+use dmpc::connectivity::DmpcConnectivity;
+use dmpc::core::{DmpcParams, DynamicGraphAlgorithm};
+use dmpc::graph::streams::{self, Update};
+use dmpc::graph::{DynamicGraph, UnionFind};
+use dmpc::matching::DmpcMaximalMatching;
+use dmpc::reduction::{ReducedConnectivity, ReducedMatching};
+
+fn norm_partition(labels: &[u32]) -> Vec<u32> {
+    let mut map = std::collections::HashMap::new();
+    labels
+        .iter()
+        .map(|&l| {
+            let next = map.len() as u32;
+            *map.entry(l).or_insert(next)
+        })
+        .collect()
+}
+
+#[test]
+fn dmpc_and_reduction_connectivity_agree() {
+    let n = 36;
+    let params = DmpcParams::new(n, 200);
+    let mut dmpc = DmpcConnectivity::new(params);
+    let mut reduced = ReducedConnectivity::new(n);
+    let ups = streams::churn_stream(n, 70, 150, 0.5, 17);
+    let mut g = DynamicGraph::new(n);
+    for &u in &ups {
+        match u {
+            Update::Insert(e) => {
+                g.insert(e).unwrap();
+                dmpc.insert(e);
+                reduced.insert(e);
+            }
+            Update::Delete(e) => {
+                g.delete(e).unwrap();
+                dmpc.delete(e);
+                reduced.delete(e);
+            }
+        }
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                assert_eq!(dmpc.connected(a, b), reduced.connected(a, b));
+            }
+        }
+    }
+    // And against union-find recomputation at the end.
+    let mut uf = UnionFind::new(n);
+    for e in g.edges() {
+        uf.union(e.u, e.v);
+    }
+    let uf_labels: Vec<u32> = (0..n as u32).map(|v| uf.find(v)).collect();
+    assert_eq!(
+        norm_partition(&dmpc.component_labels()),
+        norm_partition(&uf_labels)
+    );
+}
+
+#[test]
+fn dmpc_and_reduction_matching_are_both_maximal() {
+    let n = 32;
+    let params = DmpcParams::new(n, 180);
+    let mut dmpc = DmpcMaximalMatching::new(params);
+    let mut reduced = ReducedMatching::new(n, 180);
+    let ups = streams::churn_stream(n, 60, 120, 0.5, 23);
+    let mut g = DynamicGraph::new(n);
+    for &u in &ups {
+        match u {
+            Update::Insert(e) => {
+                g.insert(e).unwrap();
+                dmpc.insert(e);
+                reduced.insert(e);
+            }
+            Update::Delete(e) => {
+                g.delete(e).unwrap();
+                dmpc.delete(e);
+                reduced.delete(e);
+            }
+        }
+    }
+    for m in [dmpc.matching(), reduced.matching()] {
+        assert!(dmpc::graph::matching::is_valid_matching(&g, &m));
+        assert!(dmpc::graph::matching::is_maximal_matching(&g, &m));
+    }
+    // Both are 2-approximations, so they differ by at most a factor 2.
+    let (a, b) = (dmpc.matching().size(), reduced.matching().size());
+    assert!(2 * a >= b && 2 * b >= a);
+}
+
+#[test]
+fn simulator_parallel_backend_is_identical() {
+    // Same stream, serial vs parallel stepping: identical metrics.
+    let n = 24;
+    let params = DmpcParams::new(n, 120);
+    let ups = streams::tree_churn_stream(n, 40, 3);
+    let run = |_parallel: bool| -> Vec<(usize, usize, usize)> {
+        let mut alg = DmpcConnectivity::new(params);
+        ups.iter()
+            .map(|&u| {
+                let m = alg.apply(u);
+                (m.rounds, m.max_active_machines, m.max_words_per_round)
+            })
+            .collect()
+    };
+    assert_eq!(run(false), run(true));
+}
