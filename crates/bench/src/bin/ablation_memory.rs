@@ -11,7 +11,10 @@ use dmpc_matching::DmpcMaximalMatching;
 
 fn main() {
     let n = 256;
-    println!("memory ablation, maximal matching, n = {n}, m_max = {}:", 3 * n);
+    println!(
+        "memory ablation, maximal matching, n = {n}, m_max = {}:",
+        3 * n
+    );
     println!(
         "{:>12} | {:>10} | {:>12} | {:>14}",
         "S multiplier", "machines", "max words", "mean words"

@@ -45,7 +45,10 @@ fn main() {
         1,
         true,
     );
-    println!("{}", render_sweep("reduction/HDT connectivity (row 7)", &sw));
+    println!(
+        "{}",
+        render_sweep("reduction/HDT connectivity (row 7)", &sw)
+    );
 
     println!("Expected: rounds exponent ~0 for rows 1-4; communication exponent ~0.5");
     println!("for sqrt(N) rows and ~0 for the reduction rows.");

@@ -12,7 +12,10 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(300);
-    println!("Empirical Table 1: n = {n}, m_max = {}, {steps} churn updates\n", 3 * n);
+    println!(
+        "Empirical Table 1: n = {n}, m_max = {}, {steps} churn updates\n",
+        3 * n
+    );
     let rows = measure_table1(n, steps, 42);
     let rendered: Vec<TableRow> = rows
         .into_iter()
@@ -28,7 +31,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table("Table 1 (worst case per update; measured on the simulator)", &rendered)
+        render_table(
+            "Table 1 (worst case per update; measured on the simulator)",
+            &rendered
+        )
     );
     println!("Columns: claimed = paper bound, measured = worst case over the stream.");
     println!("'viol' counts capacity/model violations (must be 0).");

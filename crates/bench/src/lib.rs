@@ -1,6 +1,18 @@
 //! Shared drivers for the benchmark binaries and Criterion benches: run
 //! each algorithm over the standard workloads and collect the Table-1
 //! quantities.
+//!
+//! # Example
+//!
+//! ```
+//! use dmpc_bench::{run_unweighted, standard_stream};
+//! use dmpc_reduction::ReducedConnectivity;
+//!
+//! let ups = standard_stream(16, 20, 7);
+//! let agg = run_unweighted(&mut ReducedConnectivity::new(16), &ups);
+//! assert!(agg.updates > 0);
+//! assert_eq!(agg.violations, 0);
+//! ```
 
 use dmpc_connectivity::{DmpcConnectivity, DmpcMst};
 use dmpc_core::experiment::ScalingSweep;

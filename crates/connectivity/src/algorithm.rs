@@ -201,9 +201,9 @@ impl ConnDriver {
                         }
                     }
                     (EntryKind::NonTree { cached, far_comp }, EntryKind::NonTree { .. }) => {
-                        if !idx[far as usize].contains(&cached)
-                            && !(cached == 0 && idx[far as usize].is_empty())
-                        {
+                        let cached_valid = idx[far as usize].contains(&cached)
+                            || (cached == 0 && idx[far as usize].is_empty());
+                        if !cached_valid {
                             return Err(format!(
                                 "non-tree edge ({v},{far}): cached index {cached} is not an index of {far}"
                             ));

@@ -21,6 +21,21 @@
 //! Component ids equal the current *root vertex* of each tree, so machines
 //! allocate fresh ids after splits without coordination (the detached side's
 //! new root is the cut edge's child endpoint).
+//!
+//! # Example
+//!
+//! ```
+//! use dmpc_connectivity::DmpcConnectivity;
+//! use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
+//! use dmpc_graph::Edge;
+//!
+//! let mut cc = DmpcConnectivity::new(DmpcParams::new(16, 64));
+//! let m = cc.insert(Edge::new(0, 1));
+//! assert!(m.clean() && m.rounds <= 4);
+//! assert!(cc.connected(0, 1));
+//! cc.delete(Edge::new(0, 1));
+//! assert!(!cc.connected(0, 1));
+//! ```
 
 pub mod algorithm;
 pub mod machine;

@@ -97,7 +97,9 @@ impl ConnMachine {
     pub fn new(id: MachineId, n_vertices: usize, block: usize, mst_mode: bool) -> Self {
         let lo = id as usize * block;
         let hi = ((id as usize + 1) * block).min(n_vertices);
-        let verts = (lo..hi).map(|v| (v as V, VertexState::singleton(v as V))).collect();
+        let verts = (lo..hi)
+            .map(|v| (v as V, VertexState::singleton(v as V)))
+            .collect();
         ConnMachine {
             id,
             block,
@@ -132,11 +134,15 @@ impl ConnMachine {
     }
 
     fn st(&self, v: V) -> &VertexState {
-        self.verts.get(&v).expect("vertex not owned by this machine")
+        self.verts
+            .get(&v)
+            .expect("vertex not owned by this machine")
     }
 
     fn st_mut(&mut self, v: V) -> &mut VertexState {
-        self.verts.get_mut(&v).expect("vertex not owned by this machine")
+        self.verts
+            .get_mut(&v)
+            .expect("vertex not owned by this machine")
     }
 
     // ----- protocol steps -------------------------------------------------
@@ -182,7 +188,13 @@ impl ConnMachine {
                 let ys = self.st_mut(y);
                 ys.adj.insert(
                     x.v,
-                    (EntryKind::NonTree { cached: x.f, far_comp: x.comp }, w),
+                    (
+                        EntryKind::NonTree {
+                            cached: x.f,
+                            far_comp: x.comp,
+                        },
+                        w,
+                    ),
                 );
                 out.send(
                     owner_x,
@@ -333,7 +345,9 @@ impl ConnMachine {
         }
         // Materialize the new/updated edge entries at owned endpoints.
         match b.main {
-            TourOp::Link { x, y, fx, elen_b, .. } => {
+            TourOp::Link {
+                x, y, fx, elen_b, ..
+            } => {
                 if let Some(st) = self.verts.get_mut(&x) {
                     st.adj.insert(
                         y,
@@ -424,7 +438,12 @@ impl ConnMachine {
     ) {
         // 1. Reroot (links only): a bijection on the absorbed component's
         // index space.
-        if let Some(r @ TourOp::Reroot { comp, elen, l_y, .. }) = b.reroot {
+        if let Some(
+            r @ TourOp::Reroot {
+                comp, elen, l_y, ..
+            },
+        ) = b.reroot
+        {
             if st.comp == comp {
                 apply_op_to_vertex(&r, v, st.comp, &mut st.idx);
                 for (_, (kind, _)) in st.adj.iter_mut() {
@@ -445,7 +464,13 @@ impl ConnMachine {
         }
         // 2. Main op.
         match b.main {
-            TourOp::Link { a, b: bc, fx, elen_b, .. } => {
+            TourOp::Link {
+                a,
+                b: bc,
+                fx,
+                elen_b,
+                ..
+            } => {
                 let old = st.comp;
                 let shift_b = fx + 2;
                 let shift_a = elen_b + 4;
@@ -498,7 +523,7 @@ impl ConnMachine {
             } => {
                 let was_member = st.comp == comp;
                 let span = (ly - fy + 1) + 2;
-                let k_sub = (ly - fy + 3) / 4;
+                let k_sub = (ly - fy).div_ceil(4);
                 let child_singleton = ly == fy + 1;
                 let mut my_detached = false;
                 if was_member {
@@ -554,7 +579,7 @@ impl ConnMachine {
                                 // Crossing edge: replacement candidate.
                                 let e = Edge::new(v, far);
                                 let cand = (*w, e);
-                                if best.map_or(true, |cur| cand < cur) {
+                                if best.is_none_or(|cur| cand < cur) {
                                     *best = Some(cand);
                                 }
                             }
@@ -566,6 +591,9 @@ impl ConnMachine {
         }
     }
 
+    // The parameters mirror the PathMaxQuery wire-message fields one-to-one;
+    // bundling them into a struct here would just duplicate that message type.
+    #[allow(clippy::too_many_arguments)]
     fn handle_path_max_query(
         &mut self,
         comp: CompId,
@@ -638,9 +666,16 @@ impl ConnMachine {
                 // Keep the tree; e becomes a non-tree edge.
                 let cached_far = self.st(y).f();
                 let comp = self.st(y).comp;
-                self.st_mut(y)
-                    .adj
-                    .insert(x_v, (EntryKind::NonTree { cached: fx, far_comp: comp }, w));
+                self.st_mut(y).adj.insert(
+                    x_v,
+                    (
+                        EntryKind::NonTree {
+                            cached: fx,
+                            far_comp: comp,
+                        },
+                        w,
+                    ),
+                );
                 out.send(
                     self.owner(x_v),
                     ConnMsg::AddNonTree {
@@ -654,7 +689,14 @@ impl ConnMachine {
         }
     }
 
-    fn handle_start_swap(&mut self, d: Edge, e: Edge, w: Weight, ctx: &RoundCtx, out: &mut Outbox<ConnMsg>) {
+    fn handle_start_swap(
+        &mut self,
+        d: Edge,
+        e: Edge,
+        w: Weight,
+        ctx: &RoundCtx,
+        out: &mut Outbox<ConnMsg>,
+    ) {
         let u = d.u;
         let (kind, _) = *self.st(u).adj.get(&d.v).expect("swap edge missing");
         let EntryKind::Tree { lo, hi } = kind else {
@@ -675,7 +717,17 @@ impl ConnMachine {
                 },
             );
         } else {
-            self.broadcast_cut(d, u, lo + 1, hi - 1, CutMode::Demote, false, Some((e, w)), ctx, out);
+            self.broadcast_cut(
+                d,
+                u,
+                lo + 1,
+                hi - 1,
+                CutMode::Demote,
+                false,
+                Some((e, w)),
+                ctx,
+                out,
+            );
         }
     }
 }
@@ -683,7 +735,12 @@ impl ConnMachine {
 impl Machine for ConnMachine {
     type Msg = ConnMsg;
 
-    fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<ConnMsg>>, out: &mut Outbox<ConnMsg>) {
+    fn on_messages(
+        &mut self,
+        ctx: &RoundCtx,
+        inbox: Vec<Envelope<ConnMsg>>,
+        out: &mut Outbox<ConnMsg>,
+    ) {
         // Structural broadcasts apply before any other message in the same
         // round, so follow-up protocol steps see post-op state.
         let (applies, rest): (Vec<_>, Vec<_>) = inbox
@@ -693,7 +750,9 @@ impl Machine for ConnMachine {
         let mut path_replies: Vec<Option<(Edge, Weight)>> = Vec::new();
         let mut rendezvous_for_candidates: Option<MachineId> = None;
         for env in applies {
-            let ConnMsg::Apply(b) = env.msg else { unreachable!() };
+            let ConnMsg::Apply(b) = env.msg else {
+                unreachable!()
+            };
             let cand = self.apply_broadcast(&b);
             if let Some(r) = b.rendezvous {
                 rendezvous_for_candidates = Some(r);
@@ -711,12 +770,23 @@ impl Machine for ConnMachine {
                 ConnMsg::Insert { e, w } => self.handle_insert(e, w, out),
                 ConnMsg::Delete { e } => self.handle_delete(e, ctx, out),
                 ConnMsg::InsQuery { e, w, x } => self.handle_ins_query(e, w, x, ctx, out),
-                ConnMsg::AddNonTree { e, w, at, cached_far } => {
+                ConnMsg::AddNonTree {
+                    e,
+                    w,
+                    at,
+                    cached_far,
+                } => {
                     let far = e.other(at);
                     let comp = self.st(at).comp;
                     self.st_mut(at).adj.insert(
                         far,
-                        (EntryKind::NonTree { cached: cached_far, far_comp: comp }, w),
+                        (
+                            EntryKind::NonTree {
+                                cached: cached_far,
+                                far_comp: comp,
+                            },
+                            w,
+                        ),
                     );
                 }
                 ConnMsg::DelNonTree { e, at } => {

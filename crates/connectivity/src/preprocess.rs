@@ -105,7 +105,16 @@ pub fn build_states(n: usize, edges: &[(Edge, Weight)]) -> Vec<(V, VertexState)>
             };
             let (fc, lc) = (fvals[c as usize], lvals[c as usize]);
             adj[c as usize].insert(p, (EntryKind::Tree { lo: fc, hi: lc }, w));
-            adj[p as usize].insert(c, (EntryKind::Tree { lo: fc - 1, hi: lc + 1 }, w));
+            adj[p as usize].insert(
+                c,
+                (
+                    EntryKind::Tree {
+                        lo: fc - 1,
+                        hi: lc + 1,
+                    },
+                    w,
+                ),
+            );
         } else {
             adj[e.u as usize].insert(
                 e.v,
@@ -177,7 +186,7 @@ mod tests {
         assert_eq!(all, expect);
         // Every edge has symmetric entries.
         for (v, st) in &states {
-            for (&far, _) in &st.adj {
+            for &far in st.adj.keys() {
                 let far_st = &states[far as usize].1;
                 assert!(far_st.adj.contains_key(v));
             }

@@ -9,7 +9,9 @@
 //! algorithm pays O(1) rounds and O(sqrt N) words.
 
 use dmpc_graph::{Edge, V};
-use dmpc_mpc::{Cluster, ClusterConfig, Envelope, Machine, MachineId, Outbox, Payload, RoundCtx, UpdateMetrics};
+use dmpc_mpc::{
+    Cluster, ClusterConfig, Envelope, Machine, MachineId, Outbox, Payload, RoundCtx, UpdateMetrics,
+};
 use std::collections::BTreeMap;
 
 /// Messages of the label-propagation program.
@@ -62,7 +64,12 @@ impl LpMachine {
 impl Machine for LpMachine {
     type Msg = LpMsg;
 
-    fn on_messages(&mut self, _ctx: &RoundCtx, inbox: Vec<Envelope<LpMsg>>, out: &mut Outbox<LpMsg>) {
+    fn on_messages(
+        &mut self,
+        _ctx: &RoundCtx,
+        inbox: Vec<Envelope<LpMsg>>,
+        out: &mut Outbox<LpMsg>,
+    ) {
         for env in inbox {
             match env.msg {
                 LpMsg::Start => {

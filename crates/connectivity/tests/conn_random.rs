@@ -46,10 +46,14 @@ fn connectivity_random_churn_verified() {
                 "seed {seed} step {step} ({u:?}): violations {:?}",
                 m.violations
             );
-            assert!(m.rounds <= 10, "seed {seed} step {step}: {} rounds", m.rounds);
-            alg.driver().audit().unwrap_or_else(|e| {
-                panic!("seed {seed} step {step} ({u:?}): audit failed: {e}")
-            });
+            assert!(
+                m.rounds <= 10,
+                "seed {seed} step {step}: {} rounds",
+                m.rounds
+            );
+            alg.driver()
+                .audit()
+                .unwrap_or_else(|e| panic!("seed {seed} step {step} ({u:?}): audit failed: {e}"));
             assert!(
                 partitions_equal(&alg.component_labels(), &g.components()),
                 "seed {seed} step {step} ({u:?}): components diverged"
@@ -160,7 +164,10 @@ fn mst_bulk_load_respects_epsilon() {
     // The maintained forest's true weight: sum the *bucketed* weights the
     // algorithm stores; it must be within (1+eps) of the exact optimum.
     let approx = alg.forest_weight();
-    assert!(approx <= exact, "bucketing rounds down: {approx} vs {exact}");
+    assert!(
+        approx <= exact,
+        "bucketing rounds down: {approx} vs {exact}"
+    );
     assert!(
         exact as f64 <= approx as f64 * (1.0 + eps) * 1.001 + 1.0,
         "{approx} vs {exact}"

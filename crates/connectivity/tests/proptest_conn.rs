@@ -46,7 +46,7 @@ proptest! {
             };
             prop_assert!(m.clean(), "violations: {:?}", m.violations);
             prop_assert!(m.rounds <= 10, "rounds {}", m.rounds);
-            alg.driver().audit().map_err(|e| TestCaseError::fail(e))?;
+            alg.driver().audit().map_err(TestCaseError::fail)?;
             prop_assert!(partitions_equal(&alg.component_labels(), &g.components()));
         }
     }

@@ -113,16 +113,18 @@ mod tests {
             "counter"
         }
         fn insert(&mut self, _e: Edge) -> UpdateMetrics {
-            let mut m = UpdateMetrics::default();
-            m.rounds = 2;
-            m.max_active_machines = 3;
-            m.max_words_per_round = 10;
-            m
+            UpdateMetrics {
+                rounds: 2,
+                max_active_machines: 3,
+                max_words_per_round: 10,
+                ..Default::default()
+            }
         }
         fn delete(&mut self, _e: Edge) -> UpdateMetrics {
-            let mut m = UpdateMetrics::default();
-            m.rounds = 4;
-            m
+            UpdateMetrics {
+                rounds: 4,
+                ..Default::default()
+            }
         }
     }
 
@@ -151,10 +153,12 @@ mod tests {
         for k in 6..12 {
             let n = 1usize << k;
             let mut agg = AggregateMetrics::default();
-            let mut m = UpdateMetrics::default();
-            m.rounds = 5; // flat
-            m.max_active_machines = (n as f64).sqrt() as usize; // sqrt growth
-            m.max_words_per_round = n; // linear growth
+            let m = UpdateMetrics {
+                rounds: 5,                                       // flat
+                max_active_machines: (n as f64).sqrt() as usize, // sqrt growth
+                max_words_per_round: n,                          // linear growth
+                ..Default::default()
+            };
             agg.absorb(&m);
             sweep.push(n, agg);
         }

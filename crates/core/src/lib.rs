@@ -17,6 +17,18 @@
 //!   aggregate worst-case metrics; plus scaling sweeps with log-log slope
 //!   fits used to check Table 1's growth shapes.
 //! * [`report`] — plain-text table rendering for the bench binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use dmpc_core::DmpcParams;
+//!
+//! // n = 256 vertices, capacity for m_max = 768 edges: N = n + m_max.
+//! let p = DmpcParams::new(256, 768);
+//! assert_eq!(p.input_size(), 1024);
+//! assert_eq!(p.sqrt_n(), 32); // machine memory S = O(sqrt N) words
+//! assert!(p.storage_machines() >= 1);
+//! ```
 
 pub mod algorithm;
 pub mod experiment;

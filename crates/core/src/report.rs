@@ -83,10 +83,12 @@ mod tests {
     #[test]
     fn renders_rows() {
         let mut agg = AggregateMetrics::default();
-        let mut m = dmpc_mpc::UpdateMetrics::default();
-        m.rounds = 3;
-        m.max_active_machines = 2;
-        m.max_words_per_round = 40;
+        let m = dmpc_mpc::UpdateMetrics {
+            rounds: 3,
+            max_active_machines: 2,
+            max_words_per_round: 40,
+            ..Default::default()
+        };
         agg.absorb(&m);
         let rows = vec![TableRow {
             name: "maximal matching".into(),

@@ -66,7 +66,7 @@ impl EttForest {
     /// Number of vertices in `v`'s tree (a tree of k vertices has
     /// `3k-2` sequence elements: k self-loops + 2(k-1) arcs).
     pub fn tree_size(&self, v: V) -> usize {
-        (self.treap.seq_len(self.tree_of(v)) + 2) / 3
+        self.treap.seq_len(self.tree_of(v)).div_ceil(3)
     }
 
     /// True if `(u,v)` is a tree edge of this forest.

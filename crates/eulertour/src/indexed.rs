@@ -93,7 +93,9 @@ pub enum TourOp {
 /// number of locally stored indexes.
 pub fn apply_op_to_vertex(op: &TourOp, w: V, comp_w: CompId, idx: &mut Vec<TourIx>) -> CompId {
     match *op {
-        TourOp::Reroot { comp, elen, l_y, .. } => {
+        TourOp::Reroot {
+            comp, elen, l_y, ..
+        } => {
             if comp_w == comp {
                 for i in idx.iter_mut() {
                     *i = map_reroot(*i, elen, l_y);
@@ -156,7 +158,7 @@ pub fn apply_op_to_vertex(op: &TourOp, w: V, comp_w: CompId, idx: &mut Vec<TourI
             // After dropping the four edge appearances, remaining indexes are
             // strictly inside (fy, ly) for the detached side and outside
             // [fy-1, ly+1] for the remaining side.
-            let inside = idx.first().map_or(false, |&i| i > fy && i < ly);
+            let inside = idx.first().is_some_and(|&i| i > fy && i < ly);
             debug_assert!(
                 idx.iter().all(|&i| (i > fy && i < ly) == inside),
                 "indexes of {w} straddle the cut"

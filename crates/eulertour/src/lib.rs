@@ -24,15 +24,35 @@
 //! twice, so its length is `4(|T|-1)`; positions are 1-based; `f(v)`/`l(v)`
 //! are the first/last positions of `v`. A singleton tree has an empty tour
 //! and `f = l = 0`.
+//!
+//! # Example
+//!
+//! The explicit and indexed representations agree on `f`/`l` (the
+//! differential test suite checks this over random operation streams):
+//!
+//! ```
+//! use dmpc_eulertour::{ExplicitTour, IndexedForest};
+//! use dmpc_graph::Edge;
+//!
+//! let edges = [Edge::new(0, 1), Edge::new(1, 2)]; // path 0-1-2
+//! let explicit = ExplicitTour::from_tree(&edges, 0);
+//! let mut forest = IndexedForest::new(3);
+//! forest.load_tree(&edges, 0);
+//!
+//! assert_eq!(explicit.len(), 8); // 4(|T| - 1) tour positions
+//! assert_eq!(forest.f(1), explicit.f(1));
+//! assert_eq!(forest.l(1), explicit.l(1));
+//! assert!(forest.connected(0, 2));
+//! ```
 
-pub mod explicit;
 pub mod ett;
+pub mod explicit;
 pub mod figures;
 pub mod indexed;
 pub mod treap;
 
-pub use explicit::ExplicitTour;
 pub use ett::EttForest;
+pub use explicit::ExplicitTour;
 pub use indexed::IndexedForest;
 
 /// Tour index (1-based; 0 means "no appearance", i.e. a singleton vertex).

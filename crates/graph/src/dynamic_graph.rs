@@ -100,9 +100,7 @@ impl DynamicGraph {
 
     /// True if the edge is present.
     pub fn has_edge(&self, e: Edge) -> bool {
-        self.adj
-            .get(e.u as usize)
-            .map_or(false, |s| s.contains(&e.v))
+        self.adj.get(e.u as usize).is_some_and(|s| s.contains(&e.v))
     }
 
     /// Degree of `v`.
@@ -120,10 +118,7 @@ impl DynamicGraph {
         self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
             nbrs.iter()
                 .filter(move |&&v| (u as V) < v)
-                .map(move |&v| Edge {
-                    u: u as V,
-                    v,
-                })
+                .map(move |&v| Edge { u: u as V, v })
         })
     }
 

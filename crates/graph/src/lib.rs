@@ -14,6 +14,21 @@
 //! * [`maxmatch`] — an Edmonds blossom maximum-matching implementation used to
 //!   measure empirical approximation ratios.
 //! * [`mst`] — Kruskal reference MST and spanning forests.
+//!
+//! # Example
+//!
+//! ```
+//! use dmpc_graph::{DynamicGraph, Edge, UnionFind};
+//!
+//! let mut g = DynamicGraph::new(4);
+//! g.insert(Edge::new(2, 0)).unwrap();
+//! assert!(g.has_edge(Edge::new(0, 2))); // edges are stored normalized
+//!
+//! let mut uf = UnionFind::new(4);
+//! uf.union(0, 2);
+//! assert!(uf.same(0, 2));
+//! assert_eq!(uf.components(), 3);
+//! ```
 
 pub mod dynamic_graph;
 pub mod generators;

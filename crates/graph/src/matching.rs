@@ -91,8 +91,7 @@ pub fn is_valid_matching(g: &DynamicGraph, m: &Matching) -> bool {
 
 /// Checks maximality: no edge of `g` has both endpoints free.
 pub fn is_maximal_matching(g: &DynamicGraph, m: &Matching) -> bool {
-    g.edges()
-        .all(|e| m.is_matched(e.u) || m.is_matched(e.v))
+    g.edges().all(|e| m.is_matched(e.u) || m.is_matched(e.v))
 }
 
 /// Counts edges of `g` whose endpoints are both free — the number of

@@ -82,9 +82,7 @@ impl<'a> Blossom<'a> {
         while let Some(v) = q.pop_front() {
             let nbrs: Vec<V> = self.g.neighbors(v).collect();
             for to in nbrs {
-                if self.base[v as usize] == self.base[to as usize]
-                    || self.mate[v as usize] == to
-                {
+                if self.base[v as usize] == self.base[to as usize] || self.mate[v as usize] == to {
                     continue;
                 }
                 if to == root
@@ -136,10 +134,7 @@ impl<'a> Blossom<'a> {
             if self.mate[v as usize] != NONE {
                 continue;
             }
-            let pick = self
-                .g
-                .neighbors(v)
-                .find(|&w| self.mate[w as usize] == NONE);
+            let pick = self.g.neighbors(v).find(|&w| self.mate[w as usize] == NONE);
             if let Some(w) = pick {
                 self.mate[v as usize] = w;
                 self.mate[w as usize] = v;
@@ -218,7 +213,9 @@ mod tests {
     fn petersen_graph_has_perfect_matching() {
         let outer: Vec<Edge> = (0..5).map(|i| Edge::new(i, (i + 1) % 5)).collect();
         let spokes: Vec<Edge> = (0..5).map(|i| Edge::new(i, i + 5)).collect();
-        let inner: Vec<Edge> = (0..5u32).map(|i| Edge::new(5 + i, 5 + (i + 2) % 5)).collect();
+        let inner: Vec<Edge> = (0..5u32)
+            .map(|i| Edge::new(5 + i, 5 + (i + 2) % 5))
+            .collect();
         let es: Vec<Edge> = outer.into_iter().chain(spokes).chain(inner).collect();
         let g = DynamicGraph::from_edges(10, &es);
         assert_eq!(maximum_matching_size(&g), 5);

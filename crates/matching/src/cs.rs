@@ -234,7 +234,7 @@ impl CsMatching {
         // at a high level (keeps sample spaces fresh).
         if self.rng.gen_bool(0.05) {
             let matched: Vec<V> = (0..self.n as V)
-                .filter(|&v| self.mate[v as usize].map_or(false, |m| v < m))
+                .filter(|&v| self.mate[v as usize].is_some_and(|m| v < m))
                 .collect();
             if !matched.is_empty() {
                 let v = matched[self.rng.gen_range(0..matched.len())];
@@ -251,16 +251,17 @@ impl CsMatching {
     fn metrics(&mut self) -> UpdateMetrics {
         let ops = std::mem::take(&mut self.ops);
         let parts = std::mem::take(&mut self.parts_touched);
-        let mut m = UpdateMetrics::default();
         // Modelled DMPC cost of one update cycle (see module docs): O(1)
         // rounds; every operation is an O(1)-word exchange; active machines
         // are the vertex partitions touched plus the coordinator.
-        m.rounds = 4;
-        m.max_active_machines = parts.len() + 1;
-        m.max_words_per_round = ops.max(1);
-        m.total_words = ops.max(1) * 2;
-        m.total_messages = ops.max(1);
-        m
+        UpdateMetrics {
+            rounds: 4,
+            max_active_machines: parts.len() + 1,
+            max_words_per_round: ops.max(1),
+            total_words: ops.max(1) * 2,
+            total_messages: ops.max(1),
+            ..Default::default()
+        }
     }
 
     /// Audit: the matching is valid, and every maximality violation is

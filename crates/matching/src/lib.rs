@@ -18,6 +18,22 @@
 //!   four schedulers executing bounded batches per update cycle.
 //! * [`static_mm`] — the static MPC baseline (Israeli–Itai-style randomized
 //!   maximal matching in O(log n) rounds with Omega(N) communication).
+//!
+//! # Example
+//!
+//! ```
+//! use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
+//! use dmpc_graph::Edge;
+//! use dmpc_matching::DmpcMaximalMatching;
+//!
+//! let mut mm = DmpcMaximalMatching::new(DmpcParams::new(16, 64));
+//! let m = mm.insert(Edge::new(0, 1));
+//! assert!(m.clean());
+//! mm.insert(Edge::new(1, 2)); // vertex 1 already matched: matching stays {0-1}
+//! let matching = mm.matching();
+//! assert_eq!(matching.size(), 1);
+//! assert_eq!(matching.mate(0), Some(1));
+//! ```
 
 pub mod cs;
 pub mod maximal;

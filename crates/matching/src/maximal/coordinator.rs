@@ -434,11 +434,12 @@ impl Coordinator {
     fn scan_free(&mut self, z: V, z_heavy: bool, exclude: Vec<V>, purpose: ScanPurpose) {
         let mut expect = 1;
         let ex = exclude.clone();
-        self.send_storage(z, |hist| MatchMsg::ScanFree { z, exclude: ex, hist });
-        if self.three_halves
-            && z_heavy
-            && self.suspended.get(&z).copied().unwrap_or(0) > 0
-        {
+        self.send_storage(z, |hist| MatchMsg::ScanFree {
+            z,
+            exclude: ex,
+            hist,
+        });
+        if self.three_halves && z_heavy && self.suspended.get(&z).copied().unwrap_or(0) > 0 {
             self.send_overflow(z, |hist| MatchMsg::ScanFree { z, exclude, hist });
             expect += 1;
         }
@@ -547,7 +548,10 @@ impl Coordinator {
                 if expect == 0 {
                     self.delete_after_probes(found_alive);
                 } else {
-                    self.phase = Phase::AwaitDelProbes { expect, found_alive };
+                    self.phase = Phase::AwaitDelProbes {
+                        expect,
+                        found_alive,
+                    };
                 }
             }
             (Phase::AwaitFetch { mut expect }, MatchMsg::FetchReply { v, entry }) => {
@@ -1139,7 +1143,7 @@ impl Coordinator {
             self.ctx
                 .adj
                 .get(&v)
-                .map_or(false, |l| l.iter().any(|&(x, _)| x == w))
+                .is_some_and(|l| l.iter().any(|&(x, _)| x == w))
         };
         for &(w, wp, wp_light) in &cands {
             let mut c = counters.get(&wp).copied().unwrap_or(0) as i64;
@@ -1249,9 +1253,7 @@ impl Coordinator {
                 for v in missing {
                     self.send_storage(v, |hist| MatchMsg::ScanAdj { z: v, hist });
                     expect += 1;
-                    if self.ctx.stat[&v].heavy
-                        && self.suspended.get(&v).copied().unwrap_or(0) > 0
-                    {
+                    if self.ctx.stat[&v].heavy && self.suspended.get(&v).copied().unwrap_or(0) > 0 {
                         self.send_overflow(v, |hist| MatchMsg::ScanAdj { z: v, hist });
                         expect += 1;
                     }
@@ -1279,9 +1281,9 @@ impl Coordinator {
 
     fn commit_counters(&mut self, mut adjacency: HashMap<V, Vec<V>>) {
         for (v, _) in self.ctx.status_diff() {
-            if !adjacency.contains_key(&v) {
+            if let std::collections::hash_map::Entry::Vacant(e) = adjacency.entry(v) {
                 let l: Vec<V> = self.ctx.adj[&v].iter().map(|&(n, _)| n).collect();
-                adjacency.insert(v, l);
+                e.insert(l);
             }
         }
         let mut deltas = std::mem::take(&mut self.ctx.counter_deltas);

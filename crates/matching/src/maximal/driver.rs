@@ -15,6 +15,10 @@ use dmpc_mpc::{
 };
 
 /// One machine of the matching cluster.
+// Each simulated machine holds exactly one Role for its whole lifetime, so
+// the size difference between variants costs nothing per-message; boxing the
+// large variants would only add indirection to the hot stepping path.
+#[allow(clippy::large_enum_variant)]
 pub enum Role {
     /// The coordinator `M_C`.
     Coord(Coordinator),
@@ -273,7 +277,11 @@ impl DmpcMaximalMatching {
         for v in 0..n as V {
             let r = self.stats_rec(v);
             if r.degree as usize != g.degree(v) {
-                return Err(format!("vertex {v}: degree {} != {}", r.degree, g.degree(v)));
+                return Err(format!(
+                    "vertex {v}: degree {} != {}",
+                    r.degree,
+                    g.degree(v)
+                ));
             }
             if r.heavy != (g.degree(v) > tau) {
                 return Err(format!("vertex {v}: heavy flag wrong"));

@@ -275,7 +275,9 @@ impl Payload for MatchMsg {
             MatchMsg::MakeHeavy { hist, .. } => 3 + hist_words(hist),
             MatchMsg::MovedOut { entries, .. } => 1 + 4 * entries.len(),
             MatchMsg::MakeLight { hist, .. } => 2 + hist_words(hist),
-            MatchMsg::AddSuspended { entries, hist, .. } => 1 + 4 * entries.len() + hist_words(hist),
+            MatchMsg::AddSuspended { entries, hist, .. } => {
+                1 + 4 * entries.len() + hist_words(hist)
+            }
             MatchMsg::FetchSuspended { hist, .. } => 2 + hist_words(hist),
             MatchMsg::FetchReply { .. } => 5,
             MatchMsg::AddAlive { hist, .. } => 6 + hist_words(hist),
@@ -329,7 +331,11 @@ mod tests {
     #[test]
     fn repair_kernel() {
         let mut ann = Ann::free();
-        repair_entry(&HistEntry::MatchAdd(Edge::new(3, 5), true, false), 3, &mut ann);
+        repair_entry(
+            &HistEntry::MatchAdd(Edge::new(3, 5), true, false),
+            3,
+            &mut ann,
+        );
         assert!(ann.matched);
         assert_eq!(ann.mate, 5);
         assert!(!ann.mate_light); // 5 is heavy
@@ -339,7 +345,11 @@ mod tests {
         assert!(!ann.matched);
         // Entries about other vertices leave the annotation alone.
         let before = ann;
-        repair_entry(&HistEntry::MatchAdd(Edge::new(7, 9), true, true), 3, &mut ann);
+        repair_entry(
+            &HistEntry::MatchAdd(Edge::new(7, 9), true, true),
+            3,
+            &mut ann,
+        );
         assert_eq!(ann, before);
     }
 

@@ -303,8 +303,8 @@ impl OverflowMachine {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::msg::HistEntry;
+    use super::*;
     use dmpc_graph::Edge;
 
     #[test]

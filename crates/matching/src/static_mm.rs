@@ -56,7 +56,7 @@ impl Payload for MmMsg {
 struct MmVertex {
     free: bool,
     mate: V,
-    pending: bool, // proposed this cycle, awaiting an accept
+    pending: bool,        // proposed this cycle, awaiting an accept
     nbrs: Vec<(V, bool)>, // (neighbor, believed-free)
 }
 
@@ -82,7 +82,12 @@ impl Machine for MmMachine {
     /// guaranteed still free when its accept arrives, because pending
     /// vertices never accept); phase 2 — proposers receive the accept and
     /// commit, stale `pending` flags clear at the next phase 0.
-    fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<MmMsg>>, out: &mut Outbox<MmMsg>) {
+    fn on_messages(
+        &mut self,
+        ctx: &RoundCtx,
+        inbox: Vec<Envelope<MmMsg>>,
+        out: &mut Outbox<MmMsg>,
+    ) {
         let mut proposals: BTreeMap<V, Vec<V>> = BTreeMap::new();
         let mut tick = false;
         for env in inbox {
@@ -117,7 +122,9 @@ impl Machine for MmMachine {
         // matched elsewhere this cycle).
         for (to, mut props) in proposals {
             props.sort_unstable();
-            let Some(mv) = self.verts.get_mut(&to) else { continue };
+            let Some(mv) = self.verts.get_mut(&to) else {
+                continue;
+            };
             if !mv.free || mv.pending {
                 continue;
             }
@@ -145,7 +152,11 @@ impl Machine for MmMachine {
                     (
                         mv.free,
                         mv.pending,
-                        mv.nbrs.iter().filter(|&&(_, f)| f).map(|&(w, _)| w).collect(),
+                        mv.nbrs
+                            .iter()
+                            .filter(|&&(_, f)| f)
+                            .map(|&(w, _)| w)
+                            .collect(),
                     )
                 };
                 if !free || candidates.is_empty() {

@@ -28,7 +28,11 @@ fn drive<A: DynamicGraphAlgorithm>(
                 alg.delete(e)
             }
         };
-        assert!(m.clean(), "step {step} ({u:?}): violations {:?}", m.violations);
+        assert!(
+            m.clean(),
+            "step {step} ({u:?}): violations {:?}",
+            m.violations
+        );
         max_rounds = max_rounds.max(m.rounds);
         audit(&g, step);
     }
@@ -43,7 +47,10 @@ fn maximal_random_churn_verified() {
         let mut alg = DmpcMaximalMatching::new(params);
         let ups = streams::churn_stream(n, 80, 240, 0.5, seed);
         let rounds = drive(n, &mut alg, &ups, |_, _| {});
-        assert!(rounds <= 24, "rounds per update must be constant, got {rounds}");
+        assert!(
+            rounds <= 24,
+            "rounds per update must be constant, got {rounds}"
+        );
     }
 }
 
@@ -86,7 +93,8 @@ fn maximal_star_graph_heavy_stress() {
         g.insert(e).unwrap();
         let m = alg.insert(e);
         assert!(m.clean(), "insert {i}: {:?}", m.violations);
-        alg.audit(&g).unwrap_or_else(|err| panic!("insert {i}: {err}"));
+        alg.audit(&g)
+            .unwrap_or_else(|err| panic!("insert {i}: {err}"));
     }
     // Delete in an interleaved order, including the matched edge.
     let mut order = edges.clone();
@@ -95,7 +103,8 @@ fn maximal_star_graph_heavy_stress() {
         g.delete(e).unwrap();
         let m = alg.delete(e);
         assert!(m.clean(), "delete {i}: {:?}", m.violations);
-        alg.audit(&g).unwrap_or_else(|err| panic!("delete {i}: {err}"));
+        alg.audit(&g)
+            .unwrap_or_else(|err| panic!("delete {i}: {err}"));
     }
     assert_eq!(alg.matching().size(), 0);
 }
@@ -114,7 +123,8 @@ fn maximal_bulk_load_then_churn() {
         g.delete(e).unwrap();
         let m = alg.delete(e);
         assert!(m.clean(), "delete {i}: {:?}", m.violations);
-        alg.audit(&g).unwrap_or_else(|err| panic!("delete {i}: {err}"));
+        alg.audit(&g)
+            .unwrap_or_else(|err| panic!("delete {i}: {err}"));
     }
 }
 
@@ -163,13 +173,15 @@ fn three_halves_star_heavy_stress() {
         g.insert(e).unwrap();
         let m = alg.insert(e);
         assert!(m.clean(), "insert {i}: {:?}", m.violations);
-        alg.audit(&g).unwrap_or_else(|err| panic!("insert {i}: {err}"));
+        alg.audit(&g)
+            .unwrap_or_else(|err| panic!("insert {i}: {err}"));
     }
     for (i, &e) in edges.clone().iter().rev().enumerate() {
         g.delete(e).unwrap();
         let m = alg.delete(e);
         assert!(m.clean(), "delete {i}: {:?}", m.violations);
-        alg.audit(&g).unwrap_or_else(|err| panic!("delete {i}: {err}"));
+        alg.audit(&g)
+            .unwrap_or_else(|err| panic!("delete {i}: {err}"));
     }
 }
 

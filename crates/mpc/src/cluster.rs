@@ -196,7 +196,9 @@ impl<M: Machine> Cluster<M> {
         let n_machines = self.machines.len();
         let threads = if self.cfg.parallel {
             if self.cfg.threads == 0 {
-                std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
             } else {
                 self.cfg.threads
             }
@@ -260,7 +262,12 @@ mod tests {
     impl Machine for Relay {
         type Msg = u64;
 
-        fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<u64>>, out: &mut Outbox<u64>) {
+        fn on_messages(
+            &mut self,
+            ctx: &RoundCtx,
+            inbox: Vec<Envelope<u64>>,
+            out: &mut Outbox<u64>,
+        ) {
             for env in inbox {
                 self.seen += 1;
                 if env.msg > 0 {
@@ -276,7 +283,9 @@ mod tests {
     }
 
     fn relay_cluster(n: usize, cfg: ClusterConfig) -> Cluster<Relay> {
-        let machines = (0..n as MachineId).map(|id| Relay { id, seen: 0 }).collect();
+        let machines = (0..n as MachineId)
+            .map(|id| Relay { id, seen: 0 })
+            .collect();
         Cluster::new(machines, cfg)
     }
 
@@ -305,16 +314,27 @@ mod tests {
         struct Forever;
         impl Machine for Forever {
             type Msg = u64;
-            fn on_messages(&mut self, ctx: &RoundCtx, _i: Vec<Envelope<u64>>, out: &mut Outbox<u64>) {
+            fn on_messages(
+                &mut self,
+                ctx: &RoundCtx,
+                _i: Vec<Envelope<u64>>,
+                out: &mut Outbox<u64>,
+            ) {
                 out.send(ctx.self_id, 1);
             }
         }
-        let mut c = Cluster::new(vec![Forever], ClusterConfig {
-            max_rounds_per_update: 10,
-            ..Default::default()
-        });
+        let mut c = Cluster::new(
+            vec![Forever],
+            ClusterConfig {
+                max_rounds_per_update: 10,
+                ..Default::default()
+            },
+        );
         let m = run_single_update(&mut c, 0, 1);
-        assert!(matches!(m.violations[0], Violation::RoundLimit { limit: 10 }));
+        assert!(matches!(
+            m.violations[0],
+            Violation::RoundLimit { limit: 10 }
+        ));
     }
 
     #[test]
@@ -322,7 +342,12 @@ mod tests {
         struct Blaster;
         impl Machine for Blaster {
             type Msg = Vec<u64>;
-            fn on_messages(&mut self, _c: &RoundCtx, inbox: Vec<Envelope<Vec<u64>>>, out: &mut Outbox<Vec<u64>>) {
+            fn on_messages(
+                &mut self,
+                _c: &RoundCtx,
+                inbox: Vec<Envelope<Vec<u64>>>,
+                out: &mut Outbox<Vec<u64>>,
+            ) {
                 if inbox[0].from == Envelope::<Vec<u64>>::EXTERNAL {
                     out.send(1, vec![0; 100]);
                 }
@@ -330,20 +355,30 @@ mod tests {
         }
         let mut c = Cluster::new(vec![Blaster, Blaster], ClusterConfig::with_capacity(10));
         let m = run_single_update(&mut c, 0, vec![1]);
-        assert!(m
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::SendCap { machine: 0, words: 100, .. })));
-        assert!(m
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::RecvCap { machine: 1, words: 100, .. })));
+        assert!(m.violations.iter().any(|v| matches!(
+            v,
+            Violation::SendCap {
+                machine: 0,
+                words: 100,
+                ..
+            }
+        )));
+        assert!(m.violations.iter().any(|v| matches!(
+            v,
+            Violation::RecvCap {
+                machine: 1,
+                words: 100,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn flows_tracked_when_enabled() {
-        let mut cfg = ClusterConfig::default();
-        cfg.track_flows = true;
+        let cfg = ClusterConfig {
+            track_flows: true,
+            ..Default::default()
+        };
         let mut c = relay_cluster(3, cfg);
         let m = run_single_update(&mut c, 0, 3);
         // 0->1, 1->2, 2->0 one word each.
@@ -356,7 +391,12 @@ mod tests {
         struct Hub;
         impl Machine for Hub {
             type Msg = u64;
-            fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<u64>>, out: &mut Outbox<u64>) {
+            fn on_messages(
+                &mut self,
+                ctx: &RoundCtx,
+                inbox: Vec<Envelope<u64>>,
+                out: &mut Outbox<u64>,
+            ) {
                 for env in inbox {
                     if env.from == Envelope::<u64>::EXTERNAL {
                         out.broadcast(ctx.n_machines, 0);

@@ -13,12 +13,48 @@
 //!   Table 1 reports: **rounds**, **active machines per round**, and
 //!   **communication per round** — plus capacity-violation tracking and the
 //!   communication-entropy metric proposed in the paper's Section 8.
-//! * [`parallel`] — a crossbeam-based parallel stepping backend that is
+//! * [`parallel`] — a scoped-thread parallel stepping backend that is
 //!   bit-identical to the serial backend (verified by tests), so large
 //!   simulations use all host cores without changing observable behaviour.
 //!
 //! Units: memory and message sizes are counted in 64-bit **words**, the
 //! natural unit for the model's `O(sqrt(N))`-word machine memories.
+//!
+//! # Example
+//!
+//! A four-machine ring that forwards a token until its hop budget runs out.
+//! One update runs rounds to quiescence and is metered exactly:
+//!
+//! ```
+//! use dmpc_mpc::{Cluster, ClusterConfig, Envelope, Machine, Outbox, Payload, RoundCtx};
+//!
+//! #[derive(Clone, Debug)]
+//! struct Token(u64);
+//! impl Payload for Token {
+//!     fn size_words(&self) -> usize {
+//!         1
+//!     }
+//! }
+//!
+//! struct Hop;
+//! impl Machine for Hop {
+//!     type Msg = Token;
+//!     fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<Token>>, out: &mut Outbox<Token>) {
+//!         for env in inbox {
+//!             if env.msg.0 > 0 {
+//!                 out.send((ctx.self_id + 1) % ctx.n_machines as u32, Token(env.msg.0 - 1));
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let mut cluster = Cluster::new((0..4).map(|_| Hop).collect(), ClusterConfig::default());
+//! cluster.inject(0, Token(5));
+//! let metrics = cluster.run_update();
+//! assert!(metrics.clean());
+//! assert_eq!(metrics.rounds, 6); // 5 hops + the final quiescent round
+//! assert_eq!(metrics.total_messages, 5);
+//! ```
 
 pub mod cluster;
 pub mod machine;

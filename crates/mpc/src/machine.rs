@@ -94,7 +94,12 @@ pub trait Machine: Send {
 
     /// Handles this round's inbox. Messages are delivered sorted by
     /// `(from, insertion order)`, deterministically.
-    fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<Self::Msg>>, out: &mut Outbox<Self::Msg>);
+    fn on_messages(
+        &mut self,
+        ctx: &RoundCtx,
+        inbox: Vec<Envelope<Self::Msg>>,
+        out: &mut Outbox<Self::Msg>,
+    );
 
     /// Current local memory footprint in words; checked against the machine
     /// capacity `S` after every active round. The default (0) opts out of

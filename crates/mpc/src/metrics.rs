@@ -206,14 +206,18 @@ mod tests {
     #[test]
     fn aggregate_absorbs_worst_cases() {
         let mut agg = AggregateMetrics::default();
-        let mut u1 = UpdateMetrics::default();
-        u1.rounds = 3;
-        u1.max_active_machines = 5;
-        u1.max_words_per_round = 100;
-        let mut u2 = UpdateMetrics::default();
-        u2.rounds = 7;
-        u2.max_active_machines = 2;
-        u2.max_words_per_round = 50;
+        let u1 = UpdateMetrics {
+            rounds: 3,
+            max_active_machines: 5,
+            max_words_per_round: 100,
+            ..Default::default()
+        };
+        let u2 = UpdateMetrics {
+            rounds: 7,
+            max_active_machines: 2,
+            max_words_per_round: 50,
+            ..Default::default()
+        };
         agg.absorb(&u1);
         agg.absorb(&u2);
         assert_eq!(agg.updates, 2);
@@ -234,7 +238,9 @@ mod tests {
         assert!((loglog_slope(&sqrt_pts) - 0.5).abs() < 1e-9);
         let flat: Vec<(f64, f64)> = (4..12).map(|i| ((1u64 << i) as f64, 5.0)).collect();
         assert!(loglog_slope(&flat).abs() < 1e-9);
-        let linear: Vec<(f64, f64)> = (4..12).map(|i| ((1u64 << i) as f64, (1u64 << i) as f64)).collect();
+        let linear: Vec<(f64, f64)> = (4..12)
+            .map(|i| ((1u64 << i) as f64, (1u64 << i) as f64))
+            .collect();
         assert!((loglog_slope(&linear) - 1.0).abs() < 1e-9);
     }
 

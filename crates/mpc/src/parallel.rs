@@ -1,7 +1,7 @@
 //! Parallel machine stepping.
 //!
 //! One simulator round steps many independent machines; this module shards
-//! them across threads with `crossbeam::scope`. Grouping is by *contiguous
+//! them across threads with `std::thread::scope`. Grouping is by *contiguous
 //! machine-index ranges*, which lets us hand each worker a disjoint
 //! `&mut [M]` slice safely (no locking on the hot path). Output order is the
 //! group order, so the parallel backend is bit-identical to the serial one —
@@ -10,16 +10,19 @@
 use crate::machine::{Envelope, Machine, Outbox, RoundCtx};
 use crate::MachineId;
 
+/// Machines (by index) paired with their per-round envelope batches.
+type GroupedEnvelopes<Msg> = Vec<(usize, Vec<Envelope<Msg>>)>;
+
 /// Steps the machines named in `groups` (sorted by machine index, each with
 /// its inbox) and returns `(machine_index, outbound envelopes)` in group
 /// order. `threads == 1` runs serially.
 pub fn step_machines<M: Machine>(
     machines: &mut [M],
-    groups: Vec<(usize, Vec<Envelope<M::Msg>>)>,
+    groups: GroupedEnvelopes<M::Msg>,
     round: u32,
     n_machines: usize,
     threads: usize,
-) -> Vec<(usize, Vec<Envelope<M::Msg>>)> {
+) -> GroupedEnvelopes<M::Msg> {
     if groups.is_empty() {
         return Vec::new();
     }
@@ -28,14 +31,19 @@ pub fn step_machines<M: Machine>(
     if threads <= 1 || groups.len() == 1 {
         return groups
             .into_iter()
-            .map(|(idx, inbox)| (idx, step_one(&mut machines[idx], idx, inbox, round, n_machines)))
+            .map(|(idx, inbox)| {
+                (
+                    idx,
+                    step_one(&mut machines[idx], idx, inbox, round, n_machines),
+                )
+            })
             .collect();
     }
 
     // Partition groups into `threads` chunks of near-equal size; each chunk
     // covers a contiguous index range so machine slices can be split.
     let chunk_size = groups.len().div_ceil(threads);
-    let chunks: Vec<Vec<(usize, Vec<Envelope<M::Msg>>)>> = {
+    let chunks: Vec<GroupedEnvelopes<M::Msg>> = {
         let mut it = groups.into_iter().peekable();
         let mut out = Vec::new();
         while it.peek().is_some() {
@@ -44,12 +52,12 @@ pub fn step_machines<M: Machine>(
         out
     };
 
-    let mut results: Vec<Vec<(usize, Vec<Envelope<M::Msg>>)>> = Vec::with_capacity(chunks.len());
+    let mut results: Vec<GroupedEnvelopes<M::Msg>> = Vec::with_capacity(chunks.len());
     for _ in 0..chunks.len() {
         results.push(Vec::new());
     }
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest: &mut [M] = machines;
         let mut offset = 0usize;
         let mut handles = Vec::new();
@@ -59,7 +67,7 @@ pub fn step_machines<M: Machine>(
             let base = offset;
             rest = right;
             offset = hi;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = Vec::with_capacity(chunk.len());
                 for (idx, inbox) in chunk {
                     let m = &mut left[idx - base];
@@ -71,8 +79,7 @@ pub fn step_machines<M: Machine>(
         for h in handles {
             h.join().expect("worker thread panicked");
         }
-    })
-    .expect("crossbeam scope");
+    });
 
     results.into_iter().flatten().collect()
 }
@@ -112,10 +119,18 @@ mod tests {
     }
     impl Machine for Doubler {
         type Msg = Echo;
-        fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<Echo>>, out: &mut Outbox<Echo>) {
+        fn on_messages(
+            &mut self,
+            ctx: &RoundCtx,
+            inbox: Vec<Envelope<Echo>>,
+            out: &mut Outbox<Echo>,
+        ) {
             for e in inbox {
                 self.total += e.msg.0;
-                out.send((ctx.self_id + 1) % ctx.n_machines as MachineId, Echo(e.msg.0 * 2));
+                out.send(
+                    (ctx.self_id + 1) % ctx.n_machines as MachineId,
+                    Echo(e.msg.0 * 2),
+                );
             }
         }
     }

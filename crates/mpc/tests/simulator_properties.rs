@@ -21,7 +21,12 @@ struct Router {
 impl Machine for Router {
     type Msg = Packet;
 
-    fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<Packet>>, out: &mut Outbox<Packet>) {
+    fn on_messages(
+        &mut self,
+        ctx: &RoundCtx,
+        inbox: Vec<Envelope<Packet>>,
+        out: &mut Outbox<Packet>,
+    ) {
         for env in inbox {
             self.acc = self.acc.wrapping_mul(0x9e3779b9).wrapping_add(env.msg.0);
             if env.msg.0 > 0 {
@@ -37,10 +42,12 @@ impl Machine for Router {
 }
 
 fn run(parallel: bool, tokens: &[(u8, u8)], machines: usize) -> (Vec<u64>, Vec<usize>) {
-    let mut cfg = ClusterConfig::default();
-    cfg.parallel = parallel;
-    cfg.threads = 4;
-    cfg.track_flows = true;
+    let cfg = ClusterConfig {
+        parallel,
+        threads: 4,
+        track_flows: true,
+        ..Default::default()
+    };
     let mut c = Cluster::new(
         (0..machines).map(|i| Router { acc: i as u64 }).collect(),
         cfg,

@@ -12,6 +12,20 @@
 //! `communication per round = O(1)` words. The amortized/worst-case and
 //! deterministic/randomized character of the inner algorithm carries over
 //! unchanged, exactly as the lemma states.
+//!
+//! # Example
+//!
+//! ```
+//! use dmpc_core::DynamicGraphAlgorithm;
+//! use dmpc_graph::Edge;
+//! use dmpc_reduction::ReducedConnectivity;
+//!
+//! let mut alg = ReducedConnectivity::new(8);
+//! let m = alg.insert(Edge::new(0, 1));
+//! assert_eq!(m.max_active_machines, 2); // M_MRA plus one memory machine
+//! assert!(m.rounds >= 2); // two rounds (one round-trip) per memory probe
+//! assert!(alg.connected(0, 1));
+//! ```
 
 use dmpc_core::{DynamicGraphAlgorithm, WeightedDynamicGraphAlgorithm};
 use dmpc_graph::{Edge, Weight};
@@ -24,12 +38,14 @@ const WORDS_PER_PROBE: usize = 4;
 /// Converts a probe count into the reduction's DMPC metrics.
 pub fn metrics_from_probes(probes: u64) -> UpdateMetrics {
     let rounds = (2 * probes.max(1)) as usize;
-    let mut m = UpdateMetrics::default();
-    m.rounds = rounds;
-    m.max_active_machines = 2;
-    m.max_words_per_round = WORDS_PER_PROBE;
-    m.total_words = rounds * WORDS_PER_PROBE / 2;
-    m.total_messages = rounds;
+    let mut m = UpdateMetrics {
+        rounds,
+        max_active_machines: 2,
+        max_words_per_round: WORDS_PER_PROBE,
+        total_words: rounds * WORDS_PER_PROBE / 2,
+        total_messages: rounds,
+        ..Default::default()
+    };
     m.per_round.push(RoundMetrics {
         round: 1,
         active_machines: 2,

@@ -29,7 +29,9 @@ impl HdtConnectivity {
         let l_max = (n.max(2) as f64).log2().ceil() as usize + 2;
         HdtConnectivity {
             n,
-            levels: (0..l_max).map(|i| EttForest::new(n, 0x4d7 ^ i as u64)).collect(),
+            levels: (0..l_max)
+                .map(|i| EttForest::new(n, 0x4d7 ^ i as u64))
+                .collect(),
             nontree: vec![vec![BTreeSet::new(); n]; l_max],
             edges: HashMap::new(),
             probes: 0,

@@ -21,6 +21,21 @@
 //!   Euler-tour forest (path-max swap on insert, min replacement on delete;
 //!   linear-scan searches, probe-counted). Backs the "MST" reduction row;
 //!   the polylog structure of \[21\] is a documented substitution.
+//!
+//! # Example
+//!
+//! ```
+//! use dmpc_graph::Edge;
+//! use dmpc_seqdyn::{HdtConnectivity, ProbeCounted};
+//!
+//! let mut hdt = HdtConnectivity::new(8);
+//! hdt.insert(Edge::new(0, 1));
+//! hdt.insert(Edge::new(1, 2));
+//! assert!(hdt.connected(0, 2));
+//! assert!(hdt.take_probes() > 0); // every operation is probe-metered
+//! hdt.delete(Edge::new(1, 2));
+//! assert!(!hdt.connected(0, 2));
+//! ```
 
 pub mod hdt;
 pub mod mst;

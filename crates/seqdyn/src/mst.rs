@@ -33,10 +33,7 @@ impl SeqDynMst {
 
     /// Total weight of the maintained forest.
     pub fn forest_weight(&self) -> Weight {
-        self.forest
-            .tree_edges()
-            .map(|e| self.weights[&e])
-            .sum()
+        self.forest.tree_edges().map(|e| self.weights[&e]).sum()
     }
 
     /// True if `a` and `b` are connected.
@@ -92,7 +89,7 @@ impl SeqDynMst {
             let (x, y) = (self.forest.comp_of(c.u), self.forest.comp_of(c.v));
             if (x == ca && y == cb) || (x == cb && y == ca) {
                 let cand = (w, c);
-                if best.map_or(true, |b| cand < b) {
+                if best.is_none_or(|b| cand < b) {
                     best = Some(cand);
                 }
             }

@@ -58,7 +58,11 @@ impl NsMatching {
     /// and stealing a light mate if every scanned neighbor is matched.
     fn rematch(&mut self, z: V) {
         debug_assert!(self.free(z));
-        let scan: Vec<V> = self.adj[z as usize].iter().copied().take(self.tau).collect();
+        let scan: Vec<V> = self.adj[z as usize]
+            .iter()
+            .copied()
+            .take(self.tau)
+            .collect();
         self.probes += scan.len() as u64 + 1;
         // A free neighbor?
         if let Some(&q) = scan.iter().find(|&&q| self.free(q)) {

@@ -1,6 +1,13 @@
 //! Reproduces the paper's Figures 1 and 2 exactly: the Euler tours, the
 //! reroot, the insertion splice and the deletion split, with the [f,l]
 //! brackets the figures annotate.
+//!
+//! Paper mapping: §5 (Euler-tour maintenance), **Figure 1** (tour before/after
+//! `Insert(u,v)`) and **Figure 2** (tour split on `Delete(u,v)`), using the
+//! figures' own worked vertex labels.
+//!
+//! Run: `cargo run --release --example euler_tour_figures` (finishes in
+//! seconds).
 
 use dmpc::eulertour::figures;
 

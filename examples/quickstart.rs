@@ -1,5 +1,12 @@
 //! Quickstart: maintain connectivity and a maximal matching dynamically,
 //! and read off the paper's three cost metrics for each update.
+//!
+//! Paper mapping: §2's DMPC cost triple (rounds, active machines,
+//! communication per round) measured live for the §3 maximal-matching and §5
+//! connectivity algorithms — i.e. **Table 1 rows "Maximal matching" and
+//! "Connected comps"** at toy scale.
+//!
+//! Run: `cargo run --release --example quickstart` (finishes in seconds).
 
 use dmpc::connectivity::DmpcConnectivity;
 use dmpc::core::{DmpcParams, DynamicGraphAlgorithm};

@@ -1,0 +1,219 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the slice of the criterion API the `dmpc-bench` benches use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] with [`BenchmarkId`], and
+//! [`Bencher::iter`].
+//!
+//! `cargo bench` genuinely runs: each benchmark is timed over `sample_size`
+//! samples after a short warm-up, and median / min / max per-iteration times
+//! are printed. There is no statistical analysis, plotting, or baseline
+//! comparison — swap the real criterion back in (a `Cargo.toml`-only change)
+//! when network access is available and those are needed.
+//!
+//! ```
+//! use criterion::{Criterion, BenchmarkId};
+//! let mut c = Criterion::default().sample_size(5).noop_for_tests();
+//! let mut g = c.benchmark_group("demo");
+//! g.bench_function(BenchmarkId::new("sum", 10), |b| {
+//!     b.iter(|| (0..10u64).sum::<u64>())
+//! });
+//! g.finish();
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group: `name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    n_samples: usize,
+    iters_per_sample: u64,
+    noop: bool,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-sample wall-clock times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.noop {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm-up, and pick an iteration count that puts one sample in the
+        // ~10ms range so cheap closures are not swamped by timer noise.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        self.iters_per_sample =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.n_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// Benchmark runner configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    noop: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            noop: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run each closure exactly once without timing — keeps doctests and
+    /// smoke tests fast. (Stub-only; not part of the real criterion API.)
+    pub fn noop_for_tests(mut self) -> Self {
+        self.noop = true;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Ungrouped benchmark (top-level `c.bench_function`).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        let sample_size = self.sample_size;
+        let noop = self.noop;
+        run_one(&id.to_string(), sample_size, noop, f);
+    }
+}
+
+/// A named collection of benchmarks sharing the runner's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.criterion.sample_size, self.criterion.noop, f);
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, noop: bool, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        n_samples: sample_size,
+        iters_per_sample: 1,
+        noop,
+    };
+    f(&mut b);
+    if noop {
+        return;
+    }
+    b.samples.sort();
+    let median = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    let (lo, hi) = (
+        b.samples.first().copied().unwrap_or_default(),
+        b.samples.last().copied().unwrap_or_default(),
+    );
+    println!("{label:<48} median {median:>12?}  [{lo:?} .. {hi:?}]  ({sample_size} samples)");
+}
+
+/// Mirrors `criterion_group! { name = ...; config = ...; targets = ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!` — emits `fn main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_closure() {
+        let mut calls = 0usize;
+        let mut c = Criterion::default().sample_size(3).noop_for_tests();
+        let mut g = c.benchmark_group("t");
+        g.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        g.finish();
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("dyn", 64).to_string(), "dyn/64");
+    }
+}

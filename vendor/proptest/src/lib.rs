@@ -1,0 +1,277 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the slice of the proptest API the dmpc test suites use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * strategies: half-open integer ranges (`0u32..16`), [`any::<T>()`](any)
+//!   for primitives, tuples of strategies (arity 2–5), and
+//!   [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Semantics: each `#[test]` body runs `cases` times with inputs drawn from a
+//! deterministic per-case SplitMix64 stream, so failures are reproducible
+//! run-to-run. Unlike real proptest there is **no shrinking** — a failing
+//! case reports the panic message of the raw sample. Swapping the real
+//! proptest back in requires no source changes, only a `Cargo.toml` edit.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(8))]
+//!     // In a test module this would also carry #[test].
+//!     fn addition_commutes((a, b) in (0u32..1000, 0u32..1000)) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+use core::marker::PhantomData;
+use core::ops::Range;
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Failure value usable with `?` inside `proptest!` bodies, mirroring
+/// `proptest::test_runner::TestCaseError`. The stub treats every variant as
+/// a hard failure (there is no rejection/retry machinery).
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail<T: Into<String>>(reason: T) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TestCaseError::Fail(reason) => write!(f, "test case failed: {reason}"),
+        }
+    }
+}
+
+/// Deterministic SplitMix64 stream used to draw test inputs.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0xA076_1D64_78BD_642F,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A generator of test inputs. The stub keeps only the sampling half of the
+/// real trait — no shrink trees.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Marker for types with a full-domain [`any`] strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+
+    /// Strategy producing `Vec`s with length drawn from `size` and elements
+    /// drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!` test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop_assert, prop_assert_eq, proptest, Any, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Property-failure assert; panics (there is no shrink/reject machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Property-failure equality assert.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::new(
+                    0x5EED ^ (case as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+                );
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                // Bodies may use `?` with TestCaseError, as in real proptest.
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    panic!("proptest case {case} failed: {err}");
+                }
+            }
+        }
+    )*};
+}
+
+/// The `proptest!` block macro: wraps each contained `#[test] fn f(x in
+/// strategy) { .. }` in a loop over `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! { <$crate::ProptestConfig as ::core::default::Default>::default(); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_in_range(v in collection::vec(0u8..10, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_mix_strategies((a, b, c) in (0u32..5, any::<bool>(), 1u64..9)) {
+            prop_assert!(a < 5);
+            prop_assert!((1..9).contains(&c));
+            prop_assert_eq!(b as u8 <= 1, true);
+        }
+    }
+}

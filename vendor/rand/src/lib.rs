@@ -1,0 +1,207 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the small slice of the `rand 0.8` API that the dmpc
+//! crates actually use: [`Rng::gen`], [`Rng::gen_range`] (half-open integer
+//! ranges), [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`], and the
+//! [`rngs::StdRng`] / [`rngs::SmallRng`] generator types.
+//!
+//! Both generators are a SplitMix64 stream — statistically fine for graph
+//! generation and randomized tests, deterministic for a given seed, and *not*
+//! cryptographically secure. Swapping the real `rand` back in requires no
+//! source changes, only a `Cargo.toml` edit.
+//!
+//! ```
+//! use rand::{Rng, SeedableRng};
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let x: u64 = rng.gen_range(0..100);
+//! assert!(x < 100);
+//! assert_eq!(x, rand::rngs::StdRng::seed_from_u64(7).gen_range(0..100));
+//! ```
+
+/// Low-level source of random `u64` words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn from_word(word: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_word(word: u64) -> Self {
+                word as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_word(word: u64) -> Self {
+        word & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_word(word: u64) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types samplable uniformly from a half-open range by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range called with empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range called with empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_word(self.next_u64())
+    }
+
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of [0, 1]");
+        <f64 as Standard>::from_word(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generator types mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    macro_rules! define_rng {
+        ($(#[$doc:meta])* $name:ident) => {
+            $(#[$doc])*
+            #[derive(Clone, Debug)]
+            pub struct $name {
+                state: u64,
+            }
+
+            impl RngCore for $name {
+                fn next_u64(&mut self) -> u64 {
+                    splitmix64(&mut self.state)
+                }
+            }
+
+            impl SeedableRng for $name {
+                fn seed_from_u64(seed: u64) -> Self {
+                    // Pre-mix so that nearby seeds do not yield nearby streams.
+                    let mut state = seed ^ 0x51_7C_C1_B7_27_22_0A_95;
+                    splitmix64(&mut state);
+                    Self { state }
+                }
+            }
+        };
+    }
+
+    define_rng!(
+        /// Deterministic stand-in for `rand::rngs::StdRng`.
+        StdRng
+    );
+    define_rng!(
+        /// Deterministic stand-in for `rand::rngs::SmallRng`.
+        SmallRng
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u32> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..32).map(|_| r.gen_range(0u32..1000)).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..32).map(|_| r.gen_range(0u32..1000)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u32> = {
+            let mut r = StdRng::seed_from_u64(43);
+            (0..32).map(|_| r.gen_range(0u32..1000)).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let s = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}
