@@ -1,0 +1,91 @@
+//! Batch-scaling experiment: amortized DMPC cost per update as a function
+//! of the batch size `k`.
+//!
+//! **Paper mapping.** The source paper (Italiano–Lattanzi–Mirrokni–
+//! Parotsidis, SPAA 2019, arXiv:1905.09175) charges every *single* edge
+//! update a (rounds, machines, communication) triple. The batch-dynamic
+//! follow-up line — Nowicki–Onak, "Dynamic Graph Algorithms with Batch
+//! Updates in the Massively Parallel Computation Model" (arXiv:2002.07800),
+//! and Durfee et al., "Parallel Batch-Dynamic Graphs" (arXiv:1908.01956) —
+//! shows that amortizing `k` updates per round-trip is where MPC-style
+//! parallelism pays off. This bin measures exactly that crossover on the
+//! simulator: for k in {1, 4, 16, 64, 256} it runs the same churn stream
+//! through the genuinely batched `apply_batch` machine programs
+//! (connectivity's classification fan-out, the matching coordinator's
+//! shared prefetch) and through the looped single-update baseline, and
+//! prints amortized rounds/words per update plus the speedup.
+//!
+//! Usage: `batch_scaling [n] [steps]` (defaults: 256 vertices, 512 churn
+//! updates; CI smokes it with a tiny `batch_scaling 32 64`).
+
+use dmpc_bench::{batch_scaling_sweep, standard_stream, BatchScalingPoint};
+use dmpc_connectivity::DmpcConnectivity;
+use dmpc_core::report::batch_to_plain;
+use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
+use dmpc_graph::Update;
+use dmpc_matching::DmpcMaximalMatching;
+
+fn print_sweep(name: &str, points: &[BatchScalingPoint]) {
+    println!("{name}: amortized cost per update vs batch size k");
+    println!(
+        "{:>6} | {:>13} | {:>13} | {:>8} | {:>13} | {:>13} | {:>5}",
+        "k", "batched rnds", "looped rnds", "speedup", "batched words", "looped words", "viol"
+    );
+    for p in points {
+        println!(
+            "{:>6} | {:>13.3} | {:>13.3} | {:>7.2}x | {:>13.1} | {:>13.1} | {:>5}",
+            p.k,
+            p.batched.amortized_rounds(),
+            p.looped.amortized_rounds(),
+            p.round_speedup(),
+            p.batched.amortized_words(),
+            p.looped.amortized_words(),
+            p.batched.violations,
+        );
+    }
+    if let Some(p64) = points.iter().find(|p| p.k == 64) {
+        println!("  k=64 batched: {}", batch_to_plain(&p64.batched));
+        println!("  k=64 looped:  {}", batch_to_plain(&p64.looped));
+    }
+    println!();
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let steps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    let params = DmpcParams::new(n, 3 * n);
+    let ups: Vec<Update> = standard_stream(n, steps, 42);
+    let ks: Vec<usize> = [1usize, 4, 16, 64, 256]
+        .into_iter()
+        .filter(|&k| k <= ups.len().max(1))
+        .collect();
+    println!(
+        "Batch scaling: n = {n}, m_max = {}, {} churn updates, k in {ks:?}\n",
+        3 * n,
+        ups.len()
+    );
+
+    let conn = batch_scaling_sweep(
+        || Box::new(DmpcConnectivity::new(params)) as Box<dyn DynamicGraphAlgorithm>,
+        &ups,
+        &ks,
+    );
+    print_sweep("connectivity", &conn);
+
+    let mm = batch_scaling_sweep(
+        || Box::new(DmpcMaximalMatching::new(params)) as Box<dyn DynamicGraphAlgorithm>,
+        &ups,
+        &ks,
+    );
+    print_sweep("maximal matching", &mm);
+
+    println!("Rounds are totals over the whole stream divided by updates (amortized);");
+    println!("the looped baseline pays every update's quiescence run separately, the");
+    println!("batched run shares injection, classification/prefetch, and drain rounds.");
+}

@@ -27,6 +27,7 @@ fn main() {
                 r.claimed.2.to_string(),
             ),
             agg: r.agg,
+            batch: r.batch,
         })
         .collect();
     println!(
@@ -38,4 +39,11 @@ fn main() {
     );
     println!("Columns: claimed = paper bound, measured = worst case over the stream.");
     println!("'viol' counts capacity/model violations (must be 0).");
+    println!("'batch rnds/up' = amortized rounds per update under k=16 batched execution");
+    println!("(apply_batch; '-' = algorithm uses the looped default). Serialized lines:");
+    for r in &rendered {
+        if let Some(b) = &r.batch {
+            println!("  {}: {}", r.name, dmpc_core::report::batch_to_plain(b));
+        }
+    }
 }

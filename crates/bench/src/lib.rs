@@ -16,11 +16,14 @@
 
 use dmpc_connectivity::{DmpcConnectivity, DmpcMst};
 use dmpc_core::experiment::ScalingSweep;
-use dmpc_core::{DmpcParams, DynamicGraphAlgorithm, WeightedDynamicGraphAlgorithm};
+use dmpc_core::{
+    apply_batch_looped, run_stream_batched, DmpcParams, DynamicGraphAlgorithm,
+    WeightedDynamicGraphAlgorithm,
+};
 use dmpc_graph::streams::{self, Update, WeightedUpdate};
 use dmpc_matching::cs::{CsMatching, CsParams};
 use dmpc_matching::{DmpcMaximalMatching, DmpcThreeHalves};
-use dmpc_mpc::AggregateMetrics;
+use dmpc_mpc::{AggregateMetrics, BatchMetrics};
 use dmpc_reduction::{ReducedConnectivity, ReducedMatching, ReducedMst};
 
 /// Standard workload: build-up plus churn, sized to the vertex count.
@@ -67,6 +70,56 @@ pub struct Table1Row {
     pub claimed: (&'static str, &'static str, &'static str),
     /// Measured aggregate.
     pub agg: AggregateMetrics,
+    /// Batched execution of the same stream (k = 16), for the algorithms
+    /// shipping a genuinely batched `apply_batch` override.
+    pub batch: Option<BatchMetrics>,
+}
+
+/// One point of a batch-scaling sweep: the same stream executed through
+/// `apply_batch` in batches of `k`, against the looped single-update
+/// baseline.
+#[derive(Clone, Debug)]
+pub struct BatchScalingPoint {
+    /// Batch size.
+    pub k: usize,
+    /// Cost of batched execution.
+    pub batched: BatchMetrics,
+    /// Cost of the looped baseline.
+    pub looped: BatchMetrics,
+}
+
+impl BatchScalingPoint {
+    /// Looped-over-batched amortized-rounds ratio (> 1 means batching wins).
+    /// A zero-round batched run against a non-trivial looped run is an
+    /// infinite win, not a zero.
+    pub fn round_speedup(&self) -> f64 {
+        let b = self.batched.amortized_rounds();
+        let l = self.looped.amortized_rounds();
+        if b == 0.0 {
+            return if l > 0.0 { f64::INFINITY } else { 1.0 };
+        }
+        l / b
+    }
+}
+
+/// Sweeps batch sizes over one stream: for each `k`, a fresh instance runs
+/// the stream through `apply_batch` (chunked into batches of `k`) and a
+/// second fresh instance runs the looped baseline.
+pub fn batch_scaling_sweep<F>(mut make: F, ups: &[Update], ks: &[usize]) -> Vec<BatchScalingPoint>
+where
+    F: FnMut() -> Box<dyn DynamicGraphAlgorithm>,
+{
+    ks.iter()
+        .map(|&k| {
+            let batched = run_stream_batched(make().as_mut(), ups, k);
+            let mut base = make();
+            let mut looped = BatchMetrics::default();
+            for batch in ups.chunks(k.max(1)) {
+                looped.merge(&apply_batch_looped(base.as_mut(), batch));
+            }
+            BatchScalingPoint { k, batched, looped }
+        })
+        .collect()
 }
 
 /// Measures all eight Table-1 rows at vertex count `n` with `steps` churn
@@ -85,6 +138,11 @@ pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
         name: "Maximal matching",
         claimed: ("O(1)", "O(1)", "O(sqrt N)"),
         agg: run_unweighted(&mut mm, &ups),
+        batch: Some(run_stream_batched(
+            &mut DmpcMaximalMatching::new(params),
+            &ups,
+            16,
+        )),
     });
 
     let mut th = DmpcThreeHalves::new(params);
@@ -92,6 +150,7 @@ pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
         name: "3/2-app. matching",
         claimed: ("O(1)", "O(n/sqrt N)", "O(sqrt N)"),
         agg: run_unweighted(&mut th, &ups),
+        batch: None,
     });
 
     let mut cs = CsMatching::new(n, CsParams::defaults(n, 0.3));
@@ -99,6 +158,7 @@ pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
         name: "(2+eps)-app. matching",
         claimed: ("O(1)", "~O(1)", "~O(1)"),
         agg: run_unweighted(&mut cs, &ups),
+        batch: None,
     });
 
     let mut cc = DmpcConnectivity::new(params);
@@ -106,6 +166,11 @@ pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
         name: "Connected comps",
         claimed: ("O(1)", "O(sqrt N)", "O(sqrt N)"),
         agg: run_unweighted(&mut cc, &tree_ups),
+        batch: Some(run_stream_batched(
+            &mut DmpcConnectivity::new(params),
+            &tree_ups,
+            16,
+        )),
     });
 
     let mut mst = DmpcMst::new(params, 0.1);
@@ -113,6 +178,7 @@ pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
         name: "(1+eps)-MST",
         claimed: ("O(1)", "O(sqrt N)", "O(sqrt N)"),
         agg: run_weighted(&mut mst, &wups),
+        batch: None,
     });
 
     let mut rmm = ReducedMatching::new(n, m_max);
@@ -120,6 +186,7 @@ pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
         name: "Reduction: maximal matching",
         claimed: ("O(sqrt m)", "O(1)", "O(1)"),
         agg: run_unweighted(&mut rmm, &ups),
+        batch: None,
     });
 
     let mut rcc = ReducedConnectivity::new(n);
@@ -127,6 +194,7 @@ pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
         name: "Reduction: connected comps",
         claimed: ("~O(1) am.", "O(1)", "O(1)"),
         agg: run_unweighted(&mut rcc, &tree_ups),
+        batch: None,
     });
 
     let mut rmst = ReducedMst::new(n);
@@ -134,6 +202,7 @@ pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
         name: "Reduction: MST",
         claimed: ("O(m) (subst.)", "O(1)", "O(1)"),
         agg: run_weighted(&mut rmst, &wups),
+        batch: None,
     });
 
     rows
@@ -162,6 +231,28 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_sweep_beats_looped_at_k16() {
+        let params = DmpcParams::new(48, 144);
+        let ups = standard_stream(48, 96, 5);
+        let pts = batch_scaling_sweep(
+            || Box::new(DmpcConnectivity::new(params)) as Box<dyn DynamicGraphAlgorithm>,
+            &ups,
+            &[1, 16],
+        );
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert_eq!(p.batched.updates, ups.len());
+            assert_eq!(p.looped.updates, ups.len());
+            assert!(p.batched.clean(), "{} violations", p.batched.violations);
+        }
+        assert!(
+            pts[1].round_speedup() > 1.0,
+            "k=16 must amortize: {:?}",
+            pts[1]
+        );
+    }
 
     #[test]
     fn table1_runs_and_is_clean() {

@@ -1,13 +1,14 @@
 //! Drivers binding the connectivity/MST machine programs to the simulator,
 //! plus audits used by the test suite.
 
-use crate::machine::{ConnMachine, EntryKind, VertexState};
-use crate::messages::ConnMsg;
+use crate::machine::{ConnMachine, EntryKind, VertexState, BATCH_CTRL};
+use crate::messages::{BatchItem, ConnMsg};
 use crate::preprocess;
 use dmpc_core::{DmpcParams, DynamicGraphAlgorithm, WeightedDynamicGraphAlgorithm};
 use dmpc_eulertour::indexed::CompId;
-use dmpc_graph::{Edge, Weight, V};
-use dmpc_mpc::{Cluster, ClusterConfig, MachineId, UpdateMetrics};
+use dmpc_graph::streams::coalesce;
+use dmpc_graph::{Edge, Update, Weight, V};
+use dmpc_mpc::{BatchMetrics, Cluster, ClusterConfig, MachineId, UpdateMetrics};
 use std::collections::HashMap;
 
 /// Shared driver for plain connectivity and MST mode.
@@ -39,8 +40,39 @@ impl ConnDriver {
     }
 
     fn run(&mut self, to: MachineId, msg: ConnMsg) -> UpdateMetrics {
+        self.clear_stale_batch_state();
         self.cluster.inject(to, msg);
         self.cluster.run_update()
+    }
+
+    /// Abort recovery between runs: a previous batch run aborted by the
+    /// round-limit guard (its `Violation::RoundLimit` is the authoritative
+    /// error signal) can leave batch bookkeeping behind — controller state
+    /// on machine 0, and a pending-search flag on whichever machine was the
+    /// cut rendezvous. Drop it everywhere so later runs neither meter
+    /// phantom memory nor emit spurious batch completion signals.
+    fn clear_stale_batch_state(&mut self) {
+        for m in 0..self.cluster.n_machines() {
+            self.cluster.machine_mut(m as MachineId).clear_stale_batch();
+        }
+    }
+
+    /// Runs one pre-coalesced batch chunk through the two-phase batch
+    /// protocol as a single metered quiescence run.
+    fn run_batch_chunk(&mut self, items: Vec<BatchItem>) -> BatchMetrics {
+        self.clear_stale_batch_state();
+        let k = items.len();
+        self.cluster.run_batch(
+            std::iter::once((BATCH_CTRL, ConnMsg::BatchStart { items })),
+            k,
+        )
+    }
+
+    /// Chunk size for batched execution: the controller's transient batch
+    /// state and its classification fan-out must fit the `O(sqrt N)`-word
+    /// machine budget, so batches are processed `sqrt N` updates at a time.
+    fn batch_chunk(&self) -> usize {
+        self.params.sqrt_n().max(1)
     }
 
     /// The model parameters.
@@ -267,12 +299,41 @@ impl DynamicGraphAlgorithm for DmpcConnectivity {
 
     fn insert(&mut self, e: Edge) -> UpdateMetrics {
         let to = self.driver.owner(e.u);
-        self.driver.run(to, ConnMsg::Insert { e, w: 1 })
+        self.driver.run(
+            to,
+            ConnMsg::Insert {
+                e,
+                w: 1,
+                batched: false,
+            },
+        )
     }
 
     fn delete(&mut self, e: Edge) -> UpdateMetrics {
         let to = self.driver.owner(e.u);
-        self.driver.run(to, ConnMsg::Delete { e })
+        self.driver.run(to, ConnMsg::Delete { e, batched: false })
+    }
+
+    /// Genuinely batched execution (machine program, not a loop): the batch
+    /// is coalesced to its net updates, then driven through one
+    /// classification fan-out per chunk — non-structural updates execute
+    /// concurrently in O(1) rounds total, structural ones serialize. The
+    /// cost is metered as one run per chunk under the combined load.
+    fn apply_batch(&mut self, updates: &[Update]) -> BatchMetrics {
+        let net = coalesce(updates);
+        let mut bm = BatchMetrics::default();
+        for part in net.chunks(self.driver.batch_chunk()) {
+            let items = part
+                .iter()
+                .enumerate()
+                .map(|(i, &upd)| BatchItem { upd, seq: i as u32 })
+                .collect();
+            bm.merge(&self.driver.run_batch_chunk(items));
+        }
+        // Amortize over the caller's batch: cancelled pairs count as free
+        // work the batch absorbed.
+        bm.updates = updates.len();
+        bm
     }
 }
 
@@ -324,11 +385,18 @@ impl WeightedDynamicGraphAlgorithm for DmpcMst {
 
     fn insert(&mut self, e: Edge, w: Weight) -> UpdateMetrics {
         let to = self.driver.owner(e.u);
-        self.driver.run(to, ConnMsg::Insert { e, w })
+        self.driver.run(
+            to,
+            ConnMsg::Insert {
+                e,
+                w,
+                batched: false,
+            },
+        )
     }
 
     fn delete(&mut self, e: Edge) -> UpdateMetrics {
         let to = self.driver.owner(e.u);
-        self.driver.run(to, ConnMsg::Delete { e })
+        self.driver.run(to, ConnMsg::Delete { e, batched: false })
     }
 }

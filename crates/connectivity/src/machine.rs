@@ -7,13 +7,57 @@
 //! per-edge annotation); non-tree entries carry one cached tour index of the
 //! far endpoint, kept valid under every broadcast op, so that cut-side
 //! classification is local.
+//!
+//! # Batched updates
+//!
+//! A batch of `k` pre-coalesced updates (at most one op per edge; see
+//! `dmpc_graph::streams::coalesce`) is injected as [`ConnMsg::BatchStart`]
+//! at the *batch controller* — machine 0, which plays this role in addition
+//! to owning its vertex block. The batch runs in two phases:
+//!
+//! 1. **Classification fan-out (concurrent).** The controller ships each
+//!    owner its share of the batch. Owners classify deletes locally (tree /
+//!    non-tree) and forward inserts to the far endpoint's owner for a
+//!    component comparison. Every *non-structural* update — a non-tree
+//!    delete, or an intra-component insert — executes immediately; these
+//!    commute because they never touch tour indexes, component ids, or
+//!    sizes, and coalescing guarantees edge-disjointness. Classifiers
+//!    report counts (and the leftover structural items) to the controller.
+//! 2. **Structural serialization.** Links and tree cuts change the tour
+//!    index space cluster-wide, so they cannot overlap. The controller
+//!    replays them one at a time, in batch order, through the normal
+//!    insert/delete flow with the `batched` flag set; every terminal step
+//!    of a batched flow signals [`ConnMsg::BatchStructDone`] back, which
+//!    releases the next item.
+//!
+//! Classifications stay valid across phase 1 because only structural ops
+//! (phase 2, strictly later) can change components; phase 2 re-classifies
+//! each item on dispatch, so items demoted to non-structural by an earlier
+//! structural op (e.g. a cross-component insert whose components were
+//! merged by a previous link) still execute correctly.
 
-use crate::messages::{ConnMsg, CutMode, StructBroadcast, VertexInfo};
+use crate::messages::{BatchItem, ConnMsg, CutMode, StructBroadcast, VertexInfo};
 use dmpc_eulertour::indexed::{apply_op_to_vertex, map_reroot, CompId, TourOp};
 use dmpc_eulertour::TourIx;
-use dmpc_graph::{Edge, Weight, V};
+use dmpc_graph::{Edge, Update, Weight, V};
 use dmpc_mpc::{Envelope, Machine, MachineId, Outbox, RoundCtx};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+
+/// The machine doubling as batch controller (id 0).
+pub const BATCH_CTRL: MachineId = 0;
+
+/// Controller-side state of one in-flight batch.
+#[derive(Debug, Default)]
+struct BatchCtl {
+    /// Updates whose classification report is still outstanding.
+    expect: usize,
+    /// Classified-as-structural items, collected during phase 1.
+    structural: Vec<BatchItem>,
+    /// Phase 2 queue (sorted by batch position).
+    queue: VecDeque<BatchItem>,
+    /// Phase 2 has begun (the queue is authoritative).
+    serving: bool,
+}
 
 /// An adjacency entry at one endpoint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,6 +134,11 @@ pub struct ConnMachine {
     /// Pending MST path-max aggregation at the rendezvous:
     /// (e, w, f(x), x's vertex id).
     pending_mst: Option<(Edge, Weight, TourIx, V)>,
+    /// Controller state of the in-flight batch (machine 0 only).
+    batch: Option<BatchCtl>,
+    /// This machine initiated a batched cut and owes the controller a
+    /// completion signal if the replacement search comes up empty.
+    batch_cut_pending: bool,
 }
 
 impl ConnMachine {
@@ -106,12 +155,23 @@ impl ConnMachine {
             mst_mode,
             verts,
             pending_mst: None,
+            batch: None,
+            batch_cut_pending: false,
         }
     }
 
     /// Owner machine of vertex `v` under this partitioning.
     pub fn owner_of(v: V, block: usize) -> MachineId {
         (v as usize / block) as MachineId
+    }
+
+    /// Abort recovery: drops controller/rendezvous batch state left behind
+    /// by a round-limit-aborted run, so later runs are not charged phantom
+    /// memory for it. Called by the driver between runs (the in-machine
+    /// reset in `handle_batch_start` covers the batch-after-batch case).
+    pub fn clear_stale_batch(&mut self) {
+        self.batch = None;
+        self.batch_cut_pending = false;
     }
 
     fn owner(&self, v: V) -> MachineId {
@@ -147,11 +207,40 @@ impl ConnMachine {
 
     // ----- protocol steps -------------------------------------------------
 
-    fn handle_insert(&mut self, e: Edge, w: Weight, out: &mut Outbox<ConnMsg>) {
+    fn handle_insert(&mut self, e: Edge, w: Weight, batched: bool, out: &mut Outbox<ConnMsg>) {
         let u = e.u;
         debug_assert!(!self.st(u).adj.contains_key(&e.v), "duplicate insert {e}");
         let x = self.st(u).info(u);
-        out.send(self.owner(e.v), ConnMsg::InsQuery { e, w, x });
+        out.send(self.owner(e.v), ConnMsg::InsQuery { e, w, x, batched });
+    }
+
+    /// Records the intra-component edge `e` as a non-tree entry at the
+    /// locally-owned endpoint `y` and ships the matching entry to the far
+    /// owner. Shared by the single-update flow and the batch classifier.
+    fn add_non_tree_pair(&mut self, e: Edge, w: Weight, x: &VertexInfo, out: &mut Outbox<ConnMsg>) {
+        let y = e.other(x.v);
+        let y_f = self.st(y).f();
+        let owner_x = self.owner(x.v);
+        let ys = self.st_mut(y);
+        ys.adj.insert(
+            x.v,
+            (
+                EntryKind::NonTree {
+                    cached: x.f,
+                    far_comp: x.comp,
+                },
+                w,
+            ),
+        );
+        out.send(
+            owner_x,
+            ConnMsg::AddNonTree {
+                e,
+                w,
+                at: x.v,
+                cached_far: y_f,
+            },
+        );
     }
 
     fn handle_ins_query(
@@ -159,6 +248,7 @@ impl ConnMachine {
         e: Edge,
         w: Weight,
         x: VertexInfo,
+        batched: bool,
         ctx: &RoundCtx,
         out: &mut Outbox<ConnMsg>,
     ) {
@@ -168,6 +258,7 @@ impl ConnMachine {
         if y_comp == x.comp {
             // Intra-component edge.
             if self.mst_mode {
+                debug_assert!(!batched, "MST mode has no batched path");
                 // Find the max-weight tree edge on the x..y path first.
                 self.pending_mst = Some((e, w, x.f, x.v));
                 let q = ConnMsg::PathMaxQuery {
@@ -184,27 +275,10 @@ impl ConnMachine {
                     out.send(m, q.clone());
                 }
             } else {
-                let owner_x = self.owner(x.v);
-                let ys = self.st_mut(y);
-                ys.adj.insert(
-                    x.v,
-                    (
-                        EntryKind::NonTree {
-                            cached: x.f,
-                            far_comp: x.comp,
-                        },
-                        w,
-                    ),
-                );
-                out.send(
-                    owner_x,
-                    ConnMsg::AddNonTree {
-                        e,
-                        w,
-                        at: x.v,
-                        cached_far: y_f,
-                    },
-                );
+                self.add_non_tree_pair(e, w, &x, out);
+                if batched {
+                    out.send(BATCH_CTRL, ConnMsg::BatchStructDone);
+                }
             }
         } else {
             // Cross-component: reroot y's tree at y, then link after f(x).
@@ -241,10 +315,13 @@ impl ConnMachine {
             for m in 0..ctx.n_machines as MachineId {
                 out.send(m, ConnMsg::Apply(b));
             }
+            if batched {
+                out.send(BATCH_CTRL, ConnMsg::BatchStructDone);
+            }
         }
     }
 
-    fn handle_delete(&mut self, e: Edge, ctx: &RoundCtx, out: &mut Outbox<ConnMsg>) {
+    fn handle_delete(&mut self, e: Edge, batched: bool, ctx: &RoundCtx, out: &mut Outbox<ConnMsg>) {
         let u = e.u;
         let (kind, _w) = *self
             .st(u)
@@ -255,6 +332,9 @@ impl ConnMachine {
             EntryKind::NonTree { .. } => {
                 self.st_mut(u).adj.remove(&e.v);
                 out.send(self.owner(e.v), ConnMsg::DelNonTree { e, at: e.v });
+                if batched {
+                    out.send(BATCH_CTRL, ConnMsg::BatchStructDone);
+                }
             }
             EntryKind::Tree { lo, hi } => {
                 if lo % 2 == 0 {
@@ -270,11 +350,23 @@ impl ConnMachine {
                             mode: CutMode::Remove,
                             search: true,
                             then_link: None,
+                            batched,
                         },
                     );
                 } else {
                     // u is the parent: broadcast directly.
-                    self.broadcast_cut(e, u, lo + 1, hi - 1, CutMode::Remove, true, None, ctx, out);
+                    self.broadcast_cut(
+                        e,
+                        u,
+                        lo + 1,
+                        hi - 1,
+                        CutMode::Remove,
+                        true,
+                        None,
+                        batched,
+                        ctx,
+                        out,
+                    );
                 }
             }
         }
@@ -292,9 +384,15 @@ impl ConnMachine {
         mode: CutMode,
         search: bool,
         then_link: Option<(Edge, Weight)>,
+        batched: bool,
         ctx: &RoundCtx,
         out: &mut Outbox<ConnMsg>,
     ) {
+        if search && batched {
+            // The candidate aggregation (at this machine, the rendezvous)
+            // must tell the controller when no replacement link follows.
+            self.batch_cut_pending = true;
+        }
         let child = e.other(parent);
         let ps = self.st(parent);
         let span = (ly - fy + 1) + 2;
@@ -329,7 +427,14 @@ impl ConnMachine {
         if let Some((le, lw)) = then_link {
             // The link's InsQuery is processed after the Apply broadcast in
             // the same round (Apply messages are handled first).
-            out.send(self.owner(le.u), ConnMsg::StartLink { e: le, w: lw });
+            out.send(
+                self.owner(le.u),
+                ConnMsg::StartLink {
+                    e: le,
+                    w: lw,
+                    batched,
+                },
+            );
         }
     }
 
@@ -714,6 +819,7 @@ impl ConnMachine {
                     mode: CutMode::Demote,
                     search: false,
                     then_link: Some((e, w)),
+                    batched: false,
                 },
             );
         } else {
@@ -725,10 +831,167 @@ impl ConnMachine {
                 CutMode::Demote,
                 false,
                 Some((e, w)),
+                false,
                 ctx,
                 out,
             );
         }
+    }
+
+    // ----- batch protocol -------------------------------------------------
+
+    /// Controller: fan the batch out to the owners for classification.
+    fn handle_batch_start(&mut self, items: Vec<BatchItem>, out: &mut Outbox<ConnMsg>) {
+        assert_eq!(self.id, BATCH_CTRL, "batches start at the controller");
+        // External injections only arrive between runs, so leftover state
+        // here means the previous run was aborted by the round-limit guard
+        // (its violation is already metered); drop it and start fresh.
+        self.batch = None;
+        self.batch_cut_pending = false;
+        if items.is_empty() {
+            return;
+        }
+        let mut by_owner: BTreeMap<MachineId, Vec<BatchItem>> = BTreeMap::new();
+        let expect = items.len();
+        for item in items {
+            by_owner
+                .entry(self.owner(item.upd.edge().u))
+                .or_default()
+                .push(item);
+        }
+        for (m, items) in by_owner {
+            out.send(m, ConnMsg::BatchClassify { items });
+        }
+        self.batch = Some(BatchCtl {
+            expect,
+            ..Default::default()
+        });
+    }
+
+    /// Owner: classify this machine's share of the batch. Non-tree deletes
+    /// execute on the spot; inserts are forwarded to the far owner for the
+    /// component comparison; tree deletes are reported structural.
+    fn handle_batch_classify(
+        &mut self,
+        items: Vec<BatchItem>,
+        report: &mut BatchReportAcc,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        for item in items {
+            match item.upd {
+                Update::Insert(e) => {
+                    debug_assert!(
+                        !self.st(e.u).adj.contains_key(&e.v),
+                        "duplicate insert {e} in batch"
+                    );
+                    let x = self.st(e.u).info(e.u);
+                    out.send(
+                        self.owner(e.v),
+                        ConnMsg::BatchInsClassify {
+                            e,
+                            w: 1,
+                            x,
+                            seq: item.seq,
+                        },
+                    );
+                }
+                Update::Delete(e) => {
+                    let (kind, _w) = *self
+                        .st(e.u)
+                        .adj
+                        .get(&e.v)
+                        .unwrap_or_else(|| panic!("delete of absent edge {e} in batch"));
+                    match kind {
+                        EntryKind::NonTree { .. } => {
+                            self.st_mut(e.u).adj.remove(&e.v);
+                            out.send(self.owner(e.v), ConnMsg::DelNonTree { e, at: e.v });
+                            report.done += 1;
+                        }
+                        EntryKind::Tree { .. } => report.structural.push(item),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Far owner: classify one insert. Intra-component inserts execute
+    /// immediately (they only add non-tree entries); cross-component
+    /// inserts are structural links.
+    fn handle_batch_ins_classify(
+        &mut self,
+        e: Edge,
+        w: Weight,
+        x: VertexInfo,
+        seq: u32,
+        report: &mut BatchReportAcc,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        let y = e.other(x.v);
+        if self.st(y).comp == x.comp {
+            self.add_non_tree_pair(e, w, &x, out);
+            report.done += 1;
+        } else {
+            report.structural.push(BatchItem {
+                upd: Update::Insert(e),
+                seq,
+            });
+        }
+    }
+
+    /// Controller: fold one classification report; start phase 2 once every
+    /// update is accounted for.
+    fn handle_batch_report(
+        &mut self,
+        done: u32,
+        structural: Vec<BatchItem>,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        let ctl = self.batch.as_mut().expect("report without a batch");
+        ctl.expect -= done as usize + structural.len();
+        ctl.structural.extend(structural);
+        if ctl.expect == 0 {
+            ctl.structural.sort_unstable_by_key(|i| i.seq);
+            ctl.queue = std::mem::take(&mut ctl.structural).into();
+            ctl.serving = true;
+            self.batch_dispatch_next(out);
+        }
+    }
+
+    /// Controller: dispatch the next structural item through the normal
+    /// (re-classifying) update flow, or finish the batch.
+    fn batch_dispatch_next(&mut self, out: &mut Outbox<ConnMsg>) {
+        let ctl = self.batch.as_mut().expect("dispatch without a batch");
+        debug_assert!(ctl.serving);
+        match ctl.queue.pop_front() {
+            Some(item) => {
+                let e = item.upd.edge();
+                let to = self.owner(e.u);
+                let msg = match item.upd {
+                    Update::Insert(_) => ConnMsg::Insert {
+                        e,
+                        w: 1,
+                        batched: true,
+                    },
+                    Update::Delete(_) => ConnMsg::Delete { e, batched: true },
+                };
+                out.send(to, msg);
+            }
+            None => self.batch = None,
+        }
+    }
+}
+
+/// Per-round accumulator for one classifier's report to the controller
+/// (aggregating all of this round's classifications into one message).
+#[derive(Default)]
+struct BatchReportAcc {
+    done: u32,
+    structural: Vec<BatchItem>,
+}
+
+impl BatchReportAcc {
+    fn is_empty(&self) -> bool {
+        self.done == 0 && self.structural.is_empty()
     }
 }
 
@@ -765,11 +1028,14 @@ impl Machine for ConnMachine {
             }
         }
         let mut replacement_candidates: Vec<Option<(Edge, Weight)>> = Vec::new();
+        let mut report = BatchReportAcc::default();
         for env in rest {
             match env.msg {
-                ConnMsg::Insert { e, w } => self.handle_insert(e, w, out),
-                ConnMsg::Delete { e } => self.handle_delete(e, ctx, out),
-                ConnMsg::InsQuery { e, w, x } => self.handle_ins_query(e, w, x, ctx, out),
+                ConnMsg::Insert { e, w, batched } => self.handle_insert(e, w, batched, out),
+                ConnMsg::Delete { e, batched } => self.handle_delete(e, batched, ctx, out),
+                ConnMsg::InsQuery { e, w, x, batched } => {
+                    self.handle_ins_query(e, w, x, batched, ctx, out)
+                }
                 ConnMsg::AddNonTree {
                     e,
                     w,
@@ -801,11 +1067,16 @@ impl Machine for ConnMachine {
                     mode,
                     search,
                     then_link,
+                    batched,
                 } => {
-                    self.broadcast_cut(e, parent, fy, ly, mode, search, then_link, ctx, out);
+                    self.broadcast_cut(
+                        e, parent, fy, ly, mode, search, then_link, batched, ctx, out,
+                    );
                 }
                 ConnMsg::Candidate { best } => replacement_candidates.push(best),
-                ConnMsg::StartLink { e, w } => self.handle_insert_replacement(e, w, out),
+                ConnMsg::StartLink { e, w, batched } => {
+                    self.handle_insert_replacement(e, w, batched, out)
+                }
                 ConnMsg::PathMaxQuery {
                     comp,
                     fx,
@@ -819,7 +1090,27 @@ impl Machine for ConnMachine {
                 ConnMsg::StartSwap { d, e, w } => self.handle_start_swap(d, e, w, ctx, out),
                 ConnMsg::Apply(_) => unreachable!(),
                 ConnMsg::Ack => {}
+                ConnMsg::BatchStart { items } => self.handle_batch_start(items, out),
+                ConnMsg::BatchClassify { items } => {
+                    self.handle_batch_classify(items, &mut report, out)
+                }
+                ConnMsg::BatchInsClassify { e, w, x, seq } => {
+                    self.handle_batch_ins_classify(e, w, x, seq, &mut report, out)
+                }
+                ConnMsg::BatchReport { done, structural } => {
+                    self.handle_batch_report(done, structural, out)
+                }
+                ConnMsg::BatchStructDone => self.batch_dispatch_next(out),
             }
+        }
+        if !report.is_empty() {
+            out.send(
+                BATCH_CTRL,
+                ConnMsg::BatchReport {
+                    done: report.done,
+                    structural: report.structural,
+                },
+            );
         }
         if !replacement_candidates.is_empty() {
             // All candidates arrive in one round; pick the global minimum.
@@ -828,8 +1119,17 @@ impl Machine for ConnMachine {
                 .flatten()
                 .map(|(e, w)| (w, e))
                 .min();
-            if let Some((w, e)) = best {
-                out.send(self.owner(e.u), ConnMsg::StartLink { e, w });
+            let batched = std::mem::take(&mut self.batch_cut_pending);
+            match best {
+                Some((w, e)) => {
+                    out.send(self.owner(e.u), ConnMsg::StartLink { e, w, batched });
+                }
+                None => {
+                    // No replacement: the batched delete flow ends here.
+                    if batched {
+                        out.send(BATCH_CTRL, ConnMsg::BatchStructDone);
+                    }
+                }
             }
         }
         if !path_replies.is_empty() {
@@ -842,6 +1142,9 @@ impl Machine for ConnMachine {
         for st in self.verts.values() {
             words += 4 + st.idx.len() + 4 * st.adj.len();
         }
+        if let Some(ctl) = &self.batch {
+            words += 2 + 3 * (ctl.structural.len() + ctl.queue.len());
+        }
         words
     }
 }
@@ -850,9 +1153,15 @@ impl ConnMachine {
     /// A replacement/StartLink insertion: the edge already exists as a
     /// non-tree entry at both owners; re-run the insert query path (the
     /// Apply handler converts the entries to tree entries).
-    fn handle_insert_replacement(&mut self, e: Edge, w: Weight, out: &mut Outbox<ConnMsg>) {
+    fn handle_insert_replacement(
+        &mut self,
+        e: Edge,
+        w: Weight,
+        batched: bool,
+        out: &mut Outbox<ConnMsg>,
+    ) {
         let u = e.u;
         let x = self.st(u).info(u);
-        out.send(self.owner(e.v), ConnMsg::InsQuery { e, w, x });
+        out.send(self.owner(e.v), ConnMsg::InsQuery { e, w, x, batched });
     }
 }

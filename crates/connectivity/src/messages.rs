@@ -2,8 +2,18 @@
 
 use dmpc_eulertour::indexed::{CompId, TourOp};
 use dmpc_eulertour::TourIx;
-use dmpc_graph::{Edge, Weight, V};
+use dmpc_graph::{Edge, Update, Weight, V};
 use dmpc_mpc::{MachineId, Payload};
+
+/// One update inside a batch, tagged with its position in the batch so the
+/// serialized (structural) phase replays items in original order.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchItem {
+    /// The update.
+    pub upd: Update,
+    /// Position within the batch.
+    pub seq: u32,
+}
 
 /// O(1)-word summary of one endpoint's tour state, shipped between the two
 /// endpoint owners during an update.
@@ -54,7 +64,11 @@ pub struct StructBroadcast {
     pub rendezvous: Option<MachineId>,
 }
 
-/// Protocol messages.
+/// Protocol messages. The `batched` flags mark messages belonging to the
+/// serialized structural phase of a batch: every terminal step of a batched
+/// flow signals [`ConnMsg::BatchStructDone`] to the batch controller so it
+/// can dispatch the next structural item. The flags pack into the op word,
+/// so they do not change message sizes.
 #[derive(Clone, Debug)]
 pub enum ConnMsg {
     /// Injected: insert edge `e` with weight `w`.
@@ -63,11 +77,15 @@ pub enum ConnMsg {
         e: Edge,
         /// Its weight (1 for plain connectivity).
         w: Weight,
+        /// Dispatched by the batch controller (structural phase).
+        batched: bool,
     },
     /// Injected: delete edge `e`.
     Delete {
         /// The edge to remove.
         e: Edge,
+        /// Dispatched by the batch controller (structural phase).
+        batched: bool,
     },
     /// owner(x) -> owner(y): continue an insertion with x's state.
     InsQuery {
@@ -77,6 +95,8 @@ pub enum ConnMsg {
         w: Weight,
         /// State of the endpoint owned by the sender.
         x: VertexInfo,
+        /// Part of a batch's structural phase: signal completion.
+        batched: bool,
     },
     /// owner(y) -> owner(x): the edge is intra-component; record it as a
     /// non-tree entry at vertex `at`.
@@ -116,6 +136,8 @@ pub enum ConnMsg {
         search: bool,
         /// Link this edge right after the cut (MST swaps).
         then_link: Option<(Edge, Weight)>,
+        /// Part of a batch's structural phase: signal completion.
+        batched: bool,
     },
     /// Broadcast: apply a structural change.
     Apply(StructBroadcast),
@@ -131,6 +153,8 @@ pub enum ConnMsg {
         e: Edge,
         /// Its weight.
         w: Weight,
+        /// Part of a batch's structural phase: signal completion.
+        batched: bool,
     },
     /// Broadcast: find the max-weight tree edge on the path between the two
     /// spans; every machine replies to `rendezvous`.
@@ -169,6 +193,42 @@ pub enum ConnMsg {
     },
     /// No-op acknowledgement (kept for protocol symmetry in tests).
     Ack,
+
+    // ---- batch protocol (see `machine.rs` "Batched updates") -------------
+    /// Injected at the batch controller (machine 0): process these updates
+    /// as one batch.
+    BatchStart {
+        /// The batch, pre-coalesced (at most one op per edge).
+        items: Vec<BatchItem>,
+    },
+    /// controller -> owner(e.u): classify (and, where non-structural,
+    /// immediately execute) these updates. The preprocessing fan-out.
+    BatchClassify {
+        /// The owner's share of the batch.
+        items: Vec<BatchItem>,
+    },
+    /// owner(e.u) -> owner(e.v): classify an insert against the far
+    /// endpoint's component; same-component inserts execute on the spot.
+    BatchInsClassify {
+        /// The new edge.
+        e: Edge,
+        /// Its weight.
+        w: Weight,
+        /// State of the endpoint owned by the sender.
+        x: VertexInfo,
+        /// Position within the batch.
+        seq: u32,
+    },
+    /// classifier -> controller: how many updates completed non-structurally
+    /// this round, and which turned out structural (links / tree cuts).
+    BatchReport {
+        /// Updates executed in the concurrent (non-structural) phase.
+        done: u32,
+        /// Updates requiring serialized structural processing.
+        structural: Vec<BatchItem>,
+    },
+    /// terminal step -> controller: the in-flight structural item finished.
+    BatchStructDone,
 }
 
 impl Payload for ConnMsg {
@@ -188,6 +248,10 @@ impl Payload for ConnMsg {
             ConnMsg::PathMaxReply { .. } => 3,
             ConnMsg::StartSwap { .. } => 5,
             ConnMsg::Ack => 1,
+            ConnMsg::BatchStart { items } | ConnMsg::BatchClassify { items } => 1 + 3 * items.len(),
+            ConnMsg::BatchInsClassify { .. } => 9,
+            ConnMsg::BatchReport { structural, .. } => 2 + 3 * structural.len(),
+            ConnMsg::BatchStructDone => 1,
         }
     }
 }
@@ -199,8 +263,40 @@ mod tests {
     #[test]
     fn sizes_are_constant_words() {
         let e = Edge::new(0, 1);
-        assert!(ConnMsg::Insert { e, w: 1 }.size_words() <= 16);
+        assert!(
+            ConnMsg::Insert {
+                e,
+                w: 1,
+                batched: false
+            }
+            .size_words()
+                <= 16
+        );
         assert!(ConnMsg::Ack.size_words() >= 1);
-        assert_eq!(ConnMsg::Delete { e }.size_words(), 2);
+        assert_eq!(ConnMsg::Delete { e, batched: false }.size_words(), 2);
+    }
+
+    #[test]
+    fn batch_message_sizes_scale_with_items() {
+        let item = BatchItem {
+            upd: Update::Insert(Edge::new(0, 1)),
+            seq: 0,
+        };
+        assert_eq!(
+            ConnMsg::BatchStart {
+                items: vec![item; 5]
+            }
+            .size_words(),
+            16
+        );
+        assert_eq!(
+            ConnMsg::BatchReport {
+                done: 3,
+                structural: vec![item; 2]
+            }
+            .size_words(),
+            8
+        );
+        assert_eq!(ConnMsg::BatchStructDone.size_words(), 1);
     }
 }

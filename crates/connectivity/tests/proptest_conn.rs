@@ -1,10 +1,11 @@
 //! Property tests: arbitrary valid update sequences through the distributed
 //! connectivity algorithm — full audits, components vs ground truth, and
-//! constant-rounds bounds, for every generated case.
+//! constant-rounds bounds, for every generated case — plus batch-vs-
+//! sequential equivalence of `apply_batch`.
 
 use dmpc_connectivity::DmpcConnectivity;
 use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
-use dmpc_graph::{DynamicGraph, Edge};
+use dmpc_graph::{DynamicGraph, Edge, Update};
 use proptest::prelude::*;
 
 fn partitions_equal(a: &[u32], b: &[u32]) -> bool {
@@ -48,6 +49,58 @@ proptest! {
             prop_assert!(m.rounds <= 10, "rounds {}", m.rounds);
             alg.driver().audit().map_err(TestCaseError::fail)?;
             prop_assert!(partitions_equal(&alg.component_labels(), &g.components()));
+        }
+    }
+
+    /// Batched execution is equivalent to one-by-one execution: after every
+    /// batch the components match the ground truth (and a sequential twin),
+    /// the structural audit holds, and the batch respects the model. The
+    /// generated batches routinely contain an insert and a delete of the
+    /// same edge (ops are validity-filtered against the evolving graph, so
+    /// in-batch reinsertion/cancellation arises naturally).
+    #[test]
+    fn batched_connectivity_matches_sequential(
+        ops in proptest::collection::vec((0u32..20, 0u32..20, any::<bool>()), 1..140),
+        k in 1usize..24
+    ) {
+        let n = 20usize;
+        let params = DmpcParams::new(n, 140);
+        let mut batched = DmpcConnectivity::new(params);
+        let mut sequential = DmpcConnectivity::new(params);
+        let mut g = DynamicGraph::new(n);
+        // Turn raw ops into a valid stream (insert absent / delete present).
+        let mut stream: Vec<Update> = Vec::new();
+        for (a, b, ins) in ops {
+            if a == b { continue; }
+            let e = Edge::new(a, b);
+            if ins && !g.has_edge(e) {
+                g.insert(e).unwrap();
+                stream.push(Update::Insert(e));
+            } else if !ins && g.has_edge(e) {
+                g.delete(e).unwrap();
+                stream.push(Update::Delete(e));
+            }
+        }
+        let mut truth = DynamicGraph::new(n);
+        for batch in stream.chunks(k) {
+            for &u in batch {
+                match u {
+                    Update::Insert(e) => truth.insert(e).unwrap(),
+                    Update::Delete(e) => truth.delete(e).unwrap(),
+                }
+                sequential.apply(u);
+            }
+            let bm = batched.apply_batch(batch);
+            prop_assert!(bm.clean(), "batch violations: {}", bm.violations);
+            batched.driver().audit().map_err(TestCaseError::fail)?;
+            prop_assert!(
+                partitions_equal(&batched.component_labels(), &truth.components()),
+                "batched components diverged from ground truth"
+            );
+            prop_assert!(
+                partitions_equal(&batched.component_labels(), &sequential.component_labels()),
+                "batched components diverged from sequential twin"
+            );
         }
     }
 }

@@ -1,11 +1,44 @@
 //! The interface implemented by every DMPC dynamic algorithm in this
 //! workspace.
+//!
+//! The unit of work is a *batch* of `k` edge updates; a single update is the
+//! `k = 1` special case. Every algorithm gets batching for free through the
+//! looped [`DynamicGraphAlgorithm::apply_batch`] default; algorithms with a
+//! genuinely batched machine program (shared preprocessing fan-out, shared
+//! coordinator rounds) override it and report a lower amortized cost.
 
 use dmpc_graph::{Edge, Update, Weight, WeightedUpdate};
-use dmpc_mpc::UpdateMetrics;
+use dmpc_mpc::{BatchMetrics, UpdateMetrics};
 
-/// A fully-dynamic distributed graph algorithm: processes one edge update at
-/// a time and reports the DMPC cost of each.
+/// The reference batch execution: apply the updates one by one, in order,
+/// summing their costs. This is both the default `apply_batch` and the
+/// baseline the genuinely batched overrides are compared against in the
+/// `batch_scaling` bench.
+pub fn apply_batch_looped<A: DynamicGraphAlgorithm + ?Sized>(
+    alg: &mut A,
+    updates: &[Update],
+) -> BatchMetrics {
+    let mut b = BatchMetrics::default();
+    for &u in updates {
+        b.absorb_update(&alg.apply(u));
+    }
+    b
+}
+
+/// Looped batch execution for weighted algorithms.
+pub fn apply_weighted_batch_looped<A: WeightedDynamicGraphAlgorithm + ?Sized>(
+    alg: &mut A,
+    updates: &[WeightedUpdate],
+) -> BatchMetrics {
+    let mut b = BatchMetrics::default();
+    for &u in updates {
+        b.absorb_update(&alg.apply(u));
+    }
+    b
+}
+
+/// A fully-dynamic distributed graph algorithm: processes edge updates —
+/// singly or in batches — and reports the DMPC cost of each unit of work.
 pub trait DynamicGraphAlgorithm {
     /// Short name used in reports.
     fn name(&self) -> &'static str;
@@ -22,6 +55,15 @@ pub trait DynamicGraphAlgorithm {
             Update::Insert(e) => self.insert(e),
             Update::Delete(e) => self.delete(e),
         }
+    }
+
+    /// Applies an ordered batch of updates as one unit of work and returns
+    /// its combined, amortizable cost. The default loops [`Self::apply`], so
+    /// every algorithm supports batches; overrides must preserve sequential
+    /// batch semantics (see `dmpc_graph::streams::coalesce` for the
+    /// intra-batch cancellation rules) while sharing rounds across the batch.
+    fn apply_batch(&mut self, updates: &[Update]) -> BatchMetrics {
+        apply_batch_looped(self, updates)
     }
 }
 
@@ -43,6 +85,13 @@ pub trait WeightedDynamicGraphAlgorithm {
             WeightedUpdate::Insert(e, w) => self.insert(e, w),
             WeightedUpdate::Delete(e) => self.delete(e),
         }
+    }
+
+    /// Applies an ordered batch of weighted updates as one unit of work.
+    /// Defaults to looping [`Self::apply`]; see
+    /// [`DynamicGraphAlgorithm::apply_batch`] for the override contract.
+    fn apply_batch(&mut self, updates: &[WeightedUpdate]) -> BatchMetrics {
+        apply_weighted_batch_looped(self, updates)
     }
 }
 
@@ -81,5 +130,18 @@ mod tests {
         d.apply(Update::Insert(e));
         assert_eq!((d.inserts, d.deletes), (2, 1));
         assert_eq!(d.name(), "dummy");
+    }
+
+    #[test]
+    fn default_apply_batch_loops_in_order() {
+        let mut d = Dummy {
+            inserts: 0,
+            deletes: 0,
+        };
+        let e = Edge::new(0, 1);
+        let b = d.apply_batch(&[Update::Insert(e), Update::Delete(e), Update::Insert(e)]);
+        assert_eq!((d.inserts, d.deletes), (2, 1));
+        assert_eq!(b.updates, 3);
+        assert!(b.clean());
     }
 }

@@ -1,10 +1,11 @@
-//! Experiment drivers: replay update streams through an algorithm, verify
-//! the maintained solution after every update, aggregate worst-case costs,
-//! and fit growth exponents across input sizes.
+//! Experiment drivers: replay update streams through an algorithm — singly
+//! or in `k`-update batches — verify the maintained solution, aggregate
+//! worst-case and amortized costs, and fit growth exponents across input
+//! sizes.
 
 use crate::algorithm::DynamicGraphAlgorithm;
 use dmpc_graph::{DynamicGraph, Update};
-use dmpc_mpc::{loglog_slope, AggregateMetrics, UpdateMetrics};
+use dmpc_mpc::{loglog_slope, AggregateMetrics, BatchMetrics, UpdateMetrics};
 
 /// Replays `updates` through `alg`, aggregating per-update worst cases.
 pub fn run_stream<A: DynamicGraphAlgorithm>(alg: &mut A, updates: &[Update]) -> AggregateMetrics {
@@ -50,6 +51,60 @@ where
         agg.absorb(&m);
     }
     agg
+}
+
+/// Replays `updates` in batches of `k` through the algorithm's
+/// [`DynamicGraphAlgorithm::apply_batch`], merging the per-batch costs into
+/// one amortizable total.
+pub fn run_stream_batched<A: DynamicGraphAlgorithm + ?Sized>(
+    alg: &mut A,
+    updates: &[Update],
+    k: usize,
+) -> BatchMetrics {
+    let mut total = BatchMetrics::default();
+    for batch in updates.chunks(k.max(1)) {
+        total.merge(&alg.apply_batch(batch));
+    }
+    total
+}
+
+/// Batched replay with verification: maintains the ground-truth graph
+/// alongside and calls `verify(graph, batch_metrics)` after every batch.
+/// The stream must be valid; invalid batches panic with the batch index.
+pub fn run_stream_batched_verified<A, F>(
+    n: usize,
+    alg: &mut A,
+    updates: &[Update],
+    k: usize,
+    mut verify: F,
+) -> BatchMetrics
+where
+    A: DynamicGraphAlgorithm,
+    F: FnMut(&DynamicGraph, &BatchMetrics),
+{
+    let mut g = DynamicGraph::new(n);
+    let mut total = BatchMetrics::default();
+    for (i, batch) in updates.chunks(k.max(1)).enumerate() {
+        for &u in batch {
+            match u {
+                Update::Insert(e) => g.insert(e).unwrap_or_else(|err| {
+                    panic!("invalid stream in batch {i}: {err}");
+                }),
+                Update::Delete(e) => g.delete(e).unwrap_or_else(|err| {
+                    panic!("invalid stream in batch {i}: {err}");
+                }),
+            }
+        }
+        let b = alg.apply_batch(batch);
+        assert!(
+            b.clean(),
+            "model violations in batch {i}: {} recorded",
+            b.violations
+        );
+        verify(&g, &b);
+        total.merge(&b);
+    }
+    total
 }
 
 /// One measured point of a scaling sweep.
@@ -145,6 +200,37 @@ mod tests {
         let mut sizes = Vec::new();
         run_stream_verified(3, &mut Counter, &ups, |g, _| sizes.push(g.m()));
         assert_eq!(sizes, vec![1, 0]);
+    }
+
+    #[test]
+    fn batched_run_chunks_and_merges() {
+        let e = Edge::new(0, 1);
+        let f = Edge::new(1, 2);
+        let ups = vec![
+            Update::Insert(e),
+            Update::Insert(f),
+            Update::Delete(e),
+            Update::Delete(f),
+            Update::Insert(e),
+        ];
+        let b = run_stream_batched(&mut Counter, &ups, 2);
+        assert_eq!(b.updates, 5);
+        // 3 inserts x 2 rounds + 2 deletes x 4 rounds, looped default.
+        assert_eq!(b.rounds, 14);
+        assert!((b.amortized_rounds() - 2.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_verified_tracks_graph_per_batch() {
+        let e = Edge::new(0, 1);
+        let f = Edge::new(1, 2);
+        let ups = vec![Update::Insert(e), Update::Insert(f), Update::Delete(e)];
+        let mut sizes = Vec::new();
+        let total = run_stream_batched_verified(3, &mut Counter, &ups, 2, |g, b| {
+            sizes.push((g.m(), b.updates));
+        });
+        assert_eq!(sizes, vec![(2, 2), (1, 1)]);
+        assert_eq!(total.updates, 3);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   from `n` and the edge capacity, exactly as the paper's algorithms assume.
 //! * [`DynamicGraphAlgorithm`] / [`WeightedDynamicGraphAlgorithm`] — the
 //!   interface every distributed algorithm in this workspace implements.
+//!   The unit of work is a batch of `k` updates (`apply_batch`, defaulting
+//!   to a loop over `apply` so single updates are the `k = 1` case).
 //! * [`experiment`] — drivers that replay update streams, verify the
 //!   maintained solution against references after every update, and
 //!   aggregate worst-case metrics; plus scaling sweeps with log-log slope
@@ -35,6 +37,12 @@ pub mod experiment;
 pub mod model;
 pub mod report;
 
-pub use algorithm::{DynamicGraphAlgorithm, WeightedDynamicGraphAlgorithm};
-pub use experiment::{run_stream, run_stream_verified, ScalingPoint, ScalingSweep};
+pub use algorithm::{
+    apply_batch_looped, apply_weighted_batch_looped, DynamicGraphAlgorithm,
+    WeightedDynamicGraphAlgorithm,
+};
+pub use experiment::{
+    run_stream, run_stream_batched, run_stream_batched_verified, run_stream_verified, ScalingPoint,
+    ScalingSweep,
+};
 pub use model::DmpcParams;

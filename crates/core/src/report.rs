@@ -1,6 +1,7 @@
-//! Plain-text table rendering for the bench binaries (no external deps).
+//! Plain-text table rendering for the bench binaries, plus a serde-free
+//! plain-text serialization of [`BatchMetrics`] (no external deps).
 
-use dmpc_mpc::AggregateMetrics;
+use dmpc_mpc::{AggregateMetrics, BatchMetrics};
 
 /// One row of a Table-1-style report.
 #[derive(Clone, Debug)]
@@ -11,16 +12,21 @@ pub struct TableRow {
     pub claimed: (String, String, String),
     /// Measured aggregate.
     pub agg: AggregateMetrics,
+    /// Optional batched-execution measurement on the same stream; rendered
+    /// as an amortized-cost column when present.
+    pub batch: Option<BatchMetrics>,
 }
 
 /// Renders rows as an aligned plain-text table comparing paper claims with
-/// measured worst cases.
+/// measured worst cases. Rows carrying a [`TableRow::batch`] measurement get
+/// an extra amortized rounds-per-update column.
 pub fn render_table(title: &str, rows: &[TableRow]) -> String {
+    let with_batch = rows.iter().any(|r| r.batch.is_some());
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
-    let header = format!(
-        "{:<26} | {:>14} | {:>9} | {:>16} | {:>10} | {:>16} | {:>12} | {:>5}\n",
+    let mut header = format!(
+        "{:<26} | {:>14} | {:>9} | {:>16} | {:>10} | {:>16} | {:>12} | {:>5}",
         "problem",
         "claimed rounds",
         "rounds",
@@ -30,6 +36,10 @@ pub fn render_table(title: &str, rows: &[TableRow]) -> String {
         "comm (words)",
         "viol"
     );
+    if with_batch {
+        header.push_str(&format!(" | {:>13}", "batch rnds/up"));
+    }
+    header.push('\n');
     let width = header.len();
     out.push_str(&"-".repeat(width.saturating_sub(1)));
     out.push('\n');
@@ -37,8 +47,8 @@ pub fn render_table(title: &str, rows: &[TableRow]) -> String {
     out.push_str(&"-".repeat(width.saturating_sub(1)));
     out.push('\n');
     for r in rows {
-        out.push_str(&format!(
-            "{:<26} | {:>14} | {:>9} | {:>16} | {:>10} | {:>16} | {:>12} | {:>5}\n",
+        let mut line = format!(
+            "{:<26} | {:>14} | {:>9} | {:>16} | {:>10} | {:>16} | {:>12} | {:>5}",
             r.name,
             r.claimed.0,
             r.agg.max_rounds,
@@ -47,9 +57,61 @@ pub fn render_table(title: &str, rows: &[TableRow]) -> String {
             r.claimed.2,
             r.agg.max_words_per_round,
             r.agg.violations,
-        ));
+        );
+        if with_batch {
+            match &r.batch {
+                Some(b) => line.push_str(&format!(" | {:>13.2}", b.amortized_rounds())),
+                None => line.push_str(&format!(" | {:>13}", "-")),
+            }
+        }
+        line.push('\n');
+        out.push_str(&line);
     }
     out
+}
+
+/// Serializes a [`BatchMetrics`] as one stable `key=value` line, e.g.
+/// `updates=64 rounds=12 max_active=9 max_words=210 total_words=900
+/// total_msgs=188 violations=0`. Serde-free by design: reports embed it
+/// verbatim and [`batch_from_plain`] round-trips it.
+pub fn batch_to_plain(b: &BatchMetrics) -> String {
+    format!(
+        "updates={} rounds={} max_active={} max_words={} total_words={} total_msgs={} violations={}",
+        b.updates,
+        b.rounds,
+        b.max_active_machines,
+        b.max_words_per_round,
+        b.total_words,
+        b.total_messages,
+        b.violations
+    )
+}
+
+/// Parses the output of [`batch_to_plain`]. Missing keys default to zero
+/// (today's readers accept shorter lines from older writers); unknown keys
+/// are rejected, so growing the format is a breaking change for readers
+/// this old — bump deliberately.
+pub fn batch_from_plain(s: &str) -> Result<BatchMetrics, String> {
+    let mut b = BatchMetrics::default();
+    for tok in s.split_whitespace() {
+        let (key, val) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("malformed token {tok:?}"))?;
+        let val: usize = val
+            .parse()
+            .map_err(|e| format!("bad value in {tok:?}: {e}"))?;
+        match key {
+            "updates" => b.updates = val,
+            "rounds" => b.rounds = val,
+            "max_active" => b.max_active_machines = val,
+            "max_words" => b.max_words_per_round = val,
+            "total_words" => b.total_words = val,
+            "total_msgs" => b.total_messages = val,
+            "violations" => b.violations = val,
+            other => return Err(format!("unknown key {other:?}")),
+        }
+    }
+    Ok(b)
 }
 
 /// Renders a scaling sweep as `N, rounds, machines, words` rows plus fitted
@@ -94,11 +156,65 @@ mod tests {
             name: "maximal matching".into(),
             claimed: ("O(1)".into(), "O(1)".into(), "O(sqrt N)".into()),
             agg,
+            batch: None,
         }];
         let s = render_table("Table 1", &rows);
         assert!(s.contains("maximal matching"));
         assert!(s.contains("O(sqrt N)"));
         assert!(s.contains(" 3 "));
+        assert!(!s.contains("batch rnds/up"));
+    }
+
+    #[test]
+    fn renders_batch_column_when_present() {
+        let mut agg = AggregateMetrics::default();
+        agg.absorb(&dmpc_mpc::UpdateMetrics::default());
+        let b = BatchMetrics {
+            updates: 4,
+            rounds: 10,
+            ..Default::default()
+        };
+        let rows = vec![
+            TableRow {
+                name: "batched".into(),
+                claimed: ("O(1)".into(), "O(1)".into(), "O(sqrt N)".into()),
+                agg: agg.clone(),
+                batch: Some(b),
+            },
+            TableRow {
+                name: "unbatched".into(),
+                claimed: ("O(1)".into(), "O(1)".into(), "O(sqrt N)".into()),
+                agg,
+                batch: None,
+            },
+        ];
+        let s = render_table("Table 1", &rows);
+        assert!(s.contains("batch rnds/up"));
+        assert!(s.contains("2.50"));
+        // Rows without a batch measurement render a dash.
+        assert!(s
+            .lines()
+            .any(|l| l.starts_with("unbatched") && l.ends_with('-')));
+    }
+
+    #[test]
+    fn batch_plain_text_round_trips() {
+        let b = BatchMetrics {
+            updates: 64,
+            rounds: 120,
+            max_active_machines: 9,
+            max_words_per_round: 210,
+            total_words: 9000,
+            total_messages: 1888,
+            violations: 2,
+        };
+        let line = batch_to_plain(&b);
+        assert_eq!(batch_from_plain(&line).unwrap(), b);
+        // Missing keys default to zero; junk is rejected.
+        assert_eq!(batch_from_plain("updates=3").unwrap().updates, 3);
+        assert!(batch_from_plain("nope=1").is_err());
+        assert!(batch_from_plain("updates").is_err());
+        assert!(batch_from_plain("updates=x").is_err());
     }
 
     #[test]

@@ -151,6 +151,155 @@ impl StreamBuilder {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Batches.
+//
+// A *batch* is an ordered slice of updates handed to an algorithm as one unit
+// of work. Batch semantics are sequential: applying a batch must leave the
+// graph (and any maintained structure, up to non-unique representations such
+// as which maximal matching is held) in the state reached by applying its
+// updates one by one, in order. In particular a batch may contain an insert
+// and a delete of the *same* edge; the net effect on that edge is defined by
+// `coalesce` below.
+// ---------------------------------------------------------------------------
+
+/// Reduces a sequentially-valid batch to its *net* updates: for each edge,
+/// ops cancel in pairs and only the last op survives (an odd number of ops
+/// nets to the final op, an even number cancels entirely). This is the
+/// intra-batch cancellation semantics: replaying `coalesce(batch)` from the
+/// pre-batch graph reaches exactly the same graph as replaying `batch`.
+///
+/// Surviving updates keep the relative order of their edges' first
+/// appearances, so coalescing is deterministic.
+///
+/// The input must be valid as a sequential stream from the pre-batch graph
+/// (ops on one edge alternate insert/delete); then the output is valid too.
+pub fn coalesce(batch: &[Update]) -> Vec<Update> {
+    let mut order: Vec<Edge> = Vec::new();
+    let mut per_edge: std::collections::HashMap<Edge, (usize, Update)> =
+        std::collections::HashMap::new();
+    for &u in batch {
+        let e = u.edge();
+        match per_edge.entry(e) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert((1, u));
+                order.push(e);
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                let (count, last) = slot.get_mut();
+                debug_assert!(
+                    last.is_insert() != u.is_insert(),
+                    "ops on {e} do not alternate; batch is not sequentially valid"
+                );
+                *count += 1;
+                *last = u;
+            }
+        }
+    }
+    order
+        .into_iter()
+        .filter_map(|e| {
+            let (count, last) = per_edge[&e];
+            (count % 2 == 1).then_some(last)
+        })
+        .collect()
+}
+
+/// Splits a stream into consecutive *owned* batches of (at most) `k`
+/// updates (the last may be shorter; `k` is clamped to at least 1). Use
+/// this when batches must outlive the stream or be reordered/mutated; for
+/// read-only iteration, plain `updates.chunks(k)` borrows without
+/// allocating and is what the experiment drivers use.
+pub fn chunk_stream(updates: &[Update], k: usize) -> Vec<Vec<Update>> {
+    updates.chunks(k.max(1)).map(|c| c.to_vec()).collect()
+}
+
+/// Correlated burst batches: each batch picks a random *hub* vertex and
+/// performs `k` updates on edges incident to it (inserting absent spokes,
+/// deleting present ones). Models the bursty, locality-heavy update traffic
+/// (one account fanning out) that batch-dynamic MPC algorithms target.
+/// Every batch is valid as a sequential stream; batches compose into one
+/// valid stream.
+pub fn burst_batches(n: usize, batches: usize, k: usize, seed: u64) -> Vec<Vec<Update>> {
+    assert!(n >= 2, "bursts need at least two vertices");
+    let mut b = StreamBuilder::new(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1234_5678_9abc_def0);
+    let mut out = Vec::with_capacity(batches);
+    let mut len_so_far = 0usize;
+    for _ in 0..batches {
+        let hub = rng.gen_range(0..n as V);
+        for _ in 0..k {
+            let spoke = {
+                let s = rng.gen_range(0..n as V - 1);
+                if s >= hub {
+                    s + 1
+                } else {
+                    s
+                }
+            };
+            let e = Edge::new(hub, spoke);
+            if b.graph.has_edge(e) {
+                b.delete(e);
+            } else {
+                b.insert(e);
+            }
+        }
+        out.push(b.updates[len_so_far..].to_vec());
+        len_so_far = b.updates.len();
+    }
+    out
+}
+
+/// Mixed insert/delete batches that *deliberately* contain cancelling pairs:
+/// roughly `cancel_frac` of each batch's slots are spent on an
+/// insert-then-delete (or delete-then-insert) of the same edge. Exercises
+/// the intra-batch cancellation semantics of `coalesce`.
+pub fn cancelling_batches(
+    n: usize,
+    batches: usize,
+    k: usize,
+    cancel_frac: f64,
+    seed: u64,
+) -> Vec<Vec<Update>> {
+    assert!((0.0..=1.0).contains(&cancel_frac));
+    let mut b = StreamBuilder::new(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0bad_cafe_f00d_d00d);
+    let mut out = Vec::with_capacity(batches);
+    let mut len_so_far = 0usize;
+    for _ in 0..batches {
+        let mut slots = 0usize;
+        while slots < k {
+            if slots + 1 < k && rng.gen_bool(cancel_frac) {
+                // A cancelling pair on one edge.
+                if b.m() > 0 && rng.gen_bool(0.5) {
+                    if let Some(e) = b.random_delete() {
+                        b.insert(e);
+                        slots += 2;
+                        continue;
+                    }
+                }
+                if let Some(e) = b.random_insert() {
+                    b.delete(e);
+                    slots += 2;
+                    continue;
+                }
+                slots += 1; // graph full/empty: fall through to a plain op
+            } else if b.m() == 0 || rng.gen_bool(0.5) {
+                if b.random_insert().is_none() {
+                    b.random_delete();
+                }
+                slots += 1;
+            } else {
+                b.random_delete();
+                slots += 1;
+            }
+        }
+        out.push(b.updates[len_so_far..].to_vec());
+        len_so_far = b.updates.len();
+    }
+    out
+}
+
 /// Insert `m` random edges, then churn for `steps` updates with the given
 /// probability of insertion (deletions otherwise). This is the default mixed
 /// workload for Table-1 experiments.
@@ -321,6 +470,93 @@ mod tests {
             (WeightedUpdate::Insert(_, a), WeightedUpdate::Insert(_, b)) => assert_eq!(a, b),
             _ => panic!("unexpected shapes"),
         }
+    }
+
+    #[test]
+    fn coalesce_nets_out_cancelling_pairs() {
+        let (a, b, c) = (Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3));
+        // a: I,D (cancels); b: D,I (cancels); c: I,D,I (nets to I).
+        let batch = vec![
+            Update::Insert(a),
+            Update::Delete(b),
+            Update::Insert(c),
+            Update::Delete(a),
+            Update::Insert(b),
+            Update::Delete(c),
+            Update::Insert(c),
+        ];
+        assert_eq!(coalesce(&batch), vec![Update::Insert(c)]);
+        assert!(coalesce(&[]).is_empty());
+    }
+
+    #[test]
+    fn coalesce_preserves_replay_state() {
+        // Replaying coalesce(batch) reaches the same graph as replaying batch.
+        let n = 30;
+        for seed in 0..4 {
+            let batches = cancelling_batches(n, 6, 12, 0.5, seed);
+            let mut g_full = DynamicGraph::new(n);
+            let mut g_net = DynamicGraph::new(n);
+            for batch in &batches {
+                for &u in batch {
+                    match u {
+                        Update::Insert(e) => g_full.insert(e).unwrap(),
+                        Update::Delete(e) => g_full.delete(e).unwrap(),
+                    }
+                }
+                for u in coalesce(batch) {
+                    match u {
+                        Update::Insert(e) => g_net.insert(e).unwrap(),
+                        Update::Delete(e) => g_net.delete(e).unwrap(),
+                    }
+                }
+                let sorted = |g: &DynamicGraph| {
+                    let mut es: Vec<Edge> = g.edges().collect();
+                    es.sort_unstable();
+                    es
+                };
+                assert_eq!(sorted(&g_full), sorted(&g_net));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_stream_partitions() {
+        let ups = churn_stream(20, 30, 50, 0.5, 11);
+        let chunks = chunk_stream(&ups, 16);
+        assert_eq!(chunks.iter().map(Vec::len).sum::<usize>(), ups.len());
+        assert!(chunks[..chunks.len() - 1].iter().all(|c| c.len() == 16));
+        let flat: Vec<Update> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, ups);
+        // k = 0 clamps to 1.
+        assert_eq!(chunk_stream(&ups, 0).len(), ups.len());
+    }
+
+    #[test]
+    fn burst_batches_are_hub_local_and_valid() {
+        let batches = burst_batches(25, 8, 10, 3);
+        assert_eq!(batches.len(), 8);
+        let flat: Vec<Update> = batches.iter().flatten().copied().collect();
+        replay(25, &flat); // panics if any batch breaks validity
+        for batch in &batches {
+            assert_eq!(batch.len(), 10);
+            // All edges of a burst share the hub vertex.
+            let e0 = batch[0].edge();
+            let shared: Vec<V> = [e0.u, e0.v]
+                .into_iter()
+                .filter(|&h| batch.iter().all(|u| u.edge().u == h || u.edge().v == h))
+                .collect();
+            assert!(!shared.is_empty(), "no common hub in {batch:?}");
+        }
+    }
+
+    #[test]
+    fn cancelling_batches_contain_cancelling_pairs() {
+        let batches = cancelling_batches(20, 10, 12, 0.6, 5);
+        let flat: Vec<Update> = batches.iter().flatten().copied().collect();
+        replay(20, &flat);
+        // At least one batch must net out shorter than it is.
+        assert!(batches.iter().any(|b| coalesce(b).len() < b.len()));
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub enum StatsThen {
     /// Records needed to perform a queued mutation, then resume the free
     /// loop.
     Mutate(MutateAction),
+    /// Batch prefetch wave 1: every endpoint of every queued update.
+    BatchEndpoints,
+    /// Batch prefetch wave 2: the mates of all matched endpoints; then the
+    /// queue starts draining.
+    BatchMates,
 }
 
 /// A queued matching mutation awaiting the stats of its participants.
@@ -213,6 +218,9 @@ pub enum Phase {
         /// Adjacency gathered so far, merged per vertex.
         got: HashMap<V, Vec<V>>,
     },
+    /// Batch drain paused at a send-budget boundary; resumes on
+    /// [`MatchMsg::BatchResume`].
+    BatchYield,
 }
 
 /// The per-update working memory.
@@ -263,6 +271,9 @@ pub struct Coordinator {
     pub layout: Layout,
     /// Section 4 mode: maintain counters + eliminate length-3 paths.
     pub three_halves: bool,
+    /// Per-round send budget `S` in words; the batch drain yields to the
+    /// next round rather than exceed it.
+    send_budget: usize,
     hist: VecDeque<(u64, HistEntry)>,
     next_seq: u64,
     last_seen: HashMap<MachineId, u64>,
@@ -274,16 +285,24 @@ pub struct Coordinator {
     pub phase: Phase,
     /// Per-update working memory.
     pub ctx: Ctx,
+    /// Updates of the in-flight batch still to drain. The stat cache in
+    /// [`Ctx::stat`] is carried from update to update within a batch (the
+    /// coordinator is the only writer, so cached records stay exact), which
+    /// is what turns per-update fetch round-trips into synchronous cache
+    /// hits.
+    queue: VecDeque<Update>,
     out: Vec<(MachineId, MatchMsg)>,
 }
 
 impl Coordinator {
-    /// Creates the coordinator for the given layout.
-    pub fn new(layout: Layout, three_halves: bool) -> Self {
+    /// Creates the coordinator for the given layout; `send_budget` is the
+    /// machine send cap `S` (in words) the batch drain must respect.
+    pub fn new(layout: Layout, three_halves: bool, send_budget: usize) -> Self {
         let base = layout.overflow_base();
         Coordinator {
             layout,
             three_halves,
+            send_budget,
             hist: VecDeque::new(),
             next_seq: 1,
             last_seen: HashMap::new(),
@@ -296,6 +315,7 @@ impl Coordinator {
             suspended: HashMap::new(),
             phase: Phase::Idle,
             ctx: Ctx::default(),
+            queue: VecDeque::new(),
             out: Vec::new(),
         }
     }
@@ -308,9 +328,20 @@ impl Coordinator {
         self.suspended.insert(v, count);
     }
 
-    /// True when no update is in flight.
+    /// True when no update or batch is in flight.
     pub fn is_idle(&self) -> bool {
-        matches!(self.phase, Phase::Idle)
+        matches!(self.phase, Phase::Idle) && self.queue.is_empty()
+    }
+
+    /// Records currently cached in per-update working memory (metered as
+    /// coordinator memory).
+    pub fn cache_len(&self) -> usize {
+        self.ctx.stat.len()
+    }
+
+    /// Batch updates still queued (metered as coordinator memory).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     // ---- history helpers -------------------------------------------------
@@ -485,7 +516,17 @@ impl Coordinator {
 
     /// Starts processing an injected update; returns outbound messages.
     pub fn start(&mut self, upd: Update) -> Vec<(MachineId, MatchMsg)> {
-        assert!(self.is_idle(), "update already in flight");
+        // Mirror of the recovery in `start_batch`: a non-idle state at
+        // injection time can only be a round-limit-aborted previous run.
+        // Per the simulator's record-don't-abort contract, that run's
+        // `Violation::RoundLimit` is the authoritative error signal;
+        // execution after it is best-effort (in-flight replies were
+        // dropped, so machine-side state may be inconsistent until callers
+        // acting on the violation reset the structure).
+        if !self.is_idle() {
+            self.phase = Phase::Idle;
+            self.queue.clear();
+        }
         self.ctx = Ctx {
             upd: Some(upd),
             ..Default::default()
@@ -496,6 +537,64 @@ impl Coordinator {
             Update::Delete(_) => self.fetch_stats(vec![e.u, e.v], StatsThen::DelPrimary),
         }
         std::mem::take(&mut self.out)
+    }
+
+    /// Starts an injected batch: prefetches every endpoint's record in one
+    /// shared wave (then the mates in a second), and drains the queue
+    /// back-to-back — consecutive updates whose records are cached process
+    /// in the same round with zero extra fetch round-trips. Section 3 mode
+    /// only: the 3/2 algorithm's counter commit reads pre-update snapshots
+    /// that assume one update per run.
+    pub fn start_batch(&mut self, updates: Vec<Update>) -> Vec<(MachineId, MatchMsg)> {
+        // External injections only arrive between runs; a non-idle state
+        // here means the previous run was aborted by the round-limit guard
+        // (its violation is already metered — the authoritative error
+        // signal under the simulator's record-don't-abort contract).
+        // Recover rather than panic; post-abort execution is best-effort.
+        if !self.is_idle() {
+            self.phase = Phase::Idle;
+            self.queue.clear();
+        }
+        assert!(
+            !self.three_halves,
+            "batched execution covers the Section 3 algorithm only"
+        );
+        if updates.is_empty() {
+            return Vec::new();
+        }
+        self.queue = updates.into();
+        self.ctx = Ctx::default();
+        let mut endpoints: Vec<V> = self
+            .queue
+            .iter()
+            .flat_map(|u| {
+                let e = u.edge();
+                [e.u, e.v]
+            })
+            .collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        self.fetch_stats(endpoints, StatsThen::BatchEndpoints);
+        std::mem::take(&mut self.out)
+    }
+
+    /// Pops the next queued batch update, carrying the stat cache over.
+    fn next_queued(&mut self) {
+        let Some(upd) = self.queue.pop_front() else {
+            self.phase = Phase::Idle;
+            return;
+        };
+        let stat = std::mem::take(&mut self.ctx.stat);
+        self.ctx = Ctx {
+            upd: Some(upd),
+            stat,
+            ..Default::default()
+        };
+        let e = upd.edge();
+        match upd {
+            Update::Insert(_) => self.fetch_stats(vec![e.u, e.v], StatsThen::InsPrimary),
+            Update::Delete(_) => self.fetch_stats(vec![e.u, e.v], StatsThen::DelPrimary),
+        }
     }
 
     /// Feeds one reply message; returns outbound messages.
@@ -728,6 +827,7 @@ impl Coordinator {
                     self.phase = Phase::AwaitCommitAdj { expect, got };
                 }
             }
+            (Phase::BatchYield, MatchMsg::BatchResume) => self.next_queued(),
             (phase, msg) => panic!("coordinator in {phase:?} got unexpected {msg:?}"),
         }
         std::mem::take(&mut self.out)
@@ -751,6 +851,26 @@ impl Coordinator {
             StatsThen::InsMates => self.insert_transitions(),
             StatsThen::DelPrimary => self.delete_probes(),
             StatsThen::Mutate(action) => self.run_mutation(action),
+            StatsThen::BatchEndpoints => {
+                // Wave 2: the mates of every matched endpoint, so the
+                // per-update InsMates fetches also hit the cache.
+                let mut mates: Vec<V> = self
+                    .queue
+                    .iter()
+                    .flat_map(|u| {
+                        let e = u.edge();
+                        [e.u, e.v]
+                    })
+                    .filter_map(|v| {
+                        let r = self.ctx.stat[&v];
+                        r.matched().then_some(r.mate)
+                    })
+                    .collect();
+                mates.sort_unstable();
+                mates.dedup();
+                self.fetch_stats(mates, StatsThen::BatchMates);
+            }
+            StatsThen::BatchMates => self.next_queued(),
         }
     }
 
@@ -1318,6 +1438,23 @@ impl Coordinator {
             self.send(m, MatchMsg::Refresh(h));
         }
         self.trim_hist();
-        self.phase = Phase::Idle;
+        if self.queue.is_empty() {
+            self.phase = Phase::Idle;
+        } else if 4 * self.out_words() < self.send_budget {
+            // Batch drain: chain straight into the next queued update. With
+            // a warm cache this happens within the same round.
+            self.next_queued();
+        } else {
+            // Nearing the send cap: yield and resume next round, so the
+            // combined drain never violates the per-round send budget.
+            self.send(dmpc_mpc::COORDINATOR, MatchMsg::BatchResume);
+            self.phase = Phase::BatchYield;
+        }
+    }
+
+    /// Words queued for sending in the current step.
+    fn out_words(&self) -> usize {
+        use dmpc_mpc::Payload;
+        self.out.iter().map(|(_, m)| m.size_words()).sum()
     }
 }

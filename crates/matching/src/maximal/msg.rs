@@ -1,6 +1,6 @@
 //! Messages, per-vertex records, annotations, and the update-history.
 
-use dmpc_graph::{Edge, V};
+use dmpc_graph::{Edge, Update, V};
 use dmpc_mpc::Payload;
 
 /// Sentinel for "no mate".
@@ -92,6 +92,13 @@ pub enum MatchMsg {
     Insert(Edge),
     /// Injected edge deletion.
     Delete(Edge),
+    /// Injected batch: the coordinator prefetches every endpoint's record
+    /// in one shared wave, then drains the updates back-to-back against the
+    /// warm cache (Section 3 mode only).
+    Batch(Vec<Update>),
+    /// Coordinator self-message: continue draining the batch queue next
+    /// round (sent when this round's outbound volume nears the send cap).
+    BatchResume,
 
     // --- coordinator <-> stats ---
     /// Ask for the records of up to two vertices.
@@ -256,6 +263,8 @@ impl Payload for MatchMsg {
         let hist_words = |h: &HistSlice| 4 * h.len();
         match self {
             MatchMsg::Insert(_) | MatchMsg::Delete(_) => 2,
+            MatchMsg::Batch(ups) => 1 + 2 * ups.len(),
+            MatchMsg::BatchResume => 1,
             MatchMsg::StatQuery(vs) => 1 + vs.len(),
             MatchMsg::StatReply(rs) => 1 + 4 * rs.len(),
             MatchMsg::StatSet(rs) => 1 + 4 * rs.len(),

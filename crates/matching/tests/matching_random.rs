@@ -218,3 +218,58 @@ fn rounds_stay_constant_across_sizes() {
         "rounds must be O(1): {worst:?}"
     );
 }
+
+#[test]
+fn batched_matching_cancellation_same_edge() {
+    // A batch with insert+delete of the same edge nets out; the final
+    // structure must audit clean against the ground truth.
+    let n = 10;
+    let params = DmpcParams::new(n, 30);
+    let mut alg = DmpcMaximalMatching::new(params);
+    let mut g = DynamicGraph::new(n);
+    let (e, f) = (Edge::new(0, 1), Edge::new(2, 3));
+    let batch = [
+        Update::Insert(e),
+        Update::Insert(f),
+        Update::Delete(e), // cancels the first insert
+    ];
+    for &u in &batch {
+        match u {
+            Update::Insert(x) => g.insert(x).unwrap(),
+            Update::Delete(x) => g.delete(x).unwrap(),
+        }
+    }
+    let bm = alg.apply_batch(&batch);
+    assert!(bm.clean(), "{} violations", bm.violations);
+    assert_eq!(bm.updates, 3);
+    alg.audit(&g).unwrap();
+    let m = alg.matching();
+    assert!(m.is_matched(2) && m.is_matched(3));
+    assert!(!m.is_matched(0) && !m.is_matched(1));
+}
+
+#[test]
+fn batched_matching_amortizes_rounds() {
+    // The shared prefetch + back-to-back drain must beat the looped default
+    // on amortized rounds per update.
+    let n = 64;
+    let params = DmpcParams::new(n, 3 * n);
+    let ups = streams::churn_stream(n, 2 * n, 192, 0.5, 17);
+    let mut batched = DmpcMaximalMatching::new(params);
+    let mut looped = DmpcMaximalMatching::new(params);
+    let mut bm = dmpc_mpc::BatchMetrics::default();
+    let mut lm = dmpc_mpc::BatchMetrics::default();
+    for batch in ups.chunks(64) {
+        bm.merge(&batched.apply_batch(batch));
+        lm.merge(&dmpc_core::apply_batch_looped(&mut looped, batch));
+    }
+    assert!(bm.clean(), "batched violations: {}", bm.violations);
+    let g = streams::replay(n, &ups);
+    batched.audit(&g).unwrap();
+    assert!(
+        bm.amortized_rounds() * 1.5 < lm.amortized_rounds(),
+        "expected >=1.5x round amortization: batched {:.2} vs looped {:.2}",
+        bm.amortized_rounds(),
+        lm.amortized_rounds()
+    );
+}

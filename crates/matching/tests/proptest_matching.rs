@@ -1,8 +1,9 @@
 //! Property tests: arbitrary valid update sequences through the Section 3
-//! and Section 4 matchings, with full audits every step.
+//! and Section 4 matchings, with full audits every step — plus batch-vs-
+//! sequential equivalence of `apply_batch`.
 
 use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
-use dmpc_graph::{DynamicGraph, Edge};
+use dmpc_graph::{DynamicGraph, Edge, Update};
 use dmpc_matching::{DmpcMaximalMatching, DmpcThreeHalves};
 use proptest::prelude::*;
 
@@ -58,5 +59,47 @@ proptest! {
         let params = DmpcParams::new(n, 36);
         let mut alg = DmpcThreeHalves::new(params);
         apply_ops(n, 36, &mut alg, &ops, |alg, g| alg.audit(g))?;
+    }
+
+    /// Batched execution preserves every Section 3 invariant: after each
+    /// batch, the full structural audit (validity, maximality, record
+    /// exactness vs the ground-truth graph) passes and the batch is model-
+    /// clean. Batches routinely contain an insert and a delete of the same
+    /// edge (ops are validity-filtered against the evolving graph, so
+    /// in-batch cancellation arises naturally).
+    #[test]
+    fn batched_maximal_matching_invariants(
+        ops in proptest::collection::vec((0u32..16, 0u32..16, any::<bool>()), 1..110),
+        k in 1usize..20
+    ) {
+        let n = 16usize;
+        let m_max = 40;
+        let params = DmpcParams::new(n, m_max);
+        let mut alg = DmpcMaximalMatching::new(params);
+        let mut g = DynamicGraph::new(n);
+        let mut stream: Vec<Update> = Vec::new();
+        for (a, b, ins) in ops {
+            if a == b { continue; }
+            let e = Edge::new(a, b);
+            if ins && !g.has_edge(e) && g.m() < m_max {
+                g.insert(e).unwrap();
+                stream.push(Update::Insert(e));
+            } else if !ins && g.has_edge(e) {
+                g.delete(e).unwrap();
+                stream.push(Update::Delete(e));
+            }
+        }
+        let mut truth = DynamicGraph::new(n);
+        for batch in stream.chunks(k) {
+            for &u in batch {
+                match u {
+                    Update::Insert(e) => truth.insert(e).unwrap(),
+                    Update::Delete(e) => truth.delete(e).unwrap(),
+                }
+            }
+            let bm = alg.apply_batch(batch);
+            prop_assert!(bm.clean(), "batch violations: {}", bm.violations);
+            alg.audit(&truth).map_err(TestCaseError::fail)?;
+        }
     }
 }

@@ -7,7 +7,7 @@
 use crate::machine::{Envelope, Machine};
 #[cfg(test)]
 use crate::machine::{Outbox, RoundCtx};
-use crate::metrics::{RoundMetrics, UpdateMetrics, Violation};
+use crate::metrics::{BatchMetrics, RoundMetrics, UpdateMetrics, Violation};
 use crate::parallel::step_machines;
 use crate::{MachineId, Payload};
 use std::collections::HashMap;
@@ -16,7 +16,9 @@ use std::collections::HashMap;
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
     /// Machine memory / per-round send & receive cap `S`, in words.
-    pub capacity_words: usize,
+    /// `None` disables capacity metering entirely (an explicitly unlimited
+    /// cluster — no cap arithmetic happens, so nothing can wrap).
+    pub capacity_words: Option<usize>,
     /// Safety limit on rounds per update (quiescence failure guard).
     pub max_rounds_per_update: usize,
     /// Record per-(src,dst) flows for the entropy metric (small overhead).
@@ -30,7 +32,7 @@ pub struct ClusterConfig {
 impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
-            capacity_words: usize::MAX,
+            capacity_words: None,
             max_rounds_per_update: 10_000,
             track_flows: false,
             parallel: false,
@@ -43,7 +45,7 @@ impl ClusterConfig {
     /// A config enforcing machine capacity `s` words.
     pub fn with_capacity(s: usize) -> Self {
         ClusterConfig {
-            capacity_words: s,
+            capacity_words: Some(s),
             ..Default::default()
         }
     }
@@ -76,8 +78,8 @@ impl<M: Machine> Cluster<M> {
         self.machines.len()
     }
 
-    /// The configured capacity `S`.
-    pub fn capacity_words(&self) -> usize {
+    /// The configured capacity `S` (`None` = unlimited).
+    pub fn capacity_words(&self) -> Option<usize> {
         self.cfg.capacity_words
     }
 
@@ -135,6 +137,30 @@ impl<M: Machine> Cluster<M> {
         metrics
     }
 
+    /// Queues many external messages at once; they are all delivered in the
+    /// first round of the next run (the batch seeds round 0 together).
+    pub fn inject_batch<I>(&mut self, injections: I)
+    where
+        I: IntoIterator<Item = (MachineId, M::Msg)>,
+    {
+        for (to, msg) in injections {
+            self.inject(to, msg);
+        }
+    }
+
+    /// Batch entry point: seeds every injection in round 0, drives the whole
+    /// batch to quiescence as *one* metered run, and reports the combined
+    /// cost amortized over `updates` logical updates — rounds, machines and
+    /// communication under the combined load, capacity violations included.
+    pub fn run_batch<I>(&mut self, injections: I, updates: usize) -> BatchMetrics
+    where
+        I: IntoIterator<Item = (MachineId, M::Msg)>,
+    {
+        self.inject_batch(injections);
+        let m = self.run_update();
+        BatchMetrics::from_run(updates, &m)
+    }
+
     /// Metrics of the most recent update.
     pub fn last_metrics(&self) -> &UpdateMetrics {
         &self.last_update
@@ -172,13 +198,15 @@ impl<M: Machine> Cluster<M> {
         }
         for (&m, &w) in &recv_words {
             rm.max_recv_words = rm.max_recv_words.max(w);
-            if w > self.cfg.capacity_words {
-                update.violations.push(Violation::RecvCap {
-                    machine: m,
-                    words: w,
-                    cap: self.cfg.capacity_words,
-                    round,
-                });
+            if let Some(cap) = self.cfg.capacity_words {
+                if w > cap {
+                    update.violations.push(Violation::RecvCap {
+                        machine: m,
+                        words: w,
+                        cap,
+                        round,
+                    });
+                }
             }
         }
 
@@ -212,27 +240,31 @@ impl<M: Machine> Cluster<M> {
         for (sender, envs) in outputs {
             let sent: usize = envs.iter().map(|e| e.msg.size_words()).sum();
             rm.max_send_words = rm.max_send_words.max(sent);
-            if sent > self.cfg.capacity_words {
-                update.violations.push(Violation::SendCap {
-                    machine: sender as MachineId,
-                    words: sent,
-                    cap: self.cfg.capacity_words,
-                    round,
-                });
+            if let Some(cap) = self.cfg.capacity_words {
+                if sent > cap {
+                    update.violations.push(Violation::SendCap {
+                        machine: sender as MachineId,
+                        words: sent,
+                        cap,
+                        round,
+                    });
+                }
             }
             self.pending.extend(envs);
         }
 
         // Memory accounting for the machines that acted this round.
-        for idx in stepped {
-            let words = self.machines[idx].memory_words();
-            if words > self.cfg.capacity_words {
-                update.violations.push(Violation::Memory {
-                    machine: idx as MachineId,
-                    words,
-                    cap: self.cfg.capacity_words,
-                    round,
-                });
+        if let Some(cap) = self.cfg.capacity_words {
+            for idx in stepped {
+                let words = self.machines[idx].memory_words();
+                if words > cap {
+                    update.violations.push(Violation::Memory {
+                        machine: idx as MachineId,
+                        words,
+                        cap,
+                        round,
+                    });
+                }
             }
         }
         rm
@@ -299,6 +331,27 @@ mod tests {
         // Injection itself is free; five relayed messages of one word each.
         assert_eq!(m.total_words, 5);
         assert!(m.clean());
+    }
+
+    #[test]
+    fn batch_injection_shares_rounds() {
+        // Two tokens run in the same quiescence run: rounds are the max of
+        // the two chains, not the sum, and the cost is amortized over k=2.
+        let mut c = relay_cluster(4, ClusterConfig::default());
+        let b = c.run_batch([(0, 5u64), (1, 3u64)], 2);
+        assert_eq!(b.updates, 2);
+        assert_eq!(b.rounds, 6); // max(6, 4), not 6 + 4
+        assert_eq!(b.total_words, 8); // 5 + 3 relayed words
+        assert!((b.amortized_rounds() - 3.0).abs() < 1e-9);
+        assert!(b.clean());
+
+        // The looped equivalent pays the rounds serially.
+        let mut c2 = relay_cluster(4, ClusterConfig::default());
+        let mut looped = BatchMetrics::default();
+        looped.absorb_update(&run_single_update(&mut c2, 0, 5));
+        looped.absorb_update(&run_single_update(&mut c2, 1, 3));
+        assert_eq!(looped.rounds, 10);
+        assert!(looped.amortized_rounds() > b.amortized_rounds());
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   Table 1 reports: **rounds**, **active machines per round**, and
 //!   **communication per round** — plus capacity-violation tracking and the
 //!   communication-entropy metric proposed in the paper's Section 8.
+//!   [`Cluster::run_batch`] seeds a whole batch of external envelopes in
+//!   round 0 and meters the combined quiescence run as one
+//!   [`metrics::BatchMetrics`] with per-update amortized costs.
 //! * [`parallel`] — a scoped-thread parallel stepping backend that is
 //!   bit-identical to the serial backend (verified by tests), so large
 //!   simulations use all host cores without changing observable behaviour.
@@ -64,7 +67,8 @@ pub mod parallel;
 pub use cluster::{Cluster, ClusterConfig};
 pub use machine::{Envelope, Machine, Outbox, Payload, RoundCtx};
 pub use metrics::{
-    entropy_bits, loglog_slope, AggregateMetrics, RoundMetrics, UpdateMetrics, Violation,
+    entropy_bits, loglog_slope, AggregateMetrics, BatchMetrics, RoundMetrics, UpdateMetrics,
+    Violation,
 };
 
 /// Identifier of a simulated machine (dense `0..mu`).

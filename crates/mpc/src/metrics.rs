@@ -121,6 +121,104 @@ pub fn entropy_bits<I: IntoIterator<Item = u64>>(weights: I) -> f64 {
         .sum::<f64>()
 }
 
+/// Cost of a *batch* of `k` edge updates driven as one unit of work: totals
+/// over every round the batch needed, plus the per-update amortized views
+/// the batch-dynamic literature reports (Nowicki–Onak, arXiv:2002.07800).
+///
+/// A batch may be executed as one quiescence run ([`crate::Cluster::run_batch`]),
+/// as several chunked runs, or as `k` looped single-update runs — the
+/// accounting is identical, so looped and genuinely-batched execution are
+/// directly comparable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchMetrics {
+    /// Updates the batch logically contains (the amortization denominator).
+    /// Updates cancelled inside the batch still count: the caller asked for
+    /// them, so they are free work the batch absorbed.
+    pub updates: usize,
+    /// Total synchronous rounds across the batch's runs.
+    pub rounds: usize,
+    /// Maximum over rounds of active machines (under the combined load).
+    pub max_active_machines: usize,
+    /// Maximum over rounds of words communicated (under the combined load).
+    pub max_words_per_round: usize,
+    /// Total words over all rounds.
+    pub total_words: usize,
+    /// Total messages over all rounds.
+    pub total_messages: usize,
+    /// Capacity violations observed under the combined load.
+    pub violations: usize,
+}
+
+impl BatchMetrics {
+    /// Wraps one quiescence run that processed `updates` logical updates.
+    pub fn from_run(updates: usize, m: &UpdateMetrics) -> Self {
+        let mut b = BatchMetrics {
+            updates,
+            ..Default::default()
+        };
+        b.absorb_run(m);
+        b
+    }
+
+    /// Folds one quiescence run's metrics into the batch totals without
+    /// changing the update count (used for chunked execution; adjust
+    /// [`BatchMetrics::updates`] separately).
+    pub fn absorb_run(&mut self, m: &UpdateMetrics) {
+        self.rounds += m.rounds;
+        self.max_active_machines = self.max_active_machines.max(m.max_active_machines);
+        self.max_words_per_round = self.max_words_per_round.max(m.max_words_per_round);
+        self.total_words += m.total_words;
+        self.total_messages += m.total_messages;
+        self.violations += m.violations.len();
+    }
+
+    /// Folds one single-update run into the totals *and* counts it as one
+    /// logical update (the looped-execution accounting).
+    pub fn absorb_update(&mut self, m: &UpdateMetrics) {
+        self.updates += 1;
+        self.absorb_run(m);
+    }
+
+    /// Merges another batch (e.g. successive chunks of a longer stream).
+    pub fn merge(&mut self, other: &BatchMetrics) {
+        self.updates += other.updates;
+        self.rounds += other.rounds;
+        self.max_active_machines = self.max_active_machines.max(other.max_active_machines);
+        self.max_words_per_round = self.max_words_per_round.max(other.max_words_per_round);
+        self.total_words += other.total_words;
+        self.total_messages += other.total_messages;
+        self.violations += other.violations;
+    }
+
+    /// Amortized rounds per update (0 for an empty batch).
+    pub fn amortized_rounds(&self) -> f64 {
+        ratio(self.rounds, self.updates)
+    }
+
+    /// Amortized communication (words) per update.
+    pub fn amortized_words(&self) -> f64 {
+        ratio(self.total_words, self.updates)
+    }
+
+    /// Amortized messages per update.
+    pub fn amortized_messages(&self) -> f64 {
+        ratio(self.total_messages, self.updates)
+    }
+
+    /// True if the batch respected every model constraint.
+    pub fn clean(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
 /// Worst-case (max) and total aggregates across a sequence of updates — the
 /// exact row format of the paper's Table 1.
 #[derive(Clone, Debug, Default)]
@@ -242,6 +340,58 @@ mod tests {
             .map(|i| ((1u64 << i) as f64, (1u64 << i) as f64))
             .collect();
         assert!((loglog_slope(&linear) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_metrics_absorb_and_merge() {
+        let u1 = UpdateMetrics {
+            rounds: 3,
+            max_active_machines: 5,
+            max_words_per_round: 100,
+            total_words: 150,
+            total_messages: 9,
+            ..Default::default()
+        };
+        let u2 = UpdateMetrics {
+            rounds: 7,
+            max_active_machines: 2,
+            max_words_per_round: 60,
+            total_words: 80,
+            total_messages: 4,
+            violations: vec![Violation::RoundLimit { limit: 8 }],
+            ..Default::default()
+        };
+        let mut b = BatchMetrics::from_run(4, &u1);
+        b.absorb_run(&u2);
+        assert_eq!(b.updates, 4);
+        assert_eq!(b.rounds, 10);
+        assert_eq!(b.max_active_machines, 5);
+        assert_eq!(b.max_words_per_round, 100);
+        assert_eq!(b.total_words, 230);
+        assert_eq!(b.violations, 1);
+        assert!(!b.clean());
+        assert!((b.amortized_rounds() - 2.5).abs() < 1e-9);
+        assert!((b.amortized_words() - 57.5).abs() < 1e-9);
+
+        let mut looped = BatchMetrics::default();
+        looped.absorb_update(&u1);
+        looped.absorb_update(&u2);
+        assert_eq!(looped.updates, 2);
+        assert_eq!(looped.rounds, 10);
+
+        let mut merged = b.clone();
+        merged.merge(&looped);
+        assert_eq!(merged.updates, 6);
+        assert_eq!(merged.rounds, 20);
+        assert_eq!(merged.total_messages, 26);
+    }
+
+    #[test]
+    fn batch_metrics_empty_is_zero() {
+        let b = BatchMetrics::default();
+        assert_eq!(b.amortized_rounds(), 0.0);
+        assert_eq!(b.amortized_messages(), 0.0);
+        assert!(b.clean());
     }
 
     #[test]

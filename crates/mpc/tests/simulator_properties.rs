@@ -77,6 +77,55 @@ proptest! {
         prop_assert_eq!(serial, parallel);
     }
 
+    /// Batched injection is backend-independent: on randomized batches the
+    /// parallel backend produces bit-identical `BatchMetrics` (and machine
+    /// states) to the serial one.
+    #[test]
+    fn batch_metrics_parallel_equals_serial(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), 0u8..24), 1..16),
+            1..6,
+        )
+    ) {
+        let machines = 12usize;
+        let run_batches = |parallel: bool| {
+            let cfg = ClusterConfig {
+                parallel,
+                threads: 4,
+                track_flows: true,
+                ..Default::default()
+            };
+            let mut c = Cluster::new(
+                (0..machines).map(|i| Router { acc: i as u64 }).collect::<Vec<_>>(),
+                cfg,
+            );
+            let mut per_batch = Vec::new();
+            for batch in &batches {
+                let injections: Vec<(MachineId, Packet)> = batch
+                    .iter()
+                    .map(|&(to, hops)| {
+                        ((to as usize % machines) as MachineId, Packet(hops as u64))
+                    })
+                    .collect();
+                let k = injections.len();
+                per_batch.push(c.run_batch(injections, k));
+            }
+            let states: Vec<u64> = (0..machines)
+                .map(|i| c.machine(i as MachineId).acc)
+                .collect();
+            (states, per_batch)
+        };
+        let serial = run_batches(false);
+        let parallel = run_batches(true);
+        prop_assert_eq!(&serial.0, &parallel.0);
+        prop_assert_eq!(&serial.1, &parallel.1);
+        // Sanity: the amortization denominator is the injected batch size.
+        for (bm, batch) in serial.1.iter().zip(&batches) {
+            prop_assert_eq!(bm.updates, batch.len());
+            prop_assert!(bm.clean());
+        }
+    }
+
     /// Token routing conserves hop counts: a token of h hops generates
     /// exactly h machine-to-machine messages.
     #[test]
