@@ -62,6 +62,65 @@ pub fn run_weighted<A: WeightedDynamicGraphAlgorithm>(
     agg
 }
 
+/// One wall-clock-timed batched replay: the model-level batch cost plus the
+/// real time the simulator needed and the peak resident-memory proxy.
+#[derive(Clone, Debug)]
+pub struct TimedRun {
+    /// Model-level cost of the whole stream.
+    pub batch: BatchMetrics,
+    /// Wall-clock seconds for the whole stream.
+    pub secs: f64,
+    /// Peak of [`DynamicGraphAlgorithm::resident_words`] sampled after
+    /// every batch (the RSS proxy — simulated words, not host bytes).
+    pub peak_resident_words: usize,
+}
+
+impl TimedRun {
+    /// Wall-clock updates per second.
+    pub fn updates_per_sec(&self) -> f64 {
+        per_sec(self.batch.updates as f64, self.secs)
+    }
+
+    /// Wall-clock simulator rounds per second.
+    pub fn rounds_per_sec(&self) -> f64 {
+        per_sec(self.batch.rounds as f64, self.secs)
+    }
+}
+
+fn per_sec(count: f64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        count / secs
+    } else {
+        0.0
+    }
+}
+
+/// Replays `ups` through `apply_batch` in chunks of `k` (like
+/// [`run_stream_batched`]) under a wall-clock timer, sampling the
+/// resident-memory proxy after every chunk.
+pub fn time_stream_batched<A: DynamicGraphAlgorithm + ?Sized>(
+    alg: &mut A,
+    ups: &[Update],
+    k: usize,
+) -> TimedRun {
+    let mut total = BatchMetrics::default();
+    let mut peak = alg.resident_words();
+    let mut secs = 0.0;
+    for batch in ups.chunks(k.max(1)) {
+        // The memory sampling between chunks walks machine state (O(n)), so
+        // it stays outside the timed region.
+        let start = std::time::Instant::now();
+        total.merge(&alg.apply_batch(batch));
+        secs += start.elapsed().as_secs_f64();
+        peak = peak.max(alg.resident_words());
+    }
+    TimedRun {
+        batch: total,
+        secs,
+        peak_resident_words: peak,
+    }
+}
+
 /// Table-1 style measurement of every algorithm at one size.
 pub struct Table1Row {
     /// Row label.

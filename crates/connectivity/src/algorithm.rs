@@ -8,7 +8,7 @@ use dmpc_core::{DmpcParams, DynamicGraphAlgorithm, WeightedDynamicGraphAlgorithm
 use dmpc_eulertour::indexed::CompId;
 use dmpc_graph::streams::coalesce;
 use dmpc_graph::{Edge, Update, Weight, V};
-use dmpc_mpc::{BatchMetrics, Cluster, ClusterConfig, MachineId, UpdateMetrics};
+use dmpc_mpc::{BatchMetrics, Cluster, ClusterConfig, ExecOptions, MachineId, UpdateMetrics};
 use std::collections::HashMap;
 
 /// Shared driver for plain connectivity and MST mode.
@@ -20,14 +20,22 @@ pub struct ConnDriver {
 
 impl ConnDriver {
     fn new(params: DmpcParams, mst_mode: bool) -> Self {
+        Self::with_exec(params, mst_mode, ExecOptions::default())
+    }
+
+    fn with_exec(params: DmpcParams, mst_mode: bool, exec: ExecOptions) -> Self {
         let machines = params.storage_machines();
         let block = params.n.div_ceil(machines).max(1);
         let machines = params.n.div_ceil(block); // machines actually used
         let progs = (0..machines as MachineId)
             .map(|id| ConnMachine::new(id, params.n, block, mst_mode))
             .collect();
+        // Flow tracking is on by default for drivers (the entropy bench
+        // relies on it); `exec` can override it (e.g. `ExecOptions::lean()`
+        // forces it off for timing runs).
         let mut cfg = ClusterConfig::with_capacity(params.capacity_words());
         cfg.track_flows = true;
+        let cfg = cfg.with_exec(exec);
         ConnDriver {
             cluster: Cluster::new(progs, cfg),
             params,
@@ -270,6 +278,14 @@ impl DmpcConnectivity {
         }
     }
 
+    /// New empty instance with explicit executor tuning (backend selection,
+    /// per-round recording) — behaviour is bit-identical across backends.
+    pub fn with_exec(params: DmpcParams, exec: ExecOptions) -> Self {
+        DmpcConnectivity {
+            driver: ConnDriver::with_exec(params, false, exec),
+        }
+    }
+
     /// Preprocess an initial edge set.
     pub fn bulk_load(&mut self, edges: &[Edge]) {
         let w: Vec<(Edge, Weight)> = edges.iter().map(|&e| (e, 1)).collect();
@@ -295,6 +311,10 @@ impl DmpcConnectivity {
 impl DynamicGraphAlgorithm for DmpcConnectivity {
     fn name(&self) -> &'static str {
         "dmpc-connectivity"
+    }
+
+    fn resident_words(&self) -> usize {
+        self.driver.cluster.resident_words()
     }
 
     fn insert(&mut self, e: Edge) -> UpdateMetrics {

@@ -1001,13 +1001,13 @@ impl Machine for ConnMachine {
     fn on_messages(
         &mut self,
         ctx: &RoundCtx,
-        inbox: Vec<Envelope<ConnMsg>>,
+        inbox: &mut Vec<Envelope<ConnMsg>>,
         out: &mut Outbox<ConnMsg>,
     ) {
         // Structural broadcasts apply before any other message in the same
         // round, so follow-up protocol steps see post-op state.
         let (applies, rest): (Vec<_>, Vec<_>) = inbox
-            .into_iter()
+            .drain(..)
             .partition(|env| matches!(env.msg, ConnMsg::Apply(_)));
         let mut candidates: Vec<Option<(Edge, Weight)>> = Vec::new();
         let mut path_replies: Vec<Option<(Edge, Weight)>> = Vec::new();

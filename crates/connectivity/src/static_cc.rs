@@ -67,10 +67,10 @@ impl Machine for LpMachine {
     fn on_messages(
         &mut self,
         _ctx: &RoundCtx,
-        inbox: Vec<Envelope<LpMsg>>,
+        inbox: &mut Vec<Envelope<LpMsg>>,
         out: &mut Outbox<LpMsg>,
     ) {
-        for env in inbox {
+        for env in inbox.drain(..) {
             match env.msg {
                 LpMsg::Start => {
                     let seeds: Vec<(V, V)> = self.verts.iter().map(|(&v, _)| (v, v)).collect();

@@ -65,6 +65,13 @@ pub trait DynamicGraphAlgorithm {
     fn apply_batch(&mut self, updates: &[Update]) -> BatchMetrics {
         apply_batch_looped(self, updates)
     }
+
+    /// Current total resident memory across the algorithm's machines, in
+    /// words — a peak-RSS proxy the wall-clock benchmarks sample between
+    /// batches. The default (0) opts out.
+    fn resident_words(&self) -> usize {
+        0
+    }
 }
 
 /// A fully-dynamic distributed algorithm on weighted graphs (the MST

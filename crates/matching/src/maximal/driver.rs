@@ -10,8 +10,8 @@ use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
 use dmpc_graph::matching::Matching;
 use dmpc_graph::{DynamicGraph, Edge, Update, V};
 use dmpc_mpc::{
-    BatchMetrics, Cluster, ClusterConfig, Envelope, Machine, MachineId, Outbox, RoundCtx,
-    UpdateMetrics, COORDINATOR,
+    BatchMetrics, Cluster, ClusterConfig, Envelope, ExecOptions, Machine, MachineId, Outbox,
+    RoundCtx, UpdateMetrics, COORDINATOR,
 };
 
 /// One machine of the matching cluster.
@@ -36,12 +36,12 @@ impl Machine for Role {
     fn on_messages(
         &mut self,
         _ctx: &RoundCtx,
-        inbox: Vec<Envelope<MatchMsg>>,
+        inbox: &mut Vec<Envelope<MatchMsg>>,
         out: &mut Outbox<MatchMsg>,
     ) {
         match self {
             Role::Coord(c) => {
-                for env in inbox {
+                for env in inbox.drain(..) {
                     let msgs = if env.from == Envelope::<MatchMsg>::EXTERNAL {
                         match env.msg {
                             MatchMsg::Insert(e) => c.start(Update::Insert(e)),
@@ -58,21 +58,21 @@ impl Machine for Role {
                 }
             }
             Role::Stats(s) => {
-                for env in inbox {
+                for env in inbox.drain(..) {
                     if let Some(r) = s.handle(env.msg) {
                         out.send(COORDINATOR, r);
                     }
                 }
             }
             Role::Storage(s) => {
-                for env in inbox {
+                for env in inbox.drain(..) {
                     if let Some(r) = s.handle(env.msg) {
                         out.send(COORDINATOR, r);
                     }
                 }
             }
             Role::Overflow(o) => {
-                for env in inbox {
+                for env in inbox.drain(..) {
                     if let Some(r) = o.handle(env.msg) {
                         out.send(COORDINATOR, r);
                     }
@@ -109,10 +109,24 @@ pub struct DmpcMaximalMatching {
 impl DmpcMaximalMatching {
     /// Creates an empty instance.
     pub fn new(params: DmpcParams) -> Self {
-        Self::with_mode(params, false)
+        Self::with_mode_exec(params, false, ExecOptions::default())
+    }
+
+    /// Creates an empty instance with explicit executor tuning (backend
+    /// selection, per-round recording) — bit-identical across backends.
+    pub fn with_exec(params: DmpcParams, exec: ExecOptions) -> Self {
+        Self::with_mode_exec(params, false, exec)
     }
 
     pub(crate) fn with_mode(params: DmpcParams, three_halves: bool) -> Self {
+        Self::with_mode_exec(params, three_halves, ExecOptions::default())
+    }
+
+    pub(crate) fn with_mode_exec(
+        params: DmpcParams,
+        three_halves: bool,
+        exec: ExecOptions,
+    ) -> Self {
         let layout = Layout::new(&params);
         let mut machines = Vec::with_capacity(layout.total_machines());
         machines.push(Role::Coord(Coordinator::new(
@@ -133,8 +147,12 @@ impl DmpcMaximalMatching {
         for _ in 0..layout.n_overflow {
             machines.push(Role::Overflow(OverflowMachine::default()));
         }
+        // Flow tracking is on by default for drivers (the entropy bench
+        // relies on it); `exec` can override it (e.g. `ExecOptions::lean()`
+        // forces it off for timing runs).
         let mut cfg = ClusterConfig::with_capacity(params.capacity_words());
         cfg.track_flows = true;
+        let cfg = cfg.with_exec(exec);
         DmpcMaximalMatching {
             cluster: Cluster::new(machines, cfg),
             layout,
@@ -369,6 +387,10 @@ impl DynamicGraphAlgorithm for DmpcMaximalMatching {
         } else {
             "dmpc-maximal-matching"
         }
+    }
+
+    fn resident_words(&self) -> usize {
+        self.cluster.resident_words()
     }
 
     fn insert(&mut self, e: Edge) -> UpdateMetrics {

@@ -85,12 +85,12 @@ impl Machine for MmMachine {
     fn on_messages(
         &mut self,
         ctx: &RoundCtx,
-        inbox: Vec<Envelope<MmMsg>>,
+        inbox: &mut Vec<Envelope<MmMsg>>,
         out: &mut Outbox<MmMsg>,
     ) {
         let mut proposals: BTreeMap<V, Vec<V>> = BTreeMap::new();
         let mut tick = false;
-        for env in inbox {
+        for env in inbox.drain(..) {
             match env.msg {
                 MmMsg::Tick => tick = true,
                 MmMsg::Propose { from, to } => proposals.entry(to).or_default().push(from),

@@ -3,14 +3,95 @@
 //! A [`Cluster`] owns the machines and the in-flight messages. Driving an
 //! update means injecting external envelopes and running rounds until no
 //! messages remain in flight; the executor meters every round.
+//!
+//! # Hot-path design
+//!
+//! Routing a round is a single stable linear-time sort of the pending
+//! envelope buffer into `(to, from, injection order)` order, after which
+//! every active machine's inbox is one contiguous slice — no per-round
+//! hash maps, no per-receiver vectors, no per-group comparison sort. All
+//! scratch (the pending/delivered double buffer, the counting-sort
+//! histogram and scatter target, the group index, per-worker inbox/outbox
+//! buffers) is owned by the cluster and reused across rounds, updates and
+//! batches, so a steady-state round performs **zero heap allocation** for
+//! routing (verified by an allocation-counting test). See
+//! `docs/ARCHITECTURE.md` ("Executor internals") for the full lifecycle
+//! and the determinism argument.
 
-use crate::machine::{Envelope, Machine};
-#[cfg(test)]
-use crate::machine::{Outbox, RoundCtx};
+use crate::machine::{Envelope, Machine, Payload as _};
 use crate::metrics::{BatchMetrics, RoundMetrics, UpdateMetrics, Violation};
-use crate::parallel::step_machines;
-use crate::{MachineId, Payload};
-use std::collections::HashMap;
+use crate::parallel::{step_scope, worker_task, Group, StepEnv, WorkerScratch};
+use crate::pool::WorkerPool;
+use crate::MachineId;
+
+/// Which machine-stepping backend drives a round. All three are
+/// bit-identical in observable behaviour (machine states and metrics);
+/// they differ only in wall-clock cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Step every active machine on the calling thread.
+    #[default]
+    Serial,
+    /// Legacy parallel backend: spawn scoped threads every round
+    /// (`std::thread::scope`). Kept for differential testing.
+    ScopeThreads,
+    /// Persistent worker pool: threads are created once per cluster and
+    /// reused across all rounds, updates and batches.
+    WorkerPool,
+}
+
+/// Executor tuning knobs, orthogonal to the DMPC model parameters. Drivers
+/// accept these so benches can select a backend or trim metering overhead
+/// without touching the algorithm's model configuration (capacity, round
+/// limits).
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// The stepping backend.
+    pub backend: Backend,
+    /// Thread count for parallel backends (0 = available parallelism).
+    pub threads: usize,
+    /// Record per-round detail in [`UpdateMetrics::per_round`].
+    pub record_per_round: bool,
+    /// Overrides `(src,dst)` flow tracking (the Section 8 entropy metric)
+    /// when `Some`; `None` leaves the config's own setting untouched, so
+    /// picking a backend never silently changes what gets metered. Flow
+    /// tracking costs a hash-map update per delivered message, so
+    /// timing-focused runs force it off via [`ExecOptions::lean`].
+    pub track_flows: Option<bool>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            backend: Backend::Serial,
+            threads: 0,
+            record_per_round: true,
+            track_flows: None,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Serial stepping with aggregates only — per-round detail and flow
+    /// tracking off. The fastest profile for long bench streams that never
+    /// look at per-round detail or entropy.
+    pub fn lean() -> Self {
+        ExecOptions {
+            record_per_round: false,
+            track_flows: Some(false),
+            ..Default::default()
+        }
+    }
+
+    /// The given parallel backend with `threads` workers (0 = all cores).
+    pub fn parallel(backend: Backend, threads: usize) -> Self {
+        ExecOptions {
+            backend,
+            threads,
+            ..Default::default()
+        }
+    }
+}
 
 /// Cluster configuration: the DMPC model parameters.
 #[derive(Clone, Debug)]
@@ -23,10 +104,14 @@ pub struct ClusterConfig {
     pub max_rounds_per_update: usize,
     /// Record per-(src,dst) flows for the entropy metric (small overhead).
     pub track_flows: bool,
-    /// Step machines on multiple threads (bit-identical to serial).
-    pub parallel: bool,
+    /// Machine-stepping backend (bit-identical across all choices).
+    pub backend: Backend,
     /// Thread count for parallel stepping (0 = available parallelism).
     pub threads: usize,
+    /// Record per-round detail in [`UpdateMetrics::per_round`]. Long churn
+    /// streams that only need aggregates can switch this off; `rounds` and
+    /// `total_words` are identical either way.
+    pub record_per_round: bool,
 }
 
 impl Default for ClusterConfig {
@@ -35,8 +120,9 @@ impl Default for ClusterConfig {
             capacity_words: None,
             max_rounds_per_update: 10_000,
             track_flows: false,
-            parallel: false,
+            backend: Backend::Serial,
             threads: 0,
+            record_per_round: true,
         }
     }
 }
@@ -49,27 +135,78 @@ impl ClusterConfig {
             ..Default::default()
         }
     }
+
+    /// Overlays executor tuning on this config. `track_flows` is only
+    /// touched when the options carry an explicit override.
+    pub fn with_exec(mut self, exec: ExecOptions) -> Self {
+        self.backend = exec.backend;
+        self.threads = exec.threads;
+        self.record_per_round = exec.record_per_round;
+        if let Some(flows) = exec.track_flows {
+            self.track_flows = flows;
+        }
+        self
+    }
 }
 
-/// A set of machines plus in-flight messages.
+/// A set of machines plus in-flight messages and the executor's reusable
+/// scratch state (see the module docs for the buffer lifecycle).
 pub struct Cluster<M: Machine> {
     machines: Vec<M>,
-    pending: Vec<Envelope<M::Msg>>,
     cfg: ClusterConfig,
-    /// Metrics of the most recent update.
-    last_update: UpdateMetrics,
     rounds_total: u64,
+    /// Messages queued for delivery at the start of the next round.
+    pending: Vec<Envelope<M::Msg>>,
+    /// Double buffer: swapped with `pending` each round, then sorted so
+    /// every inbox is a contiguous run.
+    delivered: Vec<Envelope<M::Msg>>,
+    /// Counting-sort scatter target (swapped with `delivered`).
+    sort_aux: Vec<Envelope<M::Msg>>,
+    /// Counting-sort histogram / offset table.
+    counts: Vec<usize>,
+    /// Active machines this round, each with its run in `delivered`.
+    groups: Vec<Group>,
+    /// Per-worker reusable buffers (index 0 doubles as the serial lane).
+    workers: Vec<WorkerScratch<M::Msg>>,
+    /// Persistent threads (only for [`Backend::WorkerPool`]).
+    pool: Option<WorkerPool>,
+    /// Resolved worker-thread count for parallel backends.
+    threads: usize,
 }
 
 impl<M: Machine> Cluster<M> {
-    /// Creates a cluster over the given machine programs.
+    /// Creates a cluster over the given machine programs. For
+    /// [`Backend::WorkerPool`] the worker threads are spawned here, once,
+    /// and reused for every subsequent round.
     pub fn new(machines: Vec<M>, cfg: ClusterConfig) -> Self {
+        let threads = match cfg.backend {
+            Backend::Serial => 1,
+            Backend::ScopeThreads | Backend::WorkerPool => {
+                if cfg.threads == 0 {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                } else {
+                    cfg.threads
+                }
+            }
+        };
+        let pool =
+            (cfg.backend == Backend::WorkerPool && threads > 1).then(|| WorkerPool::new(threads));
+        let mut workers = Vec::new();
+        workers.resize_with(threads.max(1), WorkerScratch::default);
         Cluster {
             machines,
-            pending: Vec::new(),
             cfg,
-            last_update: UpdateMetrics::default(),
             rounds_total: 0,
+            pending: Vec::new(),
+            delivered: Vec::new(),
+            sort_aux: Vec::new(),
+            counts: Vec::new(),
+            groups: Vec::new(),
+            workers,
+            pool,
+            threads,
         }
     }
 
@@ -111,7 +248,7 @@ impl<M: Machine> Cluster<M> {
     }
 
     /// Runs rounds until quiescence (no messages in flight) and returns the
-    /// update's metrics. Also retains them as [`Cluster::last_metrics`].
+    /// update's metrics.
     pub fn run_update(&mut self) -> UpdateMetrics {
         let mut metrics = UpdateMetrics::default();
         let mut round: u32 = 0;
@@ -130,10 +267,11 @@ impl<M: Machine> Cluster<M> {
             metrics.max_words_per_round = metrics.max_words_per_round.max(rm.words);
             metrics.total_words += rm.words;
             metrics.total_messages += rm.messages;
-            metrics.per_round.push(rm);
+            if self.cfg.record_per_round {
+                metrics.per_round.push(rm);
+            }
         }
         self.rounds_total += metrics.rounds as u64;
-        self.last_update = metrics.clone();
         metrics
     }
 
@@ -161,105 +299,136 @@ impl<M: Machine> Cluster<M> {
         BatchMetrics::from_run(updates, &m)
     }
 
-    /// Metrics of the most recent update.
-    pub fn last_metrics(&self) -> &UpdateMetrics {
-        &self.last_update
-    }
-
     /// Total rounds executed over the cluster's lifetime.
     pub fn rounds_total(&self) -> u64 {
         self.rounds_total
     }
 
-    /// Executes one synchronous round: deliver pending messages grouped by
-    /// receiver, step each receiver once, collect new outboxes.
-    fn step_round(&mut self, round: u32, update: &mut UpdateMetrics) -> RoundMetrics {
-        let delivered = std::mem::take(&mut self.pending);
+    /// Sum of every machine's resident memory, in words — the wall-clock
+    /// benchmarks' peak-RSS proxy (sampled between runs, not metered).
+    pub fn resident_words(&self) -> usize {
+        self.machines.iter().map(|m| m.memory_words()).sum()
+    }
 
-        // Group by receiver; deterministic order: stable sort by (to, from).
-        let mut inboxes: HashMap<MachineId, Vec<Envelope<M::Msg>>> = HashMap::new();
+    /// Executes one synchronous round: sorts pending messages into
+    /// contiguous per-receiver runs, steps each receiver once, collects the
+    /// new outboxes — all on reused scratch buffers.
+    fn step_round(&mut self, round: u32, update: &mut UpdateMetrics) -> RoundMetrics {
+        // `delivered` was left empty (with capacity) by the previous round;
+        // after the swap it holds this round's messages and `pending` is the
+        // empty buffer that will collect the next round's.
+        std::mem::swap(&mut self.pending, &mut self.delivered);
+        self.sort_delivered();
+
         let mut rm = RoundMetrics {
             round,
             ..Default::default()
         };
-        let mut recv_words: HashMap<MachineId, usize> = HashMap::new();
-        for env in delivered {
-            let w = env.msg.size_words();
-            // External injections are not machine-to-machine communication.
-            if env.from != Envelope::<M::Msg>::EXTERNAL {
-                rm.words += w;
-                rm.messages += 1;
-                *recv_words.entry(env.to).or_default() += w;
-                if self.cfg.track_flows {
-                    *update.flows.entry((env.from, env.to)).or_default() += w as u64;
+
+        // Walk the (to, from)-sorted runs: build the group index and meter
+        // receive volumes in one pass.
+        self.groups.clear();
+        let cap = self.cfg.capacity_words;
+        let mut i = 0usize;
+        while i < self.delivered.len() {
+            let to = self.delivered[i].to;
+            let start = i;
+            let mut recv = 0usize;
+            while i < self.delivered.len() && self.delivered[i].to == to {
+                let env = &self.delivered[i];
+                // External injections are not machine-to-machine traffic.
+                if env.from != Envelope::<M::Msg>::EXTERNAL {
+                    let w = env.msg.size_words();
+                    rm.words += w;
+                    rm.messages += 1;
+                    recv += w;
+                    if self.cfg.track_flows {
+                        *update.flows.entry((env.from, to)).or_default() += w as u64;
+                    }
                 }
+                i += 1;
             }
-            inboxes.entry(env.to).or_default().push(env);
-        }
-        for (&m, &w) in &recv_words {
-            rm.max_recv_words = rm.max_recv_words.max(w);
-            if let Some(cap) = self.cfg.capacity_words {
-                if w > cap {
+            rm.max_recv_words = rm.max_recv_words.max(recv);
+            if let Some(cap) = cap {
+                if recv > cap {
                     update.violations.push(Violation::RecvCap {
-                        machine: m,
-                        words: w,
+                        machine: to,
+                        words: recv,
                         cap,
                         round,
                     });
+                }
+            }
+            self.groups.push(Group {
+                machine: to,
+                start,
+                len: i - start,
+            });
+        }
+        rm.active_machines = self.groups.len();
+
+        // Step the active machines over contiguous group chunks.
+        let used = match self.cfg.backend {
+            Backend::Serial => 1,
+            Backend::ScopeThreads | Backend::WorkerPool => {
+                self.threads.min(self.groups.len()).max(1)
+            }
+        };
+        let env = StepEnv {
+            machines: self.machines.as_mut_ptr(),
+            n_machines: self.machines.len(),
+            workers: self.workers.as_mut_ptr(),
+            delivered: self.delivered.as_ptr(),
+            groups: &self.groups,
+            chunk: self.groups.len().div_ceil(used),
+            round,
+        };
+        // Release ownership of the delivered envelopes: each group slot is
+        // moved out exactly once by the worker that owns the group (see
+        // `worker_task`'s safety contract). A mid-step panic leaks the
+        // not-yet-read remainder, which is safe.
+        unsafe { self.delivered.set_len(0) };
+        if used == 1 {
+            // Fast lane for serial stepping (also covers 1-thread pools).
+            unsafe { worker_task(&env, 0) };
+        } else {
+            match self.cfg.backend {
+                Backend::Serial => unreachable!("serial uses one worker"),
+                Backend::ScopeThreads => step_scope(&env, used),
+                Backend::WorkerPool => {
+                    let pool = self.pool.as_mut().expect("pool exists when threads > 1");
+                    pool.execute(used, &|t| unsafe { worker_task(&env, t) });
                 }
             }
         }
 
-        // Deterministic processing order.
-        let mut groups: Vec<(usize, Vec<Envelope<M::Msg>>)> = inboxes
-            .into_iter()
-            .map(|(to, mut msgs)| {
-                msgs.sort_by_key(|e| e.from);
-                (to as usize, msgs)
-            })
-            .collect();
-        groups.sort_by_key(|g| g.0);
-        rm.active_machines = groups.len();
-
-        let n_machines = self.machines.len();
-        let threads = if self.cfg.parallel {
-            if self.cfg.threads == 0 {
-                std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1)
-            } else {
-                self.cfg.threads
-            }
-        } else {
-            1
-        };
-        let stepped: Vec<usize> = groups.iter().map(|g| g.0).collect();
-        let outputs = step_machines(&mut self.machines, groups, round, n_machines, threads);
-
-        // Send-cap accounting + new pending.
-        for (sender, envs) in outputs {
-            let sent: usize = envs.iter().map(|e| e.msg.size_words()).sum();
-            rm.max_send_words = rm.max_send_words.max(sent);
-            if let Some(cap) = self.cfg.capacity_words {
-                if sent > cap {
-                    update.violations.push(Violation::SendCap {
-                        machine: sender as MachineId,
-                        words: sent,
-                        cap,
-                        round,
-                    });
+        // Merge per-worker outputs in worker order (= ascending machine
+        // order), meter send volumes, and queue the next round.
+        for t in 0..used {
+            let w = &mut self.workers[t];
+            for &(machine, sent) in &w.sent {
+                rm.max_send_words = rm.max_send_words.max(sent);
+                if let Some(cap) = cap {
+                    if sent > cap {
+                        update.violations.push(Violation::SendCap {
+                            machine,
+                            words: sent,
+                            cap,
+                            round,
+                        });
+                    }
                 }
             }
-            self.pending.extend(envs);
+            self.pending.append(&mut w.out);
         }
 
         // Memory accounting for the machines that acted this round.
-        if let Some(cap) = self.cfg.capacity_words {
-            for idx in stepped {
-                let words = self.machines[idx].memory_words();
+        if let Some(cap) = cap {
+            for g in &self.groups {
+                let words = self.machines[g.machine as usize].memory_words();
                 if words > cap {
                     update.violations.push(Violation::Memory {
-                        machine: idx as MachineId,
+                        machine: g.machine,
                         words,
                         cap,
                         round,
@@ -268,6 +437,96 @@ impl<M: Machine> Cluster<M> {
             }
         }
         rm
+    }
+
+    /// Sorts `delivered` into `(to, from, injection order)` order — the
+    /// documented inbox order — using stable counting sorts on reused
+    /// scratch, O(messages + machines) per round, allocation-free in steady
+    /// state.
+    ///
+    /// By construction `delivered` is almost always already `from`-sorted
+    /// (outputs are merged in ascending machine order, injections are all
+    /// external), so the `from` pass is skipped after an O(n) check and a
+    /// round costs a single scatter pass by `to`. Stability is what makes
+    /// a radix sort correct here: ties on `(to, from)` must keep injection
+    /// order, which an unstable comparison sort on `(to, from)` would not.
+    fn sort_delivered(&mut self) {
+        let n = self.machines.len();
+        let from_bucket = |e: &Envelope<M::Msg>| {
+            if e.from == Envelope::<M::Msg>::EXTERNAL {
+                n
+            } else {
+                e.from as usize
+            }
+        };
+        let from_sorted = self
+            .delivered
+            .windows(2)
+            .all(|w| from_bucket(&w[0]) <= from_bucket(&w[1]));
+        if !from_sorted {
+            counting_sort_by(
+                &mut self.delivered,
+                &mut self.sort_aux,
+                &mut self.counts,
+                n + 1,
+                from_bucket,
+            );
+            std::mem::swap(&mut self.delivered, &mut self.sort_aux);
+        }
+        counting_sort_by(
+            &mut self.delivered,
+            &mut self.sort_aux,
+            &mut self.counts,
+            n,
+            |e| e.to as usize,
+        );
+        std::mem::swap(&mut self.delivered, &mut self.sort_aux);
+    }
+}
+
+/// Stable counting sort: moves every element of `src` into `dst` ordered by
+/// `key` (which must return values `< n_buckets`), preserving input order
+/// within a bucket. `counts` is the reused histogram/offset scratch; `dst`
+/// is cleared and refilled without shrinking its capacity.
+fn counting_sort_by<Msg>(
+    src: &mut Vec<Envelope<Msg>>,
+    dst: &mut Vec<Envelope<Msg>>,
+    counts: &mut Vec<usize>,
+    n_buckets: usize,
+    key: impl Fn(&Envelope<Msg>) -> usize,
+) {
+    let len = src.len();
+    counts.clear();
+    counts.resize(n_buckets, 0);
+    for e in src.iter() {
+        counts[key(e)] += 1;
+    }
+    // Histogram -> bucket start offsets.
+    let mut acc = 0usize;
+    for c in counts.iter_mut() {
+        let bucket = *c;
+        *c = acc;
+        acc += bucket;
+    }
+    dst.clear();
+    dst.reserve(len);
+    // SAFETY: counting-sort offsets form a permutation of 0..len, so every
+    // element of `src` is moved into a unique slot of `dst` exactly once.
+    // `src.set_len(0)` happens before the moves so nothing can double-drop;
+    // `key` is pure field access on already-counted elements and in-bounds
+    // by the histogram pass, so the loop cannot unwind mid-way.
+    unsafe {
+        src.set_len(0);
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        for i in 0..len {
+            let e = std::ptr::read(sp.add(i));
+            let b = key(&e);
+            let slot = counts[b];
+            counts[b] += 1;
+            std::ptr::write(dp.add(slot), e);
+        }
+        dst.set_len(len);
     }
 }
 
@@ -284,6 +543,7 @@ pub fn run_single_update<M: Machine>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::machine::{Outbox, RoundCtx};
 
     /// Relays a countdown token to the next machine until it hits zero.
     struct Relay {
@@ -297,10 +557,10 @@ mod tests {
         fn on_messages(
             &mut self,
             ctx: &RoundCtx,
-            inbox: Vec<Envelope<u64>>,
+            inbox: &mut Vec<Envelope<u64>>,
             out: &mut Outbox<u64>,
         ) {
-            for env in inbox {
+            for env in inbox.drain(..) {
                 self.seen += 1;
                 if env.msg > 0 {
                     let next = (self.id + 1) % ctx.n_machines as MachineId;
@@ -370,9 +630,10 @@ mod tests {
             fn on_messages(
                 &mut self,
                 ctx: &RoundCtx,
-                _i: Vec<Envelope<u64>>,
+                inbox: &mut Vec<Envelope<u64>>,
                 out: &mut Outbox<u64>,
             ) {
+                inbox.clear();
                 out.send(ctx.self_id, 1);
             }
         }
@@ -398,7 +659,7 @@ mod tests {
             fn on_messages(
                 &mut self,
                 _c: &RoundCtx,
-                inbox: Vec<Envelope<Vec<u64>>>,
+                inbox: &mut Vec<Envelope<Vec<u64>>>,
                 out: &mut Outbox<Vec<u64>>,
             ) {
                 if inbox[0].from == Envelope::<Vec<u64>>::EXTERNAL {
@@ -447,10 +708,10 @@ mod tests {
             fn on_messages(
                 &mut self,
                 ctx: &RoundCtx,
-                inbox: Vec<Envelope<u64>>,
+                inbox: &mut Vec<Envelope<u64>>,
                 out: &mut Outbox<u64>,
             ) {
-                for env in inbox {
+                for env in inbox.drain(..) {
                     if env.from == Envelope::<u64>::EXTERNAL {
                         out.broadcast(ctx.n_machines, 0);
                     }
@@ -462,5 +723,95 @@ mod tests {
         assert_eq!(m.rounds, 2);
         assert_eq!(m.max_active_machines, 7); // round 2: everyone but the hub
         assert_eq!(m.total_words, 7);
+    }
+
+    #[test]
+    fn record_per_round_off_keeps_aggregates_identical() {
+        let run = |record: bool| {
+            let cfg = ClusterConfig {
+                record_per_round: record,
+                ..Default::default()
+            };
+            let mut c = relay_cluster(4, cfg);
+            run_single_update(&mut c, 0, 9)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.per_round.len(), on.rounds);
+        assert!(off.per_round.is_empty());
+        assert_eq!(on.rounds, off.rounds);
+        assert_eq!(on.total_words, off.total_words);
+        assert_eq!(on.total_messages, off.total_messages);
+        assert_eq!(on.max_words_per_round, off.max_words_per_round);
+        assert_eq!(on.max_active_machines, off.max_active_machines);
+    }
+
+    #[test]
+    fn worker_pool_backend_matches_serial() {
+        let pool_cfg = ClusterConfig {
+            backend: Backend::WorkerPool,
+            threads: 3,
+            ..Default::default()
+        };
+        let mut serial = relay_cluster(6, ClusterConfig::default());
+        let mut pooled = relay_cluster(6, pool_cfg);
+        for hops in [7u64, 3, 11, 0, 5] {
+            let a = run_single_update(&mut serial, (hops % 6) as MachineId, hops);
+            let b = run_single_update(&mut pooled, (hops % 6) as MachineId, hops);
+            assert_eq!(a, b);
+        }
+        let a: Vec<u64> = serial.machines().map(|m| m.seen).collect();
+        let b: Vec<u64> = pooled.machines().map(|m| m.seen).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inbox_is_to_from_sorted_with_external_last() {
+        // Machine 2 fans out to 0 in the same round as an external
+        // injection to 0; machine 0 must see machine senders ascending,
+        // then the external message.
+        struct Log {
+            id: MachineId,
+            log: Vec<MachineId>,
+        }
+        impl Machine for Log {
+            type Msg = u64;
+            fn on_messages(
+                &mut self,
+                _ctx: &RoundCtx,
+                inbox: &mut Vec<Envelope<u64>>,
+                out: &mut Outbox<u64>,
+            ) {
+                for env in inbox.drain(..) {
+                    self.log.push(env.from);
+                    if env.msg == 1 {
+                        // Round 1: everyone messages machine 0.
+                        out.send(0, 0);
+                        if self.id == 3 {
+                            out.send(0, 0); // second message from the same sender
+                        }
+                    }
+                }
+            }
+        }
+        let mut c = Cluster::new(
+            (0..4)
+                .map(|id| Log {
+                    id,
+                    log: Vec::new(),
+                })
+                .collect(),
+            ClusterConfig::default(),
+        );
+        for m in 0..4 {
+            c.inject(m, 1);
+        }
+        c.run_update();
+        c.inject(0, 9); // quiesced; next run starts fresh
+        c.run_update();
+        let ext = Envelope::<u64>::EXTERNAL;
+        // Round 1: external injection. Round 2: senders 0..3 ascending with
+        // 3's two messages adjacent. Then the second update's injection.
+        assert_eq!(c.machine(0).log, vec![ext, 0, 1, 2, 3, 3, ext]);
     }
 }

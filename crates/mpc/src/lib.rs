@@ -16,9 +16,18 @@
 //!   [`Cluster::run_batch`] seeds a whole batch of external envelopes in
 //!   round 0 and meters the combined quiescence run as one
 //!   [`metrics::BatchMetrics`] with per-update amortized costs.
-//! * [`parallel`] — a scoped-thread parallel stepping backend that is
-//!   bit-identical to the serial backend (verified by tests), so large
-//!   simulations use all host cores without changing observable behaviour.
+//! * Parallel stepping backends — the legacy scoped-thread backend
+//!   ([`cluster::Backend::ScopeThreads`]) and a persistent worker pool
+//!   ([`pool::WorkerPool`], selected via [`cluster::Backend::WorkerPool`])
+//!   whose threads live as long as the cluster. Both are bit-identical to
+//!   the serial backend (verified by property tests), so large simulations
+//!   use all host cores without changing observable behaviour.
+//!
+//! The round executor's hot path is allocation-free in steady state: one
+//! stable counting sort groups each round's messages into contiguous
+//! per-receiver inbox slices, and every scratch buffer is owned by the
+//! [`Cluster`] and reused across rounds (see `docs/ARCHITECTURE.md`,
+//! "Executor internals").
 //!
 //! Units: memory and message sizes are counted in 64-bit **words**, the
 //! natural unit for the model's `O(sqrt(N))`-word machine memories.
@@ -42,8 +51,8 @@
 //! struct Hop;
 //! impl Machine for Hop {
 //!     type Msg = Token;
-//!     fn on_messages(&mut self, ctx: &RoundCtx, inbox: Vec<Envelope<Token>>, out: &mut Outbox<Token>) {
-//!         for env in inbox {
+//!     fn on_messages(&mut self, ctx: &RoundCtx, inbox: &mut Vec<Envelope<Token>>, out: &mut Outbox<Token>) {
+//!         for env in inbox.drain(..) {
 //!             if env.msg.0 > 0 {
 //!                 out.send((ctx.self_id + 1) % ctx.n_machines as u32, Token(env.msg.0 - 1));
 //!             }
@@ -63,13 +72,15 @@ pub mod cluster;
 pub mod machine;
 pub mod metrics;
 pub mod parallel;
+pub mod pool;
 
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Backend, Cluster, ClusterConfig, ExecOptions};
 pub use machine::{Envelope, Machine, Outbox, Payload, RoundCtx};
 pub use metrics::{
     entropy_bits, loglog_slope, AggregateMetrics, BatchMetrics, RoundMetrics, UpdateMetrics,
     Violation,
 };
+pub use pool::WorkerPool;
 
 /// Identifier of a simulated machine (dense `0..mu`).
 pub type MachineId = u32;

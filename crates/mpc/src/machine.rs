@@ -11,7 +11,7 @@ pub trait Payload: Send + Clone + std::fmt::Debug {
 }
 
 /// A routed message.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Envelope<M> {
     /// Sending machine, or [`Envelope::EXTERNAL`] for injected updates.
     pub from: MachineId,
@@ -40,24 +40,42 @@ pub struct RoundCtx {
 }
 
 /// Collects the messages a machine sends during one round.
+///
+/// An outbox is a *view* over an executor-owned envelope buffer: sends are
+/// appended directly to the buffer the executor later routes from, so a
+/// steady-state round performs no allocation for outbound messages, and
+/// [`Outbox::queued_words`] is a running counter (O(1), not a re-scan).
 #[derive(Debug)]
-pub struct Outbox<M> {
+pub struct Outbox<'a, M> {
     from: MachineId,
-    msgs: Vec<(MachineId, M)>,
+    sink: &'a mut Vec<Envelope<M>>,
+    base: usize,
+    words: usize,
 }
 
-impl<M: Payload> Outbox<M> {
-    pub(crate) fn new(from: MachineId) -> Self {
+impl<'a, M: Payload> Outbox<'a, M> {
+    /// Opens an outbox for `from` appending into `sink`. Only envelopes
+    /// appended through this view are attributed to `from`. Public so tests
+    /// and harnesses can drive machine programs without a cluster.
+    pub fn open(from: MachineId, sink: &'a mut Vec<Envelope<M>>) -> Self {
+        let base = sink.len();
         Outbox {
             from,
-            msgs: Vec::new(),
+            sink,
+            base,
+            words: 0,
         }
     }
 
     /// Sends `msg` to machine `to` (delivered at the start of the next
     /// round). Sending to self is allowed and keeps the machine active.
     pub fn send(&mut self, to: MachineId, msg: M) {
-        self.msgs.push((to, msg));
+        self.words += msg.size_words();
+        self.sink.push(Envelope {
+            from: self.from,
+            to,
+            msg,
+        });
     }
 
     /// Sends `msg` to every machine in `0..n` except the sender.
@@ -69,17 +87,15 @@ impl<M: Payload> Outbox<M> {
         }
     }
 
-    /// Total words queued so far (used for cap enforcement).
+    /// Total words queued by this machine so far this round (used for cap
+    /// enforcement). Maintained incrementally — O(1) per call.
     pub fn queued_words(&self) -> usize {
-        self.msgs.iter().map(|(_, m)| m.size_words()).sum()
+        self.words
     }
 
-    pub(crate) fn into_envelopes(self) -> Vec<Envelope<M>> {
-        let from = self.from;
-        self.msgs
-            .into_iter()
-            .map(|(to, msg)| Envelope { from, to, msg })
-            .collect()
+    /// Number of messages queued by this machine so far this round.
+    pub fn queued_messages(&self) -> usize {
+        self.sink.len() - self.base
     }
 }
 
@@ -94,10 +110,14 @@ pub trait Machine: Send {
 
     /// Handles this round's inbox. Messages are delivered sorted by
     /// `(from, insertion order)`, deterministically.
+    ///
+    /// The inbox is an executor-owned buffer lent for the duration of the
+    /// call; consume it with `inbox.drain(..)` (anything left behind is
+    /// discarded when the call returns — messages do not carry over).
     fn on_messages(
         &mut self,
         ctx: &RoundCtx,
-        inbox: Vec<Envelope<Self::Msg>>,
+        inbox: &mut Vec<Envelope<Self::Msg>>,
         out: &mut Outbox<Self::Msg>,
     );
 
@@ -134,22 +154,78 @@ mod tests {
 
     #[test]
     fn outbox_counts_words() {
-        let mut out: Outbox<Vec<u64>> = Outbox::new(3);
+        let mut sink: Vec<Envelope<Vec<u64>>> = Vec::new();
+        let mut out = Outbox::open(3, &mut sink);
         out.send(1, vec![1, 2, 3]);
         out.send(2, vec![9]);
         assert_eq!(out.queued_words(), 4);
-        let envs = out.into_envelopes();
-        assert_eq!(envs.len(), 2);
-        assert_eq!(envs[0].from, 3);
-        assert_eq!(envs[0].to, 1);
+        assert_eq!(out.queued_messages(), 2);
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink[0].from, 3);
+        assert_eq!(sink[0].to, 1);
+    }
+
+    #[test]
+    fn outbox_counter_consistent_under_interleaved_send_broadcast() {
+        // The running counter must agree with a from-scratch recomputation
+        // after every mutation, under interleaved send/broadcast traffic.
+        let mut sink: Vec<Envelope<Vec<u64>>> = Vec::new();
+        let mut out = Outbox::open(2, &mut sink);
+        let mut expect = 0usize;
+        for step in 0..20usize {
+            if step.is_multiple_of(3) {
+                let msg = vec![step as u64; (step % 5) + 1];
+                expect += msg.size_words();
+                out.send((step % 7) as MachineId, msg);
+            } else {
+                let msg = vec![7; (step % 2) + 1];
+                // Broadcast to 5 machines skips the sender (id 2).
+                expect += 4 * msg.size_words();
+                out.broadcast(5, msg);
+            }
+            let recomputed: usize = sink_words(&out);
+            assert_eq!(out.queued_words(), expect);
+            assert_eq!(out.queued_words(), recomputed);
+        }
+
+        fn sink_words(out: &Outbox<Vec<u64>>) -> usize {
+            out.sink[out.base..]
+                .iter()
+                .map(|e| e.msg.size_words())
+                .sum()
+        }
+    }
+
+    #[test]
+    fn outbox_view_attributes_only_own_sends() {
+        // Two successive outboxes over one sink: each counts only its own
+        // envelopes, and the sink accumulates both in order.
+        let mut sink: Vec<Envelope<u64>> = Vec::new();
+        {
+            let mut a = Outbox::open(0, &mut sink);
+            a.send(1, 10);
+            assert_eq!(a.queued_words(), 1);
+        }
+        {
+            let mut b = Outbox::open(1, &mut sink);
+            assert_eq!(b.queued_words(), 0);
+            assert_eq!(b.queued_messages(), 0);
+            b.send(0, 20);
+            b.send(0, 30);
+            assert_eq!(b.queued_words(), 2);
+            assert_eq!(b.queued_messages(), 2);
+        }
+        let route: Vec<(MachineId, MachineId, u64)> =
+            sink.iter().map(|e| (e.from, e.to, e.msg)).collect();
+        assert_eq!(route, vec![(0, 1, 10), (1, 0, 20), (1, 0, 30)]);
     }
 
     #[test]
     fn broadcast_skips_self() {
-        let mut out: Outbox<u64> = Outbox::new(1);
+        let mut sink: Vec<Envelope<u64>> = Vec::new();
+        let mut out = Outbox::open(1, &mut sink);
         out.broadcast(4, 7);
-        let envs = out.into_envelopes();
-        let targets: Vec<_> = envs.iter().map(|e| e.to).collect();
+        let targets: Vec<_> = sink.iter().map(|e| e.to).collect();
         assert_eq!(targets, vec![0, 2, 3]);
     }
 }

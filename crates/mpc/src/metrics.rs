@@ -50,7 +50,7 @@ pub enum Violation {
 }
 
 /// Per-round measurements.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RoundMetrics {
     /// Round number within the update (1-based).
     pub round: u32,
@@ -70,7 +70,7 @@ pub struct RoundMetrics {
 
 /// Measurements for one update (= one injected operation driven to
 /// quiescence).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct UpdateMetrics {
     /// Number of synchronous rounds the update needed.
     pub rounds: usize,

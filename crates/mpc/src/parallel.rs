@@ -1,104 +1,135 @@
-//! Parallel machine stepping.
+//! Machine stepping shared by every backend.
 //!
-//! One simulator round steps many independent machines; this module shards
-//! them across threads with `std::thread::scope`. Grouping is by *contiguous
-//! machine-index ranges*, which lets us hand each worker a disjoint
-//! `&mut [M]` slice safely (no locking on the hot path). Output order is the
-//! group order, so the parallel backend is bit-identical to the serial one —
-//! a property the test suite checks directly.
+//! One simulator round steps many independent machines. The round executor
+//! ([`crate::Cluster`]) sorts the round's envelopes by `(to, from)` so each
+//! active machine's inbox is one contiguous slice of the delivered buffer;
+//! this module turns those slices into `on_messages` calls.
+//!
+//! All three backends — serial, legacy scoped threads, persistent worker
+//! pool — run the *same* `worker_task` over contiguous chunks of the
+//! group list, writing into per-worker scratch (`WorkerScratch`) whose
+//! buffers the cluster owns and reuses across rounds. Because chunks cover
+//! disjoint machine-index ranges and disjoint delivered ranges, and outputs
+//! are merged in worker order, every backend produces bit-identical
+//! metrics and machine states — a property the test suite checks directly.
 
 use crate::machine::{Envelope, Machine, Outbox, RoundCtx};
 use crate::MachineId;
 
-/// Machines (by index) paired with their per-round envelope batches.
-type GroupedEnvelopes<Msg> = Vec<(usize, Vec<Envelope<Msg>>)>;
-
-/// Steps the machines named in `groups` (sorted by machine index, each with
-/// its inbox) and returns `(machine_index, outbound envelopes)` in group
-/// order. `threads == 1` runs serially.
-pub fn step_machines<M: Machine>(
-    machines: &mut [M],
-    groups: GroupedEnvelopes<M::Msg>,
-    round: u32,
-    n_machines: usize,
-    threads: usize,
-) -> GroupedEnvelopes<M::Msg> {
-    if groups.is_empty() {
-        return Vec::new();
-    }
-    debug_assert!(groups.windows(2).all(|w| w[0].0 < w[1].0), "groups sorted");
-
-    if threads <= 1 || groups.len() == 1 {
-        return groups
-            .into_iter()
-            .map(|(idx, inbox)| {
-                (
-                    idx,
-                    step_one(&mut machines[idx], idx, inbox, round, n_machines),
-                )
-            })
-            .collect();
-    }
-
-    // Partition groups into `threads` chunks of near-equal size; each chunk
-    // covers a contiguous index range so machine slices can be split.
-    let chunk_size = groups.len().div_ceil(threads);
-    let chunks: Vec<GroupedEnvelopes<M::Msg>> = {
-        let mut it = groups.into_iter().peekable();
-        let mut out = Vec::new();
-        while it.peek().is_some() {
-            out.push(it.by_ref().take(chunk_size).collect());
-        }
-        out
-    };
-
-    let mut results: Vec<GroupedEnvelopes<M::Msg>> = Vec::with_capacity(chunks.len());
-    for _ in 0..chunks.len() {
-        results.push(Vec::new());
-    }
-
-    std::thread::scope(|scope| {
-        let mut rest: &mut [M] = machines;
-        let mut offset = 0usize;
-        let mut handles = Vec::new();
-        for (chunk, slot) in chunks.into_iter().zip(results.iter_mut()) {
-            let hi = chunk.last().expect("non-empty chunk").0 + 1;
-            let (left, right) = rest.split_at_mut(hi - offset);
-            let base = offset;
-            rest = right;
-            offset = hi;
-            handles.push(scope.spawn(move || {
-                let mut local = Vec::with_capacity(chunk.len());
-                for (idx, inbox) in chunk {
-                    let m = &mut left[idx - base];
-                    local.push((idx, step_one(m, idx, inbox, round, n_machines)));
-                }
-                *slot = local;
-            }));
-        }
-        for h in handles {
-            h.join().expect("worker thread panicked");
-        }
-    });
-
-    results.into_iter().flatten().collect()
+/// One active machine's inbox this round: a contiguous range of the sorted
+/// delivered buffer.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Group {
+    /// The receiving machine.
+    pub machine: MachineId,
+    /// Start of its envelope run in the delivered buffer.
+    pub start: usize,
+    /// Length of the run.
+    pub len: usize,
 }
 
-fn step_one<M: Machine>(
-    machine: &mut M,
-    idx: usize,
-    inbox: Vec<Envelope<M::Msg>>,
-    round: u32,
-    n_machines: usize,
-) -> Vec<Envelope<M::Msg>> {
-    let ctx = RoundCtx {
-        self_id: idx as MachineId,
-        n_machines,
-        round,
-    };
-    let mut out = Outbox::new(idx as MachineId);
-    machine.on_messages(&ctx, inbox, &mut out);
-    out.into_envelopes()
+/// Per-worker reusable buffers. Owned by the cluster so steady-state rounds
+/// allocate nothing: `inbox` is lent to machines and drained, `out` is the
+/// outbox sink, `sent` records per-machine send volumes for cap metering.
+#[derive(Debug)]
+pub(crate) struct WorkerScratch<Msg> {
+    pub inbox: Vec<Envelope<Msg>>,
+    pub out: Vec<Envelope<Msg>>,
+    pub sent: Vec<(MachineId, usize)>,
+}
+
+impl<Msg> Default for WorkerScratch<Msg> {
+    fn default() -> Self {
+        WorkerScratch {
+            inbox: Vec::new(),
+            out: Vec::new(),
+            sent: Vec::new(),
+        }
+    }
+}
+
+/// Everything one round's stepping needs, shared across workers by
+/// reference. Machines, worker scratch and the delivered buffer are raw
+/// pointers because workers index disjoint ranges of them concurrently;
+/// the access discipline is documented on [`worker_task`].
+pub(crate) struct StepEnv<'a, M: Machine> {
+    pub machines: *mut M,
+    pub n_machines: usize,
+    pub workers: *mut WorkerScratch<M::Msg>,
+    /// The sorted delivered buffer. Ownership of every envelope in group
+    /// ranges has been released by the cluster (`set_len(0)`); exactly one
+    /// worker reads each slot, exactly once.
+    pub delivered: *const Envelope<M::Msg>,
+    pub groups: &'a [Group],
+    /// Groups per worker chunk (the last chunk may be short).
+    pub chunk: usize,
+    pub round: u32,
+}
+
+// SAFETY: shared across worker threads by reference. The raw pointers are
+// dereferenced only inside `worker_task`, which partitions all access by
+// worker index (see its safety contract); `M: Send` and `M::Msg: Send`
+// make moving that access across threads sound.
+unsafe impl<M: Machine> Sync for StepEnv<'_, M> {}
+
+impl<M: Machine> StepEnv<'_, M> {
+    /// The group range worker `t` owns.
+    fn group_range(&self, t: usize) -> (usize, usize) {
+        let lo = (t * self.chunk).min(self.groups.len());
+        let hi = ((t + 1) * self.chunk).min(self.groups.len());
+        (lo, hi)
+    }
+}
+
+/// Steps every group assigned to worker `t`: moves each group's envelopes
+/// out of the delivered buffer into the worker's inbox scratch, runs the
+/// machine with an outbox over the worker's output buffer, and records the
+/// per-machine send volume.
+///
+/// # Safety
+///
+/// Caller must guarantee, for the duration of the call:
+/// - `env.machines` / `env.workers` point to live arrays covering every
+///   machine index in `env.groups` and worker index `t`;
+/// - no two concurrent calls share a worker index or a machine index
+///   (group chunks are disjoint and machine-sorted, one call per `t`);
+/// - each envelope slot in a group range is read by exactly one call
+///   (the cluster has released ownership of all of them via `set_len(0)`),
+///   so the `ptr::read` here is the unique owner of each message.
+pub(crate) unsafe fn worker_task<M: Machine>(env: &StepEnv<'_, M>, t: usize) {
+    let (glo, ghi) = env.group_range(t);
+    let w = &mut *env.workers.add(t);
+    w.out.clear();
+    w.sent.clear();
+    for g in &env.groups[glo..ghi] {
+        w.inbox.clear();
+        for i in g.start..g.start + g.len {
+            w.inbox.push(std::ptr::read(env.delivered.add(i)));
+        }
+        let ctx = RoundCtx {
+            self_id: g.machine,
+            n_machines: env.n_machines,
+            round: env.round,
+        };
+        let machine = &mut *env.machines.add(g.machine as usize);
+        let mut out = Outbox::open(g.machine, &mut w.out);
+        machine.on_messages(&ctx, &mut w.inbox, &mut out);
+        w.sent.push((g.machine, out.queued_words()));
+        // Anything the machine left behind is discarded (documented on
+        // `Machine::on_messages`); clearing also keeps capacity for reuse.
+        w.inbox.clear();
+    }
+}
+
+/// Legacy parallel backend: spawn `used` scoped threads for this round and
+/// join them. Same task, same output discipline as the pool — kept for
+/// differential testing and as the zero-persistent-state option.
+pub(crate) fn step_scope<M: Machine>(env: &StepEnv<'_, M>, used: usize) {
+    std::thread::scope(|scope| {
+        for t in 0..used {
+            scope.spawn(move || unsafe { worker_task(env, t) });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -122,10 +153,10 @@ mod tests {
         fn on_messages(
             &mut self,
             ctx: &RoundCtx,
-            inbox: Vec<Envelope<Echo>>,
+            inbox: &mut Vec<Envelope<Echo>>,
             out: &mut Outbox<Echo>,
         ) {
-            for e in inbox {
+            for e in inbox.drain(..) {
                 self.total += e.msg.0;
                 out.send(
                     (ctx.self_id + 1) % ctx.n_machines as MachineId,
@@ -135,41 +166,57 @@ mod tests {
         }
     }
 
-    fn run(threads: usize) -> (Vec<u64>, Vec<(usize, u64)>) {
+    /// Runs one hand-built round through `worker_task` with the given
+    /// worker count, returning machine states and per-worker outputs
+    /// flattened in worker order.
+    fn run(threads: usize) -> (Vec<u64>, Vec<(MachineId, u64)>) {
         let mut machines: Vec<Doubler> = (0..64).map(|_| Doubler { total: 0 }).collect();
-        let groups: Vec<(usize, Vec<Envelope<Echo>>)> = (0..64)
-            .step_by(2)
-            .map(|i| {
-                (
-                    i,
-                    vec![Envelope {
-                        from: Envelope::<Echo>::EXTERNAL,
-                        to: i as MachineId,
-                        msg: Echo(i as u64 + 1),
-                    }],
-                )
-            })
-            .collect();
-        let out = step_machines(&mut machines, groups, 1, 64, threads);
-        let sends: Vec<(usize, u64)> = out
+        let mut delivered: Vec<Envelope<Echo>> = Vec::new();
+        let mut groups: Vec<Group> = Vec::new();
+        for i in (0..64usize).step_by(2) {
+            groups.push(Group {
+                machine: i as MachineId,
+                start: delivered.len(),
+                len: 1,
+            });
+            delivered.push(Envelope {
+                from: Envelope::<Echo>::EXTERNAL,
+                to: i as MachineId,
+                msg: Echo(i as u64 + 1),
+            });
+        }
+        let used = threads.min(groups.len()).max(1);
+        let chunk = groups.len().div_ceil(used);
+        let mut workers: Vec<WorkerScratch<Echo>> = Vec::new();
+        workers.resize_with(used, WorkerScratch::default);
+        let env = StepEnv {
+            machines: machines.as_mut_ptr(),
+            n_machines: 64,
+            workers: workers.as_mut_ptr(),
+            delivered: delivered.as_ptr(),
+            groups: &groups,
+            chunk,
+            round: 1,
+        };
+        // Release ownership of the delivered envelopes to the workers.
+        unsafe { delivered.set_len(0) };
+        if used == 1 {
+            unsafe { worker_task(&env, 0) };
+        } else {
+            step_scope(&env, used);
+        }
+        let outs: Vec<(MachineId, u64)> = workers
             .iter()
-            .map(|(idx, envs)| (*idx, envs[0].msg.0))
+            .flat_map(|w| w.out.iter().map(|e| (e.to, e.msg.0)))
             .collect();
-        (machines.iter().map(|m| m.total).collect(), sends)
+        (machines.iter().map(|m| m.total).collect(), outs)
     }
 
     #[test]
-    fn parallel_matches_serial() {
+    fn scope_matches_serial() {
         let serial = run(1);
         for threads in [2, 3, 8, 64] {
             assert_eq!(run(threads), serial, "threads={threads}");
         }
-    }
-
-    #[test]
-    fn empty_groups_ok() {
-        let mut machines: Vec<Doubler> = vec![];
-        let out = step_machines(&mut machines, vec![], 1, 0, 4);
-        assert!(out.is_empty());
     }
 }
