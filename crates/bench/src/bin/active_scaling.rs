@@ -1,0 +1,235 @@
+//! Active-machine scaling: does the structural-update footprint track the
+//! affected components' owner sets, or the cluster size P?
+//!
+//! **Why this exists.** The paper's Table 1 bounds connectivity updates by
+//! O(sqrt N) *active* machines. The pre-PR4 machine program broadcast every
+//! structural op to all P machines, so `max_active_machines` was Theta(P) on
+//! every link/cut — the one complexity column the repo could not reproduce.
+//! Component-owner multicast (PR 4) addresses structural ops, replacement
+//! searches and path-max queries only to the machines owning vertices of the
+//! affected components. This bin sweeps the machine count P in {4, 16, 64}
+//! at fixed n over a cluster-local churn stream (components confined to
+//! vertex ranges, so owner sets stay small as P grows) and compares the two
+//! routings: under broadcast the active footprint follows P; under multicast
+//! it follows the owner sets and stays flat.
+//!
+//! The machine capacity is scaled as Theta(N / P) when P is forced below
+//! the model's O(sqrt N) default — fewer machines must hold more state,
+//! exactly as the MPC model provisions them.
+//!
+//! Every run *asserts* the restored bound: each update touches at most
+//! `|owners(comp(u)) ∪ owners(comp(v))|` machines (the pre-update ground
+//! truth), never P. CI smoke-runs this bin at tiny sizes; the canonical
+//! numbers live in `BENCH_PR4.json` at the repo root.
+//!
+//! Usage: `active_scaling [n] [updates] [json-path]` (defaults: 256, 512,
+//! `BENCH_PR4.json`).
+
+use dmpc_connectivity::{DmpcConnectivity, Routing};
+use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
+use dmpc_graph::streams::{self, Update};
+use dmpc_mpc::{AggregateMetrics, ExecOptions};
+
+const CANON_N: usize = 256;
+const CANON_UPDATES: usize = 512;
+const SEED: u64 = 42;
+/// Machine counts swept at fixed n.
+const SWEEP_P: &[usize] = &[4, 16, 64];
+/// Clusters in the workload: components stay inside n/CLUSTERS-vertex
+/// ranges, so owner sets stay small regardless of P.
+const CLUSTERS: usize = 8;
+
+/// One routing's measurements at one machine count.
+struct Cell {
+    p: usize,
+    routing: &'static str,
+    agg: AggregateMetrics,
+    total_words: usize,
+    /// Structural updates only: worst/mean distinct machines touched.
+    structural: usize,
+    max_touched_structural: usize,
+    mean_touched_structural: f64,
+    /// Worst pre-update owner footprint seen on a structural update.
+    max_owner_union: usize,
+}
+
+fn run_cell(n: usize, p: usize, routing: Routing, ups: &[Update]) -> Cell {
+    // Forcing P below the model's O(sqrt N) machine count means each
+    // machine holds Theta(N / P) words; forcing it above means the *legacy
+    // broadcast* cell sends 16-word Applies to P-1 machines in one round.
+    // Provision capacity for both, so the sweep isolates the active-machine
+    // metric instead of manufacturing capacity violations.
+    let base = DmpcParams::new(n, 3 * n);
+    let mem_mult = 32 * base.storage_machines().div_ceil(p).max(1);
+    let fanout_mult = (16 * p).div_ceil(base.sqrt_n()) + 1;
+    let params = base.with_multiplier(mem_mult.max(fanout_mult));
+    let mut alg = DmpcConnectivity::with_cluster(params, ExecOptions::default(), routing, p);
+    let p_actual = alg.driver().n_machines();
+    let mut cell = Cell {
+        p: p_actual,
+        routing: match routing {
+            Routing::Multicast => "multicast",
+            Routing::Broadcast => "broadcast",
+        },
+        agg: AggregateMetrics::default(),
+        total_words: 0,
+        structural: 0,
+        max_touched_structural: 0,
+        mean_touched_structural: 0.0,
+        max_owner_union: 0,
+    };
+    for &u in ups {
+        let structural = alg.driver().is_structural(u);
+        let union = alg.driver().owner_footprint(u.edge());
+        let m = match u {
+            Update::Insert(e) => alg.insert(e),
+            Update::Delete(e) => alg.delete(e),
+        };
+        assert!(m.clean(), "violations at P={p_actual}: {:?}", m.violations);
+        if routing == Routing::Multicast {
+            // The restored Table-1 bound: the whole update footprint stays
+            // within the affected components' owner machines, not P.
+            assert!(
+                m.machines_touched <= union.len(),
+                "P={p_actual} {u:?}: touched {} machines, owner footprint {}",
+                m.machines_touched,
+                union.len()
+            );
+        }
+        if structural {
+            let k = cell.structural as f64;
+            cell.structural += 1;
+            cell.max_touched_structural = cell.max_touched_structural.max(m.machines_touched);
+            cell.mean_touched_structural =
+                (cell.mean_touched_structural * k + m.machines_touched as f64) / (k + 1.0);
+            cell.max_owner_union = cell.max_owner_union.max(union.len());
+        }
+        cell.total_words += m.total_words;
+        cell.agg.absorb(&m);
+    }
+    alg.driver().audit().expect("structural audit");
+    alg.driver().audit_directory().expect("directory audit");
+    cell
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        concat!(
+            "    {{\"p\": {}, \"routing\": \"{}\",\n",
+            "     \"max_active_machines\": {}, \"mean_active_machines\": {},\n",
+            "     \"max_machines_touched\": {}, \"mean_machines_touched\": {},\n",
+            "     \"structural_updates\": {}, \"max_touched_structural\": {}, ",
+            "\"mean_touched_structural\": {},\n",
+            "     \"max_owner_union\": {}, \"total_words\": {}, ",
+            "\"max_rounds\": {}, \"violations\": {}}}"
+        ),
+        c.p,
+        c.routing,
+        c.agg.max_active_machines,
+        json_f64(c.agg.mean_active_machines),
+        c.agg.max_machines_touched,
+        json_f64(c.agg.mean_machines_touched),
+        c.structural,
+        c.max_touched_structural,
+        json_f64(c.mean_touched_structural),
+        c.max_owner_union,
+        c.total_words,
+        c.agg.max_rounds,
+        c.agg.violations,
+    )
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(CANON_N);
+    let updates: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(CANON_UPDATES);
+    let json_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "BENCH_PR4.json".into());
+    let ups = streams::clustered_churn_stream(n, CLUSTERS, n / (2 * CLUSTERS), updates, 0.5, SEED);
+
+    println!(
+        "Active-machine scaling: n = {n}, {} cluster-local churn updates, {CLUSTERS} clusters\n",
+        ups.len()
+    );
+    println!(
+        "{:>4} | {:>9} | {:>10} | {:>11} | {:>14} | {:>15} | {:>11} | {:>9}",
+        "P",
+        "routing",
+        "max active",
+        "mean active",
+        "struct worst",
+        "struct mean tch",
+        "total words",
+        "max union"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &p in SWEEP_P {
+        for routing in [Routing::Broadcast, Routing::Multicast] {
+            let c = run_cell(n, p, routing, &ups);
+            println!(
+                "{:>4} | {:>9} | {:>10} | {:>11.2} | {:>14} | {:>15.2} | {:>11} | {:>9}",
+                c.p,
+                c.routing,
+                c.agg.max_active_machines,
+                c.agg.mean_active_machines,
+                c.max_touched_structural,
+                c.mean_touched_structural,
+                c.total_words,
+                c.max_owner_union,
+            );
+            cells.push(c);
+        }
+        // Broadcast's structural footprint tracks P; multicast's must not.
+        let bc = &cells[cells.len() - 2];
+        let mc = &cells[cells.len() - 1];
+        assert!(mc.max_touched_structural <= mc.max_owner_union + 1);
+        if bc.structural > 0 && bc.p >= 4 {
+            assert!(
+                mc.mean_touched_structural <= bc.mean_touched_structural,
+                "multicast must not touch more machines than broadcast at P={}",
+                bc.p
+            );
+        }
+    }
+
+    let rows: Vec<String> = cells.iter().map(cell_json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"active_scaling\",\n",
+            "  \"pr\": 4,\n",
+            "  \"n\": {},\n",
+            "  \"updates\": {},\n",
+            "  \"clusters\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"note\": \"cluster-local churn; components confined to n/clusters-vertex \
+             ranges so owner sets stay small as P grows. broadcast = legacy all-machine \
+             fan-out, multicast = component-owner directory routing (PR 4). \
+             machines_touched = distinct machines active across one update.\",\n",
+            "  \"cells\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        n,
+        ups.len(),
+        CLUSTERS,
+        SEED,
+        rows.join(",\n")
+    );
+    std::fs::write(&json_path, &json).expect("write active-scaling JSON");
+    println!("\nwrote {json_path}");
+}

@@ -1,7 +1,7 @@
 //! Drivers binding the connectivity/MST machine programs to the simulator,
 //! plus audits used by the test suite.
 
-use crate::machine::{ConnMachine, EntryKind, VertexState, BATCH_CTRL};
+use crate::machine::{ConnMachine, EntryKind, Routing, VertexState, BATCH_CTRL};
 use crate::messages::{BatchItem, ConnMsg};
 use crate::preprocess;
 use dmpc_core::{DmpcParams, DynamicGraphAlgorithm, WeightedDynamicGraphAlgorithm};
@@ -9,7 +9,7 @@ use dmpc_eulertour::indexed::CompId;
 use dmpc_graph::streams::coalesce;
 use dmpc_graph::{Edge, Update, Weight, V};
 use dmpc_mpc::{BatchMetrics, Cluster, ClusterConfig, ExecOptions, MachineId, UpdateMetrics};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Shared driver for plain connectivity and MST mode.
 pub struct ConnDriver {
@@ -24,11 +24,24 @@ impl ConnDriver {
     }
 
     fn with_exec(params: DmpcParams, mst_mode: bool, exec: ExecOptions) -> Self {
-        let machines = params.storage_machines();
+        Self::with_opts(params, mst_mode, exec, Routing::default(), None)
+    }
+
+    /// Full-control constructor: executor tuning, multicast/broadcast
+    /// routing, and an optional machine-count override (the `active_scaling`
+    /// bench sweeps P at fixed n; `None` uses the model's O(sqrt N) count).
+    fn with_opts(
+        params: DmpcParams,
+        mst_mode: bool,
+        exec: ExecOptions,
+        routing: Routing,
+        machines: Option<usize>,
+    ) -> Self {
+        let machines = machines.unwrap_or_else(|| params.storage_machines()).max(1);
         let block = params.n.div_ceil(machines).max(1);
         let machines = params.n.div_ceil(block); // machines actually used
         let progs = (0..machines as MachineId)
-            .map(|id| ConnMachine::new(id, params.n, block, mst_mode))
+            .map(|id| ConnMachine::with_routing(id, params.n, block, mst_mode, routing))
             .collect();
         // Flow tracking is on by default for drivers (the entropy bench
         // relies on it); `exec` can override it (e.g. `ExecOptions::lean()`
@@ -93,6 +106,12 @@ impl ConnDriver {
         self.cluster.n_machines()
     }
 
+    /// Iterate over the machine programs (state extraction and differential
+    /// tests — not part of the model).
+    pub fn machines(&self) -> impl Iterator<Item = &ConnMachine> {
+        self.cluster.machines()
+    }
+
     fn vertex_state(&self, v: V) -> &VertexState {
         self.cluster
             .machine(self.owner(v))
@@ -145,10 +164,122 @@ impl ConnDriver {
     /// paper's O(log n)-round distributed construction.
     pub fn bulk_load(&mut self, edges: &[(Edge, Weight)]) {
         let states = preprocess::build_states(self.params.n, edges);
+        let mut owner_sets: HashMap<CompId, BTreeSet<MachineId>> = HashMap::new();
+        for (v, st) in &states {
+            owner_sets
+                .entry(st.comp)
+                .or_default()
+                .insert(self.owner(*v));
+        }
         for (v, st) in states {
             let owner = self.owner(v);
             self.cluster.machine_mut(owner).load_vertex(v, st);
         }
+        // Install the owner directory at each component's root owner.
+        for (comp, set) in owner_sets {
+            let root = self.owner(comp as V);
+            self.cluster
+                .machine_mut(root)
+                .load_dir_entry(comp, set.into_iter().collect());
+        }
+    }
+
+    /// Ground-truth owner set of `v`'s component: every machine owning at
+    /// least one of its vertices (state probe for audits/benches, O(n) —
+    /// not part of the model).
+    pub fn true_owner_set(&self, v: V) -> Vec<MachineId> {
+        let comp = self.comp_of(v);
+        let mut set = BTreeSet::new();
+        for (mid, m) in self.cluster.machines().enumerate() {
+            if m.vertices().any(|(_, st)| st.comp == comp) {
+                set.insert(mid as MachineId);
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// The machines owning either endpoint's component — the pre-update
+    /// owner footprint a multicast-routed update is allowed to touch
+    /// (state probe for audits/benches; O(n)).
+    pub fn owner_footprint(&self, e: Edge) -> Vec<MachineId> {
+        let mut union = self.true_owner_set(e.u);
+        union.extend(self.true_owner_set(e.v));
+        union.sort_unstable();
+        union.dedup();
+        union
+    }
+
+    /// True when `u` is structural in the current state: a cross-component
+    /// insert (link) or a spanning-tree edge delete (cut). Non-structural
+    /// updates never move tour indexes or component ids.
+    pub fn is_structural(&self, u: Update) -> bool {
+        let e = u.edge();
+        match u {
+            Update::Insert(_) => self.comp_of(e.u) != self.comp_of(e.v),
+            Update::Delete(_) => self
+                .cluster
+                .machine(self.owner(e.u))
+                .vertex(e.u)
+                .and_then(|st| st.adj.get(&e.v))
+                .is_some_and(|&(kind, _)| matches!(kind, EntryKind::Tree { .. })),
+        }
+    }
+
+    /// Directory audit (tests): every stored owner set lives at its
+    /// component's root owner and equals *exactly* the set of machines
+    /// owning at least one live vertex of that component; every component
+    /// spanning two or more machines has an entry; single-machine
+    /// components rely on the implicit `{owner_of(comp)}` fallback, which
+    /// must also be exact.
+    pub fn audit_directory(&self) -> Result<(), String> {
+        let mut truth: HashMap<CompId, BTreeSet<MachineId>> = HashMap::new();
+        for (mid, m) in self.cluster.machines().enumerate() {
+            for (_, st) in m.vertices() {
+                truth.entry(st.comp).or_default().insert(mid as MachineId);
+            }
+        }
+        for (mid, m) in self.cluster.machines().enumerate() {
+            for (comp, owners) in m.directory() {
+                let root = self.owner(*comp as V);
+                if root != mid as MachineId {
+                    return Err(format!(
+                        "directory entry for comp {comp} stored at machine {mid}, \
+                         but its root owner is {root}"
+                    ));
+                }
+                if owners.len() < 2 {
+                    return Err(format!(
+                        "comp {comp}: stored owner set {owners:?} below the explicit-entry \
+                         threshold (singletons use the implicit fallback)"
+                    ));
+                }
+                let Some(expect) = truth.get(comp) else {
+                    return Err(format!("directory entry for dead comp {comp}"));
+                };
+                let expect: Vec<MachineId> = expect.iter().copied().collect();
+                if *owners != expect {
+                    return Err(format!(
+                        "comp {comp}: stored owner set {owners:?} != true set {expect:?}"
+                    ));
+                }
+            }
+        }
+        for (comp, set) in &truth {
+            let root = self.owner(*comp as V);
+            if set.len() >= 2 {
+                if !self.cluster.machine(root).directory().contains_key(comp) {
+                    return Err(format!(
+                        "comp {comp} spans machines {set:?} but its root owner {root} \
+                         has no directory entry"
+                    ));
+                }
+            } else if !set.contains(&root) {
+                return Err(format!(
+                    "comp {comp} lives only on {set:?} but the fallback names {root}"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Structural audit (tests): component labelling is consistent, index
@@ -286,6 +417,30 @@ impl DmpcConnectivity {
         }
     }
 
+    /// New empty instance with explicit structural-op routing. States and
+    /// query answers are bit-identical across routings; only the metered
+    /// active machines/communication differ (the differential-testing knob,
+    /// like the executor-backend trio).
+    pub fn with_routing(params: DmpcParams, exec: ExecOptions, routing: Routing) -> Self {
+        DmpcConnectivity {
+            driver: ConnDriver::with_opts(params, false, exec, routing, None),
+        }
+    }
+
+    /// New empty instance with an explicit machine count (the
+    /// `active_scaling` bench sweeps P at fixed n; the model default is
+    /// `params.storage_machines()`).
+    pub fn with_cluster(
+        params: DmpcParams,
+        exec: ExecOptions,
+        routing: Routing,
+        machines: usize,
+    ) -> Self {
+        DmpcConnectivity {
+            driver: ConnDriver::with_opts(params, false, exec, routing, Some(machines)),
+        }
+    }
+
     /// Preprocess an initial edge set.
     pub fn bulk_load(&mut self, edges: &[Edge]) {
         let w: Vec<(Edge, Weight)> = edges.iter().map(|&e| (e, 1)).collect();
@@ -371,6 +526,16 @@ impl DmpcMst {
         assert!(epsilon > 0.0);
         DmpcMst {
             driver: ConnDriver::new(params, true),
+            epsilon,
+        }
+    }
+
+    /// New empty instance with explicit structural-op routing (see
+    /// [`DmpcConnectivity::with_routing`]).
+    pub fn with_routing(params: DmpcParams, epsilon: f64, routing: Routing) -> Self {
+        assert!(epsilon > 0.0);
+        DmpcMst {
+            driver: ConnDriver::with_opts(params, true, ExecOptions::default(), routing, None),
             epsilon,
         }
     }

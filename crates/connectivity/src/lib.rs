@@ -9,13 +9,17 @@
 //!   and adjacency entries (tree entries carry their two tour indexes, the
 //!   paper's per-edge index annotation; non-tree entries carry a cached tour
 //!   index of the far endpoint used for O(1) side classification under cuts).
-//! * Every structural change is an O(1)-word broadcast of [`dmpc_eulertour::indexed::TourOp`]s
-//!   which each machine applies locally — O(1) rounds, O(sqrt N) active
-//!   machines, O(sqrt N) total communication per update, exactly the paper's
-//!   Table 1 rows 4 and 5.
+//! * Every structural change is an O(1)-word [`dmpc_eulertour::indexed::TourOp`]
+//!   payload **multicast to the affected components' owner machines** (the
+//!   component-owner directory; see `machine`), which each recipient applies
+//!   locally — O(1) rounds, O(sqrt N) active machines, O(sqrt N) total
+//!   communication per update, exactly the paper's Table 1 rows 4 and 5.
+//!   The legacy all-machine broadcast survives behind [`Routing::Broadcast`]
+//!   for differential testing; states are bit-identical across routings.
 //! * Tree-edge deletions trigger the paper's one-round replacement search:
-//!   every machine reports at most one candidate crossing edge to a
-//!   rendezvous machine named in the broadcast, which reconnects (choosing
+//!   every owner reports at most one candidate crossing edge (plus its
+//!   post-split side membership, which refines the directory) to a
+//!   rendezvous machine named in the multicast, which reconnects (choosing
 //!   the minimum-weight candidate in MST mode).
 //!
 //! Component ids equal the current *root vertex* of each tree, so machines
@@ -45,5 +49,6 @@ pub mod static_cc;
 pub mod static_mst;
 
 pub use algorithm::{DmpcConnectivity, DmpcMst};
+pub use machine::Routing;
 pub use static_cc::StaticCc;
 pub use static_mst::StaticMst;

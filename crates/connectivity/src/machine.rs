@@ -5,8 +5,52 @@
 //! vertex's Euler-tour index list, and its adjacency entries. Tree entries
 //! carry the edge's two tour indexes on this endpoint's side (the paper's
 //! per-edge annotation); non-tree entries carry one cached tour index of the
-//! far endpoint, kept valid under every broadcast op, so that cut-side
+//! far endpoint, kept valid under every structural op, so that cut-side
 //! classification is local.
+//!
+//! # The owner directory
+//!
+//! Structural ops (links, tree cuts) and replacement-edge searches only
+//! concern machines owning at least one vertex of the affected components,
+//! so the paper's Table 1 charges them O(sqrt N) *active* machines — not
+//! all P. To address them, the cluster maintains a **component-owner
+//! directory**: for every component, the machine owning its *root vertex*
+//! (derivable locally, because a component id is its root vertex id) holds
+//! the sorted set of machines owning >= 1 of its vertices. Components whose
+//! owner set is a single machine store nothing — the implicit fallback
+//! `{owner_of(comp)}` is exact, because a component confined to one machine
+//! is confined to its root's owner.
+//!
+//! Maintenance mirrors the structural flow that is already running:
+//!
+//! * **Links** merge: the initiator resolves both sides' sets (locally for
+//!   singletons and self-rooted components, otherwise via an O(1)-round
+//!   [`ConnMsg::DirFetch`] round-trip to the root owner), multicasts the
+//!   O(1)-word [`ConnMsg::Apply`] to the union, and installs the union at
+//!   the merged root owner ([`ConnMsg::DirStore`]) while dropping the
+//!   absorbed id ([`ConnMsg::DirDrop`]).
+//! * **Deleting cuts** refine: every owner's [`ConnMsg::CutReport`] to the
+//!   rendezvous carries which sides of the tour-interval split it still
+//!   owns, so when no replacement exists the rendezvous installs the two
+//!   refined sets. When a replacement *is* found, the re-link restores the
+//!   pre-cut component exactly, so the rendezvous hands the old set to the
+//!   link flow instead ([`ConnMsg::StartLink`] carries it) and no
+//!   refinement round is needed.
+//! * **MST swap cuts** (demote + immediate re-link) leave the owner set
+//!   unchanged, so the set resolved once for the path-max query rides along
+//!   the whole swap ([`ConnMsg::StartSwap`] / [`ConnMsg::NeedParentCut`]).
+//!
+//! Owner sets are O(sqrt N) words but only ever travel point-to-point; the
+//! multicast payloads stay O(1) words, keeping per-update communication at
+//! O(sqrt N) total. The legacy all-machine broadcast survives behind
+//! [`Routing::Broadcast`] for differential testing (like PR 3's backend
+//! trio): both routings run the identical protocol — broadcast merely
+//! over-addresses the multicasts, and the extra recipients no-op — so
+//! machine states are bit-identical while active-machine metrics differ.
+//!
+//! Machines never send messages to themselves: self-addressed protocol
+//! steps execute locally in the same round (local computation is free in
+//! the MPC model), which the metering test pins via the flow map.
 //!
 //! # Batched updates
 //!
@@ -34,7 +78,10 @@
 //! (phase 2, strictly later) can change components; phase 2 re-classifies
 //! each item on dispatch, so items demoted to non-structural by an earlier
 //! structural op (e.g. a cross-component insert whose components were
-//! merged by a previous link) still execute correctly.
+//! merged by a previous link) still execute correctly. The same
+//! serialization keeps directory fetches coherent: at most one structural
+//! op is in flight cluster-wide, so a fetched owner set cannot go stale
+//! before its flow finishes.
 
 use crate::messages::{BatchItem, ConnMsg, CutMode, StructBroadcast, VertexInfo};
 use dmpc_eulertour::indexed::{apply_op_to_vertex, map_reroot, CompId, TourOp};
@@ -45,6 +92,19 @@ use std::collections::{BTreeMap, VecDeque};
 
 /// The machine doubling as batch controller (id 0).
 pub const BATCH_CTRL: MachineId = 0;
+
+/// How structural multicasts are addressed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Routing {
+    /// Address structural ops, replacement searches and path-max queries
+    /// only to the affected components' owner machines (the directory).
+    #[default]
+    Multicast,
+    /// Legacy routing: send them to every machine. Kept behind this flag
+    /// for differential testing — states are bit-identical to multicast,
+    /// only the metered active machines/communication differ.
+    Broadcast,
+}
 
 /// Controller-side state of one in-flight batch.
 #[derive(Debug, Default)]
@@ -84,9 +144,9 @@ pub enum EntryKind {
 }
 
 /// Per-owned-vertex state.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VertexState {
-    /// Component id (= current root vertex of the tree).
+    /// Component id (= current root vertex of its tree).
     pub comp: CompId,
     /// Component size in vertices.
     pub size: u64,
@@ -125,25 +185,141 @@ impl VertexState {
     }
 }
 
+/// What [`ConnMachine::apply_struct`] learned while applying a structural op
+/// to the local shard.
+#[derive(Debug, Default)]
+struct ApplyOutcome {
+    /// Local best replacement candidate (searching cuts only).
+    best: Option<(Edge, Weight)>,
+    /// This machine still owns >= 1 vertex of the cut's surviving side.
+    owns_parent: bool,
+    /// This machine owns >= 1 vertex of the cut's detached side.
+    owns_child: bool,
+}
+
+/// Rendezvous-side state of an in-flight searching cut: the local apply
+/// outcome stashed until the remote [`ConnMsg::CutReport`]s arrive (they all
+/// arrive in the round after the multicast).
+#[derive(Debug)]
+struct PendingCut {
+    /// Surviving (parent) side component id.
+    comp: CompId,
+    /// Detached (child) side component id.
+    new_comp: CompId,
+    /// Pre-cut owner set (the multicast audience; also the merged set a
+    /// replacement link restores).
+    old_owners: Vec<MachineId>,
+    /// Remote Apply recipients; 0 finalizes immediately.
+    remote: usize,
+    /// The rendezvous' own apply outcome.
+    local: ApplyOutcome,
+    /// Part of a batch's structural phase.
+    batched: bool,
+}
+
+/// Rendezvous-side state of an in-flight MST path-max query.
+#[derive(Debug)]
+struct PendingMst {
+    /// Candidate new edge.
+    e: Edge,
+    /// Its weight.
+    w: Weight,
+    /// `f(x)` of the initiating endpoint (the non-tree cached index if the
+    /// tree is kept).
+    fx: TourIx,
+    /// The initiating endpoint.
+    x_v: V,
+    /// The component's owner set, resolved once and reused by the swap.
+    owners: Vec<MachineId>,
+    /// The rendezvous' own on-path maximum.
+    local_best: Option<(Edge, Weight)>,
+}
+
+/// A structural flow suspended on a directory fetch; resumed by the
+/// [`ConnMsg::DirReply`]. At most one structural op is in flight
+/// cluster-wide, so one slot suffices.
+#[derive(Debug)]
+enum FetchCont {
+    /// A cross-component insert waiting for one or both owner sets.
+    Link {
+        e: Edge,
+        w: Weight,
+        x: VertexInfo,
+        batched: bool,
+        /// Union of the sets resolved so far.
+        acc: Vec<MachineId>,
+        /// Outstanding DirReply count (1 or 2).
+        waiting: usize,
+    },
+    /// A tree cut waiting for the component's owner set.
+    Cut {
+        e: Edge,
+        parent: V,
+        fy: TourIx,
+        ly: TourIx,
+        mode: CutMode,
+        search: bool,
+        then_link: Option<(Edge, Weight)>,
+        batched: bool,
+    },
+    /// An MST intra-component insert waiting for the owner set before
+    /// multicasting the path-max query.
+    PathMax { e: Edge, w: Weight, x: VertexInfo },
+}
+
+/// One received [`ConnMsg::CutReport`]: (sender, best candidate,
+/// owns_parent, owns_child).
+type CutReportIn = (MachineId, Option<(Edge, Weight)>, bool, bool);
+
+/// Round-local accumulators threaded through message dispatch (the
+/// aggregation messages of one round fold into a single action).
+#[derive(Default)]
+struct RoundAcc {
+    /// This classifier's report to the controller.
+    report: BatchReportAcc,
+    /// Remote cut reports.
+    cut_reports: Vec<CutReportIn>,
+    /// Remote path-max replies.
+    path_replies: Vec<Option<(Edge, Weight)>>,
+}
+
 /// The connectivity/MST owner machine.
 pub struct ConnMachine {
     id: MachineId,
     block: usize,
     mst_mode: bool,
+    routing: Routing,
     verts: BTreeMap<V, VertexState>,
-    /// Pending MST path-max aggregation at the rendezvous:
-    /// (e, w, f(x), x's vertex id).
-    pending_mst: Option<(Edge, Weight, TourIx, V)>,
+    /// Owner directory shard: authoritative sets for components rooted in
+    /// this machine's block (entries only for sets of size >= 2; the
+    /// implicit fallback is `{owner_of(comp)}`).
+    dir: BTreeMap<CompId, Vec<MachineId>>,
+    /// Self-addressed messages executed locally within the same round.
+    local: VecDeque<ConnMsg>,
+    /// Structural flow suspended on a directory fetch.
+    pending_fetch: Option<FetchCont>,
+    /// In-flight searching cut at the rendezvous (this machine).
+    pending_cut: Option<PendingCut>,
+    /// In-flight MST path-max aggregation at the rendezvous.
+    pending_mst: Option<PendingMst>,
     /// Controller state of the in-flight batch (machine 0 only).
     batch: Option<BatchCtl>,
-    /// This machine initiated a batched cut and owes the controller a
-    /// completion signal if the replacement search comes up empty.
-    batch_cut_pending: bool,
 }
 
 impl ConnMachine {
     /// Creates the machine with its owned vertex block.
     pub fn new(id: MachineId, n_vertices: usize, block: usize, mst_mode: bool) -> Self {
+        Self::with_routing(id, n_vertices, block, mst_mode, Routing::default())
+    }
+
+    /// Creates the machine with an explicit multicast/broadcast routing.
+    pub fn with_routing(
+        id: MachineId,
+        n_vertices: usize,
+        block: usize,
+        mst_mode: bool,
+        routing: Routing,
+    ) -> Self {
         let lo = id as usize * block;
         let hi = ((id as usize + 1) * block).min(n_vertices);
         let verts = (lo..hi)
@@ -153,10 +329,14 @@ impl ConnMachine {
             id,
             block,
             mst_mode,
+            routing,
             verts,
+            dir: BTreeMap::new(),
+            local: VecDeque::new(),
+            pending_fetch: None,
+            pending_cut: None,
             pending_mst: None,
             batch: None,
-            batch_cut_pending: false,
         }
     }
 
@@ -165,17 +345,25 @@ impl ConnMachine {
         (v as usize / block) as MachineId
     }
 
-    /// Abort recovery: drops controller/rendezvous batch state left behind
+    /// Abort recovery: drops controller/rendezvous/fetch state left behind
     /// by a round-limit-aborted run, so later runs are not charged phantom
     /// memory for it. Called by the driver between runs (the in-machine
     /// reset in `handle_batch_start` covers the batch-after-batch case).
     pub fn clear_stale_batch(&mut self) {
         self.batch = None;
-        self.batch_cut_pending = false;
+        self.pending_cut = None;
+        self.pending_fetch = None;
+        self.pending_mst = None;
     }
 
     fn owner(&self, v: V) -> MachineId {
         Self::owner_of(v, self.block)
+    }
+
+    /// The machine holding `comp`'s directory entry: the owner of its root
+    /// vertex (a component id *is* its root vertex id).
+    fn root_owner(&self, comp: CompId) -> MachineId {
+        Self::owner_of(comp as V, self.block)
     }
 
     /// Read access for result extraction and audits (not part of the model).
@@ -188,9 +376,25 @@ impl ConnMachine {
         self.verts.iter()
     }
 
+    /// This machine's directory shard (audits/tests; not part of the model).
+    pub fn directory(&self) -> &BTreeMap<CompId, Vec<MachineId>> {
+        &self.dir
+    }
+
     /// Direct state injection for bulk loading during preprocessing.
     pub fn load_vertex(&mut self, v: V, st: VertexState) {
         self.verts.insert(v, st);
+    }
+
+    /// Direct directory injection for bulk loading during preprocessing.
+    /// Sets of size < 2 are dropped (implicit fallback).
+    pub fn load_dir_entry(&mut self, comp: CompId, owners: Vec<MachineId>) {
+        debug_assert_eq!(self.root_owner(comp), self.id, "entry at non-root owner");
+        if owners.len() >= 2 {
+            self.dir.insert(comp, owners);
+        } else {
+            self.dir.remove(&comp);
+        }
     }
 
     fn st(&self, v: V) -> &VertexState {
@@ -205,13 +409,70 @@ impl ConnMachine {
             .expect("vertex not owned by this machine")
     }
 
+    // ----- routing helpers ------------------------------------------------
+
+    /// Sends `msg` to `to`, executing locally (same round, free in the MPC
+    /// model) when `to` is this machine — no machine ever messages itself.
+    fn route(&mut self, to: MachineId, msg: ConnMsg, out: &mut Outbox<ConnMsg>) {
+        if to == self.id {
+            self.local.push_back(msg);
+        } else {
+            out.send(to, msg);
+        }
+    }
+
+    /// Remote multicast audience for an owner set: the set minus this
+    /// machine under [`Routing::Multicast`], every other machine under
+    /// [`Routing::Broadcast`].
+    fn audience(&self, owners: &[MachineId], ctx: &RoundCtx) -> Vec<MachineId> {
+        match self.routing {
+            Routing::Multicast => owners.iter().copied().filter(|&m| m != self.id).collect(),
+            Routing::Broadcast => (0..ctx.n_machines as MachineId)
+                .filter(|&m| m != self.id)
+                .collect(),
+        }
+    }
+
+    /// The directory's answer for `comp` at its root owner: the stored set,
+    /// or the implicit singleton-machine fallback.
+    fn dir_owners(&self, comp: CompId) -> Vec<MachineId> {
+        debug_assert_eq!(self.root_owner(comp), self.id, "lookup at non-root owner");
+        self.dir
+            .get(&comp)
+            .cloned()
+            .unwrap_or_else(|| vec![self.root_owner(comp)])
+    }
+
+    /// Resolves a component's owner set without communication when
+    /// possible: singleton components own exactly their root's owner, and
+    /// self-rooted components are answered from the local directory shard.
+    fn set_if_local(&self, comp: CompId, size: u64) -> Option<Vec<MachineId>> {
+        if size == 1 {
+            Some(vec![self.root_owner(comp)])
+        } else if self.root_owner(comp) == self.id {
+            Some(self.dir_owners(comp))
+        } else {
+            None
+        }
+    }
+
     // ----- protocol steps -------------------------------------------------
 
     fn handle_insert(&mut self, e: Edge, w: Weight, batched: bool, out: &mut Outbox<ConnMsg>) {
         let u = e.u;
         debug_assert!(!self.st(u).adj.contains_key(&e.v), "duplicate insert {e}");
         let x = self.st(u).info(u);
-        out.send(self.owner(e.v), ConnMsg::InsQuery { e, w, x, batched });
+        self.route(
+            self.owner(e.v),
+            ConnMsg::InsQuery {
+                e,
+                w,
+                x,
+                batched,
+                known_owners: None,
+            },
+            out,
+        );
     }
 
     /// Records the intra-component edge `e` as a non-tree entry at the
@@ -232,7 +493,7 @@ impl ConnMachine {
                 w,
             ),
         );
-        out.send(
+        self.route(
             owner_x,
             ConnMsg::AddNonTree {
                 e,
@@ -240,14 +501,107 @@ impl ConnMachine {
                 at: x.v,
                 cached_far: y_f,
             },
+            out,
         );
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_ins_query(
         &mut self,
         e: Edge,
         w: Weight,
         x: VertexInfo,
+        batched: bool,
+        known_owners: Option<Vec<MachineId>>,
+        ctx: &RoundCtx,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        let y = e.other(x.v);
+        let ys = self.st(y);
+        let (y_comp, y_size) = (ys.comp, ys.size);
+        if y_comp == x.comp {
+            // Intra-component edge.
+            if self.mst_mode {
+                debug_assert!(!batched, "MST mode has no batched path");
+                // Find the max-weight tree edge on the x..y path first; the
+                // query multicast needs the component's owner set.
+                match self.set_if_local(y_comp, y_size) {
+                    Some(owners) => self.launch_path_max(e, w, x, owners, ctx, out),
+                    None => {
+                        self.pending_fetch = Some(FetchCont::PathMax { e, w, x });
+                        out.send(self.root_owner(y_comp), ConnMsg::DirFetch { comp: y_comp });
+                    }
+                }
+            } else {
+                self.add_non_tree_pair(e, w, &x, out);
+                if batched {
+                    self.route(BATCH_CTRL, ConnMsg::BatchStructDone, out);
+                }
+            }
+        } else {
+            // Cross-component: resolve the union of both owner sets, then
+            // link. Replacement/swap links arrive with the union attached.
+            let union = match known_owners {
+                Some(u) => Some(u),
+                None => {
+                    let sx = self.set_if_local(x.comp, x.size);
+                    let sy = self.set_if_local(y_comp, y_size);
+                    match (sx, sy) {
+                        (Some(a), Some(b)) => Some(merge_sets(a, &b)),
+                        (sx, sy) => {
+                            let mut acc = Vec::new();
+                            let mut waiting = 0usize;
+                            match sx {
+                                Some(a) => acc = merge_sets(acc, &a),
+                                None => {
+                                    out.send(
+                                        self.root_owner(x.comp),
+                                        ConnMsg::DirFetch { comp: x.comp },
+                                    );
+                                    waiting += 1;
+                                }
+                            }
+                            match sy {
+                                Some(b) => acc = merge_sets(acc, &b),
+                                None => {
+                                    out.send(
+                                        self.root_owner(y_comp),
+                                        ConnMsg::DirFetch { comp: y_comp },
+                                    );
+                                    waiting += 1;
+                                }
+                            }
+                            self.pending_fetch = Some(FetchCont::Link {
+                                e,
+                                w,
+                                x,
+                                batched,
+                                acc,
+                                waiting,
+                            });
+                            None
+                        }
+                    }
+                }
+            };
+            if let Some(u) = union {
+                self.do_link(e, w, &x, u, batched, ctx, out);
+            }
+        }
+    }
+
+    /// Executes a cross-component link with the merged owner set resolved:
+    /// multicasts the Apply, applies locally, and installs the directory
+    /// update at the merged root owner.
+    // The parameters mirror the link flow's wire state one-to-one; a struct
+    // here would duplicate the InsQuery message shape.
+    #[allow(clippy::too_many_arguments)]
+    fn do_link(
+        &mut self,
+        e: Edge,
+        w: Weight,
+        x: &VertexInfo,
+        union: Vec<MachineId>,
         batched: bool,
         ctx: &RoundCtx,
         out: &mut Outbox<ConnMsg>,
@@ -255,69 +609,57 @@ impl ConnMachine {
         let y = e.other(x.v);
         let ys = self.st(y);
         let (y_comp, y_size, y_f, y_l) = (ys.comp, ys.size, ys.f(), ys.l());
-        if y_comp == x.comp {
-            // Intra-component edge.
-            if self.mst_mode {
-                debug_assert!(!batched, "MST mode has no batched path");
-                // Find the max-weight tree edge on the x..y path first.
-                self.pending_mst = Some((e, w, x.f, x.v));
-                let q = ConnMsg::PathMaxQuery {
-                    comp: y_comp,
-                    fx: x.f,
-                    lx: x.l,
-                    fy: y_f,
-                    ly: y_l,
-                    e,
-                    w,
-                    rendezvous: self.id,
-                };
-                for m in 0..ctx.n_machines as MachineId {
-                    out.send(m, q.clone());
-                }
-            } else {
-                self.add_non_tree_pair(e, w, &x, out);
-                if batched {
-                    out.send(BATCH_CTRL, ConnMsg::BatchStructDone);
-                }
-            }
-        } else {
-            // Cross-component: reroot y's tree at y, then link after f(x).
-            let reroot = if y_size > 1 && y_f != 1 {
-                Some(TourOp::Reroot {
-                    comp: y_comp,
-                    elen: 4 * (y_size - 1),
-                    l_y: y_l,
-                    y,
-                })
-            } else {
-                None
-            };
-            // Erratum fix: splice position 0 when x is the root of its tree.
-            let fx = if x.f <= 1 { 0 } else { x.f };
-            let main = TourOp::Link {
-                a: x.comp,
-                b: y_comp,
-                x: x.v,
+        // Reroot y's tree at y, then link after f(x).
+        let reroot = if y_size > 1 && y_f != 1 {
+            Some(TourOp::Reroot {
+                comp: y_comp,
+                elen: 4 * (y_size - 1),
+                l_y: y_l,
                 y,
-                fx,
-                elen_b: 4 * (y_size - 1),
-            };
-            let b = StructBroadcast {
-                reroot,
-                main,
-                merged_size: x.size + y_size,
-                x_after: 0,
-                edge: e,
-                weight: w,
-                cut_mode: CutMode::Remove,
-                rendezvous: None,
-            };
-            for m in 0..ctx.n_machines as MachineId {
-                out.send(m, ConnMsg::Apply(b));
-            }
-            if batched {
-                out.send(BATCH_CTRL, ConnMsg::BatchStructDone);
-            }
+            })
+        } else {
+            None
+        };
+        // Erratum fix: splice position 0 when x is the root of its tree.
+        let fx = if x.f <= 1 { 0 } else { x.f };
+        let main = TourOp::Link {
+            a: x.comp,
+            b: y_comp,
+            x: x.v,
+            y,
+            fx,
+            elen_b: 4 * (y_size - 1),
+        };
+        let b = StructBroadcast {
+            reroot,
+            main,
+            merged_size: x.size + y_size,
+            x_after: 0,
+            edge: e,
+            weight: w,
+            cut_mode: CutMode::Remove,
+            rendezvous: None,
+        };
+        for m in self.audience(&union, ctx) {
+            out.send(m, ConnMsg::Apply(b));
+        }
+        self.apply_struct(&b);
+        // Directory: the merged component keeps x's id; y's id is absorbed.
+        self.route(
+            self.root_owner(x.comp),
+            ConnMsg::DirStore {
+                comp: x.comp,
+                owners: union,
+            },
+            out,
+        );
+        self.route(
+            self.root_owner(y_comp),
+            ConnMsg::DirDrop { comp: y_comp },
+            out,
+        );
+        if batched {
+            self.route(BATCH_CTRL, ConnMsg::BatchStructDone, out);
         }
     }
 
@@ -331,16 +673,16 @@ impl ConnMachine {
         match kind {
             EntryKind::NonTree { .. } => {
                 self.st_mut(u).adj.remove(&e.v);
-                out.send(self.owner(e.v), ConnMsg::DelNonTree { e, at: e.v });
+                self.route(self.owner(e.v), ConnMsg::DelNonTree { e, at: e.v }, out);
                 if batched {
-                    out.send(BATCH_CTRL, ConnMsg::BatchStructDone);
+                    self.route(BATCH_CTRL, ConnMsg::BatchStructDone, out);
                 }
             }
             EntryKind::Tree { lo, hi } => {
                 if lo % 2 == 0 {
                     // u is the child: the parent's owner must compute the
-                    // surviving parent index, then broadcast.
-                    out.send(
+                    // surviving parent index, then multicast.
+                    self.route(
                         self.owner(e.v),
                         ConnMsg::NeedParentCut {
                             e,
@@ -351,11 +693,13 @@ impl ConnMachine {
                             search: true,
                             then_link: None,
                             batched,
+                            owners: None,
                         },
+                        out,
                     );
                 } else {
-                    // u is the parent: broadcast directly.
-                    self.broadcast_cut(
+                    // u is the parent: cut directly.
+                    self.start_cut(
                         e,
                         u,
                         lo + 1,
@@ -364,6 +708,7 @@ impl ConnMachine {
                         true,
                         None,
                         batched,
+                        None,
                         ctx,
                         out,
                     );
@@ -372,10 +717,11 @@ impl ConnMachine {
         }
     }
 
-    /// Builds and broadcasts a cut of tree edge `e` whose parent endpoint is
-    /// `parent` (owned by this machine) and whose child spans `fy..=ly`.
+    /// Begins a cut of tree edge `e` whose parent endpoint is `parent`
+    /// (owned by this machine) and whose child spans `fy..=ly`: resolves
+    /// the component's owner set (given, local, or fetched), then executes.
     #[allow(clippy::too_many_arguments)]
-    fn broadcast_cut(
+    fn start_cut(
         &mut self,
         e: Edge,
         parent: V,
@@ -385,16 +731,58 @@ impl ConnMachine {
         search: bool,
         then_link: Option<(Edge, Weight)>,
         batched: bool,
+        owners: Option<Vec<MachineId>>,
         ctx: &RoundCtx,
         out: &mut Outbox<ConnMsg>,
     ) {
-        if search && batched {
-            // The candidate aggregation (at this machine, the rendezvous)
-            // must tell the controller when no replacement link follows.
-            self.batch_cut_pending = true;
-        }
+        let owners = match owners {
+            Some(o) => o,
+            None => {
+                let comp = self.st(parent).comp;
+                if self.root_owner(comp) == self.id {
+                    self.dir_owners(comp)
+                } else {
+                    self.pending_fetch = Some(FetchCont::Cut {
+                        e,
+                        parent,
+                        fy,
+                        ly,
+                        mode,
+                        search,
+                        then_link,
+                        batched,
+                    });
+                    out.send(self.root_owner(comp), ConnMsg::DirFetch { comp });
+                    return;
+                }
+            }
+        };
+        self.do_cut(
+            e, parent, fy, ly, mode, search, then_link, batched, owners, ctx, out,
+        );
+    }
+
+    /// Executes a cut with the owner set resolved: multicasts the Apply,
+    /// applies locally, and arms the rendezvous aggregation (searching
+    /// cuts) or the follow-up link (MST swaps).
+    #[allow(clippy::too_many_arguments)]
+    fn do_cut(
+        &mut self,
+        e: Edge,
+        parent: V,
+        fy: TourIx,
+        ly: TourIx,
+        mode: CutMode,
+        search: bool,
+        then_link: Option<(Edge, Weight)>,
+        batched: bool,
+        owners: Vec<MachineId>,
+        ctx: &RoundCtx,
+        out: &mut Outbox<ConnMsg>,
+    ) {
         let child = e.other(parent);
         let ps = self.st(parent);
+        let comp = ps.comp;
         let span = (ly - fy + 1) + 2;
         let x_after = ps
             .idx
@@ -404,7 +792,7 @@ impl ConnMachine {
             .min()
             .unwrap_or(0);
         let main = TourOp::Cut {
-            comp: ps.comp,
+            comp,
             x: parent,
             y: child,
             fy,
@@ -421,31 +809,130 @@ impl ConnMachine {
             cut_mode: mode,
             rendezvous: if search { Some(self.id) } else { None },
         };
-        for m in 0..ctx.n_machines as MachineId {
+        let remote = self.audience(&owners, ctx);
+        for &m in &remote {
             out.send(m, ConnMsg::Apply(b));
         }
         if let Some((le, lw)) = then_link {
-            // The link's InsQuery is processed after the Apply broadcast in
-            // the same round (Apply messages are handled first).
-            out.send(
+            // An MST swap's re-link restores the pre-cut component, so the
+            // owner set rides along unchanged. The link's InsQuery is
+            // processed after the Apply in the same round at its owner
+            // (Apply messages are handled first).
+            self.route(
                 self.owner(le.u),
                 ConnMsg::StartLink {
                     e: le,
                     w: lw,
                     batched,
+                    owners: owners.clone(),
                 },
+                out,
             );
+        }
+        let outcome = self.apply_struct(&b);
+        if search {
+            let remote_n = remote.len();
+            self.pending_cut = Some(PendingCut {
+                comp,
+                new_comp: child,
+                old_owners: owners,
+                remote: remote_n,
+                local: outcome,
+                batched,
+            });
+            if remote_n == 0 {
+                self.finalize_cut(Vec::new(), out);
+            }
         }
     }
 
-    /// Applies a broadcast to all owned state; returns the local best
-    /// replacement candidate when the broadcast requests a search.
-    fn apply_broadcast(&mut self, b: &StructBroadcast) -> Option<(Edge, Weight)> {
+    /// Rendezvous: folds the round's remote [`ConnMsg::CutReport`]s with the
+    /// stashed local outcome — either launching the replacement link (which
+    /// restores the old owner set) or installing the refined split sets.
+    fn finalize_cut(&mut self, reports: Vec<CutReportIn>, out: &mut Outbox<ConnMsg>) {
+        let pc = self.pending_cut.take().expect("cut reports without a cut");
+        debug_assert!(reports.len() == pc.remote, "cut reports missing");
+        let best = reports
+            .iter()
+            .filter_map(|&(_, b, _, _)| b)
+            .chain(pc.local.best)
+            .map(|(e, w)| (w, e))
+            .min();
+        match best {
+            Some((w, e)) => {
+                self.route(
+                    self.owner(e.u),
+                    ConnMsg::StartLink {
+                        e,
+                        w,
+                        batched: pc.batched,
+                        owners: pc.old_owners,
+                    },
+                    out,
+                );
+            }
+            None => {
+                // No replacement: the component stays split. Refine the
+                // directory from the membership the reports carried.
+                let mut parent_owners = Vec::new();
+                let mut child_owners = Vec::new();
+                if pc.local.owns_parent {
+                    parent_owners.push(self.id);
+                }
+                if pc.local.owns_child {
+                    child_owners.push(self.id);
+                }
+                for &(m, _, op, oc) in &reports {
+                    if op {
+                        parent_owners.push(m);
+                    }
+                    if oc {
+                        child_owners.push(m);
+                    }
+                }
+                parent_owners.sort_unstable();
+                child_owners.sort_unstable();
+                self.route(
+                    self.root_owner(pc.comp),
+                    ConnMsg::DirStore {
+                        comp: pc.comp,
+                        owners: parent_owners,
+                    },
+                    out,
+                );
+                self.route(
+                    self.root_owner(pc.new_comp),
+                    ConnMsg::DirStore {
+                        comp: pc.new_comp,
+                        owners: child_owners,
+                    },
+                    out,
+                );
+                if pc.batched {
+                    self.route(BATCH_CTRL, ConnMsg::BatchStructDone, out);
+                }
+            }
+        }
+    }
+
+    /// Applies a structural op to all owned state; returns the local
+    /// replacement candidate and split-side membership (cuts).
+    fn apply_struct(&mut self, b: &StructBroadcast) -> ApplyOutcome {
         let mut best: Option<(Weight, Edge)> = None;
+        let mut outcome = ApplyOutcome::default();
         let verts: Vec<V> = self.verts.keys().copied().collect();
         for v in verts {
             let mut st = self.verts.remove(&v).unwrap();
             self.apply_to_vertex(v, &mut st, b, &mut best);
+            // Collect cut-side membership inline (`st.comp` is final here;
+            // the entry materialization below never changes comp ids).
+            if let TourOp::Cut { comp, new_comp, .. } = b.main {
+                if st.comp == comp {
+                    outcome.owns_parent = true;
+                } else if st.comp == new_comp {
+                    outcome.owns_child = true;
+                }
+            }
             self.verts.insert(v, st);
         }
         // Materialize the new/updated edge entries at owned endpoints.
@@ -525,7 +1012,8 @@ impl ConnMachine {
             },
             TourOp::Reroot { .. } => unreachable!("reroot is never a main op"),
         }
-        best.map(|(w, e)| (e, w))
+        outcome.best = best.map(|(w, e)| (e, w));
+        outcome
     }
 
     /// Applies the broadcast ops to one vertex's indexes, size, component id
@@ -696,19 +1184,59 @@ impl ConnMachine {
         }
     }
 
-    // The parameters mirror the PathMaxQuery wire-message fields one-to-one;
-    // bundling them into a struct here would just duplicate that message type.
-    #[allow(clippy::too_many_arguments)]
-    fn handle_path_max_query(
+    /// Multicasts the path-max query to the component's owner set, stashes
+    /// the local on-path maximum, and finishes immediately when this machine
+    /// is the only owner.
+    fn launch_path_max(
         &mut self,
+        e: Edge,
+        w: Weight,
+        x: VertexInfo,
+        owners: Vec<MachineId>,
+        ctx: &RoundCtx,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        let y = e.other(x.v);
+        let ys = self.st(y);
+        let (y_comp, y_f, y_l) = (ys.comp, ys.f(), ys.l());
+        let q = ConnMsg::PathMaxQuery {
+            comp: y_comp,
+            fx: x.f,
+            lx: x.l,
+            fy: y_f,
+            ly: y_l,
+            e,
+            w,
+            rendezvous: self.id,
+        };
+        let remote = self.audience(&owners, ctx);
+        for &m in &remote {
+            out.send(m, q.clone());
+        }
+        let local_best = self.local_path_max(y_comp, x.f, x.l, y_f, y_l);
+        self.pending_mst = Some(PendingMst {
+            e,
+            w,
+            fx: x.f,
+            x_v: x.v,
+            owners,
+            local_best,
+        });
+        if remote.is_empty() {
+            self.finish_path_max(Vec::new(), out);
+        }
+    }
+
+    /// The max-weight locally-owned tree edge on the path between the two
+    /// spans (ties broken toward the smaller edge for determinism).
+    fn local_path_max(
+        &self,
         comp: CompId,
         fx: TourIx,
         lx: TourIx,
         fy: TourIx,
         ly: TourIx,
-        rendezvous: MachineId,
-        out: &mut Outbox<ConnMsg>,
-    ) {
+    ) -> Option<(Edge, Weight)> {
         let mut best: Option<(Weight, Edge)> = None;
         for (&v, st) in &self.verts {
             if st.comp != comp {
@@ -726,8 +1254,6 @@ impl ConnMachine {
                     let contains_y = lo <= fy && ly <= hi;
                     if contains_x ^ contains_y {
                         let cand = (w, Edge::new(v, far));
-                        // Max weight; tie-break toward the smaller edge for
-                        // determinism.
                         let better = match best {
                             None => true,
                             Some((bw, be)) => w > bw || (w == bw && Edge::new(v, far) < be),
@@ -739,18 +1265,31 @@ impl ConnMachine {
                 }
             }
         }
-        out.send(
-            rendezvous,
-            ConnMsg::PathMaxReply {
-                best: best.map(|(w, e)| (e, w)),
-            },
-        );
+        best.map(|(w, e)| (e, w))
+    }
+
+    // The parameters mirror the PathMaxQuery wire-message fields one-to-one;
+    // bundling them into a struct here would just duplicate that message type.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_path_max_query(
+        &mut self,
+        comp: CompId,
+        fx: TourIx,
+        lx: TourIx,
+        fy: TourIx,
+        ly: TourIx,
+        rendezvous: MachineId,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        debug_assert_ne!(rendezvous, self.id, "the rendezvous answers locally");
+        let best = self.local_path_max(comp, fx, lx, fy, ly);
+        out.send(rendezvous, ConnMsg::PathMaxReply { best });
     }
 
     fn finish_path_max(&mut self, replies: Vec<Option<(Edge, Weight)>>, out: &mut Outbox<ConnMsg>) {
-        let (e, w, fx, x_v) = self.pending_mst.take().expect("no pending MST insert");
+        let p = self.pending_mst.take().expect("no pending MST insert");
         let mut best: Option<(Weight, Edge)> = None;
-        for r in replies.into_iter().flatten() {
+        for r in replies.into_iter().chain([p.local_best]).flatten() {
             let cand = (r.1, r.0);
             let better = match best {
                 None => true,
@@ -760,12 +1299,22 @@ impl ConnMachine {
                 best = Some(cand);
             }
         }
+        let (e, w, fx, x_v) = (p.e, p.w, p.fx, p.x_v);
         let y = e.other(x_v);
         match best {
             Some((dw, d)) if dw > w => {
                 // Swap: demote d, then link e. The demote must be initiated
-                // at d's parent endpoint owner.
-                out.send(self.owner(d.u), ConnMsg::StartSwap { d, e, w });
+                // at d's parent endpoint owner; the owner set rides along.
+                self.route(
+                    self.owner(d.u),
+                    ConnMsg::StartSwap {
+                        d,
+                        e,
+                        w,
+                        owners: p.owners,
+                    },
+                    out,
+                );
             }
             _ => {
                 // Keep the tree; e becomes a non-tree edge.
@@ -781,7 +1330,7 @@ impl ConnMachine {
                         w,
                     ),
                 );
-                out.send(
+                self.route(
                     self.owner(x_v),
                     ConnMsg::AddNonTree {
                         e,
@@ -789,6 +1338,7 @@ impl ConnMachine {
                         at: x_v,
                         cached_far,
                     },
+                    out,
                 );
             }
         }
@@ -799,6 +1349,7 @@ impl ConnMachine {
         d: Edge,
         e: Edge,
         w: Weight,
+        owners: Vec<MachineId>,
         ctx: &RoundCtx,
         out: &mut Outbox<ConnMsg>,
     ) {
@@ -809,7 +1360,7 @@ impl ConnMachine {
         };
         if lo % 2 == 0 {
             // u is the child; hand off to the parent's owner.
-            out.send(
+            self.route(
                 self.owner(d.v),
                 ConnMsg::NeedParentCut {
                     e: d,
@@ -820,10 +1371,12 @@ impl ConnMachine {
                     search: false,
                     then_link: Some((e, w)),
                     batched: false,
+                    owners: Some(owners),
                 },
+                out,
             );
         } else {
-            self.broadcast_cut(
+            self.start_cut(
                 d,
                 u,
                 lo + 1,
@@ -832,9 +1385,90 @@ impl ConnMachine {
                 false,
                 Some((e, w)),
                 false,
+                Some(owners),
                 ctx,
                 out,
             );
+        }
+    }
+
+    /// A replacement/StartLink insertion: the edge already exists as a
+    /// non-tree entry at both owners; re-run the insert query path with the
+    /// known owner set (the Apply handler converts the entries to tree
+    /// entries).
+    fn handle_insert_replacement(
+        &mut self,
+        e: Edge,
+        w: Weight,
+        batched: bool,
+        owners: Vec<MachineId>,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        let u = e.u;
+        let x = self.st(u).info(u);
+        self.route(
+            self.owner(e.v),
+            ConnMsg::InsQuery {
+                e,
+                w,
+                x,
+                batched,
+                known_owners: Some(owners),
+            },
+            out,
+        );
+    }
+
+    /// Resumes the structural flow suspended on a directory fetch.
+    fn handle_dir_reply(
+        &mut self,
+        comp: CompId,
+        owners: Vec<MachineId>,
+        ctx: &RoundCtx,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        let cont = self.pending_fetch.take().expect("DirReply without a fetch");
+        match cont {
+            FetchCont::Link {
+                e,
+                w,
+                x,
+                batched,
+                acc,
+                waiting,
+            } => {
+                let acc = merge_sets(acc, &owners);
+                if waiting == 1 {
+                    self.do_link(e, w, &x, acc, batched, ctx, out);
+                } else {
+                    self.pending_fetch = Some(FetchCont::Link {
+                        e,
+                        w,
+                        x,
+                        batched,
+                        acc,
+                        waiting: waiting - 1,
+                    });
+                }
+            }
+            FetchCont::Cut {
+                e,
+                parent,
+                fy,
+                ly,
+                mode,
+                search,
+                then_link,
+                batched,
+            } => {
+                debug_assert_eq!(self.st(parent).comp, comp);
+                self.do_cut(
+                    e, parent, fy, ly, mode, search, then_link, batched, owners, ctx, out,
+                );
+            }
+            FetchCont::PathMax { e, w, x } => {
+                self.launch_path_max(e, w, x, owners, ctx, out);
+            }
         }
     }
 
@@ -847,7 +1481,8 @@ impl ConnMachine {
         // here means the previous run was aborted by the round-limit guard
         // (its violation is already metered); drop it and start fresh.
         self.batch = None;
-        self.batch_cut_pending = false;
+        self.pending_cut = None;
+        self.pending_fetch = None;
         if items.is_empty() {
             return;
         }
@@ -860,7 +1495,7 @@ impl ConnMachine {
                 .push(item);
         }
         for (m, items) in by_owner {
-            out.send(m, ConnMsg::BatchClassify { items });
+            self.route(m, ConnMsg::BatchClassify { items }, out);
         }
         self.batch = Some(BatchCtl {
             expect,
@@ -869,8 +1504,9 @@ impl ConnMachine {
     }
 
     /// Owner: classify this machine's share of the batch. Non-tree deletes
-    /// execute on the spot; inserts are forwarded to the far owner for the
-    /// component comparison; tree deletes are reported structural.
+    /// execute on the spot; inserts are forwarded to the far endpoint's
+    /// owner for the component comparison; tree deletes are reported
+    /// structural.
     fn handle_batch_classify(
         &mut self,
         items: Vec<BatchItem>,
@@ -885,7 +1521,7 @@ impl ConnMachine {
                         "duplicate insert {e} in batch"
                     );
                     let x = self.st(e.u).info(e.u);
-                    out.send(
+                    self.route(
                         self.owner(e.v),
                         ConnMsg::BatchInsClassify {
                             e,
@@ -893,6 +1529,7 @@ impl ConnMachine {
                             x,
                             seq: item.seq,
                         },
+                        out,
                     );
                 }
                 Update::Delete(e) => {
@@ -904,7 +1541,7 @@ impl ConnMachine {
                     match kind {
                         EntryKind::NonTree { .. } => {
                             self.st_mut(e.u).adj.remove(&e.v);
-                            out.send(self.owner(e.v), ConnMsg::DelNonTree { e, at: e.v });
+                            self.route(self.owner(e.v), ConnMsg::DelNonTree { e, at: e.v }, out);
                             report.done += 1;
                         }
                         EntryKind::Tree { .. } => report.structural.push(item),
@@ -974,11 +1611,124 @@ impl ConnMachine {
                     },
                     Update::Delete(_) => ConnMsg::Delete { e, batched: true },
                 };
-                out.send(to, msg);
+                self.route(to, msg, out);
             }
             None => self.batch = None,
         }
     }
+
+    /// Dispatches one protocol message (from the inbox or the local queue).
+    fn dispatch(
+        &mut self,
+        msg: ConnMsg,
+        ctx: &RoundCtx,
+        acc: &mut RoundAcc,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        match msg {
+            ConnMsg::Insert { e, w, batched } => self.handle_insert(e, w, batched, out),
+            ConnMsg::Delete { e, batched } => self.handle_delete(e, batched, ctx, out),
+            ConnMsg::InsQuery {
+                e,
+                w,
+                x,
+                batched,
+                known_owners,
+            } => self.handle_ins_query(e, w, x, batched, known_owners, ctx, out),
+            ConnMsg::AddNonTree {
+                e,
+                w,
+                at,
+                cached_far,
+            } => {
+                let far = e.other(at);
+                let comp = self.st(at).comp;
+                self.st_mut(at).adj.insert(
+                    far,
+                    (
+                        EntryKind::NonTree {
+                            cached: cached_far,
+                            far_comp: comp,
+                        },
+                        w,
+                    ),
+                );
+            }
+            ConnMsg::DelNonTree { e, at } => {
+                let far = e.other(at);
+                self.st_mut(at).adj.remove(&far);
+            }
+            ConnMsg::NeedParentCut {
+                e,
+                parent,
+                fy,
+                ly,
+                mode,
+                search,
+                then_link,
+                batched,
+                owners,
+            } => {
+                self.start_cut(
+                    e, parent, fy, ly, mode, search, then_link, batched, owners, ctx, out,
+                );
+            }
+            ConnMsg::StartLink {
+                e,
+                w,
+                batched,
+                owners,
+            } => self.handle_insert_replacement(e, w, batched, owners, out),
+            ConnMsg::PathMaxQuery {
+                comp,
+                fx,
+                lx,
+                fy,
+                ly,
+                rendezvous,
+                ..
+            } => self.handle_path_max_query(comp, fx, lx, fy, ly, rendezvous, out),
+            ConnMsg::PathMaxReply { best } => acc.path_replies.push(best),
+            ConnMsg::StartSwap { d, e, w, owners } => {
+                self.handle_start_swap(d, e, w, owners, ctx, out)
+            }
+            ConnMsg::DirFetch { .. } | ConnMsg::CutReport { .. } | ConnMsg::Apply(_) => {
+                unreachable!("handled before dispatch")
+            }
+            ConnMsg::DirReply { comp, owners } => self.handle_dir_reply(comp, owners, ctx, out),
+            ConnMsg::DirStore { comp, owners } => {
+                debug_assert_eq!(self.root_owner(comp), self.id);
+                if owners.len() >= 2 {
+                    self.dir.insert(comp, owners);
+                } else {
+                    self.dir.remove(&comp);
+                }
+            }
+            ConnMsg::DirDrop { comp } => {
+                self.dir.remove(&comp);
+            }
+            ConnMsg::Ack => {}
+            ConnMsg::BatchStart { items } => self.handle_batch_start(items, out),
+            ConnMsg::BatchClassify { items } => {
+                self.handle_batch_classify(items, &mut acc.report, out)
+            }
+            ConnMsg::BatchInsClassify { e, w, x, seq } => {
+                self.handle_batch_ins_classify(e, w, x, seq, &mut acc.report, out)
+            }
+            ConnMsg::BatchReport { done, structural } => {
+                self.handle_batch_report(done, structural, out)
+            }
+            ConnMsg::BatchStructDone => self.batch_dispatch_next(out),
+        }
+    }
+}
+
+/// Merges two sorted-or-not owner sets into a sorted, deduplicated union.
+fn merge_sets(mut a: Vec<MachineId>, b: &[MachineId]) -> Vec<MachineId> {
+    a.extend_from_slice(b);
+    a.sort_unstable();
+    a.dedup();
+    a
 }
 
 /// Per-round accumulator for one classifier's report to the controller
@@ -1004,136 +1754,87 @@ impl Machine for ConnMachine {
         inbox: &mut Vec<Envelope<ConnMsg>>,
         out: &mut Outbox<ConnMsg>,
     ) {
-        // Structural broadcasts apply before any other message in the same
-        // round, so follow-up protocol steps see post-op state.
-        let (applies, rest): (Vec<_>, Vec<_>) = inbox
-            .drain(..)
-            .partition(|env| matches!(env.msg, ConnMsg::Apply(_)));
-        let mut candidates: Vec<Option<(Edge, Weight)>> = Vec::new();
-        let mut path_replies: Vec<Option<(Edge, Weight)>> = Vec::new();
-        let mut rendezvous_for_candidates: Option<MachineId> = None;
-        for env in applies {
-            let ConnMsg::Apply(b) = env.msg else {
-                unreachable!()
-            };
-            let cand = self.apply_broadcast(&b);
-            if let Some(r) = b.rendezvous {
-                rendezvous_for_candidates = Some(r);
-                candidates.push(cand);
-            }
-        }
-        if let Some(r) = rendezvous_for_candidates {
-            for c in candidates {
-                out.send(r, ConnMsg::Candidate { best: c });
-            }
-        }
-        let mut replacement_candidates: Vec<Option<(Edge, Weight)>> = Vec::new();
-        let mut report = BatchReportAcc::default();
-        for env in rest {
+        debug_assert!(self.local.is_empty(), "local queue drains every round");
+        let mut acc = RoundAcc::default();
+        // Structural Applies first, so follow-up protocol steps delivered in
+        // the same round see post-op state; then directory fetches (served
+        // from pre-dispatch state), then everything else.
+        let mut rest: Vec<Envelope<ConnMsg>> = Vec::with_capacity(inbox.len());
+        for env in inbox.drain(..) {
             match env.msg {
-                ConnMsg::Insert { e, w, batched } => self.handle_insert(e, w, batched, out),
-                ConnMsg::Delete { e, batched } => self.handle_delete(e, batched, ctx, out),
-                ConnMsg::InsQuery { e, w, x, batched } => {
-                    self.handle_ins_query(e, w, x, batched, ctx, out)
-                }
-                ConnMsg::AddNonTree {
-                    e,
-                    w,
-                    at,
-                    cached_far,
-                } => {
-                    let far = e.other(at);
-                    let comp = self.st(at).comp;
-                    self.st_mut(at).adj.insert(
-                        far,
-                        (
-                            EntryKind::NonTree {
-                                cached: cached_far,
-                                far_comp: comp,
+                ConnMsg::Apply(b) => {
+                    let outcome = self.apply_struct(&b);
+                    if let Some(r) = b.rendezvous {
+                        debug_assert_ne!(r, self.id, "the rendezvous applies locally");
+                        out.send(
+                            r,
+                            ConnMsg::CutReport {
+                                best: outcome.best,
+                                owns_parent: outcome.owns_parent,
+                                owns_child: outcome.owns_child,
                             },
-                            w,
-                        ),
-                    );
-                }
-                ConnMsg::DelNonTree { e, at } => {
-                    let far = e.other(at);
-                    self.st_mut(at).adj.remove(&far);
-                }
-                ConnMsg::NeedParentCut {
-                    e,
-                    parent,
-                    fy,
-                    ly,
-                    mode,
-                    search,
-                    then_link,
-                    batched,
-                } => {
-                    self.broadcast_cut(
-                        e, parent, fy, ly, mode, search, then_link, batched, ctx, out,
-                    );
-                }
-                ConnMsg::Candidate { best } => replacement_candidates.push(best),
-                ConnMsg::StartLink { e, w, batched } => {
-                    self.handle_insert_replacement(e, w, batched, out)
-                }
-                ConnMsg::PathMaxQuery {
-                    comp,
-                    fx,
-                    lx,
-                    fy,
-                    ly,
-                    rendezvous,
-                    ..
-                } => self.handle_path_max_query(comp, fx, lx, fy, ly, rendezvous, out),
-                ConnMsg::PathMaxReply { best } => path_replies.push(best),
-                ConnMsg::StartSwap { d, e, w } => self.handle_start_swap(d, e, w, ctx, out),
-                ConnMsg::Apply(_) => unreachable!(),
-                ConnMsg::Ack => {}
-                ConnMsg::BatchStart { items } => self.handle_batch_start(items, out),
-                ConnMsg::BatchClassify { items } => {
-                    self.handle_batch_classify(items, &mut report, out)
-                }
-                ConnMsg::BatchInsClassify { e, w, x, seq } => {
-                    self.handle_batch_ins_classify(e, w, x, seq, &mut report, out)
-                }
-                ConnMsg::BatchReport { done, structural } => {
-                    self.handle_batch_report(done, structural, out)
-                }
-                ConnMsg::BatchStructDone => self.batch_dispatch_next(out),
-            }
-        }
-        if !report.is_empty() {
-            out.send(
-                BATCH_CTRL,
-                ConnMsg::BatchReport {
-                    done: report.done,
-                    structural: report.structural,
-                },
-            );
-        }
-        if !replacement_candidates.is_empty() {
-            // All candidates arrive in one round; pick the global minimum.
-            let best = replacement_candidates
-                .into_iter()
-                .flatten()
-                .map(|(e, w)| (w, e))
-                .min();
-            let batched = std::mem::take(&mut self.batch_cut_pending);
-            match best {
-                Some((w, e)) => {
-                    out.send(self.owner(e.u), ConnMsg::StartLink { e, w, batched });
-                }
-                None => {
-                    // No replacement: the batched delete flow ends here.
-                    if batched {
-                        out.send(BATCH_CTRL, ConnMsg::BatchStructDone);
+                        );
                     }
                 }
+                _ => rest.push(env),
             }
         }
-        if !path_replies.is_empty() {
-            self.finish_path_max(path_replies, out);
+        for env in rest {
+            match env.msg {
+                ConnMsg::DirFetch { comp } => {
+                    debug_assert_eq!(self.root_owner(comp), self.id);
+                    out.send(
+                        env.from,
+                        ConnMsg::DirReply {
+                            comp,
+                            owners: self.dir_owners(comp),
+                        },
+                    );
+                }
+                ConnMsg::CutReport {
+                    best,
+                    owns_parent,
+                    owns_child,
+                } => acc
+                    .cut_reports
+                    .push((env.from, best, owns_parent, owns_child)),
+                msg => self.dispatch(msg, ctx, &mut acc, out),
+            }
+        }
+        // Fixpoint: locally-routed steps, rendezvous aggregations and the
+        // classification report can each enqueue more local work; everything
+        // here is same-round local computation (free in the MPC model).
+        loop {
+            if let Some(msg) = self.local.pop_front() {
+                self.dispatch(msg, ctx, &mut acc, out);
+                continue;
+            }
+            if !acc.cut_reports.is_empty() {
+                let reports = std::mem::take(&mut acc.cut_reports);
+                self.finalize_cut(reports, out);
+                continue;
+            }
+            if !acc.path_replies.is_empty() {
+                let replies = std::mem::take(&mut acc.path_replies);
+                self.finish_path_max(replies, out);
+                continue;
+            }
+            if !acc.report.is_empty() {
+                let report = std::mem::take(&mut acc.report);
+                if self.id == BATCH_CTRL {
+                    self.handle_batch_report(report.done, report.structural, out);
+                } else {
+                    out.send(
+                        BATCH_CTRL,
+                        ConnMsg::BatchReport {
+                            done: report.done,
+                            structural: report.structural,
+                        },
+                    );
+                }
+                continue;
+            }
+            break;
         }
     }
 
@@ -1142,26 +1843,24 @@ impl Machine for ConnMachine {
         for st in self.verts.values() {
             words += 4 + st.idx.len() + 4 * st.adj.len();
         }
+        for owners in self.dir.values() {
+            words += 2 + owners.len();
+        }
         if let Some(ctl) = &self.batch {
             words += 2 + 3 * (ctl.structural.len() + ctl.queue.len());
         }
+        if let Some(pc) = &self.pending_cut {
+            words += 4 + pc.old_owners.len();
+        }
+        if let Some(p) = &self.pending_mst {
+            words += 6 + p.owners.len();
+        }
+        if let Some(f) = &self.pending_fetch {
+            words += 4 + match f {
+                FetchCont::Link { acc, .. } => acc.len(),
+                FetchCont::Cut { .. } | FetchCont::PathMax { .. } => 0,
+            };
+        }
         words
-    }
-}
-
-impl ConnMachine {
-    /// A replacement/StartLink insertion: the edge already exists as a
-    /// non-tree entry at both owners; re-run the insert query path (the
-    /// Apply handler converts the entries to tree entries).
-    fn handle_insert_replacement(
-        &mut self,
-        e: Edge,
-        w: Weight,
-        batched: bool,
-        out: &mut Outbox<ConnMsg>,
-    ) {
-        let u = e.u;
-        let x = self.st(u).info(u);
-        out.send(self.owner(e.v), ConnMsg::InsQuery { e, w, x, batched });
     }
 }

@@ -40,7 +40,10 @@ pub enum CutMode {
     Demote,
 }
 
-/// The O(1)-word broadcast every machine receives on a structural change.
+/// The O(1)-word structural-change payload. Under component-owner multicast
+/// it is addressed only to the affected components' owner machines; the
+/// legacy broadcast routing sends it to every machine (differential-testing
+/// flag, see `machine.rs`).
 #[derive(Clone, Copy, Debug)]
 pub struct StructBroadcast {
     /// Optional reroot of the absorbed side (links only).
@@ -69,6 +72,12 @@ pub struct StructBroadcast {
 /// flow signals [`ConnMsg::BatchStructDone`] to the batch controller so it
 /// can dispatch the next structural item. The flags pack into the op word,
 /// so they do not change message sizes.
+///
+/// Owner-set payloads (`Vec<MachineId>`) are O(active machines) = O(sqrt N)
+/// words and only ever travel in point-to-point messages (directory fetches
+/// and stores, replacement hand-offs), never inside a multicast — the
+/// multicast [`ConnMsg::Apply`] stays O(1) words, keeping the per-update
+/// communication at O(sqrt N) total.
 #[derive(Clone, Debug)]
 pub enum ConnMsg {
     /// Injected: insert edge `e` with weight `w`.
@@ -97,6 +106,10 @@ pub enum ConnMsg {
         x: VertexInfo,
         /// Part of a batch's structural phase: signal completion.
         batched: bool,
+        /// Pre-resolved owner set of the merged component, when the sender
+        /// already knows it (replacement links after a cut, MST swap links).
+        /// `None` makes the receiver resolve the union via the directory.
+        known_owners: Option<Vec<MachineId>>,
     },
     /// owner(y) -> owner(x): the edge is intra-component; record it as a
     /// non-tree entry at vertex `at`.
@@ -120,7 +133,7 @@ pub enum ConnMsg {
     },
     /// child-owner -> parent-owner: a tree-edge cut where the receiver owns
     /// the parent endpoint; carries the child's span so the parent owner can
-    /// compute its surviving index and broadcast the cut.
+    /// compute its surviving index and multicast the cut.
     NeedParentCut {
         /// The tree edge being cut.
         e: Edge,
@@ -138,13 +151,22 @@ pub enum ConnMsg {
         then_link: Option<(Edge, Weight)>,
         /// Part of a batch's structural phase: signal completion.
         batched: bool,
+        /// Owner set of the component being cut, when the sender already
+        /// holds it (MST swap flows resolve it once for the whole swap).
+        owners: Option<Vec<MachineId>>,
     },
-    /// Broadcast: apply a structural change.
+    /// Multicast to the affected owner set: apply a structural change.
     Apply(StructBroadcast),
-    /// machine -> rendezvous: local best replacement candidate (if any).
-    Candidate {
+    /// machine -> rendezvous: reply to a searching cut — the local best
+    /// replacement candidate plus which sides of the split this machine
+    /// still owns vertices of (the directory refinement input).
+    CutReport {
         /// Minimum-weight locally stored crossing edge, if any.
         best: Option<(Edge, Weight)>,
+        /// This machine owns >= 1 vertex of the surviving (parent) side.
+        owns_parent: bool,
+        /// This machine owns >= 1 vertex of the detached (child) side.
+        owns_child: bool,
     },
     /// rendezvous -> owner(e.u): link edge `e` (already present as a
     /// non-tree entry at both owners, or about to be created by a swap).
@@ -155,9 +177,13 @@ pub enum ConnMsg {
         w: Weight,
         /// Part of a batch's structural phase: signal completion.
         batched: bool,
+        /// Owner set of the component the link will re-merge (the sender —
+        /// a cut rendezvous or swap initiator — always knows it).
+        owners: Vec<MachineId>,
     },
-    /// Broadcast: find the max-weight tree edge on the path between the two
-    /// spans; every machine replies to `rendezvous`.
+    /// Multicast to the component's owner set: find the max-weight tree
+    /// edge on the path between the two spans; every recipient replies to
+    /// `rendezvous`.
     PathMaxQuery {
         /// Component being queried.
         comp: CompId,
@@ -182,7 +208,8 @@ pub enum ConnMsg {
         best: Option<(Edge, Weight)>,
     },
     /// rendezvous -> owner(d.u): demote tree edge `d`, then link `e`
-    /// (an MST swap).
+    /// (an MST swap). Carries the component's owner set so the whole swap
+    /// resolves the directory once.
     StartSwap {
         /// Tree edge to demote.
         d: Edge,
@@ -190,9 +217,42 @@ pub enum ConnMsg {
         e: Edge,
         /// New edge's weight.
         w: Weight,
+        /// Owner set of the component being swapped inside.
+        owners: Vec<MachineId>,
     },
     /// No-op acknowledgement (kept for protocol symmetry in tests).
     Ack,
+
+    // ---- owner directory (see `machine.rs` "The owner directory") --------
+    /// any machine -> root owner of `comp`: request the component's owner
+    /// set. The root owner (= `owner_of(comp)`, derivable locally because a
+    /// component id is its root vertex) replies with [`ConnMsg::DirReply`].
+    DirFetch {
+        /// Component whose owner set is requested.
+        comp: CompId,
+    },
+    /// root owner -> requester: the component's owner set.
+    DirReply {
+        /// The component.
+        comp: CompId,
+        /// Machines owning >= 1 vertex of it (sorted, deduplicated).
+        owners: Vec<MachineId>,
+    },
+    /// any machine -> root owner of `comp`: install the component's owner
+    /// set (sets of size < 2 are erased — the implicit singleton fallback
+    /// `{owner_of(comp)}` covers them).
+    DirStore {
+        /// The component.
+        comp: CompId,
+        /// Its new owner set.
+        owners: Vec<MachineId>,
+    },
+    /// any machine -> root owner of `comp`: the component id was absorbed
+    /// by a link; drop its directory entry.
+    DirDrop {
+        /// The absorbed component.
+        comp: CompId,
+    },
 
     // ---- batch protocol (see `machine.rs` "Batched updates") -------------
     /// Injected at the batch controller (machine 0): process these updates
@@ -236,18 +296,20 @@ impl Payload for ConnMsg {
         match self {
             ConnMsg::Insert { .. } => 3,
             ConnMsg::Delete { .. } => 2,
-            ConnMsg::InsQuery { .. } => 8,
+            ConnMsg::InsQuery { known_owners, .. } => 8 + known_owners.as_ref().map_or(0, Vec::len),
             ConnMsg::AddNonTree { .. } => 5,
             ConnMsg::DelNonTree { .. } => 3,
-            ConnMsg::NeedParentCut { .. } => 9,
+            ConnMsg::NeedParentCut { owners, .. } => 9 + owners.as_ref().map_or(0, Vec::len),
             // reroot (4) + main (6) + size/x_after/edge/weight/mode/rdv.
             ConnMsg::Apply(_) => 16,
-            ConnMsg::Candidate { .. } => 3,
-            ConnMsg::StartLink { .. } => 3,
+            ConnMsg::CutReport { .. } => 5,
+            ConnMsg::StartLink { owners, .. } => 3 + owners.len(),
             ConnMsg::PathMaxQuery { .. } => 10,
             ConnMsg::PathMaxReply { .. } => 3,
-            ConnMsg::StartSwap { .. } => 5,
+            ConnMsg::StartSwap { owners, .. } => 5 + owners.len(),
             ConnMsg::Ack => 1,
+            ConnMsg::DirFetch { .. } | ConnMsg::DirDrop { .. } => 2,
+            ConnMsg::DirReply { owners, .. } | ConnMsg::DirStore { owners, .. } => 2 + owners.len(),
             ConnMsg::BatchStart { items } | ConnMsg::BatchClassify { items } => 1 + 3 * items.len(),
             ConnMsg::BatchInsClassify { .. } => 9,
             ConnMsg::BatchReport { structural, .. } => 2 + 3 * structural.len(),
@@ -274,6 +336,67 @@ mod tests {
         );
         assert!(ConnMsg::Ack.size_words() >= 1);
         assert_eq!(ConnMsg::Delete { e, batched: false }.size_words(), 2);
+        // The multicast payload itself stays O(1) words: owner sets never
+        // travel inside an Apply.
+        let b = StructBroadcast {
+            reroot: None,
+            main: dmpc_eulertour::indexed::TourOp::Link {
+                a: 0,
+                b: 1,
+                x: 0,
+                y: 1,
+                fx: 0,
+                elen_b: 0,
+            },
+            merged_size: 2,
+            x_after: 0,
+            edge: e,
+            weight: 1,
+            cut_mode: CutMode::Remove,
+            rendezvous: None,
+        };
+        assert_eq!(ConnMsg::Apply(b).size_words(), 16);
+    }
+
+    #[test]
+    fn owner_set_messages_scale_with_set_size() {
+        let owners: Vec<MachineId> = (0..7).collect();
+        assert_eq!(ConnMsg::DirFetch { comp: 3 }.size_words(), 2);
+        assert_eq!(
+            ConnMsg::DirReply {
+                comp: 3,
+                owners: owners.clone()
+            }
+            .size_words(),
+            9
+        );
+        assert_eq!(
+            ConnMsg::StartLink {
+                e: Edge::new(0, 1),
+                w: 1,
+                batched: false,
+                owners
+            }
+            .size_words(),
+            10
+        );
+        assert_eq!(
+            ConnMsg::InsQuery {
+                e: Edge::new(0, 1),
+                w: 1,
+                x: VertexInfo {
+                    v: 0,
+                    comp: 0,
+                    size: 1,
+                    f: 0,
+                    l: 0
+                },
+                batched: false,
+                known_owners: None,
+            }
+            .size_words(),
+            8
+        );
     }
 
     #[test]

@@ -76,10 +76,11 @@ pub fn render_table(title: &str, rows: &[TableRow]) -> String {
 /// verbatim and [`batch_from_plain`] round-trips it.
 pub fn batch_to_plain(b: &BatchMetrics) -> String {
     format!(
-        "updates={} rounds={} max_active={} max_words={} total_words={} total_msgs={} violations={}",
+        "updates={} rounds={} max_active={} machines_touched={} max_words={} total_words={} total_msgs={} violations={}",
         b.updates,
         b.rounds,
         b.max_active_machines,
+        b.machines_touched,
         b.max_words_per_round,
         b.total_words,
         b.total_messages,
@@ -104,6 +105,7 @@ pub fn batch_from_plain(s: &str) -> Result<BatchMetrics, String> {
             "updates" => b.updates = val,
             "rounds" => b.rounds = val,
             "max_active" => b.max_active_machines = val,
+            "machines_touched" => b.machines_touched = val,
             "max_words" => b.max_words_per_round = val,
             "total_words" => b.total_words = val,
             "total_msgs" => b.total_messages = val,
@@ -203,6 +205,7 @@ mod tests {
             updates: 64,
             rounds: 120,
             max_active_machines: 9,
+            machines_touched: 14,
             max_words_per_round: 210,
             total_words: 9000,
             total_messages: 1888,

@@ -174,11 +174,47 @@ impl StreamBuilder {
 ///
 /// The input must be valid as a sequential stream from the pre-batch graph
 /// (ops on one edge alternate insert/delete); then the output is valid too.
+///
+/// Validity is enforced in **release builds too**: an invalid batch (two
+/// consecutive ops of the same kind on one edge) panics instead of silently
+/// keeping the last op. This is the batch boundary every `apply_batch`
+/// driver funnels through, so corrupt batches fail loudly at the driver
+/// boundary rather than desynchronizing machine state downstream. Callers
+/// that want to reject instead of panic use [`try_coalesce`].
 pub fn coalesce(batch: &[Update]) -> Vec<Update> {
+    match try_coalesce(batch) {
+        Ok(net) => net,
+        Err(e) => panic!("invalid batch: {e}"),
+    }
+}
+
+/// Error describing why a batch is not sequentially valid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvalidBatch {
+    /// The edge whose ops do not alternate insert/delete.
+    pub edge: Edge,
+    /// Index (within the batch) of the offending op.
+    pub at: usize,
+}
+
+impl std::fmt::Display for InvalidBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ops on {} do not alternate insert/delete (op #{} repeats the previous kind); \
+             the batch is not a valid sequential stream",
+            self.edge, self.at
+        )
+    }
+}
+
+/// Fallible [`coalesce`]: returns the net updates, or [`InvalidBatch`] when
+/// ops on some edge do not alternate insert/delete.
+pub fn try_coalesce(batch: &[Update]) -> Result<Vec<Update>, InvalidBatch> {
     let mut order: Vec<Edge> = Vec::new();
     let mut per_edge: std::collections::HashMap<Edge, (usize, Update)> =
         std::collections::HashMap::new();
-    for &u in batch {
+    for (i, &u) in batch.iter().enumerate() {
         let e = u.edge();
         match per_edge.entry(e) {
             std::collections::hash_map::Entry::Vacant(slot) => {
@@ -187,22 +223,21 @@ pub fn coalesce(batch: &[Update]) -> Vec<Update> {
             }
             std::collections::hash_map::Entry::Occupied(mut slot) => {
                 let (count, last) = slot.get_mut();
-                debug_assert!(
-                    last.is_insert() != u.is_insert(),
-                    "ops on {e} do not alternate; batch is not sequentially valid"
-                );
+                if last.is_insert() == u.is_insert() {
+                    return Err(InvalidBatch { edge: e, at: i });
+                }
                 *count += 1;
                 *last = u;
             }
         }
     }
-    order
+    Ok(order
         .into_iter()
         .filter_map(|e| {
             let (count, last) = per_edge[&e];
             (count % 2 == 1).then_some(last)
         })
-        .collect()
+        .collect())
 }
 
 /// Splits a stream into consecutive *owned* batches of (at most) `k`
@@ -317,6 +352,78 @@ pub fn churn_stream(n: usize, m: usize, steps: usize, p_insert: f64, seed: u64) 
             }
         } else {
             b.random_delete();
+        }
+    }
+    b.build()
+}
+
+/// Churn restricted to `clusters` disjoint contiguous vertex ranges: edges
+/// only ever connect vertices of the same cluster, so components stay inside
+/// one cluster and — under the block vertex partitioning the owner machines
+/// use — each component's owner set stays small regardless of the machine
+/// count. This is the workload that separates component-owner multicast
+/// (active machines ~ owner-set size) from broadcast (active machines ~ P).
+pub fn clustered_churn_stream(
+    n: usize,
+    clusters: usize,
+    m_per_cluster: usize,
+    steps: usize,
+    p_insert: f64,
+    seed: u64,
+) -> Vec<Update> {
+    assert!(n >= 2, "clustered churn needs at least two vertices");
+    let clusters = clusters.clamp(1, n / 2);
+    let span = n / clusters; // last cluster absorbs the remainder
+    let mut b = StreamBuilder::new(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0005_eed5_eed5_eed5);
+    let range_of = |c: usize| {
+        let lo = c * span;
+        let hi = if c + 1 == clusters { n } else { lo + span };
+        (lo as V, hi as V)
+    };
+    let random_edge_in = |rng: &mut StdRng, c: usize, g: &DynamicGraph| -> Option<Edge> {
+        let (lo, hi) = range_of(c);
+        for _ in 0..1_000 {
+            let a = rng.gen_range(lo..hi);
+            let d = rng.gen_range(lo..hi);
+            if a == d {
+                continue;
+            }
+            let e = Edge::new(a, d);
+            if !g.has_edge(e) {
+                return Some(e);
+            }
+        }
+        None
+    };
+    // Build-up: m edges per cluster.
+    for c in 0..clusters {
+        for _ in 0..m_per_cluster {
+            if let Some(e) = random_edge_in(&mut rng, c, &b.graph) {
+                b.insert(e);
+            }
+        }
+    }
+    // Churn: pick a cluster, then insert or delete inside it.
+    for _ in 0..steps {
+        let c = rng.gen_range(0..clusters);
+        let (lo, hi) = range_of(c);
+        let in_cluster: Vec<Edge> = b
+            .present
+            .iter()
+            .copied()
+            .filter(|e| e.u >= lo && e.u < hi)
+            .collect();
+        let do_insert = rng.gen_bool(p_insert) || in_cluster.is_empty();
+        if do_insert {
+            if let Some(e) = random_edge_in(&mut rng, c, &b.graph) {
+                b.insert(e);
+            } else if let Some(&e) = in_cluster.first() {
+                b.delete(e);
+            }
+        } else {
+            let e = in_cluster[rng.gen_range(0..in_cluster.len())];
+            b.delete(e);
         }
     }
     b.build()
@@ -518,6 +625,55 @@ mod tests {
                 assert_eq!(sorted(&g_full), sorted(&g_net));
             }
         }
+    }
+
+    /// Regression (PR 4): batch validity is enforced in release builds too.
+    /// A repeated-kind pair on one edge must be rejected, not silently
+    /// coalesced to the last op.
+    #[test]
+    fn try_coalesce_rejects_non_alternating_ops() {
+        let e = Edge::new(0, 1);
+        let bad = vec![Update::Insert(e), Update::Insert(e)];
+        let err = try_coalesce(&bad).unwrap_err();
+        assert_eq!(err.edge, e);
+        assert_eq!(err.at, 1);
+        let bad2 = vec![
+            Update::Insert(e),
+            Update::Delete(e),
+            Update::Delete(e), // repeats the kind
+        ];
+        assert_eq!(try_coalesce(&bad2).unwrap_err().at, 2);
+        // Valid batches still pass through the fallible path.
+        let good = vec![Update::Insert(e), Update::Delete(e), Update::Insert(e)];
+        assert_eq!(try_coalesce(&good).unwrap(), vec![Update::Insert(e)]);
+    }
+
+    /// `coalesce` panics on invalid batches — with a real check, not a
+    /// `debug_assert!`, so the behavior is identical in release builds
+    /// (this test compiles under both profiles and pins the panic).
+    #[test]
+    #[should_panic(expected = "invalid batch")]
+    fn coalesce_panics_on_invalid_batch_in_all_profiles() {
+        let e = Edge::new(2, 3);
+        coalesce(&[Update::Delete(e), Update::Delete(e)]);
+    }
+
+    #[test]
+    fn clustered_churn_stays_within_clusters() {
+        let n = 64;
+        let clusters = 8;
+        let ups = clustered_churn_stream(n, clusters, 6, 100, 0.5, 3);
+        assert!(!ups.is_empty());
+        let span = n / clusters;
+        for u in &ups {
+            let e = u.edge();
+            assert_eq!(
+                e.u as usize / span,
+                e.v as usize / span,
+                "edge {e} crosses clusters"
+            );
+        }
+        replay(n, &ups); // panics if the stream is invalid
     }
 
     #[test]

@@ -166,6 +166,13 @@ pub struct Cluster<M: Machine> {
     counts: Vec<usize>,
     /// Active machines this round, each with its run in `delivered`.
     groups: Vec<Group>,
+    /// Per-machine epoch stamps for the distinct-machines-touched counter:
+    /// `touch_stamp[m] == update_epoch` iff machine `m` was already counted
+    /// for the current update. Epoch bumping makes the buffer reusable
+    /// across updates without clearing (zero-alloc steady state).
+    touch_stamp: Vec<u64>,
+    /// Current update's epoch (bumped by every `run_update`).
+    update_epoch: u64,
     /// Per-worker reusable buffers (index 0 doubles as the serial lane).
     workers: Vec<WorkerScratch<M::Msg>>,
     /// Persistent threads (only for [`Backend::WorkerPool`]).
@@ -195,6 +202,7 @@ impl<M: Machine> Cluster<M> {
             (cfg.backend == Backend::WorkerPool && threads > 1).then(|| WorkerPool::new(threads));
         let mut workers = Vec::new();
         workers.resize_with(threads.max(1), WorkerScratch::default);
+        let touch_stamp = vec![0; machines.len()];
         Cluster {
             machines,
             cfg,
@@ -204,6 +212,8 @@ impl<M: Machine> Cluster<M> {
             sort_aux: Vec::new(),
             counts: Vec::new(),
             groups: Vec::new(),
+            touch_stamp,
+            update_epoch: 0,
             workers,
             pool,
             threads,
@@ -252,6 +262,7 @@ impl<M: Machine> Cluster<M> {
     pub fn run_update(&mut self) -> UpdateMetrics {
         let mut metrics = UpdateMetrics::default();
         let mut round: u32 = 0;
+        self.update_epoch += 1;
         while !self.pending.is_empty() {
             if metrics.rounds >= self.cfg.max_rounds_per_update {
                 metrics.violations.push(Violation::RoundLimit {
@@ -358,6 +369,10 @@ impl<M: Machine> Cluster<M> {
                         round,
                     });
                 }
+            }
+            if self.touch_stamp[to as usize] != self.update_epoch {
+                self.touch_stamp[to as usize] = self.update_epoch;
+                update.machines_touched += 1;
             }
             self.groups.push(Group {
                 machine: to,
@@ -588,6 +603,8 @@ mod tests {
         // Round 1 delivers the injection, rounds 2..6 relay 4,3,2,1,0.
         assert_eq!(m.rounds, 6);
         assert_eq!(m.max_active_machines, 1);
+        // The token visits 0,1,2,3,0,1: four distinct machines in total.
+        assert_eq!(m.machines_touched, 4);
         // Injection itself is free; five relayed messages of one word each.
         assert_eq!(m.total_words, 5);
         assert!(m.clean());
@@ -722,7 +739,20 @@ mod tests {
         let m = run_single_update(&mut c, 0, 9);
         assert_eq!(m.rounds, 2);
         assert_eq!(m.max_active_machines, 7); // round 2: everyone but the hub
+        assert_eq!(m.machines_touched, 8); // hub in round 1, the rest in round 2
         assert_eq!(m.total_words, 7);
+    }
+
+    #[test]
+    fn machines_touched_resets_between_updates() {
+        // Two successive updates each touch their own distinct set; the
+        // epoch-stamped scratch must not leak counts across updates.
+        let mut c = relay_cluster(6, ClusterConfig::default());
+        let a = run_single_update(&mut c, 0, 2); // visits 0,1,2
+        let b = run_single_update(&mut c, 0, 1); // visits 0,1 again
+        assert_eq!(a.machines_touched, 3);
+        assert_eq!(b.machines_touched, 2);
+        assert!(a.machines_touched <= a.rounds * a.max_active_machines.max(1));
     }
 
     #[test]

@@ -76,6 +76,11 @@ pub struct UpdateMetrics {
     pub rounds: usize,
     /// Maximum over rounds of active machines.
     pub max_active_machines: usize,
+    /// Distinct machines active in *any* round of the update — the paper's
+    /// "machines used per update". `max_active_machines` bounds one round;
+    /// this counts the whole footprint (a 3-round update touching disjoint
+    /// pairs has `max_active_machines = 2` but `machines_touched = 6`).
+    pub machines_touched: usize,
     /// Maximum over rounds of words communicated.
     pub max_words_per_round: usize,
     /// Total words over all rounds.
@@ -139,6 +144,10 @@ pub struct BatchMetrics {
     pub rounds: usize,
     /// Maximum over rounds of active machines (under the combined load).
     pub max_active_machines: usize,
+    /// Maximum over the batch's runs of distinct machines touched per run
+    /// (chunked execution cannot reconstruct the distinct set across runs,
+    /// so the per-run maximum is the honest aggregate).
+    pub machines_touched: usize,
     /// Maximum over rounds of words communicated (under the combined load).
     pub max_words_per_round: usize,
     /// Total words over all rounds.
@@ -166,6 +175,7 @@ impl BatchMetrics {
     pub fn absorb_run(&mut self, m: &UpdateMetrics) {
         self.rounds += m.rounds;
         self.max_active_machines = self.max_active_machines.max(m.max_active_machines);
+        self.machines_touched = self.machines_touched.max(m.machines_touched);
         self.max_words_per_round = self.max_words_per_round.max(m.max_words_per_round);
         self.total_words += m.total_words;
         self.total_messages += m.total_messages;
@@ -184,6 +194,7 @@ impl BatchMetrics {
         self.updates += other.updates;
         self.rounds += other.rounds;
         self.max_active_machines = self.max_active_machines.max(other.max_active_machines);
+        self.machines_touched = self.machines_touched.max(other.machines_touched);
         self.max_words_per_round = self.max_words_per_round.max(other.max_words_per_round);
         self.total_words += other.total_words;
         self.total_messages += other.total_messages;
@@ -233,6 +244,10 @@ pub struct AggregateMetrics {
     pub max_active_machines: usize,
     /// Mean over updates of max-active-machines.
     pub mean_active_machines: f64,
+    /// Worst-case distinct machines touched by one update.
+    pub max_machines_touched: usize,
+    /// Mean over updates of distinct machines touched.
+    pub mean_machines_touched: f64,
     /// Worst-case words per round.
     pub max_words_per_round: usize,
     /// Mean over updates of max-words-per-round.
@@ -254,6 +269,9 @@ impl AggregateMetrics {
         self.max_active_machines = self.max_active_machines.max(u.max_active_machines);
         self.mean_active_machines =
             (self.mean_active_machines * k + u.max_active_machines as f64) / k1;
+        self.max_machines_touched = self.max_machines_touched.max(u.machines_touched);
+        self.mean_machines_touched =
+            (self.mean_machines_touched * k + u.machines_touched as f64) / k1;
         self.max_words_per_round = self.max_words_per_round.max(u.max_words_per_round);
         self.mean_words_per_round =
             (self.mean_words_per_round * k + u.max_words_per_round as f64) / k1;

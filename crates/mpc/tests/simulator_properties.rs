@@ -248,6 +248,7 @@ fn reference_update(
         })
         .collect();
     let mut metrics = dmpc_mpc::UpdateMetrics::default();
+    let mut touched: std::collections::HashSet<usize> = std::collections::HashSet::new();
     let mut round: u32 = 0;
     while !pending.is_empty() {
         round += 1;
@@ -279,6 +280,12 @@ fn reference_update(
             .collect();
         groups.sort_by_key(|g| g.0);
         rm.active_machines = groups.len();
+        for &(idx, _) in &groups {
+            if !touched.contains(&idx) {
+                touched.insert(idx);
+                metrics.machines_touched += 1;
+            }
+        }
         for (idx, mut inbox) in groups {
             let ctx = RoundCtx {
                 self_id: idx as MachineId,

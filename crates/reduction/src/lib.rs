@@ -36,24 +36,35 @@ use dmpc_seqdyn::{HdtConnectivity, NsMatching, ProbeCounted, SeqDynMst};
 const WORDS_PER_PROBE: usize = 4;
 
 /// Converts a probe count into the reduction's DMPC metrics.
+///
+/// Every probe is one request round followed by one reply round between
+/// `M_MRA` and the memory machine, each carrying half of
+/// `WORDS_PER_PROBE`, so `rounds = 2 * probes` and the per-round detail
+/// sums exactly to the totals (`per_round.len() == rounds`, like every
+/// simulator-produced metric). A zero-probe operation touched no memory
+/// machine and reports an all-zero update.
 pub fn metrics_from_probes(probes: u64) -> UpdateMetrics {
-    let rounds = (2 * probes.max(1)) as usize;
+    let rounds = (2 * probes) as usize;
+    let words_per_round = WORDS_PER_PROBE / 2;
     let mut m = UpdateMetrics {
         rounds,
-        max_active_machines: 2,
-        max_words_per_round: WORDS_PER_PROBE,
-        total_words: rounds * WORDS_PER_PROBE / 2,
+        max_active_machines: if probes > 0 { 2 } else { 0 },
+        machines_touched: if probes > 0 { 2 } else { 0 },
+        max_words_per_round: if probes > 0 { words_per_round } else { 0 },
+        total_words: rounds * words_per_round,
         total_messages: rounds,
         ..Default::default()
     };
-    m.per_round.push(RoundMetrics {
-        round: 1,
-        active_machines: 2,
-        messages: 1,
-        words: WORDS_PER_PROBE,
-        max_recv_words: WORDS_PER_PROBE,
-        max_send_words: WORDS_PER_PROBE,
-    });
+    for r in 0..rounds {
+        m.per_round.push(RoundMetrics {
+            round: r as u32 + 1,
+            active_machines: 2,
+            messages: 1,
+            words: words_per_round,
+            max_recv_words: words_per_round,
+            max_send_words: words_per_round,
+        });
+    }
     m
 }
 
@@ -172,7 +183,39 @@ mod tests {
         let m = metrics_from_probes(10);
         assert_eq!(m.rounds, 20);
         assert_eq!(m.max_active_machines, 2);
-        assert_eq!(m.max_words_per_round, WORDS_PER_PROBE);
+        assert_eq!(m.machines_touched, 2);
+        assert_eq!(m.max_words_per_round, WORDS_PER_PROBE / 2);
+    }
+
+    /// Regression (PR 4): the per-round detail must agree with the totals —
+    /// `per_round.len() == rounds` and the per-round words/messages sum to
+    /// `total_words`/`total_messages` — and a zero-probe operation must not
+    /// fabricate rounds.
+    #[test]
+    fn reduction_per_round_consistent_with_totals() {
+        for probes in [0u64, 1, 7, 32] {
+            let m = metrics_from_probes(probes);
+            assert_eq!(m.rounds, 2 * probes as usize, "probes={probes}");
+            assert_eq!(m.per_round.len(), m.rounds, "probes={probes}");
+            let words: usize = m.per_round.iter().map(|r| r.words).sum();
+            let msgs: usize = m.per_round.iter().map(|r| r.messages).sum();
+            assert_eq!(words, m.total_words, "probes={probes}");
+            assert_eq!(msgs, m.total_messages, "probes={probes}");
+            let max_w = m.per_round.iter().map(|r| r.words).max().unwrap_or(0);
+            assert_eq!(max_w, m.max_words_per_round, "probes={probes}");
+            let max_a = m
+                .per_round
+                .iter()
+                .map(|r| r.active_machines)
+                .max()
+                .unwrap_or(0);
+            assert_eq!(max_a, m.max_active_machines, "probes={probes}");
+        }
+        let zero = metrics_from_probes(0);
+        assert_eq!(zero.rounds, 0);
+        assert!(zero.per_round.is_empty());
+        assert_eq!(zero.total_words, 0);
+        assert_eq!(zero.machines_touched, 0);
     }
 
     #[test]
