@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a throughput-smoke JSON against the
+committed floors in ci/perf_floors.json.
+
+Usage: check_perf_floor.py <throughput_smoke.json> [perf_floors.json]
+
+The floors are core-count fingerprinted (see the comment field in the
+floors file): an exact host_cores match gates tightly, anything else uses
+the conservative 'default' floors. Exits non-zero when any gated config
+falls below floor/tolerance."""
+
+import json
+import sys
+
+
+def main() -> int:
+    smoke_path = sys.argv[1]
+    floors_path = sys.argv[2] if len(sys.argv) > 2 else "ci/perf_floors.json"
+    smoke = json.load(open(smoke_path))
+    spec = json.load(open(floors_path))
+    tolerance = spec["tolerance"]
+    cores = str(smoke.get("host_cores", 0))
+    floors = spec["hosts"].get(cores)
+    profile = cores
+    if floors is None:
+        floors = spec["hosts"]["default"]
+        profile = "default"
+    print(f"perf gate: host_cores={cores}, floor profile '{profile}', tolerance {tolerance}x")
+
+    measured = {
+        f"{c['alg']}/{c['backend']}/{c['k']}": c["current"]["updates_per_sec"]
+        for c in smoke["configs"]
+    }
+    failures = []
+    for key, floor in floors.items():
+        got = measured.get(key)
+        if got is None:
+            failures.append(f"{key}: missing from the smoke run")
+            continue
+        limit = floor / tolerance
+        verdict = "ok" if got >= limit else "REGRESSION"
+        print(f"  {key}: {got:.0f} updates/s (floor {floor}, limit {limit:.0f}) {verdict}")
+        if got < limit:
+            failures.append(f"{key}: {got:.0f} < {limit:.0f} (floor {floor} / {tolerance})")
+    if failures:
+        print("\nperf gate FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

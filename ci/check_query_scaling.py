@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Query-plane smoke gate: assert from a query_scaling JSON that batched
+waves beat the looped baseline and that no cell violated the model.
+
+Usage: check_query_scaling.py <query_scaling.json>
+
+Checks, per algorithm: the q=256 cell's amortized rounds/query is strictly
+below the q=1 (looped) cell's and at most 3; every sweep and mixed cell
+reports violations == 0."""
+
+import json
+import sys
+
+
+def main() -> int:
+    d = json.load(open(sys.argv[1]))
+    cells = {(c["alg"], c["q"]): c for c in d["cells"]}
+    assert cells, "no sweep cells emitted"
+    algs = {alg for alg, _ in cells}
+    failures = []
+    for alg in sorted(algs):
+        looped = cells[(alg, 1)]
+        batched = cells[(alg, 256)]
+        lr, br = looped["amortized_rounds"], batched["amortized_rounds"]
+        print(f"{alg}: looped {lr} rounds/query, batched (q=256) {br}")
+        if not br < lr:
+            failures.append(f"{alg}: batched ({br}) does not strictly beat looped ({lr})")
+        if not br <= 3.0:
+            failures.append(f"{alg}: batched amortized rounds {br} above 3")
+    for c in d["cells"]:
+        if c["violations"] != 0:
+            failures.append(f"sweep cell {c['alg']}/q={c['q']}: {c['violations']} violations")
+    for m in d.get("mixed", []):
+        if m["violations"] != 0:
+            failures.append(
+                f"mixed cell {m['alg']}/{m['read_pct']}%/{m['dist']}: "
+                f"{m['violations']} violations"
+            )
+    if failures:
+        print("\nquery smoke FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("query smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,310 @@
+//! Query-plane scaling: amortized DMPC cost per query as a function of the
+//! wave size `q`, plus mixed read/write workloads.
+//!
+//! **Why this exists.** The paper's Table 1 bounds *queries* as well as
+//! updates, but until PR 5 the repo only exercised the update plane — a
+//! read-heavy service (the ROADMAP's north star) would serialize on its
+//! cheapest operation. Nowicki–Onak (arXiv:2002.07800) make batches the
+//! unit of work for updates; this bin measures the same crossover for
+//! reads: a pool of 256 queries is answered in waves of q in {1, 16, 256}
+//! through the genuinely batched `answer_queries` machine programs
+//! (connectivity's probe/rendezvous fan-out, matching's stats-local
+//! answers), where q = 1 is the looped single-query baseline. The mixed
+//! section interleaves reads and writes at the ratios Durfee et al.
+//! (arXiv:1908.01956) motivate (95/5, 50/50, 5/95), with uniform and
+//! clustered targets.
+//!
+//! The bin asserts the restored bounds on every run: at q = 256 the
+//! batched amortized rounds/query stays <= 3 and strictly below the looped
+//! baseline, answers are bit-identical across wave sizes, and no cell
+//! records a model violation. CI smoke-runs it at tiny sizes and re-checks
+//! those claims from the JSON; the canonical numbers live in
+//! `BENCH_PR5.json` at the repo root.
+//!
+//! Usage: `query_scaling [n] [updates] [json-path]` (defaults: 256, 512,
+//! `BENCH_PR5.json`).
+
+use dmpc_bench::{
+    connectivity_query_pool, matching_query_pool, run_queries_batched, standard_stream,
+};
+use dmpc_connectivity::DmpcConnectivity;
+use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
+use dmpc_graph::queries::Op;
+use dmpc_graph::streams::{self, QueryMix, TargetDist};
+use dmpc_graph::{Query, QueryAnswer, Update};
+use dmpc_matching::DmpcMaximalMatching;
+use dmpc_mpc::{BatchMetrics, QueryMetrics};
+
+const CANON_N: usize = 256;
+const CANON_UPDATES: usize = 512;
+const SEED: u64 = 42;
+/// Query-pool size (fixed; independent of `n` so the q = 256 wave always
+/// exists, even in CI's tiny smoke runs).
+const POOL: usize = 256;
+/// Wave sizes swept; q = 1 is the looped baseline.
+const SWEEP_Q: &[usize] = &[1, 16, 256];
+/// Mixed-workload read percentages (reads per 100 ops).
+const MIX_PCTS: &[u32] = &[95, 50, 5];
+
+/// One wave-size cell of the sweep.
+struct Cell {
+    alg: &'static str,
+    q: usize,
+    qm: QueryMetrics,
+}
+
+/// One mixed-workload cell.
+struct MixedCell {
+    alg: &'static str,
+    read_pct: u32,
+    dist: &'static str,
+    ops: usize,
+    reads: usize,
+    writes: usize,
+    rounds: usize,
+    total_words: usize,
+    violations: usize,
+}
+
+fn make_alg(alg: &str, n: usize, ups: &[Update]) -> Box<dyn DynamicGraphAlgorithm> {
+    let params = DmpcParams::new(n, 3 * n);
+    let mut a: Box<dyn DynamicGraphAlgorithm> = match alg {
+        "connectivity" => Box::new(DmpcConnectivity::new(params)),
+        "matching" => Box::new(DmpcMaximalMatching::new(params)),
+        other => panic!("unknown algorithm {other}"),
+    };
+    for chunk in ups.chunks(64) {
+        let b = a.apply_batch(chunk);
+        assert!(b.clean(), "update violations while building {alg}");
+    }
+    a
+}
+
+/// Replays a mixed stream, batching every maximal run of consecutive
+/// same-kind ops (a write burst becomes one `apply_batch`, a read burst one
+/// `answer_queries` wave) — the service-loop shape: drain whatever queued.
+fn run_mixed(alg: &mut dyn DynamicGraphAlgorithm, ops: &[Op]) -> (BatchMetrics, QueryMetrics) {
+    let mut bm = BatchMetrics::default();
+    let mut qm = QueryMetrics::default();
+    let mut i = 0;
+    while i < ops.len() {
+        let start = i;
+        let read = ops[i].is_read();
+        while i < ops.len() && ops[i].is_read() == read {
+            i += 1;
+        }
+        if read {
+            let wave: Vec<Query> = ops[start..i]
+                .iter()
+                .map(|o| match o {
+                    Op::Read(q) => *q,
+                    Op::Write(_) => unreachable!(),
+                })
+                .collect();
+            let (answers, m) = alg.answer_queries(&wave);
+            assert!(
+                !answers.contains(&QueryAnswer::Unsupported),
+                "mixed stream sent a query the algorithm does not support"
+            );
+            qm.merge(&m);
+        } else {
+            let batch: Vec<Update> = ops[start..i]
+                .iter()
+                .map(|o| match o {
+                    Op::Write(u) => *u,
+                    Op::Read(_) => unreachable!(),
+                })
+                .collect();
+            bm.merge(&alg.apply_batch(&batch));
+        }
+    }
+    (bm, qm)
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        concat!(
+            "    {{\"alg\": \"{}\", \"q\": {}, \"queries\": {}, \"rounds\": {},\n",
+            "     \"amortized_rounds\": {}, \"amortized_words\": {}, ",
+            "\"max_active_machines\": {},\n",
+            "     \"machines_touched\": {}, \"total_words\": {}, \"violations\": {}}}"
+        ),
+        c.alg,
+        c.q,
+        c.qm.queries,
+        c.qm.rounds,
+        json_f64(c.qm.amortized_rounds()),
+        json_f64(c.qm.amortized_words()),
+        c.qm.max_active_machines,
+        c.qm.machines_touched,
+        c.qm.total_words,
+        c.qm.violations,
+    )
+}
+
+fn mixed_json(m: &MixedCell) -> String {
+    format!(
+        concat!(
+            "    {{\"alg\": \"{}\", \"read_pct\": {}, \"dist\": \"{}\", \"ops\": {},\n",
+            "     \"reads\": {}, \"writes\": {}, \"rounds\": {}, ",
+            "\"total_words\": {}, \"violations\": {}}}"
+        ),
+        m.alg, m.read_pct, m.dist, m.ops, m.reads, m.writes, m.rounds, m.total_words, m.violations,
+    )
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(CANON_N);
+    let updates: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(CANON_UPDATES);
+    let json_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "BENCH_PR5.json".into());
+    let ups = standard_stream(n, updates, SEED);
+
+    println!(
+        "Query scaling: n = {n}, {} churn updates first, then {POOL} queries in waves of q\n",
+        ups.len()
+    );
+    println!(
+        "{:<13} | {:>5} | {:>12} | {:>12} | {:>10} | {:>11} | {:>5}",
+        "algorithm", "q", "amort rnds/q", "amort wrds/q", "max active", "total words", "viol"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for alg in ["connectivity", "matching"] {
+        let pool = match alg {
+            "connectivity" => connectivity_query_pool(n, POOL, SEED),
+            _ => matching_query_pool(n, POOL, SEED),
+        };
+        // Reads never mutate: one instance serves every wave size, and the
+        // answers must come back bit-identical regardless of q.
+        let mut a = make_alg(alg, n, &ups);
+        let mut reference: Option<Vec<QueryAnswer>> = None;
+        for &q in SWEEP_Q {
+            let (answers, qm) = run_queries_batched(a.as_mut(), &pool, q);
+            match &reference {
+                None => reference = Some(answers),
+                Some(r) => assert_eq!(
+                    r, &answers,
+                    "{alg}: answers differ between wave sizes (q={q})"
+                ),
+            }
+            println!(
+                "{alg:<13} | {q:>5} | {:>12.4} | {:>12.2} | {:>10} | {:>11} | {:>5}",
+                qm.amortized_rounds(),
+                qm.amortized_words(),
+                qm.max_active_machines,
+                qm.total_words,
+                qm.violations,
+            );
+            cells.push(Cell { alg, q, qm });
+        }
+        let looped = &cells[cells.len() - SWEEP_Q.len()].qm;
+        let batched = &cells[cells.len() - 1].qm;
+        assert!(
+            batched.amortized_rounds() <= 3.0,
+            "{alg}: q=256 amortized rounds {} above 3",
+            batched.amortized_rounds()
+        );
+        assert!(
+            batched.amortized_rounds() < looped.amortized_rounds(),
+            "{alg}: batched ({}) must strictly beat looped ({})",
+            batched.amortized_rounds(),
+            looped.amortized_rounds()
+        );
+    }
+    for c in &cells {
+        assert_eq!(c.qm.violations, 0, "{} q={} violated the model", c.alg, c.q);
+    }
+
+    println!("\nMixed read/write workloads ({updates} ops each):");
+    println!(
+        "{:<13} | {:>5} | {:>9} | {:>6} | {:>6} | {:>7} | {:>11} | {:>5}",
+        "algorithm", "reads", "dist", "#reads", "#write", "rounds", "total words", "viol"
+    );
+    let mut mixed: Vec<MixedCell> = Vec::new();
+    for alg in ["connectivity", "matching"] {
+        let mix = match alg {
+            "connectivity" => QueryMix::Connectivity,
+            _ => QueryMix::Matching,
+        };
+        for &pct in MIX_PCTS {
+            for (dist, dist_name) in [
+                (TargetDist::Uniform, "uniform"),
+                (TargetDist::Clustered { clusters: 8 }, "clustered"),
+            ] {
+                let ops = streams::mixed_stream(n, updates, pct, dist, mix, SEED);
+                // Mixed streams are valid-by-construction from the EMPTY
+                // graph (their writes track their own evolving state), so
+                // the service loop starts from a fresh instance — replaying
+                // them onto the churn-preloaded graph would collide with
+                // live edges.
+                let mut a = make_alg(alg, n, &[]);
+                let (bm, qm) = run_mixed(a.as_mut(), &ops);
+                let cell = MixedCell {
+                    alg,
+                    read_pct: pct,
+                    dist: dist_name,
+                    ops: ops.len(),
+                    reads: qm.queries,
+                    writes: bm.updates,
+                    rounds: bm.rounds + qm.rounds,
+                    total_words: bm.total_words + qm.total_words,
+                    violations: bm.violations + qm.violations,
+                };
+                println!(
+                    "{alg:<13} | {pct:>4}% | {dist_name:>9} | {:>6} | {:>6} | {:>7} | {:>11} | {:>5}",
+                    cell.reads, cell.writes, cell.rounds, cell.total_words, cell.violations,
+                );
+                assert_eq!(cell.violations, 0, "{alg} {pct}% {dist_name} violated");
+                mixed.push(cell);
+            }
+        }
+    }
+
+    let cell_rows: Vec<String> = cells.iter().map(cell_json).collect();
+    let mixed_rows: Vec<String> = mixed.iter().map(mixed_json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"query_scaling\",\n",
+            "  \"pr\": 5,\n",
+            "  \"n\": {},\n",
+            "  \"updates\": {},\n",
+            "  \"queries\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"note\": \"pool of {} uniform queries answered in waves of q after the churn \
+             stream; q=1 is the looped baseline. connectivity resolves Connected/ComponentOf \
+             waves in 2 rounds and PathMax in 5 via per-query rendezvous; matching answers \
+             IsMatched at the stats machines and MatchingSize from the coordinator counter \
+             in 1 round. mixed = interleaved read/write service loop, consecutive same-kind \
+             ops drained as one batch/wave.\",\n",
+            "  \"cells\": [\n{}\n  ],\n",
+            "  \"mixed\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        n,
+        ups.len(),
+        POOL,
+        SEED,
+        POOL,
+        cell_rows.join(",\n"),
+        mixed_rows.join(",\n")
+    );
+    std::fs::write(&json_path, &json).expect("write query-scaling JSON");
+    println!("\nwrote {json_path}");
+}

@@ -28,6 +28,7 @@ fn main() {
             ),
             agg: r.agg,
             batch: r.batch,
+            query: r.query,
         })
         .collect();
     println!(
@@ -40,10 +41,23 @@ fn main() {
     println!("Columns: claimed = paper bound, measured = worst case over the stream.");
     println!("'viol' counts capacity/model violations (must be 0).");
     println!("'batch rnds/up' = amortized rounds per update under k=16 batched execution");
-    println!("(apply_batch; '-' = algorithm uses the looped default). Serialized lines:");
+    println!("(apply_batch; '-' = algorithm uses the looped default). 'query rnds/q' =");
+    println!("amortized rounds per query under q=16 batched waves (answer_queries).");
+    println!("Serialized lines:");
     for r in &rendered {
         if let Some(b) = &r.batch {
-            println!("  {}: {}", r.name, dmpc_core::report::batch_to_plain(b));
+            println!(
+                "  {} batch: {}",
+                r.name,
+                dmpc_core::report::batch_to_plain(b)
+            );
+        }
+        if let Some(q) = &r.query {
+            println!(
+                "  {} query: {}",
+                r.name,
+                dmpc_core::report::query_to_plain(q)
+            );
         }
     }
 }

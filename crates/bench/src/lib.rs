@@ -17,13 +17,14 @@
 use dmpc_connectivity::{DmpcConnectivity, DmpcMst};
 use dmpc_core::experiment::ScalingSweep;
 use dmpc_core::{
-    apply_batch_looped, run_stream_batched, DmpcParams, DynamicGraphAlgorithm,
+    apply_batch_looped, run_stream_batched, DmpcParams, DynamicGraphAlgorithm, QueryableAlgorithm,
     WeightedDynamicGraphAlgorithm,
 };
 use dmpc_graph::streams::{self, Update, WeightedUpdate};
+use dmpc_graph::{Query, QueryAnswer, V};
 use dmpc_matching::cs::{CsMatching, CsParams};
 use dmpc_matching::{DmpcMaximalMatching, DmpcThreeHalves};
-use dmpc_mpc::{AggregateMetrics, BatchMetrics};
+use dmpc_mpc::{AggregateMetrics, BatchMetrics, QueryMetrics};
 use dmpc_reduction::{ReducedConnectivity, ReducedMatching, ReducedMst};
 
 /// Standard workload: build-up plus churn, sized to the vertex count.
@@ -132,6 +133,64 @@ pub struct Table1Row {
     /// Batched execution of the same stream (k = 16), for the algorithms
     /// shipping a genuinely batched `apply_batch` override.
     pub batch: Option<BatchMetrics>,
+    /// Batched query wave (q = 16) against the post-stream structure, for
+    /// the algorithms shipping a genuinely batched `answer_queries`.
+    pub query: Option<QueryMetrics>,
+}
+
+/// A deterministic pool of uniform connectivity queries over `n` vertices.
+pub fn connectivity_query_pool(n: usize, count: usize, seed: u64) -> Vec<Query> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0bee_f00d_5eed_cafe);
+    (0..count)
+        .map(|_| {
+            let a = rng.gen_range(0..n as V);
+            let b = {
+                let b = rng.gen_range(0..n as V - 1);
+                if b >= a {
+                    b + 1
+                } else {
+                    b
+                }
+            };
+            match rng.gen_range(0..2) {
+                0 => Query::Connected(a, b),
+                _ => Query::ComponentOf(a),
+            }
+        })
+        .collect()
+}
+
+/// A deterministic pool of uniform matching queries over `n` vertices.
+pub fn matching_query_pool(n: usize, count: usize, seed: u64) -> Vec<Query> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0bee_f00d_5eed_cafe);
+    (0..count)
+        .map(|_| match rng.gen_range(0..4) {
+            0 => Query::MatchingSize,
+            _ => Query::IsMatched(rng.gen_range(0..n as V)),
+        })
+        .collect()
+}
+
+/// Runs the pool through `answer_queries` in waves of `q`, merging the
+/// per-wave costs (the query-plane analogue of [`run_stream_batched`]).
+/// Also returns the answers so callers can cross-check cells.
+pub fn run_queries_batched<A: QueryableAlgorithm + ?Sized>(
+    alg: &mut A,
+    pool: &[Query],
+    q: usize,
+) -> (Vec<QueryAnswer>, QueryMetrics) {
+    let mut answers = Vec::with_capacity(pool.len());
+    let mut total = QueryMetrics::default();
+    for wave in pool.chunks(q.max(1)) {
+        let (a, m) = alg.answer_queries(wave);
+        answers.extend(a);
+        total.merge(&m);
+    }
+    (answers, total)
 }
 
 /// One point of a batch-scaling sweep: the same stream executed through
@@ -190,18 +249,26 @@ pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
     let tree_ups = tree_stream(n, steps, seed);
     let wups = streams::with_weights(&ups, 1000, seed);
 
+    // Query measurements run a q=16-wave pool against the post-stream
+    // structure (reads are free to reuse the instance: they never mutate).
+    let pool_len = 64.min(4 * n);
+    let conn_pool = connectivity_query_pool(n, pool_len, seed);
+    let match_pool = matching_query_pool(n, pool_len, seed);
+
     let mut rows = Vec::new();
 
     let mut mm = DmpcMaximalMatching::new(params);
+    let mm_agg = run_unweighted(&mut mm, &ups);
     rows.push(Table1Row {
         name: "Maximal matching",
         claimed: ("O(1)", "O(1)", "O(sqrt N)"),
-        agg: run_unweighted(&mut mm, &ups),
+        agg: mm_agg,
         batch: Some(run_stream_batched(
             &mut DmpcMaximalMatching::new(params),
             &ups,
             16,
         )),
+        query: Some(run_queries_batched(&mut mm, &match_pool, 16).1),
     });
 
     let mut th = DmpcThreeHalves::new(params);
@@ -210,6 +277,7 @@ pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
         claimed: ("O(1)", "O(n/sqrt N)", "O(sqrt N)"),
         agg: run_unweighted(&mut th, &ups),
         batch: None,
+        query: Some(run_queries_batched(&mut th, &match_pool, 16).1),
     });
 
     let mut cs = CsMatching::new(n, CsParams::defaults(n, 0.3));
@@ -218,26 +286,31 @@ pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
         claimed: ("O(1)", "~O(1)", "~O(1)"),
         agg: run_unweighted(&mut cs, &ups),
         batch: None,
+        query: None,
     });
 
     let mut cc = DmpcConnectivity::new(params);
+    let cc_agg = run_unweighted(&mut cc, &tree_ups);
     rows.push(Table1Row {
         name: "Connected comps",
         claimed: ("O(1)", "O(sqrt N)", "O(sqrt N)"),
-        agg: run_unweighted(&mut cc, &tree_ups),
+        agg: cc_agg,
         batch: Some(run_stream_batched(
             &mut DmpcConnectivity::new(params),
             &tree_ups,
             16,
         )),
+        query: Some(run_queries_batched(&mut cc, &conn_pool, 16).1),
     });
 
     let mut mst = DmpcMst::new(params, 0.1);
+    let mst_agg = run_weighted(&mut mst, &wups);
     rows.push(Table1Row {
         name: "(1+eps)-MST",
         claimed: ("O(1)", "O(sqrt N)", "O(sqrt N)"),
-        agg: run_weighted(&mut mst, &wups),
+        agg: mst_agg,
         batch: None,
+        query: Some(run_queries_batched(&mut mst, &conn_pool, 16).1),
     });
 
     let mut rmm = ReducedMatching::new(n, m_max);
@@ -246,6 +319,7 @@ pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
         claimed: ("O(sqrt m)", "O(1)", "O(1)"),
         agg: run_unweighted(&mut rmm, &ups),
         batch: None,
+        query: None,
     });
 
     let mut rcc = ReducedConnectivity::new(n);
@@ -254,6 +328,7 @@ pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
         claimed: ("~O(1) am.", "O(1)", "O(1)"),
         agg: run_unweighted(&mut rcc, &tree_ups),
         batch: None,
+        query: None,
     });
 
     let mut rmst = ReducedMst::new(n);
@@ -262,6 +337,7 @@ pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
         claimed: ("O(m) (subst.)", "O(1)", "O(1)"),
         agg: run_weighted(&mut rmst, &wups),
         batch: None,
+        query: None,
     });
 
     rows

@@ -4,11 +4,15 @@
 use crate::machine::{ConnMachine, EntryKind, Routing, VertexState, BATCH_CTRL};
 use crate::messages::{BatchItem, ConnMsg};
 use crate::preprocess;
-use dmpc_core::{DmpcParams, DynamicGraphAlgorithm, WeightedDynamicGraphAlgorithm};
+use dmpc_core::{
+    DmpcParams, DynamicGraphAlgorithm, QueryableAlgorithm, WeightedDynamicGraphAlgorithm,
+};
 use dmpc_eulertour::indexed::CompId;
 use dmpc_graph::streams::coalesce;
-use dmpc_graph::{Edge, Update, Weight, V};
-use dmpc_mpc::{BatchMetrics, Cluster, ClusterConfig, ExecOptions, MachineId, UpdateMetrics};
+use dmpc_graph::{Edge, Query, QueryAnswer, Update, Weight, V};
+use dmpc_mpc::{
+    BatchMetrics, Cluster, ClusterConfig, ExecOptions, MachineId, QueryMetrics, UpdateMetrics,
+};
 use std::collections::{BTreeSet, HashMap};
 
 /// Shared driver for plain connectivity and MST mode.
@@ -94,6 +98,113 @@ impl ConnDriver {
     /// machine budget, so batches are processed `sqrt N` updates at a time.
     fn batch_chunk(&self) -> usize {
         self.params.sqrt_n().max(1)
+    }
+
+    /// Runs one chunk of queries as a single metered wave: every probe is
+    /// injected in round 0, owners/rendezvous resolve them concurrently
+    /// (see `machine.rs`, "The query plane"), and the stashed answers are
+    /// drained after quiescence. Returns answers index-aligned with `chunk`
+    /// plus the raw run metrics (including the per-pair flow map when flow
+    /// tracking is on — the metering tests assert O(q) words per wave).
+    /// Callers wanting capacity-safe chunking use [`Self::answer_query_batch`].
+    pub fn query_wave(&mut self, chunk: &[Query]) -> (Vec<QueryAnswer>, UpdateMetrics) {
+        self.clear_stale_batch_state();
+        let n_machines = self.cluster.n_machines() as MachineId;
+        let mut wave: Vec<(MachineId, ConnMsg)> = Vec::with_capacity(2 * chunk.len());
+        // Answers resolvable without any machine involvement (degenerate or
+        // unsupported queries) are zero-round, zero-cost by definition.
+        let mut got: Vec<(u32, QueryAnswer)> = Vec::new();
+        for (i, &q) in chunk.iter().enumerate() {
+            let qid = i as u32;
+            let rendezvous = qid % n_machines;
+            match q {
+                Query::Connected(a, b) if a == b => got.push((qid, QueryAnswer::Bool(true))),
+                Query::Connected(a, b) => {
+                    for probe in [a, b] {
+                        wave.push((
+                            self.owner(probe),
+                            ConnMsg::QConnProbe {
+                                qid,
+                                probe,
+                                expect: 2,
+                                rendezvous,
+                            },
+                        ));
+                    }
+                }
+                Query::ComponentOf(v) => wave.push((
+                    self.owner(v),
+                    ConnMsg::QConnProbe {
+                        qid,
+                        probe: v,
+                        expect: 1,
+                        rendezvous,
+                    },
+                )),
+                Query::PathMax(u, v) if u == v => {
+                    got.push((qid, QueryAnswer::PathMax(None)));
+                }
+                Query::PathMax(u, v) => wave.push((
+                    self.owner(u),
+                    ConnMsg::QPathStart {
+                        qid,
+                        u,
+                        v,
+                        rendezvous,
+                    },
+                )),
+                Query::IsMatched(_) | Query::MatchingSize => {
+                    got.push((qid, QueryAnswer::Unsupported));
+                }
+            }
+        }
+        self.cluster.inject_batch(wave);
+        let m = self.cluster.run_update();
+        for mid in 0..self.cluster.n_machines() {
+            got.extend(self.cluster.machine_mut(mid as MachineId).take_answers());
+        }
+        got.sort_unstable_by_key(|&(qid, _)| qid);
+        assert_eq!(got.len(), chunk.len(), "query answers missing/duplicated");
+        debug_assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+        (got.into_iter().map(|(_, a)| a).collect(), m)
+    }
+
+    /// Answers a batch of queries, chunked so every wave fits the
+    /// `O(sqrt N)`-word machine budget: at most `sqrt N` queries per wave
+    /// (rendezvous fan-in, like update batches), and at most
+    /// `S / (9 * P)` *path-max* queries per wave — a component's root owner
+    /// multicasts one 9-word eval to up to `|owners| <= P` machines per
+    /// path query, so its per-round send volume is the binding constraint
+    /// when many concurrent path queries hit the same component.
+    pub fn answer_query_batch(&mut self, queries: &[Query]) -> (Vec<QueryAnswer>, QueryMetrics) {
+        let max_chunk = self.batch_chunk();
+        let path_budget = match self.cluster.capacity_words() {
+            Some(s) => (s / (9 * self.cluster.n_machines().max(1))).max(1),
+            None => usize::MAX,
+        };
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut qm = QueryMetrics::default();
+        let mut start = 0;
+        while start < queries.len() {
+            let mut end = start;
+            let mut paths = 0usize;
+            while end < queries.len() && end - start < max_chunk {
+                if matches!(queries[end], Query::PathMax(u, v) if u != v) {
+                    if paths == path_budget {
+                        break;
+                    }
+                    paths += 1;
+                }
+                end += 1;
+            }
+            let chunk = &queries[start..end];
+            let (a, m) = self.query_wave(chunk);
+            answers.extend(a);
+            qm.absorb_run(&m);
+            qm.queries += chunk.len();
+            start = end;
+        }
+        (answers, qm)
     }
 
     /// The model parameters.
@@ -452,6 +563,12 @@ impl DmpcConnectivity {
         &self.driver
     }
 
+    /// Mutable driver access (raw query waves in metering tests — not part
+    /// of the model).
+    pub fn driver_mut(&mut self) -> &mut ConnDriver {
+        &mut self.driver
+    }
+
     /// True if `a` and `b` are currently connected.
     pub fn connected(&self, a: V, b: V) -> bool {
         self.driver.connected(a, b)
@@ -460,6 +577,20 @@ impl DmpcConnectivity {
     /// Component labels for all vertices.
     pub fn component_labels(&self) -> Vec<CompId> {
         self.driver.component_labels()
+    }
+}
+
+/// Batched query plane: `Connected`/`ComponentOf` resolve in two rounds per
+/// wave, `PathMax` in five, all `q` queries of a wave concurrently (see
+/// `machine.rs`, "The query plane").
+impl QueryableAlgorithm for DmpcConnectivity {
+    fn answer_query(&mut self, q: Query) -> (QueryAnswer, QueryMetrics) {
+        let (mut answers, m) = self.driver.answer_query_batch(&[q]);
+        (answers.pop().expect("one answer per query"), m)
+    }
+
+    fn answer_queries(&mut self, queries: &[Query]) -> (Vec<QueryAnswer>, QueryMetrics) {
+        self.driver.answer_query_batch(queries)
     }
 }
 
@@ -552,6 +683,12 @@ impl DmpcMst {
         &self.driver
     }
 
+    /// Mutable driver access (raw query waves in metering tests — not part
+    /// of the model).
+    pub fn driver_mut(&mut self) -> &mut ConnDriver {
+        &mut self.driver
+    }
+
     /// Weight of the maintained spanning forest.
     pub fn forest_weight(&self) -> Weight {
         self.driver.forest_weight()
@@ -560,6 +697,20 @@ impl DmpcMst {
     /// True if `a` and `b` are currently connected.
     pub fn connected(&self, a: V, b: V) -> bool {
         self.driver.connected(a, b)
+    }
+}
+
+/// MST mode shares the connectivity query plane; `PathMax` answers come
+/// from the maintained (1+eps)-approximate spanning forest, with weights
+/// reflecting the preprocessing's bucketing for bulk-loaded edges.
+impl QueryableAlgorithm for DmpcMst {
+    fn answer_query(&mut self, q: Query) -> (QueryAnswer, QueryMetrics) {
+        let (mut answers, m) = self.driver.answer_query_batch(&[q]);
+        (answers.pop().expect("one answer per query"), m)
+    }
+
+    fn answer_queries(&mut self, queries: &[Query]) -> (Vec<QueryAnswer>, QueryMetrics) {
+        self.driver.answer_query_batch(queries)
     }
 }
 

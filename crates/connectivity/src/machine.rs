@@ -52,6 +52,36 @@
 //! steps execute locally in the same round (local computation is free in
 //! the MPC model), which the metering test pins via the flow map.
 //!
+//! # The query plane
+//!
+//! Reads never enter the structural-op machinery: a wave of `q` queries is
+//! injected in one round and resolved by stateless probes joining at
+//! per-query *rendezvous* machines (`rendezvous = qid mod P`), whose partial
+//! folds are keyed by query id so the whole wave aggregates concurrently —
+//! unlike the update path's single-slot pending state, which serializes
+//! structural ops.
+//!
+//! * `Connected(u, v)` / `ComponentOf(u)`: one [`ConnMsg::QConnProbe`] per
+//!   endpoint is injected at the endpoint's owner, which sends the
+//!   component id to the rendezvous ([`ConnMsg::QConnJoin`]); the
+//!   rendezvous compares (or reports) the ids. Two rounds for the whole
+//!   wave, O(1) words per query.
+//! * `PathMax(u, v)`: u's owner ships u's tour span to v's owner
+//!   ([`ConnMsg::QPathProbe`]); on a component match the root owner
+//!   resolves the owner set from its directory shard
+//!   ([`ConnMsg::QPathResolve`], reusing PR 4's component-owner directory)
+//!   and multicasts the evaluation ([`ConnMsg::QPathEval`]); every owner
+//!   joins its local on-path maximum at the rendezvous
+//!   ([`ConnMsg::QPathJoin`]). Five rounds for the whole wave.
+//!
+//! Answers are stashed at the rendezvous and drained by the driver after
+//! quiescence (result extraction, like `comp_of`). Handlers only read
+//! vertex/directory state, so a query wave is invisible to later updates;
+//! the driver chunks waves to `O(sqrt N)` queries so rendezvous fan-in
+//! respects the machine capacity `S`. All query traffic flows through the
+//! same `Outbox` counters as updates, so send/receive caps and flow maps
+//! meter reads exactly like writes.
+//!
 //! # Batched updates
 //!
 //! A batch of `k` pre-coalesced updates (at most one op per edge; see
@@ -86,7 +116,7 @@
 use crate::messages::{BatchItem, ConnMsg, CutMode, StructBroadcast, VertexInfo};
 use dmpc_eulertour::indexed::{apply_op_to_vertex, map_reroot, CompId, TourOp};
 use dmpc_eulertour::TourIx;
-use dmpc_graph::{Edge, Update, Weight, V};
+use dmpc_graph::{Edge, QueryAnswer, Update, Weight, V};
 use dmpc_mpc::{Envelope, Machine, MachineId, Outbox, RoundCtx};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -271,6 +301,37 @@ enum FetchCont {
 /// owns_parent, owns_child).
 type CutReportIn = (MachineId, Option<(Edge, Weight)>, bool, bool);
 
+/// Rendezvous-side partial fold of one in-flight query. Unlike the
+/// single-slot update state (`pending_cut` etc.), query folds are keyed by
+/// query id so a whole wave of queries aggregates concurrently; an entry is
+/// removed (and the answer stashed) the moment its last join arrives.
+#[derive(Debug)]
+enum QueryFold {
+    /// A `Connected`/`ComponentOf` fold over component-id joins.
+    Conn {
+        /// Joins expected.
+        expect: u8,
+        /// Joins folded so far.
+        got: u8,
+        /// The first join's component id.
+        first: CompId,
+        /// All joins so far agree with `first`.
+        all_eq: bool,
+    },
+    /// A `PathMax` fold over per-owner local maxima.
+    Path {
+        /// Joins expected.
+        expect: u16,
+        /// Joins folded so far.
+        got: u16,
+        /// Running maximum, `(weight, edge)` ordered like the update-path
+        /// aggregation in `finish_path_max`.
+        best: Option<(Weight, Edge)>,
+        /// No join reported the endpoints disconnected.
+        connected: bool,
+    },
+}
+
 /// Round-local accumulators threaded through message dispatch (the
 /// aggregation messages of one round fold into a single action).
 #[derive(Default)]
@@ -304,6 +365,12 @@ pub struct ConnMachine {
     pending_mst: Option<PendingMst>,
     /// Controller state of the in-flight batch (machine 0 only).
     batch: Option<BatchCtl>,
+    /// Rendezvous-side partial folds of in-flight queries, keyed by query id
+    /// (the whole wave aggregates concurrently).
+    pending_queries: BTreeMap<u32, QueryFold>,
+    /// Completed query answers stashed at this rendezvous, drained by the
+    /// driver after the wave quiesces.
+    answers: Vec<(u32, QueryAnswer)>,
 }
 
 impl ConnMachine {
@@ -337,6 +404,8 @@ impl ConnMachine {
             pending_cut: None,
             pending_mst: None,
             batch: None,
+            pending_queries: BTreeMap::new(),
+            answers: Vec::new(),
         }
     }
 
@@ -354,6 +423,14 @@ impl ConnMachine {
         self.pending_cut = None;
         self.pending_fetch = None;
         self.pending_mst = None;
+        self.pending_queries.clear();
+        self.answers.clear();
+    }
+
+    /// Drains the query answers stashed at this rendezvous (driver-side
+    /// result extraction after a wave quiesces — not part of the model).
+    pub fn take_answers(&mut self) -> Vec<(u32, QueryAnswer)> {
+        std::mem::take(&mut self.answers)
     }
 
     fn owner(&self, v: V) -> MachineId {
@@ -1472,6 +1549,239 @@ impl ConnMachine {
         }
     }
 
+    // ----- query plane ----------------------------------------------------
+    //
+    // Read-only by contract: every handler below reads vertex/directory
+    // state, folds at a rendezvous keyed by query id, and stashes the
+    // answer — no handler writes `verts` or `dir`, so interleaving query
+    // waves anywhere in an update stream is invisible to later updates
+    // (pinned by the query-plane property tests).
+
+    /// Reports `probe`'s component id to the query's rendezvous.
+    fn handle_q_conn_probe(
+        &mut self,
+        qid: u32,
+        probe: V,
+        expect: u8,
+        rendezvous: MachineId,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        let comp = self.st(probe).comp;
+        self.route(rendezvous, ConnMsg::QConnJoin { qid, comp, expect }, out);
+    }
+
+    /// Rendezvous: folds one component-id join; completes the query once
+    /// `expect` joins arrived (they can span rounds when one endpoint's
+    /// owner is the rendezvous itself and answers in-round).
+    fn handle_q_conn_join(&mut self, qid: u32, comp: CompId, expect: u8) {
+        let fold = self.pending_queries.entry(qid).or_insert(QueryFold::Conn {
+            expect,
+            got: 0,
+            first: comp,
+            all_eq: true,
+        });
+        let QueryFold::Conn {
+            expect,
+            got,
+            first,
+            all_eq,
+        } = fold
+        else {
+            panic!("query id {qid} folded as both Conn and Path");
+        };
+        *got += 1;
+        *all_eq &= *first == comp;
+        if *got == *expect {
+            let answer = if *expect == 1 {
+                QueryAnswer::Component(*first)
+            } else {
+                QueryAnswer::Bool(*all_eq)
+            };
+            self.pending_queries.remove(&qid);
+            self.answers.push((qid, answer));
+        }
+    }
+
+    /// Starts a `PathMax(u, v)` query at `u`'s owner: ship u's span to v's
+    /// owner for the component comparison.
+    fn handle_q_path_start(
+        &mut self,
+        qid: u32,
+        u: V,
+        v: V,
+        rendezvous: MachineId,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        let us = self.st(u);
+        let (comp, fx, lx) = (us.comp, us.f(), us.l());
+        self.route(
+            self.owner(v),
+            ConnMsg::QPathProbe {
+                qid,
+                v,
+                comp,
+                fx,
+                lx,
+                rendezvous,
+            },
+            out,
+        );
+    }
+
+    /// v's owner: either the endpoints are disconnected (answer now) or the
+    /// component's root owner must fan the evaluation out to the owner set.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_q_path_probe(
+        &mut self,
+        qid: u32,
+        v: V,
+        comp: CompId,
+        fx: TourIx,
+        lx: TourIx,
+        rendezvous: MachineId,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        let vs = self.st(v);
+        if vs.comp != comp {
+            self.route(
+                rendezvous,
+                ConnMsg::QPathJoin {
+                    qid,
+                    best: None,
+                    expect: 1,
+                    connected: false,
+                },
+                out,
+            );
+            return;
+        }
+        let (fy, ly) = (vs.f(), vs.l());
+        self.route(
+            self.root_owner(comp),
+            ConnMsg::QPathResolve {
+                qid,
+                comp,
+                fx,
+                lx,
+                fy,
+                ly,
+                rendezvous,
+            },
+            out,
+        );
+    }
+
+    /// Root owner: resolve the owner set from the local directory shard and
+    /// multicast the evaluation (the root owner is always a member of the
+    /// set — it owns the component's root vertex — so its own evaluation
+    /// routes locally in the same round).
+    #[allow(clippy::too_many_arguments)]
+    fn handle_q_path_resolve(
+        &mut self,
+        qid: u32,
+        comp: CompId,
+        fx: TourIx,
+        lx: TourIx,
+        fy: TourIx,
+        ly: TourIx,
+        rendezvous: MachineId,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        debug_assert_eq!(self.root_owner(comp), self.id);
+        let owners = self.dir_owners(comp);
+        let expect = owners.len() as u16;
+        for m in owners {
+            self.route(
+                m,
+                ConnMsg::QPathEval {
+                    qid,
+                    comp,
+                    fx,
+                    lx,
+                    fy,
+                    ly,
+                    rendezvous,
+                    expect,
+                },
+                out,
+            );
+        }
+    }
+
+    /// One owner's evaluation: the local on-path maximum, joined at the
+    /// rendezvous (shares `local_path_max` with the update-path MST swap).
+    #[allow(clippy::too_many_arguments)]
+    fn handle_q_path_eval(
+        &mut self,
+        qid: u32,
+        comp: CompId,
+        fx: TourIx,
+        lx: TourIx,
+        fy: TourIx,
+        ly: TourIx,
+        rendezvous: MachineId,
+        expect: u16,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        let best = self.local_path_max(comp, fx, lx, fy, ly);
+        self.route(
+            rendezvous,
+            ConnMsg::QPathJoin {
+                qid,
+                best,
+                expect,
+                connected: true,
+            },
+            out,
+        );
+    }
+
+    /// Rendezvous: folds one path-max join with the same (weight desc, edge
+    /// asc) tie-break as the update path's `finish_path_max`.
+    fn handle_q_path_join(
+        &mut self,
+        qid: u32,
+        best: Option<(Edge, Weight)>,
+        expect: u16,
+        connected: bool,
+    ) {
+        let fold = self.pending_queries.entry(qid).or_insert(QueryFold::Path {
+            expect,
+            got: 0,
+            best: None,
+            connected: true,
+        });
+        let QueryFold::Path {
+            expect,
+            got,
+            best: acc,
+            connected: conn,
+        } = fold
+        else {
+            panic!("query id {qid} folded as both Conn and Path");
+        };
+        *got += 1;
+        *conn &= connected;
+        if let Some((e, w)) = best {
+            let better = match *acc {
+                None => true,
+                Some((bw, be)) => w > bw || (w == bw && e < be),
+            };
+            if better {
+                *acc = Some((w, e));
+            }
+        }
+        if *got == *expect {
+            let answer = if *conn {
+                QueryAnswer::PathMax(acc.map(|(w, e)| (e, w)))
+            } else {
+                QueryAnswer::PathMax(None)
+            };
+            self.pending_queries.remove(&qid);
+            self.answers.push((qid, answer));
+        }
+    }
+
     // ----- batch protocol -------------------------------------------------
 
     /// Controller: fan the batch out to the owners for classification.
@@ -1708,6 +2018,52 @@ impl ConnMachine {
                 self.dir.remove(&comp);
             }
             ConnMsg::Ack => {}
+            ConnMsg::QConnProbe {
+                qid,
+                probe,
+                expect,
+                rendezvous,
+            } => self.handle_q_conn_probe(qid, probe, expect, rendezvous, out),
+            ConnMsg::QConnJoin { qid, comp, expect } => self.handle_q_conn_join(qid, comp, expect),
+            ConnMsg::QPathStart {
+                qid,
+                u,
+                v,
+                rendezvous,
+            } => self.handle_q_path_start(qid, u, v, rendezvous, out),
+            ConnMsg::QPathProbe {
+                qid,
+                v,
+                comp,
+                fx,
+                lx,
+                rendezvous,
+            } => self.handle_q_path_probe(qid, v, comp, fx, lx, rendezvous, out),
+            ConnMsg::QPathResolve {
+                qid,
+                comp,
+                fx,
+                lx,
+                fy,
+                ly,
+                rendezvous,
+            } => self.handle_q_path_resolve(qid, comp, fx, lx, fy, ly, rendezvous, out),
+            ConnMsg::QPathEval {
+                qid,
+                comp,
+                fx,
+                lx,
+                fy,
+                ly,
+                rendezvous,
+                expect,
+            } => self.handle_q_path_eval(qid, comp, fx, lx, fy, ly, rendezvous, expect, out),
+            ConnMsg::QPathJoin {
+                qid,
+                best,
+                expect,
+                connected,
+            } => self.handle_q_path_join(qid, best, expect, connected),
             ConnMsg::BatchStart { items } => self.handle_batch_start(items, out),
             ConnMsg::BatchClassify { items } => {
                 self.handle_batch_classify(items, &mut acc.report, out)
@@ -1861,6 +2217,9 @@ impl Machine for ConnMachine {
                 FetchCont::Cut { .. } | FetchCont::PathMax { .. } => 0,
             };
         }
+        // Transient query-plane state at this rendezvous: folds and stashed
+        // answers, both bounded by the driver's wave chunking.
+        words += 6 * self.pending_queries.len() + 4 * self.answers.len();
         words
     }
 }

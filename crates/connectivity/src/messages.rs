@@ -254,6 +254,106 @@ pub enum ConnMsg {
         comp: CompId,
     },
 
+    // ---- query plane (see `machine.rs` "The query plane") ----------------
+    /// Injected at `probe`'s owner: report `probe`'s component id to the
+    /// query's rendezvous. `expect = 1` resolves a `ComponentOf` query,
+    /// `expect = 2` one endpoint of a `Connected` query.
+    QConnProbe {
+        /// Query id within the wave (the rendezvous' fold key).
+        qid: u32,
+        /// The probed vertex (owned by the receiver).
+        probe: V,
+        /// Joins the rendezvous must fold for this query (1 or 2).
+        expect: u8,
+        /// The per-query rendezvous machine.
+        rendezvous: MachineId,
+    },
+    /// owner -> rendezvous: one endpoint's component id.
+    QConnJoin {
+        /// Query id.
+        qid: u32,
+        /// The probed endpoint's component id.
+        comp: CompId,
+        /// Joins expected for this query (echoed from the probe).
+        expect: u8,
+    },
+    /// Injected at `u`'s owner: start a `PathMax(u, v)` query.
+    QPathStart {
+        /// Query id.
+        qid: u32,
+        /// One endpoint (owned by the receiver).
+        u: V,
+        /// The other endpoint.
+        v: V,
+        /// The per-query rendezvous machine.
+        rendezvous: MachineId,
+    },
+    /// owner(u) -> owner(v): u's tour span and component.
+    QPathProbe {
+        /// Query id.
+        qid: u32,
+        /// The far endpoint (owned by the receiver).
+        v: V,
+        /// u's component id.
+        comp: CompId,
+        /// u's first tour appearance.
+        fx: TourIx,
+        /// u's last tour appearance.
+        lx: TourIx,
+        /// The per-query rendezvous machine.
+        rendezvous: MachineId,
+    },
+    /// owner(v) -> root owner of `comp`: resolve the component's owner set
+    /// from the directory shard and fan the evaluation out.
+    QPathResolve {
+        /// Query id.
+        qid: u32,
+        /// The shared component.
+        comp: CompId,
+        /// u's span.
+        fx: TourIx,
+        /// u's span.
+        lx: TourIx,
+        /// v's span.
+        fy: TourIx,
+        /// v's span.
+        ly: TourIx,
+        /// The per-query rendezvous machine.
+        rendezvous: MachineId,
+    },
+    /// root owner -> every owner of `comp`: evaluate the local on-path
+    /// maximum and join at the rendezvous.
+    QPathEval {
+        /// Query id.
+        qid: u32,
+        /// The component.
+        comp: CompId,
+        /// u's span.
+        fx: TourIx,
+        /// u's span.
+        lx: TourIx,
+        /// v's span.
+        fy: TourIx,
+        /// v's span.
+        ly: TourIx,
+        /// The per-query rendezvous machine.
+        rendezvous: MachineId,
+        /// Joins the rendezvous must fold (= the owner-set size).
+        expect: u16,
+    },
+    /// owner -> rendezvous: local on-path maximum, or the disconnected
+    /// verdict (`expect = 1`, `connected = false`).
+    QPathJoin {
+        /// Query id.
+        qid: u32,
+        /// Local maximum-weight on-path tree edge, if any.
+        best: Option<(Edge, Weight)>,
+        /// Joins expected for this query.
+        expect: u16,
+        /// False iff the endpoints turned out disconnected.
+        connected: bool,
+    },
+
     // ---- batch protocol (see `machine.rs` "Batched updates") -------------
     /// Injected at the batch controller (machine 0): process these updates
     /// as one batch.
@@ -310,6 +410,13 @@ impl Payload for ConnMsg {
             ConnMsg::Ack => 1,
             ConnMsg::DirFetch { .. } | ConnMsg::DirDrop { .. } => 2,
             ConnMsg::DirReply { owners, .. } | ConnMsg::DirStore { owners, .. } => 2 + owners.len(),
+            ConnMsg::QConnProbe { .. } => 4,
+            ConnMsg::QConnJoin { .. } => 4,
+            ConnMsg::QPathStart { .. } => 5,
+            ConnMsg::QPathProbe { .. } => 7,
+            ConnMsg::QPathResolve { .. } => 8,
+            ConnMsg::QPathEval { .. } => 9,
+            ConnMsg::QPathJoin { .. } => 6,
             ConnMsg::BatchStart { items } | ConnMsg::BatchClassify { items } => 1 + 3 * items.len(),
             ConnMsg::BatchInsClassify { .. } => 9,
             ConnMsg::BatchReport { structural, .. } => 2 + 3 * structural.len(),
@@ -396,6 +503,55 @@ mod tests {
             }
             .size_words(),
             8
+        );
+    }
+
+    #[test]
+    fn query_messages_are_constant_words() {
+        // Query-plane payloads carry no owner sets or item lists: every
+        // message is O(1) words, so a q-query wave totals O(q).
+        assert_eq!(
+            ConnMsg::QConnProbe {
+                qid: 0,
+                probe: 1,
+                expect: 2,
+                rendezvous: 3
+            }
+            .size_words(),
+            4
+        );
+        assert_eq!(
+            ConnMsg::QConnJoin {
+                qid: 0,
+                comp: 5,
+                expect: 2
+            }
+            .size_words(),
+            4
+        );
+        assert!(
+            ConnMsg::QPathJoin {
+                qid: 0,
+                best: Some((Edge::new(0, 1), 9)),
+                expect: 4,
+                connected: true
+            }
+            .size_words()
+                <= 6
+        );
+        assert!(
+            ConnMsg::QPathEval {
+                qid: 0,
+                comp: 1,
+                fx: 2,
+                lx: 3,
+                fy: 4,
+                ly: 5,
+                rendezvous: 6,
+                expect: 7
+            }
+            .size_words()
+                <= 9
         );
     }
 

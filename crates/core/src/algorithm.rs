@@ -7,8 +7,8 @@
 //! genuinely batched machine program (shared preprocessing fan-out, shared
 //! coordinator rounds) override it and report a lower amortized cost.
 
-use dmpc_graph::{Edge, Update, Weight, WeightedUpdate};
-use dmpc_mpc::{BatchMetrics, UpdateMetrics};
+use dmpc_graph::{Edge, Query, QueryAnswer, Update, Weight, WeightedUpdate};
+use dmpc_mpc::{BatchMetrics, QueryMetrics, UpdateMetrics};
 
 /// The reference batch execution: apply the updates one by one, in order,
 /// summing their costs. This is both the default `apply_batch` and the
@@ -25,6 +25,52 @@ pub fn apply_batch_looped<A: DynamicGraphAlgorithm + ?Sized>(
     b
 }
 
+/// The reference query-wave execution: answer the queries one by one, in
+/// order, summing their costs. This is both the default `answer_queries`
+/// and the looped baseline the genuinely batched overrides are compared
+/// against in the `query_scaling` bench.
+pub fn answer_queries_looped<A: QueryableAlgorithm + ?Sized>(
+    alg: &mut A,
+    queries: &[Query],
+) -> (Vec<QueryAnswer>, QueryMetrics) {
+    let mut answers = Vec::with_capacity(queries.len());
+    let mut total = QueryMetrics::default();
+    for &q in queries {
+        let (a, m) = alg.answer_query(q);
+        answers.push(a);
+        total.merge(&m);
+    }
+    (answers, total)
+}
+
+/// The query plane: read-only access to the maintained structure, metered
+/// like updates but amortized over queries. Both algorithm traits extend
+/// this, so every algorithm keeps compiling via the defaults — answering
+/// [`QueryAnswer::Unsupported`] per query and looping singles for waves.
+/// Algorithms with a genuinely batched machine program (one fan-out wave
+/// answering all `q` queries in O(1) rounds) override [`Self::answer_queries`].
+///
+/// Queries MUST NOT modify the maintained structure: interleaving query
+/// waves anywhere in an update stream must not change any later answer or
+/// update outcome (pinned by the query-plane property tests).
+pub trait QueryableAlgorithm {
+    /// Answers one query, returning the answer and the metered cost.
+    /// The default supports nothing.
+    fn answer_query(&mut self, q: Query) -> (QueryAnswer, QueryMetrics) {
+        let _ = q;
+        (QueryAnswer::Unsupported, QueryMetrics::one_unanswered())
+    }
+
+    /// Answers an ordered batch of queries as one unit of work and returns
+    /// the answers (index-aligned with `queries`) plus the combined,
+    /// amortizable cost. The default loops [`Self::answer_query`]; overrides
+    /// must return bit-identical answers while sharing rounds across the
+    /// wave.
+    fn answer_queries(&mut self, queries: &[Query]) -> (Vec<QueryAnswer>, QueryMetrics) {
+        answer_queries_looped(self, queries)
+    }
+}
+
 /// Looped batch execution for weighted algorithms.
 pub fn apply_weighted_batch_looped<A: WeightedDynamicGraphAlgorithm + ?Sized>(
     alg: &mut A,
@@ -39,7 +85,10 @@ pub fn apply_weighted_batch_looped<A: WeightedDynamicGraphAlgorithm + ?Sized>(
 
 /// A fully-dynamic distributed graph algorithm: processes edge updates —
 /// singly or in batches — and reports the DMPC cost of each unit of work.
-pub trait DynamicGraphAlgorithm {
+/// The [`QueryableAlgorithm`] supertrait adds the read side; its defaults
+/// answer nothing, so algorithms without a query program just write
+/// `impl QueryableAlgorithm for X {}`.
+pub trait DynamicGraphAlgorithm: QueryableAlgorithm {
     /// Short name used in reports.
     fn name(&self) -> &'static str;
 
@@ -75,8 +124,9 @@ pub trait DynamicGraphAlgorithm {
 }
 
 /// A fully-dynamic distributed algorithm on weighted graphs (the MST
-/// algorithms).
-pub trait WeightedDynamicGraphAlgorithm {
+/// algorithms). Queries arrive through the same [`QueryableAlgorithm`]
+/// supertrait as the unweighted interface.
+pub trait WeightedDynamicGraphAlgorithm: QueryableAlgorithm {
     /// Short name used in reports.
     fn name(&self) -> &'static str;
 
@@ -111,6 +161,7 @@ mod tests {
         deletes: usize,
     }
 
+    impl QueryableAlgorithm for Dummy {}
     impl DynamicGraphAlgorithm for Dummy {
         fn name(&self) -> &'static str {
             "dummy"
@@ -137,6 +188,24 @@ mod tests {
         d.apply(Update::Insert(e));
         assert_eq!((d.inserts, d.deletes), (2, 1));
         assert_eq!(d.name(), "dummy");
+    }
+
+    #[test]
+    fn default_query_plane_answers_unsupported() {
+        let mut d = Dummy {
+            inserts: 0,
+            deletes: 0,
+        };
+        let (a, m) = d.answer_query(Query::MatchingSize);
+        assert_eq!(a, QueryAnswer::Unsupported);
+        assert_eq!(m.queries, 1);
+        assert_eq!(m.rounds, 0);
+        let (answers, wave) = d.answer_queries(&[Query::Connected(0, 1), Query::ComponentOf(2)]);
+        assert_eq!(answers, vec![QueryAnswer::Unsupported; 2]);
+        assert_eq!(wave.queries, 2);
+        assert!(wave.clean());
+        // The query plane never mutates the algorithm.
+        assert_eq!((d.inserts, d.deletes), (0, 0));
     }
 
     #[test]

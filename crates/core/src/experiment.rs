@@ -163,6 +163,7 @@ mod tests {
     use dmpc_graph::Edge;
 
     struct Counter;
+    impl crate::QueryableAlgorithm for Counter {}
     impl DynamicGraphAlgorithm for Counter {
         fn name(&self) -> &'static str {
             "counter"

@@ -38,8 +38,8 @@ pub mod model;
 pub mod report;
 
 pub use algorithm::{
-    apply_batch_looped, apply_weighted_batch_looped, DynamicGraphAlgorithm,
-    WeightedDynamicGraphAlgorithm,
+    answer_queries_looped, apply_batch_looped, apply_weighted_batch_looped, DynamicGraphAlgorithm,
+    QueryableAlgorithm, WeightedDynamicGraphAlgorithm,
 };
 pub use experiment::{
     run_stream, run_stream_batched, run_stream_batched_verified, run_stream_verified, ScalingPoint,

@@ -1,7 +1,7 @@
 //! Plain-text table rendering for the bench binaries, plus a serde-free
 //! plain-text serialization of [`BatchMetrics`] (no external deps).
 
-use dmpc_mpc::{AggregateMetrics, BatchMetrics};
+use dmpc_mpc::{AggregateMetrics, BatchMetrics, QueryMetrics};
 
 /// One row of a Table-1-style report.
 #[derive(Clone, Debug)]
@@ -15,13 +15,18 @@ pub struct TableRow {
     /// Optional batched-execution measurement on the same stream; rendered
     /// as an amortized-cost column when present.
     pub batch: Option<BatchMetrics>,
+    /// Optional batched query-wave measurement against the final structure;
+    /// rendered as an amortized rounds-per-query column when present.
+    pub query: Option<QueryMetrics>,
 }
 
 /// Renders rows as an aligned plain-text table comparing paper claims with
 /// measured worst cases. Rows carrying a [`TableRow::batch`] measurement get
-/// an extra amortized rounds-per-update column.
+/// an extra amortized rounds-per-update column; rows carrying a
+/// [`TableRow::query`] measurement get an amortized rounds-per-query column.
 pub fn render_table(title: &str, rows: &[TableRow]) -> String {
     let with_batch = rows.iter().any(|r| r.batch.is_some());
+    let with_query = rows.iter().any(|r| r.query.is_some());
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
@@ -38,6 +43,9 @@ pub fn render_table(title: &str, rows: &[TableRow]) -> String {
     );
     if with_batch {
         header.push_str(&format!(" | {:>13}", "batch rnds/up"));
+    }
+    if with_query {
+        header.push_str(&format!(" | {:>12}", "query rnds/q"));
     }
     header.push('\n');
     let width = header.len();
@@ -62,6 +70,12 @@ pub fn render_table(title: &str, rows: &[TableRow]) -> String {
             match &r.batch {
                 Some(b) => line.push_str(&format!(" | {:>13.2}", b.amortized_rounds())),
                 None => line.push_str(&format!(" | {:>13}", "-")),
+            }
+        }
+        if with_query {
+            match &r.query {
+                Some(q) => line.push_str(&format!(" | {:>12.2}", q.amortized_rounds())),
+                None => line.push_str(&format!(" | {:>12}", "-")),
             }
         }
         line.push('\n');
@@ -116,6 +130,50 @@ pub fn batch_from_plain(s: &str) -> Result<BatchMetrics, String> {
     Ok(b)
 }
 
+/// Serializes a [`QueryMetrics`] as one stable `key=value` line (the
+/// query-plane sibling of [`batch_to_plain`]); [`query_from_plain`]
+/// round-trips it.
+pub fn query_to_plain(q: &QueryMetrics) -> String {
+    format!(
+        "queries={} rounds={} max_active={} machines_touched={} max_words={} total_words={} total_msgs={} violations={}",
+        q.queries,
+        q.rounds,
+        q.max_active_machines,
+        q.machines_touched,
+        q.max_words_per_round,
+        q.total_words,
+        q.total_messages,
+        q.violations
+    )
+}
+
+/// Parses the output of [`query_to_plain`]. Missing keys default to zero;
+/// unknown keys are rejected (same forward-compatibility contract as
+/// [`batch_from_plain`]).
+pub fn query_from_plain(s: &str) -> Result<QueryMetrics, String> {
+    let mut q = QueryMetrics::default();
+    for tok in s.split_whitespace() {
+        let (key, val) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("malformed token {tok:?}"))?;
+        let val: usize = val
+            .parse()
+            .map_err(|e| format!("bad value in {tok:?}: {e}"))?;
+        match key {
+            "queries" => q.queries = val,
+            "rounds" => q.rounds = val,
+            "max_active" => q.max_active_machines = val,
+            "machines_touched" => q.machines_touched = val,
+            "max_words" => q.max_words_per_round = val,
+            "total_words" => q.total_words = val,
+            "total_msgs" => q.total_messages = val,
+            "violations" => q.violations = val,
+            other => return Err(format!("unknown key {other:?}")),
+        }
+    }
+    Ok(q)
+}
+
 /// Renders a scaling sweep as `N, rounds, machines, words` rows plus fitted
 /// slopes.
 pub fn render_sweep(name: &str, sweep: &crate::experiment::ScalingSweep) -> String {
@@ -159,12 +217,14 @@ mod tests {
             claimed: ("O(1)".into(), "O(1)".into(), "O(sqrt N)".into()),
             agg,
             batch: None,
+            query: None,
         }];
         let s = render_table("Table 1", &rows);
         assert!(s.contains("maximal matching"));
         assert!(s.contains("O(sqrt N)"));
         assert!(s.contains(" 3 "));
         assert!(!s.contains("batch rnds/up"));
+        assert!(!s.contains("query rnds/q"));
     }
 
     #[test]
@@ -182,17 +242,26 @@ mod tests {
                 claimed: ("O(1)".into(), "O(1)".into(), "O(sqrt N)".into()),
                 agg: agg.clone(),
                 batch: Some(b),
+                query: Some(QueryMetrics {
+                    queries: 8,
+                    rounds: 4,
+                    ..Default::default()
+                }),
             },
             TableRow {
                 name: "unbatched".into(),
                 claimed: ("O(1)".into(), "O(1)".into(), "O(sqrt N)".into()),
                 agg,
                 batch: None,
+                query: None,
             },
         ];
         let s = render_table("Table 1", &rows);
         assert!(s.contains("batch rnds/up"));
         assert!(s.contains("2.50"));
+        // The query column renders amortized rounds per query.
+        assert!(s.contains("query rnds/q"));
+        assert!(s.contains("0.50"));
         // Rows without a batch measurement render a dash.
         assert!(s
             .lines()
@@ -218,6 +287,25 @@ mod tests {
         assert!(batch_from_plain("nope=1").is_err());
         assert!(batch_from_plain("updates").is_err());
         assert!(batch_from_plain("updates=x").is_err());
+    }
+
+    #[test]
+    fn query_plain_text_round_trips() {
+        let q = QueryMetrics {
+            queries: 256,
+            rounds: 16,
+            max_active_machines: 11,
+            machines_touched: 14,
+            max_words_per_round: 120,
+            total_words: 900,
+            total_messages: 300,
+            violations: 0,
+        };
+        let line = query_to_plain(&q);
+        assert_eq!(query_from_plain(&line).unwrap(), q);
+        assert_eq!(query_from_plain("queries=3").unwrap().queries, 3);
+        assert!(query_from_plain("nope=1").is_err());
+        assert!(query_from_plain("queries=x").is_err());
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! verified against:
 //!
 //! * [`Edge`], [`Update`] — the update-stream vocabulary shared by all crates.
+//! * [`Query`], [`QueryAnswer`], [`Op`] — the read-side vocabulary and mixed
+//!   read/write workload streams (`streams::mixed_stream`).
 //! * [`DynamicGraph`] — a simple adjacency-set dynamic graph used as ground
 //!   truth during verification.
 //! * [`generators`] — graph and update-stream generators (G(n,m), preferential
@@ -35,10 +37,12 @@ pub mod generators;
 pub mod matching;
 pub mod maxmatch;
 pub mod mst;
+pub mod queries;
 pub mod streams;
 pub mod unionfind;
 
 pub use dynamic_graph::DynamicGraph;
+pub use queries::{Op, Query, QueryAnswer};
 pub use streams::{Update, WeightedUpdate};
 pub use unionfind::UnionFind;
 

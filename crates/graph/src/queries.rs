@@ -1,0 +1,78 @@
+//! Read-side vocabulary of the DMPC algorithms: the queries a deployed
+//! service answers between updates, and their answers.
+//!
+//! The paper's Table 1 bounds *queries* as well as updates; this module is
+//! the query-plane counterpart of [`crate::streams`]' update vocabulary.
+//! Queries are algorithm-agnostic at the type level — every algorithm
+//! answers the subset it maintains state for and reports
+//! [`QueryAnswer::Unsupported`] for the rest, so mixed-workload streams
+//! (see [`crate::streams::mixed_stream`]) can be replayed against any
+//! algorithm.
+
+use crate::{Edge, Weight, V};
+
+/// A read-only query against the maintained structure. Queries never modify
+/// machine state: answering a batch of them must leave the cluster exactly
+/// as it was (the experiment drivers rely on this to interleave query waves
+/// with update batches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// Are `u` and `v` in the same connected component?
+    Connected(V, V),
+    /// The component label of `v` (the root vertex of its tree).
+    ComponentOf(V),
+    /// The maximum-weight spanning-forest edge on the tree path between `u`
+    /// and `v` (ties broken toward the smaller edge), or `None` when the
+    /// endpoints are disconnected or equal. Answered by the connectivity/MST
+    /// machines; in plain connectivity mode every weight is 1.
+    PathMax(V, V),
+    /// Is `v` matched in the maintained matching?
+    IsMatched(V),
+    /// Number of edges in the maintained matching.
+    MatchingSize,
+}
+
+/// The answer to a [`Query`]. The variant is determined by the query kind;
+/// [`QueryAnswer::Unsupported`] means the algorithm does not maintain the
+/// state the query asks about (e.g. `IsMatched` against connectivity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryAnswer {
+    /// Answer to [`Query::Connected`] / [`Query::IsMatched`].
+    Bool(bool),
+    /// Answer to [`Query::ComponentOf`].
+    Component(V),
+    /// Answer to [`Query::PathMax`]: the heaviest on-path tree edge, or
+    /// `None` when no tree path joins the endpoints.
+    PathMax(Option<(Edge, Weight)>),
+    /// Answer to [`Query::MatchingSize`].
+    Count(usize),
+    /// The algorithm does not answer this query kind.
+    Unsupported,
+}
+
+/// One operation of a mixed read/write workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// An edge update.
+    Write(crate::Update),
+    /// A query.
+    Read(Query),
+}
+
+impl Op {
+    /// True for reads.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Read(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classifies() {
+        assert!(Op::Read(Query::MatchingSize).is_read());
+        assert!(!Op::Write(crate::Update::Insert(Edge::new(0, 1))).is_read());
+    }
+}

@@ -429,6 +429,130 @@ pub fn clustered_churn_stream(
     b.build()
 }
 
+// ---------------------------------------------------------------------------
+// Mixed read/write workloads.
+//
+// The ROADMAP's north star is a read-heavy service: most production traffic
+// *queries* the maintained structure and only a sliver updates it (Durfee et
+// al., arXiv:1908.01956, measure exactly such interleaved workloads). These
+// generators emit `Op` streams at a fixed read percentage with either
+// uniform or clustered targets, valid-by-construction on the write side.
+// ---------------------------------------------------------------------------
+
+/// How the targets of reads (and, under clustering, writes) are drawn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetDist {
+    /// Uniform over all vertices.
+    Uniform,
+    /// Confined to `clusters` contiguous vertex ranges: each op first picks
+    /// a cluster, then vertices inside it — the locality-heavy traffic shape
+    /// (one community served by few owner machines) that separates
+    /// owner-multicast routing from broadcast.
+    Clustered {
+        /// Number of contiguous vertex ranges.
+        clusters: usize,
+    },
+}
+
+/// Which query kinds a mixed stream's reads draw from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryMix {
+    /// `Connected` / `ComponentOf` (the connectivity/MST service).
+    Connectivity,
+    /// `Connected` / `ComponentOf` / `PathMax` (the MST service).
+    Mst,
+    /// `IsMatched` / `MatchingSize` (the matching service).
+    Matching,
+}
+
+/// Generates a mixed read/write stream of `steps` operations: each step is a
+/// read with probability `read_pct`/100 (targets drawn per `dist`, kinds per
+/// `mix`), otherwise a valid-by-construction edge update (under
+/// [`TargetDist::Clustered`] the writes stay inside clusters too, like
+/// [`clustered_churn_stream`]). The canonical ratios measured by the
+/// `query_scaling` bench are 95/5, 50/50 and 5/95.
+pub fn mixed_stream(
+    n: usize,
+    steps: usize,
+    read_pct: u32,
+    dist: TargetDist,
+    mix: QueryMix,
+    seed: u64,
+) -> Vec<crate::queries::Op> {
+    use crate::queries::{Op, Query};
+    assert!(n >= 4, "mixed streams need at least four vertices");
+    assert!(read_pct <= 100, "read_pct is a percentage");
+    let clusters = match dist {
+        TargetDist::Uniform => 1,
+        TargetDist::Clustered { clusters } => clusters.clamp(1, n / 2),
+    };
+    let span = n / clusters;
+    let range_of = |c: usize| {
+        let lo = c * span;
+        let hi = if c + 1 == clusters { n } else { lo + span };
+        (lo as V, hi as V)
+    };
+    let mut b = StreamBuilder::new(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0dd5_7e4d_0dd5_7e4d);
+    let mut out = Vec::with_capacity(steps);
+    let mut written = 0usize;
+    for _ in 0..steps {
+        let c = rng.gen_range(0..clusters);
+        let (lo, hi) = range_of(c);
+        if rng.gen_range(0..100) < read_pct {
+            let a = rng.gen_range(lo..hi);
+            let d = {
+                let d = rng.gen_range(lo..hi - 1);
+                if d >= a {
+                    d + 1
+                } else {
+                    d
+                }
+            };
+            let q = match mix {
+                QueryMix::Connectivity => match rng.gen_range(0..2) {
+                    0 => Query::Connected(a, d),
+                    _ => Query::ComponentOf(a),
+                },
+                QueryMix::Mst => match rng.gen_range(0..3) {
+                    0 => Query::Connected(a, d),
+                    1 => Query::ComponentOf(a),
+                    _ => Query::PathMax(a, d),
+                },
+                QueryMix::Matching => match rng.gen_range(0..4) {
+                    0 => Query::MatchingSize,
+                    _ => Query::IsMatched(a),
+                },
+            };
+            out.push(Op::Read(q));
+        } else {
+            // A valid write inside the chosen cluster: toggle a random pair.
+            let mut placed = false;
+            for _ in 0..1_000 {
+                let a = rng.gen_range(lo..hi);
+                let d = rng.gen_range(lo..hi);
+                if a == d {
+                    continue;
+                }
+                let e = Edge::new(a, d);
+                if b.graph.has_edge(e) {
+                    b.delete(e);
+                } else {
+                    b.insert(e);
+                }
+                placed = true;
+                written += 1;
+                break;
+            }
+            if placed {
+                out.push(crate::queries::Op::Write(*b.updates.last().unwrap()));
+            }
+        }
+    }
+    debug_assert_eq!(written, b.updates.len());
+    out
+}
+
 /// Insert-only stream of `m` random edges (the paper's Section 4 algorithm
 /// starts from the empty graph).
 pub fn insert_only_stream(n: usize, m: usize, seed: u64) -> Vec<Update> {
@@ -713,6 +837,81 @@ mod tests {
         replay(20, &flat);
         // At least one batch must net out shorter than it is.
         assert!(batches.iter().any(|b| coalesce(b).len() < b.len()));
+    }
+
+    #[test]
+    fn mixed_stream_hits_the_requested_ratio_and_stays_valid() {
+        use crate::queries::Op;
+        for (pct, dist) in [
+            (95, TargetDist::Uniform),
+            (50, TargetDist::Clustered { clusters: 4 }),
+            (5, TargetDist::Uniform),
+        ] {
+            let ops = mixed_stream(64, 2000, pct, dist, QueryMix::Connectivity, 9);
+            let reads = ops.iter().filter(|o| o.is_read()).count() as f64;
+            let frac = reads / ops.len() as f64;
+            assert!(
+                (frac - pct as f64 / 100.0).abs() < 0.05,
+                "read fraction {frac} far from {pct}%"
+            );
+            // The write subsequence must be a valid update stream.
+            let writes: Vec<Update> = ops
+                .iter()
+                .filter_map(|o| match o {
+                    Op::Write(u) => Some(*u),
+                    Op::Read(_) => None,
+                })
+                .collect();
+            replay(64, &writes);
+        }
+    }
+
+    #[test]
+    fn mixed_stream_clustered_targets_stay_in_cluster() {
+        use crate::queries::{Op, Query};
+        let n = 64;
+        let clusters = 8;
+        let span = n / clusters;
+        let ops = mixed_stream(
+            n,
+            500,
+            50,
+            TargetDist::Clustered { clusters },
+            QueryMix::Mst,
+            3,
+        );
+        for op in &ops {
+            match op {
+                Op::Write(u) => {
+                    let e = u.edge();
+                    assert_eq!(e.u as usize / span, e.v as usize / span);
+                }
+                Op::Read(Query::Connected(a, b)) | Op::Read(Query::PathMax(a, b)) => {
+                    assert_eq!(*a as usize / span, *b as usize / span);
+                    assert_ne!(a, b);
+                }
+                Op::Read(_) => {}
+            }
+        }
+        // The MST mix actually emits path-max queries.
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, Op::Read(Query::PathMax(_, _)))));
+    }
+
+    #[test]
+    fn mixed_stream_matching_mix_emits_matching_queries() {
+        use crate::queries::{Op, Query};
+        let ops = mixed_stream(32, 400, 95, TargetDist::Uniform, QueryMix::Matching, 7);
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, Op::Read(Query::IsMatched(_)))));
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, Op::Read(Query::MatchingSize))));
+        assert!(!ops
+            .iter()
+            .any(|o| matches!(o, Op::Read(Query::Connected(_, _)))));
     }
 
     #[test]

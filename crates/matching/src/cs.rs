@@ -30,7 +30,7 @@
 //!   (paper Section 6.2) is unnecessary in a sequential batch executor and
 //!   is therefore not modelled.
 
-use dmpc_core::DynamicGraphAlgorithm;
+use dmpc_core::{DynamicGraphAlgorithm, QueryableAlgorithm};
 use dmpc_graph::matching::Matching;
 use dmpc_graph::{Edge, V};
 use dmpc_mpc::UpdateMetrics;
@@ -291,6 +291,8 @@ impl CsMatching {
         Ok(())
     }
 }
+
+impl QueryableAlgorithm for CsMatching {}
 
 impl DynamicGraphAlgorithm for CsMatching {
     fn name(&self) -> &'static str {

@@ -291,6 +291,12 @@ pub struct Coordinator {
     /// is what turns per-update fetch round-trips into synchronous cache
     /// hits.
     queue: VecDeque<Update>,
+    /// Running matched-edge count: every mutation goes through
+    /// [`Coordinator`]'s `do_match`/`do_unmatch`, so one local counter
+    /// answers `MatchingSize` queries without touching any other machine.
+    matched_pairs: usize,
+    /// Query answers stashed for driver-side extraction after the wave.
+    answers: Vec<(u32, usize)>,
     out: Vec<(MachineId, MatchMsg)>,
 }
 
@@ -316,8 +322,37 @@ impl Coordinator {
             phase: Phase::Idle,
             ctx: Ctx::default(),
             queue: VecDeque::new(),
+            matched_pairs: 0,
+            answers: Vec::new(),
             out: Vec::new(),
         }
+    }
+
+    /// Bulk-load hook: presets the matched-pair counter to the size of the
+    /// preprocessed matching.
+    pub fn preset_matched_pairs(&mut self, pairs: usize) {
+        self.matched_pairs = pairs;
+    }
+
+    /// Current matched-edge count (exact; see the field docs).
+    pub fn matched_pairs(&self) -> usize {
+        self.matched_pairs
+    }
+
+    /// Answers a `MatchingSize` query from the local counter (stashes the
+    /// answer for driver-side extraction; zero outbound traffic).
+    pub fn answer_matching_size(&mut self, qid: u32) {
+        self.answers.push((qid, self.matched_pairs));
+    }
+
+    /// Drains the query answers stashed here.
+    pub fn take_answers(&mut self) -> Vec<(u32, usize)> {
+        std::mem::take(&mut self.answers)
+    }
+
+    /// Stashed-answer count (metered as coordinator memory).
+    pub fn answers_len(&self) -> usize {
+        self.answers.len()
     }
 
     /// Bulk-load hook: registers an overflow assignment made during
@@ -495,6 +530,7 @@ impl Coordinator {
         let e = Edge::new(a, b);
         let (ul, vl) = if e.u == a { (al, bl) } else { (bl, al) };
         self.push_hist(HistEntry::MatchAdd(e, ul, vl));
+        self.matched_pairs += 1;
         self.push_stat(a);
         self.push_stat(b);
         self.ctx.free_list.retain(|&x| x != a && x != b);
@@ -508,6 +544,7 @@ impl Coordinator {
         self.ctx.stat.get_mut(&a).unwrap().mate = NO_MATE;
         self.ctx.stat.get_mut(&b).unwrap().mate = NO_MATE;
         self.push_hist(HistEntry::MatchDel(Edge::new(a, b)));
+        self.matched_pairs -= 1;
         self.push_stat(a);
         self.push_stat(b);
     }

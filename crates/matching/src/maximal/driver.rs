@@ -6,12 +6,12 @@ use super::msg::{Ann, HistSlice, MatchMsg, StatRec, NO_MATE};
 use super::stats::StatsMachine;
 use super::storage::{OverflowMachine, StorageMachine, StoreVertex};
 use super::Layout;
-use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
+use dmpc_core::{DmpcParams, DynamicGraphAlgorithm, QueryableAlgorithm};
 use dmpc_graph::matching::Matching;
-use dmpc_graph::{DynamicGraph, Edge, Update, V};
+use dmpc_graph::{DynamicGraph, Edge, Query, QueryAnswer, Update, V};
 use dmpc_mpc::{
     BatchMetrics, Cluster, ClusterConfig, Envelope, ExecOptions, Machine, MachineId, Outbox,
-    RoundCtx, UpdateMetrics, COORDINATOR,
+    QueryMetrics, RoundCtx, UpdateMetrics, COORDINATOR,
 };
 
 /// One machine of the matching cluster.
@@ -47,6 +47,10 @@ impl Machine for Role {
                             MatchMsg::Insert(e) => c.start(Update::Insert(e)),
                             MatchMsg::Delete(e) => c.start(Update::Delete(e)),
                             MatchMsg::Batch(ups) => c.start_batch(ups),
+                            MatchMsg::QMatchingSize { qid } => {
+                                c.answer_matching_size(qid);
+                                Vec::new()
+                            }
                             other => panic!("unexpected injected message {other:?}"),
                         }
                     } else {
@@ -87,7 +91,9 @@ impl Machine for Role {
             // buffer and the per-machine sync table, both O(sqrt N), plus —
             // during a batch — the queued updates and the carried stat
             // cache (both bounded by the chunking in `apply_batch`).
-            Role::Coord(c) => 8 + 4 * c.hist_len() + 4 * c.cache_len() + 2 * c.queue_len(),
+            Role::Coord(c) => {
+                8 + 4 * c.hist_len() + 4 * c.cache_len() + 2 * c.queue_len() + 2 * c.answers_len()
+            }
             Role::Stats(s) => s.memory_words(),
             Role::Storage(s) => s.memory_words(),
             Role::Overflow(o) => o.memory_words(),
@@ -278,9 +284,58 @@ impl DmpcMaximalMatching {
                 for (v, ov, count) in preassign {
                     c.preassign_overflow(v, ov, count);
                 }
+                c.preset_matched_pairs(m.size());
             }
             _ => unreachable!(),
         }
+    }
+
+    /// Runs one chunk of queries as a single metered wave: `IsMatched`
+    /// probes are injected at the stats machines (whose records are exact at
+    /// all times), `MatchingSize` at the coordinator's local counter — the
+    /// update path (history sync, storage scans) is never touched, and the
+    /// whole wave resolves in one round.
+    fn run_query_wave(&mut self, chunk: &[Query]) -> (Vec<QueryAnswer>, UpdateMetrics) {
+        let mut wave: Vec<(MachineId, MatchMsg)> = Vec::with_capacity(chunk.len());
+        let mut got: Vec<(u32, QueryAnswer)> = Vec::new();
+        for (i, &q) in chunk.iter().enumerate() {
+            let qid = i as u32;
+            match q {
+                Query::IsMatched(v) => {
+                    wave.push((self.layout.stats_of(v), MatchMsg::QIsMatched { qid, v }));
+                }
+                Query::MatchingSize => {
+                    wave.push((COORDINATOR, MatchMsg::QMatchingSize { qid }));
+                }
+                Query::Connected(_, _) | Query::ComponentOf(_) | Query::PathMax(_, _) => {
+                    got.push((qid, QueryAnswer::Unsupported));
+                }
+            }
+        }
+        self.cluster.inject_batch(wave);
+        let m = self.cluster.run_update();
+        for mid in 0..self.cluster.n_machines() {
+            match self.cluster.machine_mut(mid as MachineId) {
+                Role::Coord(c) => {
+                    got.extend(
+                        c.take_answers()
+                            .into_iter()
+                            .map(|(qid, n)| (qid, QueryAnswer::Count(n))),
+                    );
+                }
+                Role::Stats(s) => {
+                    got.extend(
+                        s.take_answers()
+                            .into_iter()
+                            .map(|(qid, b)| (qid, QueryAnswer::Bool(b))),
+                    );
+                }
+                Role::Storage(_) | Role::Overflow(_) => {}
+            }
+        }
+        got.sort_unstable_by_key(|&(qid, _)| qid);
+        assert_eq!(got.len(), chunk.len(), "query answers missing/duplicated");
+        (got.into_iter().map(|(_, a)| a).collect(), m)
     }
 
     /// Deep structural audit against the ground-truth graph: matching
@@ -378,6 +433,32 @@ impl DmpcMaximalMatching {
 
 fn coord_suffix(c: &Coordinator, seen: u64) -> HistSlice {
     c.hist_suffix(seen)
+}
+
+/// Batched query plane: every `q`-query wave resolves in one round —
+/// `IsMatched` at the stats machines, `MatchingSize` at the coordinator —
+/// without acquiring any update-path state (works in both Section 3 and
+/// 3/2 mode, whose mutations share `do_match`/`do_unmatch`).
+impl QueryableAlgorithm for DmpcMaximalMatching {
+    fn answer_query(&mut self, q: Query) -> (QueryAnswer, QueryMetrics) {
+        let (mut answers, m) = self.answer_queries(&[q]);
+        (answers.pop().expect("one answer per query"), m)
+    }
+
+    fn answer_queries(&mut self, queries: &[Query]) -> (Vec<QueryAnswer>, QueryMetrics) {
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut qm = QueryMetrics::default();
+        // Chunked like update batches: the stashed answers are transient
+        // machine state and must fit the O(sqrt N)-word budget.
+        let chunk_len = self.params.sqrt_n().max(1);
+        for chunk in queries.chunks(chunk_len) {
+            let (a, m) = self.run_query_wave(chunk);
+            answers.extend(a);
+            qm.absorb_run(&m);
+            qm.queries += chunk.len();
+        }
+        (answers, qm)
+    }
 }
 
 impl DynamicGraphAlgorithm for DmpcMaximalMatching {

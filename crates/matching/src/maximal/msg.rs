@@ -100,6 +100,23 @@ pub enum MatchMsg {
     /// round (sent when this round's outbound volume nears the send cap).
     BatchResume,
 
+    // --- query plane (never touches the update path) ---
+    /// Injected at `v`'s stats machine: stash whether `v` is matched.
+    /// Stats records are exact at all times, so the answer needs no history
+    /// sync, no repair, and no coordinator round-trip.
+    QIsMatched {
+        /// Query id within the wave.
+        qid: u32,
+        /// The queried vertex.
+        v: V,
+    },
+    /// Injected at the coordinator: stash the matching size from its
+    /// locally maintained matched-pair counter.
+    QMatchingSize {
+        /// Query id within the wave.
+        qid: u32,
+    },
+
     // --- coordinator <-> stats ---
     /// Ask for the records of up to two vertices.
     StatQuery(Vec<V>),
@@ -265,6 +282,8 @@ impl Payload for MatchMsg {
             MatchMsg::Insert(_) | MatchMsg::Delete(_) => 2,
             MatchMsg::Batch(ups) => 1 + 2 * ups.len(),
             MatchMsg::BatchResume => 1,
+            MatchMsg::QIsMatched { .. } => 3,
+            MatchMsg::QMatchingSize { .. } => 2,
             MatchMsg::StatQuery(vs) => 1 + vs.len(),
             MatchMsg::StatReply(rs) => 1 + 4 * rs.len(),
             MatchMsg::StatSet(rs) => 1 + 4 * rs.len(),

@@ -6,10 +6,13 @@ use std::collections::BTreeMap;
 
 /// A stats machine owning a contiguous block of vertex records. Records are
 /// exact at all times: the coordinator pushes every change as part of the
-/// update that causes it.
+/// update that causes it — which is what lets [`MatchMsg::QIsMatched`]
+/// queries be answered here in one round, bypassing the coordinator.
 #[derive(Debug, Default)]
 pub struct StatsMachine {
     recs: BTreeMap<V, StatRec>,
+    /// Query answers stashed for driver-side extraction after the wave.
+    answers: Vec<(u32, bool)>,
 }
 
 impl StatsMachine {
@@ -17,7 +20,14 @@ impl StatsMachine {
     pub fn new(lo: V, hi: V) -> Self {
         StatsMachine {
             recs: (lo..hi).map(|v| (v, StatRec::new())).collect(),
+            answers: Vec::new(),
         }
+    }
+
+    /// Drains the query answers stashed here (driver-side result extraction
+    /// after a wave quiesces — not part of the model).
+    pub fn take_answers(&mut self) -> Vec<(u32, bool)> {
+        std::mem::take(&mut self.answers)
     }
 
     /// Read access for audits/extraction.
@@ -54,13 +64,17 @@ impl StatsMachine {
             MatchMsg::CounterQuery(vs) => Some(MatchMsg::CounterReply(
                 vs.iter().map(|&v| (v, self.recs[&v].free_nbrs)).collect(),
             )),
+            MatchMsg::QIsMatched { qid, v } => {
+                self.answers.push((qid, self.recs[&v].matched()));
+                None
+            }
             other => panic!("stats machine got unexpected message {other:?}"),
         }
     }
 
     /// Memory footprint in words.
     pub fn memory_words(&self) -> usize {
-        1 + 4 * self.recs.len()
+        1 + 4 * self.recs.len() + 2 * self.answers.len()
     }
 }
 
@@ -85,6 +99,19 @@ mod tests {
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn is_matched_queries_stash_locally() {
+        let mut m = StatsMachine::new(0, 10);
+        let mut r = StatRec::new();
+        r.mate = 7;
+        m.handle(MatchMsg::StatSet(vec![(2, r)]));
+        assert!(m.handle(MatchMsg::QIsMatched { qid: 0, v: 2 }).is_none());
+        assert!(m.handle(MatchMsg::QIsMatched { qid: 1, v: 3 }).is_none());
+        assert_eq!(m.take_answers(), vec![(0, true), (1, false)]);
+        // Drained: a second take is empty.
+        assert!(m.take_answers().is_empty());
     }
 
     #[test]

@@ -9,10 +9,10 @@
 //! O(sqrt N) communication per round — Table 1 row 2.
 
 use crate::maximal::DmpcMaximalMatching;
-use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
+use dmpc_core::{DmpcParams, DynamicGraphAlgorithm, QueryableAlgorithm};
 use dmpc_graph::matching::Matching;
-use dmpc_graph::{DynamicGraph, Edge};
-use dmpc_mpc::UpdateMetrics;
+use dmpc_graph::{DynamicGraph, Edge, Query, QueryAnswer};
+use dmpc_mpc::{QueryMetrics, UpdateMetrics};
 
 /// Fully-dynamic 3/2-approximate maximum matching.
 pub struct DmpcThreeHalves {
@@ -41,6 +41,19 @@ impl DmpcThreeHalves {
             return Err("a length-<=3 augmenting path survived the update".into());
         }
         Ok(())
+    }
+}
+
+/// The 3/2 algorithm shares the Section 3 machine layout, so its query
+/// plane is the inner one: `IsMatched` answered at the stats machines,
+/// `MatchingSize` from the coordinator's matched-pair counter.
+impl QueryableAlgorithm for DmpcThreeHalves {
+    fn answer_query(&mut self, q: Query) -> (QueryAnswer, QueryMetrics) {
+        self.inner.answer_query(q)
+    }
+
+    fn answer_queries(&mut self, queries: &[Query]) -> (Vec<QueryAnswer>, QueryMetrics) {
+        self.inner.answer_queries(queries)
     }
 }
 

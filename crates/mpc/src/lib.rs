@@ -77,8 +77,8 @@ pub mod pool;
 pub use cluster::{Backend, Cluster, ClusterConfig, ExecOptions};
 pub use machine::{Envelope, Machine, Outbox, Payload, RoundCtx};
 pub use metrics::{
-    entropy_bits, loglog_slope, AggregateMetrics, BatchMetrics, RoundMetrics, UpdateMetrics,
-    Violation,
+    entropy_bits, loglog_slope, AggregateMetrics, BatchMetrics, QueryMetrics, RoundMetrics,
+    UpdateMetrics, Violation,
 };
 pub use pool::WorkerPool;
 

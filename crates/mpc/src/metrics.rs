@@ -222,6 +222,98 @@ impl BatchMetrics {
     }
 }
 
+/// Cost of a *batch* of `q` read-only queries driven as one unit of work —
+/// the query-plane counterpart of [`BatchMetrics`]. A query wave may run as
+/// one quiescence run, as several chunked runs (the drivers chunk waves so
+/// fan-in respects the machine capacity `S`), or as `q` looped single-query
+/// runs; the accounting is identical, so looped and batched execution are
+/// directly comparable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryMetrics {
+    /// Queries answered (the amortization denominator).
+    pub queries: usize,
+    /// Total synchronous rounds across the wave's runs.
+    pub rounds: usize,
+    /// Maximum over rounds of active machines (under the combined load).
+    pub max_active_machines: usize,
+    /// Maximum over the wave's runs of distinct machines touched per run.
+    pub machines_touched: usize,
+    /// Maximum over rounds of words communicated.
+    pub max_words_per_round: usize,
+    /// Total words over all rounds. External query injections are free (like
+    /// update injections); this counts the machine-to-machine join traffic.
+    pub total_words: usize,
+    /// Total messages over all rounds.
+    pub total_messages: usize,
+    /// Capacity violations observed under the combined load.
+    pub violations: usize,
+}
+
+impl QueryMetrics {
+    /// Wraps one quiescence run that answered `queries` queries.
+    pub fn from_run(queries: usize, m: &UpdateMetrics) -> Self {
+        let mut q = QueryMetrics {
+            queries,
+            ..Default::default()
+        };
+        q.absorb_run(m);
+        q
+    }
+
+    /// A single query the algorithm does not support: counted, zero cost.
+    pub fn one_unanswered() -> Self {
+        QueryMetrics {
+            queries: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Folds one quiescence run's metrics into the totals without changing
+    /// the query count (chunked execution; adjust [`QueryMetrics::queries`]
+    /// separately).
+    pub fn absorb_run(&mut self, m: &UpdateMetrics) {
+        self.rounds += m.rounds;
+        self.max_active_machines = self.max_active_machines.max(m.max_active_machines);
+        self.machines_touched = self.machines_touched.max(m.machines_touched);
+        self.max_words_per_round = self.max_words_per_round.max(m.max_words_per_round);
+        self.total_words += m.total_words;
+        self.total_messages += m.total_messages;
+        self.violations += m.violations.len();
+    }
+
+    /// Merges another wave (successive chunks, or a whole looped baseline).
+    pub fn merge(&mut self, other: &QueryMetrics) {
+        self.queries += other.queries;
+        self.rounds += other.rounds;
+        self.max_active_machines = self.max_active_machines.max(other.max_active_machines);
+        self.machines_touched = self.machines_touched.max(other.machines_touched);
+        self.max_words_per_round = self.max_words_per_round.max(other.max_words_per_round);
+        self.total_words += other.total_words;
+        self.total_messages += other.total_messages;
+        self.violations += other.violations;
+    }
+
+    /// Amortized rounds per query (0 for an empty wave).
+    pub fn amortized_rounds(&self) -> f64 {
+        ratio(self.rounds, self.queries)
+    }
+
+    /// Amortized communication (words) per query.
+    pub fn amortized_words(&self) -> f64 {
+        ratio(self.total_words, self.queries)
+    }
+
+    /// Amortized messages per query.
+    pub fn amortized_messages(&self) -> f64 {
+        ratio(self.total_messages, self.queries)
+    }
+
+    /// True if the wave respected every model constraint.
+    pub fn clean(&self) -> bool {
+        self.violations == 0
+    }
+}
+
 fn ratio(num: usize, den: usize) -> f64 {
     if den == 0 {
         0.0
@@ -402,6 +494,44 @@ mod tests {
         assert_eq!(merged.updates, 6);
         assert_eq!(merged.rounds, 20);
         assert_eq!(merged.total_messages, 26);
+    }
+
+    #[test]
+    fn query_metrics_absorb_and_merge() {
+        let u1 = UpdateMetrics {
+            rounds: 2,
+            max_active_machines: 4,
+            max_words_per_round: 30,
+            total_words: 40,
+            total_messages: 10,
+            ..Default::default()
+        };
+        let u2 = UpdateMetrics {
+            rounds: 2,
+            max_active_machines: 6,
+            total_words: 60,
+            total_messages: 15,
+            violations: vec![Violation::RoundLimit { limit: 8 }],
+            ..Default::default()
+        };
+        let mut w = QueryMetrics::from_run(16, &u1);
+        w.absorb_run(&u2);
+        assert_eq!(w.queries, 16);
+        assert_eq!(w.rounds, 4);
+        assert_eq!(w.max_active_machines, 6);
+        assert_eq!(w.total_words, 100);
+        assert!((w.amortized_rounds() - 0.25).abs() < 1e-9);
+        assert!((w.amortized_words() - 6.25).abs() < 1e-9);
+        assert!(!w.clean());
+
+        let mut looped = QueryMetrics::default();
+        looped.merge(&QueryMetrics::from_run(1, &u1));
+        looped.merge(&QueryMetrics::one_unanswered());
+        assert_eq!(looped.queries, 2);
+        assert_eq!(looped.rounds, 2);
+        assert!((looped.amortized_rounds() - 1.0).abs() < 1e-9);
+        assert!(looped.clean());
+        assert_eq!(QueryMetrics::default().amortized_rounds(), 0.0);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! assert!(alg.connected(0, 1));
 //! ```
 
-use dmpc_core::{DynamicGraphAlgorithm, WeightedDynamicGraphAlgorithm};
+use dmpc_core::{DynamicGraphAlgorithm, QueryableAlgorithm, WeightedDynamicGraphAlgorithm};
 use dmpc_graph::{Edge, Weight};
 use dmpc_mpc::{RoundMetrics, UpdateMetrics};
 use dmpc_seqdyn::{HdtConnectivity, NsMatching, ProbeCounted, SeqDynMst};
@@ -87,6 +87,8 @@ impl ReducedConnectivity {
     }
 }
 
+impl QueryableAlgorithm for ReducedConnectivity {}
+
 impl DynamicGraphAlgorithm for ReducedConnectivity {
     fn name(&self) -> &'static str {
         "reduction-hdt-connectivity"
@@ -122,6 +124,8 @@ impl ReducedMatching {
     }
 }
 
+impl QueryableAlgorithm for ReducedMatching {}
+
 impl DynamicGraphAlgorithm for ReducedMatching {
     fn name(&self) -> &'static str {
         "reduction-ns-matching"
@@ -156,6 +160,8 @@ impl ReducedMst {
         self.inner.forest_weight()
     }
 }
+
+impl QueryableAlgorithm for ReducedMst {}
 
 impl WeightedDynamicGraphAlgorithm for ReducedMst {
     fn name(&self) -> &'static str {
