@@ -13,26 +13,75 @@ import json
 import sys
 
 
+def die(msg: str):
+    print(f"perf gate ERROR: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path: str) -> dict:
+    """Loads a JSON object, failing loudly (not with a traceback) on a
+    missing file, malformed JSON, or a non-object top level."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        die(f"{path}: file not found (did the bench run fail silently?)")
+    except json.JSONDecodeError as e:
+        die(f"{path}: malformed JSON ({e})")
+    if not isinstance(data, dict):
+        die(f"{path}: expected a JSON object, got {type(data).__name__}")
+    return data
+
+
+def require(obj: dict, key: str, ctx: str, typ=None):
+    """Fetches obj[key], failing loudly when absent or of the wrong type."""
+    if key not in obj:
+        die(f"{ctx}: missing required key '{key}'")
+    val = obj[key]
+    if typ is not None and not isinstance(val, typ):
+        die(f"{ctx}: key '{key}' should be {typ}, got {type(val).__name__}")
+    return val
+
+
 def main() -> int:
+    if len(sys.argv) < 2:
+        die("usage: check_perf_floor.py <throughput_smoke.json> [perf_floors.json]")
     smoke_path = sys.argv[1]
     floors_path = sys.argv[2] if len(sys.argv) > 2 else "ci/perf_floors.json"
-    smoke = json.load(open(smoke_path))
-    spec = json.load(open(floors_path))
-    tolerance = spec["tolerance"]
+    smoke = load_json(smoke_path)
+    spec = load_json(floors_path)
+    tolerance = require(spec, "tolerance", floors_path, (int, float))
+    if tolerance <= 0:
+        die(f"{floors_path}: tolerance must be positive, got {tolerance}")
+    hosts = require(spec, "hosts", floors_path, dict)
+    if "default" not in hosts:
+        die(f"{floors_path}: hosts table has no 'default' profile")
     cores = str(smoke.get("host_cores", 0))
-    floors = spec["hosts"].get(cores)
+    floors = hosts.get(cores)
     profile = cores
     if floors is None:
-        floors = spec["hosts"]["default"]
+        floors = hosts["default"]
         profile = "default"
+    if not isinstance(floors, dict) or not floors:
+        die(f"{floors_path}: floor profile '{profile}' is empty or not an object")
     print(f"perf gate: host_cores={cores}, floor profile '{profile}', tolerance {tolerance}x")
 
-    measured = {
-        f"{c['alg']}/{c['backend']}/{c['k']}": c["current"]["updates_per_sec"]
-        for c in smoke["configs"]
-    }
+    configs = require(smoke, "configs", smoke_path, list)
+    measured = {}
+    for i, c in enumerate(configs):
+        ctx = f"{smoke_path}: configs[{i}]"
+        if not isinstance(c, dict):
+            die(f"{ctx}: expected an object")
+        key = (
+            f"{require(c, 'alg', ctx)}/{require(c, 'backend', ctx)}/{require(c, 'k', ctx)}"
+        )
+        current = require(c, "current", ctx, dict)
+        ups = require(current, "updates_per_sec", ctx, (int, float))
+        measured[key] = ups
     failures = []
     for key, floor in floors.items():
+        if not isinstance(floor, (int, float)) or floor <= 0:
+            die(f"{floors_path}: floor '{key}' must be a positive number, got {floor!r}")
         got = measured.get(key)
         if got is None:
             failures.append(f"{key}: missing from the smoke run")

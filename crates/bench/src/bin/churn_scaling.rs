@@ -1,0 +1,230 @@
+//! Machine churn under load: what does elasticity cost, and is recovery
+//! exact?
+//!
+//! **Why this exists.** PR 6 adds the chaos plane: shard split/merge
+//! migrations, fail-stop kills, and checkpoint/replay revives, all shipped
+//! through the metered message plane in capacity-budgeted chunks. This bin
+//! drives the canonical seeded chaos run — cluster-local churn batches with
+//! kills, revives, splits and merges fired between batches — and *asserts*
+//! the tentpole claim: the final state digest is **bit-identical** to the
+//! failure-free run over the same stream, with zero model violations in
+//! both the workload and the recovery traffic. The per-event recovery
+//! trajectory (rounds, words, machines touched, replica replay size) is
+//! what lands in the JSON.
+//!
+//! CI smoke-runs this bin at tiny sizes and gates on `violations == 0` and
+//! `digest_match == true`; the canonical numbers live in `BENCH_PR6.json`
+//! at the repo root.
+//!
+//! Usage: `churn_scaling [n] [steps] [events] [json-path]` (defaults: 256,
+//! 512, 12, `BENCH_PR6.json`).
+
+use dmpc_connectivity::{DmpcConnectivity, Routing};
+use dmpc_core::{
+    apply_unweighted, run_chaos_stream, run_plain_stream, ChurnReport, DmpcParams,
+    DynamicGraphAlgorithm, ElasticAlgorithm,
+};
+use dmpc_graph::streams;
+use dmpc_mpc::{ChaosCaps, ChaosPlan, ExecOptions};
+
+const CANON_N: usize = 256;
+const CANON_STEPS: usize = 512;
+const CANON_EVENTS: usize = 12;
+/// The canonical machine count (matches the PR-5 batched-query bench).
+const P: usize = 16;
+/// Updates per batch: chaos events fire at batch boundaries, so this is the
+/// granularity at which failures interleave with the workload.
+const BATCH: usize = 16;
+/// Clusters in the workload: components confined to n/CLUSTERS-vertex
+/// ranges, so migrations and directory repairs get real multi-machine
+/// components without every component touching every machine.
+const CLUSTERS: usize = 8;
+/// Checkpoint cadence (batches between full-cluster checkpoints).
+const CHECKPOINT_EVERY: usize = 8;
+const SEED: u64 = 42;
+
+/// Capacity provisioning when P is forced below the model's O(sqrt N)
+/// default: each machine holds Theta(N / P) words (same discipline as the
+/// `active_scaling` bench).
+fn params_for(n: usize) -> DmpcParams {
+    let base = DmpcParams::new(n, 3 * n);
+    let mem_mult = 32 * base.storage_machines().div_ceil(P).max(1);
+    base.with_multiplier(mem_mult)
+}
+
+fn make_alg(n: usize) -> DmpcConnectivity {
+    DmpcConnectivity::with_cluster(params_for(n), ExecOptions::default(), Routing::Multicast, P)
+}
+
+fn event_json(e: &dmpc_core::AppliedEvent) -> String {
+    format!(
+        "    {{\"at_batch\": {}, \"event\": \"{}\", \"rounds\": {}, \"words\": {}, \
+         \"machines_touched\": {}, \"replay_updates\": {}}}",
+        e.at_batch, e.kind, e.rounds, e.words, e.machines_touched, e.replay_updates
+    )
+}
+
+fn report_json(
+    n: usize,
+    batches: usize,
+    chaos: &ChurnReport,
+    plain: &ChurnReport,
+    digest_match: bool,
+) -> String {
+    let events: Vec<String> = chaos.applied.iter().map(event_json).collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"churn_scaling\",\n",
+            "  \"pr\": 6,\n",
+            "  \"n\": {n},\n",
+            "  \"p\": {p},\n",
+            "  \"batches\": {batches},\n",
+            "  \"updates\": {updates},\n",
+            "  \"seed\": {seed},\n",
+            "  \"checkpoint_every\": {ce},\n",
+            "  \"digest_match\": {dm},\n",
+            "  \"final_digest\": {fd},\n",
+            "  \"violations\": {viol},\n",
+            "  \"events_applied\": {ea},\n",
+            "  \"events_skipped\": {es},\n",
+            "  \"recovery\": {{\"rounds\": {rr}, \"total_words\": {rw}, ",
+            "\"total_messages\": {rm}, \"max_words_per_round\": {rmw}, ",
+            "\"machines_touched\": {rmt}, \"replay_updates\": {rru}, ",
+            "\"replay_rounds\": {rrr}}},\n",
+            "  \"workload\": {{\"rounds\": {wr}, \"total_words\": {ww}}},\n",
+            "  \"plain_workload\": {{\"rounds\": {pr}, \"total_words\": {pw}}},\n",
+            "  \"note\": \"chaos run vs failure-free run over the identical \
+             cluster-local churn stream; digest_match asserts bit-identical \
+             recovery of every kill/split/merge. recovery traffic is metered \
+             through the same message plane as updates, in \
+             capacity-budgeted chunks.\",\n",
+            "  \"trajectory\": [\n{tr}\n  ]\n",
+            "}}\n"
+        ),
+        n = n,
+        p = P,
+        batches = batches,
+        updates = chaos.updates,
+        seed = SEED,
+        ce = CHECKPOINT_EVERY,
+        dm = digest_match,
+        fd = chaos.final_digest,
+        viol = chaos.recovery.violations + chaos.workload.violations,
+        ea = chaos.applied.len(),
+        es = chaos.skipped,
+        rr = chaos.recovery.rounds,
+        rw = chaos.recovery.total_words,
+        rm = chaos.recovery.total_messages,
+        rmw = chaos.recovery.max_words_per_round,
+        rmt = chaos.recovery.machines_touched,
+        rru = chaos.recovery.replay_updates,
+        rrr = chaos.recovery.replay_rounds,
+        wr = chaos.workload.rounds,
+        ww = chaos.workload.total_words,
+        pr = plain.workload.rounds,
+        pw = plain.workload.total_words,
+        tr = events.join(",\n"),
+    )
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(CANON_N);
+    let steps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(CANON_STEPS);
+    let events: usize = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(CANON_EVENTS);
+    let json_path = std::env::args()
+        .nth(4)
+        .unwrap_or_else(|| "BENCH_PR6.json".into());
+
+    let batches = streams::chaos_churn_batches(n, CLUSTERS, n / (2 * CLUSTERS), steps, BATCH, SEED);
+    let plan = ChaosPlan::generate(SEED, batches.len(), P, events, ChaosCaps::default());
+    println!(
+        "Churn scaling: n = {n}, P = {P}, {} batches x {BATCH} updates, {} chaos events planned",
+        batches.len(),
+        plan.events.len()
+    );
+
+    let chaos = run_chaos_stream(
+        || make_alg(n),
+        apply_unweighted,
+        &batches,
+        &plan,
+        CHECKPOINT_EVERY,
+    );
+    let plain = run_plain_stream(|| make_alg(n), apply_unweighted, &batches);
+
+    println!(
+        "\n{:>8} | {:>12} | {:>6} | {:>8} | {:>8} | {:>6}",
+        "batch", "event", "rounds", "words", "touched", "replay"
+    );
+    for e in &chaos.applied {
+        println!(
+            "{:>8} | {:>12} | {:>6} | {:>8} | {:>8} | {:>6}",
+            e.at_batch, e.kind, e.rounds, e.words, e.machines_touched, e.replay_updates
+        );
+    }
+    println!(
+        "\nrecovery: {} events, {} rounds, {} words ({} max/round), {} replayed updates",
+        chaos.recovery.events,
+        chaos.recovery.rounds,
+        chaos.recovery.total_words,
+        chaos.recovery.max_words_per_round,
+        chaos.recovery.replay_updates,
+    );
+
+    let digest_match = chaos.final_digest == plain.final_digest;
+    // The tentpole claims, asserted on every run (CI smoke included).
+    assert!(digest_match, "chaos run diverged from failure-free run");
+    assert_eq!(
+        chaos.recovery.violations, 0,
+        "recovery traffic violated the model"
+    );
+    assert_eq!(chaos.workload.violations, 0, "workload violated the model");
+    assert_eq!(chaos.updates, plain.updates, "chaos run lost updates");
+    assert!(
+        !chaos.applied.is_empty(),
+        "the plan must actually fire events"
+    );
+
+    // Ground truth: the chaos cluster's components equal a DynamicGraph
+    // replay of the same stream.
+    let mut check = make_alg(n);
+    for b in &batches {
+        check.apply_batch(b);
+    }
+    assert_eq!(check.state_digest(), chaos.final_digest);
+    let flat: Vec<dmpc_graph::Update> = batches.iter().flatten().copied().collect();
+    let g = streams::replay(n, &flat);
+    let (labels, truth) = (check.component_labels(), g.components());
+    let norm = |ls: &[u32]| {
+        let mut map = std::collections::HashMap::new();
+        ls.iter()
+            .map(|&l| {
+                let next = map.len() as u32;
+                *map.entry(l).or_insert(next)
+            })
+            .collect::<Vec<u32>>()
+    };
+    assert_eq!(
+        norm(&labels),
+        norm(&truth),
+        "components diverge from ground truth"
+    );
+
+    println!(
+        "digest match: {digest_match} (0x{:016x}), violations: 0",
+        chaos.final_digest
+    );
+    let json = report_json(n, batches.len(), &chaos, &plain, digest_match);
+    std::fs::write(&json_path, &json).expect("write churn-scaling JSON");
+    println!("wrote {json_path}");
+}

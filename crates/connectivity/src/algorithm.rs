@@ -5,7 +5,8 @@ use crate::machine::{ConnMachine, EntryKind, Routing, VertexState, BATCH_CTRL};
 use crate::messages::{BatchItem, ConnMsg};
 use crate::preprocess;
 use dmpc_core::{
-    DmpcParams, DynamicGraphAlgorithm, QueryableAlgorithm, WeightedDynamicGraphAlgorithm,
+    digest_snapshots, DmpcParams, DynamicGraphAlgorithm, ElasticAlgorithm, QueryableAlgorithm,
+    WeightedDynamicGraphAlgorithm,
 };
 use dmpc_eulertour::indexed::CompId;
 use dmpc_graph::streams::coalesce;
@@ -19,7 +20,9 @@ use std::collections::{BTreeSet, HashMap};
 pub struct ConnDriver {
     cluster: Cluster<ConnMachine>,
     params: DmpcParams,
-    block: usize,
+    /// Driver-side mirror of the machines' partition table (kept in sync
+    /// with the `Boundary` broadcasts migrations emit).
+    bounds: Vec<V>,
 }
 
 impl ConnDriver {
@@ -56,12 +59,12 @@ impl ConnDriver {
         ConnDriver {
             cluster: Cluster::new(progs, cfg),
             params,
-            block,
+            bounds: ConnMachine::uniform_bounds(params.n, block),
         }
     }
 
     fn owner(&self, v: V) -> MachineId {
-        ConnMachine::owner_of(v, self.block)
+        ConnMachine::owner_in(&self.bounds, v)
     }
 
     fn run(&mut self, to: MachineId, msg: ConnMsg) -> UpdateMetrics {
@@ -205,6 +208,131 @@ impl ConnDriver {
             start = end;
         }
         (answers, qm)
+    }
+
+    // ----- elasticity & recovery ------------------------------------------
+
+    /// Driver-side partition table (machine `i` owns `bounds[i]..bounds[i+1]`).
+    pub fn bounds(&self) -> &[V] {
+        &self.bounds
+    }
+
+    /// Per-chunk word budget for migration/recovery couriers: a quarter of
+    /// the machine capacity `S`, so transfer rounds stay well inside the
+    /// per-machine communication cap alongside the protocol's own traffic.
+    fn transfer_budget(&self) -> usize {
+        self.cluster
+            .capacity_words()
+            .map_or(1 << 20, |s| (s / 4).max(1))
+    }
+
+    /// Splits machine `m`'s vertex range in half, migrating the upper half
+    /// to its right neighbour (the last machine sheds its lower half to the
+    /// left). `None` when the range has fewer than two vertices or the
+    /// cluster has a single machine.
+    pub fn split_shard(&mut self, m: MachineId) -> Option<UpdateMetrics> {
+        let p = self.cluster.n_machines();
+        let (lo0, hi0) = (self.bounds[m as usize], self.bounds[m as usize + 1]);
+        if p < 2 || hi0 - lo0 < 2 {
+            return None;
+        }
+        let mid = (lo0 + hi0) / 2;
+        let (to, lo, hi) = if (m as usize) < p - 1 {
+            (m + 1, mid, hi0)
+        } else {
+            (m - 1, lo0, mid)
+        };
+        Some(self.migrate(m, to, lo, hi))
+    }
+
+    /// Migrates machine `m`'s whole range into its right neighbour (the
+    /// last machine merges left), leaving `m` with an empty range — it
+    /// keeps its controller/rendezvous roles. `None` when already empty or
+    /// the cluster has a single machine.
+    pub fn merge_shard(&mut self, m: MachineId) -> Option<UpdateMetrics> {
+        let p = self.cluster.n_machines();
+        let (lo0, hi0) = (self.bounds[m as usize], self.bounds[m as usize + 1]);
+        if p < 2 || lo0 == hi0 {
+            return None;
+        }
+        let to = if (m as usize) < p - 1 { m + 1 } else { m - 1 };
+        Some(self.migrate(m, to, lo0, hi0))
+    }
+
+    /// Injects one boundary-shift migration at the source and runs it to
+    /// quiescence (data chunks, then directory patches — see `machine.rs`,
+    /// "elasticity & recovery"). Mirrors the boundary shift locally.
+    fn migrate(&mut self, from: MachineId, to: MachineId, lo: V, hi: V) -> UpdateMetrics {
+        let (idx, val) = if to == from + 1 { (to, lo) } else { (from, hi) };
+        self.bounds[idx as usize] = val;
+        let budget = self.transfer_budget();
+        self.run(from, ConnMsg::MigrateBegin { to, lo, hi, budget })
+    }
+
+    /// Fail-stop kill: the simulator drops all traffic addressed to `m`
+    /// (each drop metered as a `DeadMachine` violation) and the machine's
+    /// program state is wiped.
+    pub fn kill_machine(&mut self, m: MachineId) {
+        self.cluster.kill(m);
+        self.cluster.machine_mut(m).wipe();
+    }
+
+    /// Revives `m` from `snapshot` (its recovered plain-text state,
+    /// typically checkpoint + replay on an off-cluster replica): the packed
+    /// text is staged at a live peer and shipped through the metered
+    /// message plane in budgeted chunks; the final chunk installs it.
+    pub fn revive_machine(&mut self, m: MachineId, snapshot: &str) -> UpdateMetrics {
+        self.cluster.revive(m);
+        let peer = (0..self.cluster.n_machines() as MachineId)
+            .find(|&p| p != m && self.cluster.is_alive(p))
+            .expect("a live peer to stage the handoff");
+        let budget = self.transfer_budget();
+        self.cluster
+            .machine_mut(peer)
+            .stage_handoff(dmpc_mpc::pack_text(snapshot));
+        self.run(peer, ConnMsg::HandoffBegin { to: m, budget })
+    }
+
+    /// True if machine `m` currently accepts messages.
+    pub fn is_alive(&self, m: MachineId) -> bool {
+        self.cluster.is_alive(m)
+    }
+
+    /// Plain-text snapshot of machine `m` (checkpointing; driver-side state
+    /// extraction, not metered).
+    pub fn snapshot_machine(&self, m: MachineId) -> String {
+        self.cluster.machine(m).snapshot_text()
+    }
+
+    /// Restores every machine from a full-cluster checkpoint and re-syncs
+    /// the driver's partition-table mirror from the snapshots.
+    pub fn restore(&mut self, snaps: &[String]) {
+        for (m, s) in snaps.iter().enumerate() {
+            self.cluster.machine_mut(m as MachineId).restore_text(s);
+        }
+        self.bounds = self.cluster.machine(0).bounds().to_vec();
+    }
+
+    /// Digest of the **logical** state: all `vert`/`adj` snapshot lines
+    /// across the cluster, globally sorted. Placement (partition table,
+    /// directory shards) is deliberately excluded so the digest is invariant
+    /// under shard migration — a chaos run with splits/merges still compares
+    /// bit-for-bit against a never-migrated baseline. Placement correctness
+    /// is covered separately by `audit` / `audit_directory`.
+    pub fn state_digest(&self) -> u64 {
+        let mut lines: Vec<&str> = Vec::new();
+        let snaps: Vec<String> = (0..self.cluster.n_machines() as MachineId)
+            .map(|m| self.snapshot_machine(m))
+            .collect();
+        for snap in &snaps {
+            lines.extend(
+                snap.lines()
+                    .filter(|l| l.starts_with("vert ") || l.starts_with("adj ")),
+            );
+        }
+        lines.sort_unstable();
+        let text = lines.join("\n");
+        digest_snapshots([text.as_str()])
     }
 
     /// The model parameters.
@@ -736,3 +864,56 @@ impl WeightedDynamicGraphAlgorithm for DmpcMst {
         self.driver.run(to, ConnMsg::Delete { e, batched: false })
     }
 }
+
+/// Both drivers expose the same chaos-plane surface: any machine may fail
+/// (the protocol has no distinguished reliable machine — controller and
+/// rendezvous roles are recoverable state), snapshots are per-machine
+/// plain text, and split/merge are the boundary-shift migrations.
+macro_rules! elastic_via_driver {
+    ($ty:ty) => {
+        impl ElasticAlgorithm for $ty {
+            fn n_shards(&self) -> usize {
+                self.driver.n_machines()
+            }
+
+            fn killable(&self, _m: MachineId) -> bool {
+                true
+            }
+
+            fn is_alive(&self, m: MachineId) -> bool {
+                self.driver.is_alive(m)
+            }
+
+            fn snapshot_machine(&self, m: MachineId) -> String {
+                self.driver.snapshot_machine(m)
+            }
+
+            fn restore(&mut self, snaps: &[String]) {
+                self.driver.restore(snaps)
+            }
+
+            fn kill(&mut self, m: MachineId) {
+                self.driver.kill_machine(m)
+            }
+
+            fn revive(&mut self, m: MachineId, snap: &str) -> UpdateMetrics {
+                self.driver.revive_machine(m, snap)
+            }
+
+            fn split(&mut self, m: MachineId) -> Option<UpdateMetrics> {
+                self.driver.split_shard(m)
+            }
+
+            fn merge(&mut self, m: MachineId) -> Option<UpdateMetrics> {
+                self.driver.merge_shard(m)
+            }
+
+            fn state_digest(&self) -> u64 {
+                self.driver.state_digest()
+            }
+        }
+    };
+}
+
+elastic_via_driver!(DmpcConnectivity);
+elastic_via_driver!(DmpcMst);

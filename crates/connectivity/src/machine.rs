@@ -117,7 +117,7 @@ use crate::messages::{BatchItem, ConnMsg, CutMode, StructBroadcast, VertexInfo};
 use dmpc_eulertour::indexed::{apply_op_to_vertex, map_reroot, CompId, TourOp};
 use dmpc_eulertour::TourIx;
 use dmpc_graph::{Edge, QueryAnswer, Update, Weight, V};
-use dmpc_mpc::{Envelope, Machine, MachineId, Outbox, RoundCtx};
+use dmpc_mpc::{pack_text, unpack_text, Envelope, Machine, MachineId, Outbox, RoundCtx};
 use std::collections::{BTreeMap, VecDeque};
 
 /// The machine doubling as batch controller (id 0).
@@ -344,10 +344,26 @@ struct RoundAcc {
     path_replies: Vec<Option<(Edge, Weight)>>,
 }
 
+/// Source-side state of one in-flight shard migration or recovery handoff:
+/// the budgeted snapshot courier plus (migrations only) the directory
+/// patches that follow the data phase.
+#[derive(Debug)]
+struct Transfer {
+    /// The stop-and-wait chunk courier.
+    courier: dmpc_mpc::SnapCourier,
+    /// Directory repair messages, sent budget-chunked after the data phase.
+    patches: VecDeque<(MachineId, ConnMsg)>,
+    /// Per-round payload budget (words).
+    budget: usize,
+}
+
 /// The connectivity/MST owner machine.
 pub struct ConnMachine {
     id: MachineId,
-    block: usize,
+    /// Partition table: machine `i` owns vertices `bounds[i]..bounds[i+1]`
+    /// (monotone, possibly empty ranges; shared by every machine and kept
+    /// in sync by O(1)-word [`ConnMsg::Boundary`] broadcasts on migration).
+    bounds: Vec<V>,
     mst_mode: bool,
     routing: Routing,
     verts: BTreeMap<V, VertexState>,
@@ -371,6 +387,13 @@ pub struct ConnMachine {
     /// Completed query answers stashed at this rendezvous, drained by the
     /// driver after the wave quiesces.
     answers: Vec<(u32, QueryAnswer)>,
+    /// Outbound migration/handoff in flight (source side).
+    transfer: Option<Transfer>,
+    /// Inbound snapshot chunks accumulated so far (receiver side).
+    snap_buf: Vec<u64>,
+    /// Packed snapshot staged by the driver for a recovery handoff
+    /// (consumed by [`ConnMsg::HandoffBegin`]).
+    staged: Option<Vec<u64>>,
 }
 
 impl ConnMachine {
@@ -387,14 +410,13 @@ impl ConnMachine {
         mst_mode: bool,
         routing: Routing,
     ) -> Self {
-        let lo = id as usize * block;
-        let hi = ((id as usize + 1) * block).min(n_vertices);
-        let verts = (lo..hi)
-            .map(|v| (v as V, VertexState::singleton(v as V)))
-            .collect();
+        let bounds = Self::uniform_bounds(n_vertices, block);
+        let lo = bounds[id as usize];
+        let hi = bounds[id as usize + 1];
+        let verts = (lo..hi).map(|v| (v, VertexState::singleton(v))).collect();
         ConnMachine {
             id,
-            block,
+            bounds,
             mst_mode,
             routing,
             verts,
@@ -406,12 +428,34 @@ impl ConnMachine {
             batch: None,
             pending_queries: BTreeMap::new(),
             answers: Vec::new(),
+            transfer: None,
+            snap_buf: Vec::new(),
+            staged: None,
         }
     }
 
-    /// Owner machine of vertex `v` under this partitioning.
-    pub fn owner_of(v: V, block: usize) -> MachineId {
-        (v as usize / block) as MachineId
+    /// The initial (uniform `block`-sized) partition table: machine `i`
+    /// owns `bounds[i]..bounds[i+1]`. Migrations later move individual
+    /// boundaries, so ownership is always a `bounds` lookup, never block
+    /// arithmetic.
+    pub fn uniform_bounds(n_vertices: usize, block: usize) -> Vec<V> {
+        let machines = n_vertices.div_ceil(block).max(1);
+        (0..=machines)
+            .map(|i| ((i * block).min(n_vertices)) as V)
+            .collect()
+    }
+
+    /// Owner machine of vertex `v` under a partition table (shared with the
+    /// driver's mirror): the unique `i` with
+    /// `bounds[i] <= v < bounds[i+1]`, skipping emptied ranges.
+    pub fn owner_in(bounds: &[V], v: V) -> MachineId {
+        debug_assert!(v < *bounds.last().expect("non-empty bounds"));
+        (bounds.partition_point(|&b| b <= v) - 1) as MachineId
+    }
+
+    /// This machine's view of the partition table (audits/tests).
+    pub fn bounds(&self) -> &[V] {
+        &self.bounds
     }
 
     /// Abort recovery: drops controller/rendezvous/fetch state left behind
@@ -434,13 +478,13 @@ impl ConnMachine {
     }
 
     fn owner(&self, v: V) -> MachineId {
-        Self::owner_of(v, self.block)
+        Self::owner_in(&self.bounds, v)
     }
 
     /// The machine holding `comp`'s directory entry: the owner of its root
     /// vertex (a component id *is* its root vertex id).
     fn root_owner(&self, comp: CompId) -> MachineId {
-        Self::owner_of(comp as V, self.block)
+        Self::owner_in(&self.bounds, comp as V)
     }
 
     /// Read access for result extraction and audits (not part of the model).
@@ -471,6 +515,278 @@ impl ConnMachine {
             self.dir.insert(comp, owners);
         } else {
             self.dir.remove(&comp);
+        }
+    }
+
+    // ----- elasticity & recovery ------------------------------------------
+    //
+    // # Shard migration
+    //
+    // The driver injects [`ConnMsg::MigrateBegin`] at the source at
+    // quiescence. In one round the source (1) moves the partition boundary
+    // locally and broadcasts the O(1)-word [`ConnMsg::Boundary`] so every
+    // machine routes by the new table from the next round on, (2) extracts
+    // the moving vertex states into a plain-text payload, and (3) starts a
+    // budgeted stop-and-wait courier of [`ConnMsg::SnapChunk`]s to the
+    // receiver. After the data phase the courier drains the *patch phase*:
+    // directory repair messages, O(1) words per affected component —
+    // complete [`ConnMsg::DirStore`]/[`ConnMsg::DirDrop`] replacements for
+    // components rooted in the source's old range (it held their exact
+    // sets), incremental [`ConnMsg::DirPatch`]es to remote root owners for
+    // the rest. No global re-broadcast of data ever happens.
+    //
+    // # Recovery handoff
+    //
+    // A revive ships a full snapshot the same way: the driver stages the
+    // packed text at a live peer and injects [`ConnMsg::HandoffBegin`]; the
+    // final chunk carries `install = true` so the receiver replaces its
+    // (wiped) state wholesale via [`ConnMachine::restore_text`].
+
+    /// Fail-stop wipe: drops all program state (the partition table keeps
+    /// its last value; a revive handoff overwrites it anyway).
+    pub fn wipe(&mut self) {
+        self.verts.clear();
+        self.dir.clear();
+        self.local.clear();
+        self.pending_fetch = None;
+        self.pending_cut = None;
+        self.pending_mst = None;
+        self.batch = None;
+        self.pending_queries.clear();
+        self.answers.clear();
+        self.transfer = None;
+        self.snap_buf = Vec::new();
+        self.staged = None;
+    }
+
+    /// Driver-side staging of a packed snapshot for a recovery handoff
+    /// (consumed by the next [`ConnMsg::HandoffBegin`]).
+    pub fn stage_handoff(&mut self, words: Vec<u64>) {
+        self.staged = Some(words);
+    }
+
+    /// Plain-text snapshot of the full program state at quiescence
+    /// (transient protocol state is empty by definition). Deterministic:
+    /// all maps iterate in key order.
+    pub fn snapshot_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        writeln!(s, "connmachine v1").unwrap();
+        writeln!(s, "id {}", self.id).unwrap();
+        writeln!(s, "mst {}", self.mst_mode as u8).unwrap();
+        let routing = match self.routing {
+            Routing::Multicast => "m",
+            Routing::Broadcast => "b",
+        };
+        writeln!(s, "routing {routing}").unwrap();
+        s.push_str("bounds");
+        for b in &self.bounds {
+            write!(s, " {b}").unwrap();
+        }
+        s.push('\n');
+        for (&v, st) in &self.verts {
+            write_vert(&mut s, v, st);
+        }
+        for (comp, owners) in &self.dir {
+            write!(s, "dir {comp}").unwrap();
+            for m in owners {
+                write!(s, " {m}").unwrap();
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Full state restore from [`ConnMachine::snapshot_text`] output
+    /// (recovery). Panics on malformed text — snapshots are produced by
+    /// this code, so damage is a transfer-layer bug, not data-dependent.
+    pub fn restore_text(&mut self, text: &str) {
+        self.wipe();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("connmachine v1"), "snapshot header");
+        for line in lines {
+            let mut it = line.split_ascii_whitespace();
+            match it.next().expect("non-empty snapshot line") {
+                "id" => {
+                    let id: MachineId = it.next().unwrap().parse().unwrap();
+                    debug_assert_eq!(id, self.id, "snapshot restored on wrong machine");
+                }
+                "mst" => {
+                    let mst = it.next().unwrap() == "1";
+                    debug_assert_eq!(mst, self.mst_mode);
+                }
+                "routing" => {}
+                "bounds" => self.bounds = it.map(|t| t.parse().unwrap()).collect(),
+                "dir" => {
+                    let comp: CompId = it.next().unwrap().parse().unwrap();
+                    let owners: Vec<MachineId> = it.map(|t| t.parse().unwrap()).collect();
+                    self.dir.insert(comp, owners);
+                }
+                _ => parse_vert_line(line, &mut self.verts),
+            }
+        }
+    }
+
+    /// Installs migrated vertex state (vert/adj lines only — directory
+    /// repair travels separately in the patch phase).
+    fn install_vert_lines(&mut self, text: &str) {
+        for line in text.lines() {
+            parse_vert_line(line, &mut self.verts);
+        }
+    }
+
+    /// Source side of [`ConnMsg::MigrateBegin`]: shift the boundary,
+    /// broadcast it, extract the moving range, compute directory repairs,
+    /// and start the budgeted courier.
+    fn handle_migrate_begin(
+        &mut self,
+        to: MachineId,
+        lo: V,
+        hi: V,
+        budget: usize,
+        ctx: &RoundCtx,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        let old_lo = self.bounds[self.id as usize];
+        let old_hi = self.bounds[self.id as usize + 1];
+        debug_assert!(old_lo <= lo && lo < hi && hi <= old_hi, "range not owned");
+        debug_assert!(
+            to == self.id + 1 || to + 1 == self.id,
+            "non-neighbour migration"
+        );
+        // Moving a suffix right raises the right neighbour's start; moving
+        // a prefix left raises our own.
+        let (idx, val) = if to == self.id + 1 {
+            (to, lo)
+        } else {
+            (self.id, hi)
+        };
+        debug_assert!(
+            lo == old_lo || hi == old_hi,
+            "moved range must touch a boundary"
+        );
+        self.bounds[idx as usize] = val;
+        out.broadcast(ctx.n_machines, ConnMsg::Boundary { idx, val });
+        // Extract the moving vertices and serialize them.
+        let keys: Vec<V> = self.verts.range(lo..hi).map(|(&v, _)| v).collect();
+        let mut text = String::new();
+        for v in keys {
+            let st = self.verts.remove(&v).expect("listed vertex");
+            write_vert(&mut text, v, &st);
+        }
+        // Directory repair, one O(1)-word patch per affected component.
+        let moved_comps: std::collections::BTreeSet<CompId> = text
+            .lines()
+            .filter(|l| l.starts_with("vert "))
+            .map(|l| l.split_ascii_whitespace().nth(2).unwrap().parse().unwrap())
+            .collect();
+        let mut patches: VecDeque<(MachineId, ConnMsg)> = VecDeque::new();
+        for comp in moved_comps {
+            let src_retains = self.verts.values().any(|st| st.comp == comp);
+            let root = comp as V;
+            if old_lo <= root && root < old_hi {
+                // Rooted in our old range: we held the exact owner set, so
+                // we emit a complete replacement.
+                let mut set = self.dir.remove(&comp).unwrap_or_else(|| vec![self.id]);
+                if !src_retains {
+                    set.retain(|&m| m != self.id);
+                }
+                set.push(to);
+                set.sort_unstable();
+                set.dedup();
+                if lo <= root && root < hi {
+                    // The root vertex moved too: the entry follows it.
+                    let msg = if set.len() >= 2 {
+                        ConnMsg::DirStore { comp, owners: set }
+                    } else {
+                        ConnMsg::DirDrop { comp }
+                    };
+                    patches.push_back((to, msg));
+                } else if set.len() >= 2 {
+                    self.dir.insert(comp, set);
+                }
+            } else {
+                // Rooted remotely: the entry provably exists there (root
+                // owner + this machine both owned members), so an
+                // incremental add/remove patch suffices.
+                let r = self.root_owner(comp);
+                debug_assert_ne!(r, self.id);
+                patches.push_back((
+                    r,
+                    ConnMsg::DirPatch {
+                        comp,
+                        add: to,
+                        remove: (!src_retains).then_some(self.id),
+                    },
+                ));
+            }
+        }
+        self.transfer = Some(Transfer {
+            courier: dmpc_mpc::SnapCourier::new(to, false, pack_text(&text), budget),
+            patches,
+            budget,
+        });
+        self.transfer_step(out);
+    }
+
+    /// Advances an in-flight transfer by one round: the next data chunk,
+    /// or (data done) up to one budget's worth of directory patches. When
+    /// patches remain, pacing stays stop-and-wait: a [`ConnMsg::MigrateKick`]
+    /// goes to the migration destination, which bounces a
+    /// [`ConnMsg::SnapAck`] that re-enters this function next round (a
+    /// self-message would execute same-round and defeat the budget — and no
+    /// machine ever messages itself).
+    fn transfer_step(&mut self, out: &mut Outbox<ConnMsg>) {
+        let Some(tr) = &mut self.transfer else {
+            return;
+        };
+        if let Some((words, last)) = tr.courier.next_chunk() {
+            let install = tr.courier.install;
+            out.send(
+                tr.courier.dst,
+                ConnMsg::SnapChunk {
+                    words,
+                    last,
+                    install,
+                },
+            );
+            return;
+        }
+        let mut sent = 0usize;
+        while let Some((to, msg)) = tr.patches.pop_front() {
+            debug_assert_ne!(to, self.id, "patches never target the source");
+            sent += dmpc_mpc::Payload::size_words(&msg);
+            out.send(to, msg);
+            if sent >= tr.budget {
+                break;
+            }
+        }
+        if tr.patches.is_empty() {
+            self.transfer = None;
+        } else {
+            out.send(tr.courier.dst, ConnMsg::MigrateKick);
+        }
+    }
+
+    /// Receiver side of one snapshot chunk.
+    fn handle_snap_chunk(
+        &mut self,
+        from: MachineId,
+        words: &[u64],
+        last: bool,
+        install: bool,
+        out: &mut Outbox<ConnMsg>,
+    ) {
+        self.snap_buf.extend_from_slice(words);
+        out.send(from, ConnMsg::SnapAck);
+        if last {
+            let buf = std::mem::take(&mut self.snap_buf);
+            let text = unpack_text(&buf);
+            if install {
+                self.restore_text(&text);
+            } else {
+                self.install_vert_lines(&text);
+            }
         }
     }
 
@@ -2075,7 +2391,102 @@ impl ConnMachine {
                 self.handle_batch_report(done, structural, out)
             }
             ConnMsg::BatchStructDone => self.batch_dispatch_next(out),
+            ConnMsg::MigrateBegin { to, lo, hi, budget } => {
+                self.handle_migrate_begin(to, lo, hi, budget, ctx, out)
+            }
+            ConnMsg::HandoffBegin { to, budget } => {
+                let words = self
+                    .staged
+                    .take()
+                    .expect("handoff without a staged snapshot");
+                self.transfer = Some(Transfer {
+                    courier: dmpc_mpc::SnapCourier::new(to, true, words, budget),
+                    patches: VecDeque::new(),
+                    budget,
+                });
+                self.transfer_step(out);
+            }
+            ConnMsg::SnapAck => self.transfer_step(out),
+            ConnMsg::DirPatch { comp, add, remove } => {
+                debug_assert_eq!(self.root_owner(comp), self.id);
+                let mut set = self.dir.remove(&comp).unwrap_or_else(|| vec![self.id]);
+                if let Some(r) = remove {
+                    set.retain(|&m| m != r);
+                }
+                set.push(add);
+                set.sort_unstable();
+                set.dedup();
+                if set.len() >= 2 {
+                    self.dir.insert(comp, set);
+                }
+            }
+            ConnMsg::Boundary { .. } | ConnMsg::SnapChunk { .. } | ConnMsg::MigrateKick => {
+                unreachable!("handled before dispatch")
+            }
         }
+    }
+}
+
+/// Serializes one vertex's full state as `vert`/`adj` snapshot lines.
+fn write_vert(s: &mut String, v: V, st: &VertexState) {
+    use std::fmt::Write as _;
+    write!(s, "vert {v} {} {}", st.comp, st.size).unwrap();
+    for i in &st.idx {
+        write!(s, " {i}").unwrap();
+    }
+    s.push('\n');
+    for (&u, (kind, w)) in &st.adj {
+        match kind {
+            EntryKind::Tree { lo, hi } => writeln!(s, "adj {v} {u} t {lo} {hi} {w}").unwrap(),
+            EntryKind::NonTree { cached, far_comp } => {
+                writeln!(s, "adj {v} {u} n {cached} {far_comp} {w}").unwrap()
+            }
+        }
+    }
+}
+
+/// Inverse of [`write_vert`] for one line (an `adj` line requires its `vert`
+/// line to have been parsed first).
+fn parse_vert_line(line: &str, verts: &mut BTreeMap<V, VertexState>) {
+    let mut it = line.split_ascii_whitespace();
+    match it.next().expect("non-empty snapshot line") {
+        "vert" => {
+            let v: V = it.next().unwrap().parse().unwrap();
+            let comp: CompId = it.next().unwrap().parse().unwrap();
+            let size: u64 = it.next().unwrap().parse().unwrap();
+            let idx: Vec<TourIx> = it.map(|t| t.parse().unwrap()).collect();
+            verts.insert(
+                v,
+                VertexState {
+                    comp,
+                    size,
+                    idx,
+                    adj: BTreeMap::new(),
+                },
+            );
+        }
+        "adj" => {
+            let v: V = it.next().unwrap().parse().unwrap();
+            let u: V = it.next().unwrap().parse().unwrap();
+            let kind = match it.next().unwrap() {
+                "t" => EntryKind::Tree {
+                    lo: it.next().unwrap().parse().unwrap(),
+                    hi: it.next().unwrap().parse().unwrap(),
+                },
+                "n" => EntryKind::NonTree {
+                    cached: it.next().unwrap().parse().unwrap(),
+                    far_comp: it.next().unwrap().parse().unwrap(),
+                },
+                k => panic!("unknown adj kind {k:?}"),
+            };
+            let w: Weight = it.next().unwrap().parse().unwrap();
+            verts
+                .get_mut(&v)
+                .expect("adj line before its vert line")
+                .adj
+                .insert(u, (kind, w));
+        }
+        k => panic!("unknown snapshot line {k:?}"),
     }
 }
 
@@ -2132,11 +2543,23 @@ impl Machine for ConnMachine {
                         );
                     }
                 }
+                // Partition-table shifts apply before anything else this
+                // round (in particular before the migration chunk that may
+                // arrive alongside), so routing is consistent immediately.
+                ConnMsg::Boundary { idx, val } => self.bounds[idx as usize] = val,
                 _ => rest.push(env),
             }
         }
         for env in rest {
             match env.msg {
+                ConnMsg::SnapChunk {
+                    words,
+                    last,
+                    install,
+                } => self.handle_snap_chunk(env.from, &words, last, install, out),
+                // Patch-phase pacing bounce: ack so the source's next
+                // budgeted patch round fires (see `transfer_step`).
+                ConnMsg::MigrateKick => out.send(env.from, ConnMsg::SnapAck),
                 ConnMsg::DirFetch { comp } => {
                     debug_assert_eq!(self.root_owner(comp), self.id);
                     out.send(
@@ -2220,6 +2643,18 @@ impl Machine for ConnMachine {
         // Transient query-plane state at this rendezvous: folds and stashed
         // answers, both bounded by the driver's wave chunking.
         words += 6 * self.pending_queries.len() + 4 * self.answers.len();
+        // Recovery plane: unsent transfer payload + queued directory
+        // patches, inbound chunk buffer, and any driver-staged snapshot.
+        if let Some(tr) = &self.transfer {
+            words += 2 + tr.courier.words_left();
+            for (_, msg) in &tr.patches {
+                words += 1 + dmpc_mpc::Payload::size_words(msg);
+            }
+        }
+        words += self.snap_buf.len();
+        if let Some(s) = &self.staged {
+            words += s.len();
+        }
         words
     }
 }

@@ -254,6 +254,64 @@ pub enum ConnMsg {
         comp: CompId,
     },
 
+    // ---- elasticity & recovery (see `machine.rs` "Shard migration") ------
+    /// Driver-injected at a migration source: move the vertex range
+    /// `lo..hi` to machine `to`, streaming state in `budget`-word chunks.
+    MigrateBegin {
+        /// The receiving machine (always a neighbour in machine order).
+        to: MachineId,
+        /// First vertex of the moving range.
+        lo: V,
+        /// One past the last vertex of the moving range.
+        hi: V,
+        /// Per-chunk payload budget (words).
+        budget: usize,
+    },
+    /// migration source -> everyone: one partition-table boundary moved.
+    /// O(1) words per machine — the *data* never travels with it.
+    Boundary {
+        /// Index into the bounds table.
+        idx: u32,
+        /// Its new value.
+        val: V,
+    },
+    /// courier -> receiver: one budgeted chunk of packed snapshot text
+    /// (stop-and-wait: the next chunk departs on the [`ConnMsg::SnapAck`]).
+    SnapChunk {
+        /// Packed text words (see `dmpc_mpc::chaos::pack_text`).
+        words: Vec<u64>,
+        /// Final chunk of this transfer.
+        last: bool,
+        /// On `last`: install as a full state restore (recovery) instead of
+        /// merging migrated vertices (migration).
+        install: bool,
+    },
+    /// receiver -> courier: chunk received, send the next.
+    SnapAck,
+    /// Courier self-kick: continue a budgeted transfer next round (sent to
+    /// self across rounds — the one deliberate self-message, pacing the
+    /// patch phase after the data phase).
+    MigrateKick,
+    /// migration source -> remote root owner: incrementally repair `comp`'s
+    /// stored owner set after a shard migration (the component itself was
+    /// untouched, only ownership of some members moved).
+    DirPatch {
+        /// The component whose owner set changed.
+        comp: CompId,
+        /// Machine that now owns >= 1 of its vertices.
+        add: MachineId,
+        /// Machine that no longer owns any (the source, when drained).
+        remove: Option<MachineId>,
+    },
+    /// Driver-injected at a recovery staging peer: ship the staged snapshot
+    /// to revived machine `to` in `budget`-word chunks.
+    HandoffBegin {
+        /// The revived machine.
+        to: MachineId,
+        /// Per-chunk payload budget (words).
+        budget: usize,
+    },
+
     // ---- query plane (see `machine.rs` "The query plane") ----------------
     /// Injected at `probe`'s owner: report `probe`'s component id to the
     /// query's rendezvous. `expect = 1` resolves a `ComponentOf` query,
@@ -408,6 +466,12 @@ impl Payload for ConnMsg {
             ConnMsg::PathMaxReply { .. } => 3,
             ConnMsg::StartSwap { owners, .. } => 5 + owners.len(),
             ConnMsg::Ack => 1,
+            ConnMsg::MigrateBegin { .. } => 5,
+            ConnMsg::Boundary { .. } => 3,
+            ConnMsg::SnapChunk { words, .. } => 2 + words.len(),
+            ConnMsg::SnapAck | ConnMsg::MigrateKick => 1,
+            ConnMsg::DirPatch { .. } => 4,
+            ConnMsg::HandoffBegin { .. } => 3,
             ConnMsg::DirFetch { .. } | ConnMsg::DirDrop { .. } => 2,
             ConnMsg::DirReply { owners, .. } | ConnMsg::DirStore { owners, .. } => 2 + owners.len(),
             ConnMsg::QConnProbe { .. } => 4,

@@ -1,0 +1,373 @@
+//! Elasticity and recovery: the trait surface drivers expose to the chaos
+//! plane, and the harness that interleaves chaos events with a workload
+//! stream.
+//!
+//! # The recovery model
+//!
+//! Machines fail by *fail-stop*: a killed machine loses its state and
+//! silently drops inbound messages (the simulator records each drop as a
+//! `DeadMachine` violation, so a correct harness shows zero). Recovery is
+//! checkpoint + replay:
+//!
+//! 1. The harness keeps a **checkpoint** — per-machine plain-text snapshots
+//!    taken every `checkpoint_every` batches (only at full-cluster health) —
+//!    plus the **op suffix**: the logical batches applied since.
+//! 2. To revive machine `m`, the harness rebuilds its state on an
+//!    off-cluster *replica*: a fresh instance restored from the checkpoint
+//!    with the suffix replayed (algorithms without snapshot support replay
+//!    the full log instead). Determinism makes the replica's shard `m`
+//!    bit-identical to what the dead machine should hold, because the live
+//!    cluster processed exactly the same ops before the kill and none since
+//!    (batches arriving during an outage are deferred).
+//! 3. The replica's shard-`m` snapshot is staged at a live peer and shipped
+//!    to the revived machine through the metered message plane in
+//!    capacity-budgeted chunks, so recovery cost appears in the same
+//!    rounds/words/machines-touched units as updates.
+//!
+//! Split/merge shard migrations go through [`ElasticAlgorithm::split`] /
+//! [`ElasticAlgorithm::merge`]; the harness checkpoints right after each
+//! migration so replay suffixes never straddle a repartition.
+
+use crate::algorithm::DynamicGraphAlgorithm;
+use dmpc_graph::Update;
+use dmpc_mpc::chaos::{fnv1a, ChaosKind, ChaosPlan};
+use dmpc_mpc::{BatchMetrics, MachineId, RecoveryMetrics, UpdateMetrics};
+
+/// The chaos-plane surface of a distributed dynamic algorithm: per-machine
+/// snapshot/restore plus metered kill/revive/split/merge transitions.
+///
+/// Implementations must keep [`ElasticAlgorithm::state_digest`] a pure
+/// function of the logical machine states, so a chaos run and a
+/// failure-free run over the same stream can be compared bit-for-bit.
+pub trait ElasticAlgorithm {
+    /// Number of machines in the cluster.
+    fn n_shards(&self) -> usize;
+
+    /// True if machine `m` may be killed (coordinator-based algorithms
+    /// exempt their distinguished reliable machine, as the paper assumes).
+    fn killable(&self, m: MachineId) -> bool;
+
+    /// True if machine `m` currently accepts messages.
+    fn is_alive(&self, m: MachineId) -> bool;
+
+    /// True when full-cluster checkpoints and per-machine restores are
+    /// supported. When false the harness recovers by full-log replay and
+    /// never calls [`ElasticAlgorithm::checkpoint`] /
+    /// [`ElasticAlgorithm::restore`].
+    fn supports_restore(&self) -> bool {
+        true
+    }
+
+    /// Plain-text snapshot of machine `m`'s program state.
+    fn snapshot_machine(&self, m: MachineId) -> String;
+
+    /// Full-cluster checkpoint: one snapshot per machine.
+    fn checkpoint(&self) -> Vec<String> {
+        (0..self.n_shards() as MachineId)
+            .map(|m| self.snapshot_machine(m))
+            .collect()
+    }
+
+    /// Restores every machine from a full-cluster checkpoint.
+    fn restore(&mut self, snaps: &[String]);
+
+    /// Fail-stops machine `m`: wipes its state and drops its messages.
+    fn kill(&mut self, m: MachineId);
+
+    /// Revives machine `m` from `snap` (its recovered plain-text state):
+    /// the snapshot is staged at a live peer and shipped through the
+    /// metered message plane. Returns the handoff's metrics.
+    fn revive(&mut self, m: MachineId, snap: &str) -> UpdateMetrics;
+
+    /// Splits machine `m`'s shard, migrating half its range to a
+    /// neighbour. `None` when unsupported or invalid (range too small).
+    fn split(&mut self, m: MachineId) -> Option<UpdateMetrics> {
+        let _ = m;
+        None
+    }
+
+    /// Merges machine `m`'s shard into a neighbour, emptying `m`'s range.
+    /// `None` when unsupported or invalid (already empty).
+    fn merge(&mut self, m: MachineId) -> Option<UpdateMetrics> {
+        let _ = m;
+        None
+    }
+
+    /// Digest of the full logical state (machine states in machine order).
+    fn state_digest(&self) -> u64;
+}
+
+/// One applied chaos event with its metered cost (the bench trajectory).
+#[derive(Clone, Debug)]
+pub struct AppliedEvent {
+    /// Batch index the event fired before.
+    pub at_batch: usize,
+    /// Human-readable event, e.g. `"kill 3"`.
+    pub kind: String,
+    /// Rounds of metered recovery/migration traffic (0 for kills).
+    pub rounds: usize,
+    /// Words of metered recovery/migration traffic.
+    pub words: usize,
+    /// Distinct machines the recovery run touched.
+    pub machines_touched: usize,
+    /// Logical updates replayed on the off-cluster replica.
+    pub replay_updates: usize,
+}
+
+/// Outcome of a chaos run: workload cost, recovery cost, the per-event
+/// trajectory, and the final state digest for bit-identical comparisons.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnReport {
+    /// Batches applied (every batch in the stream, deferred or not).
+    pub batches: usize,
+    /// Logical updates applied.
+    pub updates: usize,
+    /// Events applied, in order, with costs.
+    pub applied: Vec<AppliedEvent>,
+    /// Events skipped as invalid (e.g. split of a 1-vertex shard, revive of
+    /// an alive machine).
+    pub skipped: usize,
+    /// Recovery-cost totals.
+    pub recovery: RecoveryMetrics,
+    /// Workload-cost totals (the batches themselves).
+    pub workload: BatchMetrics,
+    /// Digest of the final cluster state.
+    pub final_digest: u64,
+}
+
+/// Drives `batches` through an algorithm while applying `plan`'s chaos
+/// events between batches, recovering every failure via checkpoint+replay
+/// (or full-log replay when snapshots are unsupported).
+///
+/// `make` builds a fresh instance (used for the recovery replicas — it must
+/// be deterministic); `apply` applies one batch (the indirection lets
+/// weighted algorithms map `Update`s to weighted updates). Batches arriving
+/// while any machine is dead are deferred and drained right after the
+/// revive that restores full health; every machine still dead after the
+/// last batch is revived, so the final state covers the whole stream.
+pub fn run_chaos_stream<A, F, App>(
+    make: F,
+    mut apply: App,
+    batches: &[Vec<Update>],
+    plan: &ChaosPlan,
+    checkpoint_every: usize,
+) -> ChurnReport
+where
+    A: ElasticAlgorithm,
+    F: Fn() -> A,
+    App: FnMut(&mut A, &[Update]) -> BatchMetrics,
+{
+    let mut a = make();
+    let restorable = a.supports_restore();
+    let mut ckpt: Vec<String> = if restorable {
+        a.checkpoint()
+    } else {
+        Vec::new()
+    };
+    // Batch indexes applied since the checkpoint (or since the start, for
+    // full-log replay) — the replay suffix of the next recovery.
+    let mut suffix: Vec<usize> = Vec::new();
+    let mut deferred: Vec<usize> = Vec::new();
+    let mut dead: Vec<MachineId> = Vec::new();
+    let mut report = ChurnReport::default();
+
+    // Rebuilds the dead machine's state on an off-cluster replica
+    // (checkpoint + suffix replay; determinism => shard m is exactly what
+    // the dead machine should hold), then ships it back via the metered
+    // revive handoff.
+    #[allow(clippy::too_many_arguments)]
+    fn revive_one<A, F, App>(
+        make: &F,
+        apply: &mut App,
+        batches: &[Vec<Update>],
+        restorable: bool,
+        a: &mut A,
+        m: MachineId,
+        at_batch: usize,
+        ckpt: &[String],
+        suffix: &[usize],
+        report: &mut ChurnReport,
+    ) where
+        A: ElasticAlgorithm,
+        F: Fn() -> A,
+        App: FnMut(&mut A, &[Update]) -> BatchMetrics,
+    {
+        let mut replica = make();
+        if restorable {
+            replica.restore(ckpt);
+        }
+        let mut replay = BatchMetrics::default();
+        for &bi in suffix {
+            replay.merge(&apply(&mut replica, &batches[bi]));
+        }
+        let snap = replica.snapshot_machine(m);
+        let um = a.revive(m, &snap);
+        report.applied.push(AppliedEvent {
+            at_batch,
+            kind: format!("revive {m}"),
+            rounds: um.rounds,
+            words: um.total_words,
+            machines_touched: um.machines_touched,
+            replay_updates: replay.updates,
+        });
+        report.recovery.absorb_event(&um);
+        report.recovery.absorb_replay(&replay);
+    }
+
+    for bi in 0..=batches.len() {
+        for ev in plan.events_at(bi) {
+            match ev.kind {
+                ChaosKind::Kill(m) => {
+                    if a.killable(m) && a.is_alive(m) {
+                        a.kill(m);
+                        dead.push(m);
+                        report.applied.push(AppliedEvent {
+                            at_batch: bi,
+                            kind: format!("kill {m}"),
+                            rounds: 0,
+                            words: 0,
+                            machines_touched: 0,
+                            replay_updates: 0,
+                        });
+                        report.recovery.events += 1;
+                    } else {
+                        report.skipped += 1;
+                    }
+                }
+                ChaosKind::Revive(m) => {
+                    if let Some(pos) = dead.iter().position(|&d| d == m) {
+                        dead.remove(pos);
+                        revive_one(
+                            &make,
+                            &mut apply,
+                            batches,
+                            restorable,
+                            &mut a,
+                            m,
+                            bi,
+                            &ckpt,
+                            &suffix,
+                            &mut report,
+                        );
+                        if dead.is_empty() {
+                            // Full health restored: drain the deferred
+                            // backlog (it extends the replay suffix).
+                            for di in deferred.drain(..) {
+                                report.workload.merge(&apply(&mut a, &batches[di]));
+                                report.batches += 1;
+                                suffix.push(di);
+                            }
+                        }
+                    } else {
+                        report.skipped += 1;
+                    }
+                }
+                ChaosKind::Split(m) | ChaosKind::Merge(m) => {
+                    let is_split = matches!(ev.kind, ChaosKind::Split(_));
+                    // Reshapes only fire at full health: a migration must
+                    // not race a dead neighbour.
+                    let um = if dead.is_empty() && a.killable(m) {
+                        if is_split {
+                            a.split(m)
+                        } else {
+                            a.merge(m)
+                        }
+                    } else {
+                        None
+                    };
+                    match um {
+                        Some(um) => {
+                            report.applied.push(AppliedEvent {
+                                at_batch: bi,
+                                kind: format!("{} {m}", if is_split { "split" } else { "merge" }),
+                                rounds: um.rounds,
+                                words: um.total_words,
+                                machines_touched: um.machines_touched,
+                                replay_updates: 0,
+                            });
+                            report.recovery.absorb_event(&um);
+                            // Checkpoint immediately: replay suffixes must
+                            // never straddle a repartition.
+                            if restorable {
+                                ckpt = a.checkpoint();
+                                suffix.clear();
+                            }
+                        }
+                        None => report.skipped += 1,
+                    }
+                }
+            }
+        }
+        if bi == batches.len() {
+            break;
+        }
+        if dead.is_empty() {
+            report.workload.merge(&apply(&mut a, &batches[bi]));
+            report.batches += 1;
+            suffix.push(bi);
+            if restorable && checkpoint_every > 0 && suffix.len() >= checkpoint_every {
+                ckpt = a.checkpoint();
+                suffix.clear();
+            }
+        } else {
+            deferred.push(bi);
+        }
+    }
+    // A well-formed plan revives everything; recover stragglers anyway so
+    // the final state always covers the whole stream.
+    while let Some(m) = dead.pop() {
+        revive_one(
+            &make,
+            &mut apply,
+            batches,
+            restorable,
+            &mut a,
+            m,
+            batches.len(),
+            &ckpt,
+            &suffix,
+            &mut report,
+        );
+    }
+    for di in deferred.drain(..) {
+        report.workload.merge(&apply(&mut a, &batches[di]));
+        report.batches += 1;
+    }
+    report.updates = report.workload.updates;
+    report.final_digest = a.state_digest();
+    report
+}
+
+/// The failure-free counterpart of [`run_chaos_stream`]: applies every
+/// batch in order and digests the final state (the bit-identical baseline).
+pub fn run_plain_stream<A, F, App>(make: F, mut apply: App, batches: &[Vec<Update>]) -> ChurnReport
+where
+    A: ElasticAlgorithm,
+    F: Fn() -> A,
+    App: FnMut(&mut A, &[Update]) -> BatchMetrics,
+{
+    let mut a = make();
+    let mut report = ChurnReport::default();
+    for b in batches {
+        report.workload.merge(&apply(&mut a, b));
+        report.batches += 1;
+    }
+    report.updates = report.workload.updates;
+    report.final_digest = a.state_digest();
+    report
+}
+
+/// Digest helper for drivers: folds machine snapshots (in machine order)
+/// into one FNV-1a digest.
+pub fn digest_snapshots<'a, I: IntoIterator<Item = &'a str>>(snaps: I) -> u64 {
+    let mut h: u64 = 0;
+    for s in snaps {
+        h = h.rotate_left(1) ^ fnv1a(s.as_bytes());
+    }
+    h
+}
+
+/// Convenience apply-closure for unweighted [`DynamicGraphAlgorithm`]s.
+pub fn apply_unweighted<A: DynamicGraphAlgorithm>(a: &mut A, batch: &[Update]) -> BatchMetrics {
+    a.apply_batch(batch)
+}

@@ -18,6 +18,9 @@
 //!   maintained solution against references after every update, and
 //!   aggregate worst-case metrics; plus scaling sweeps with log-log slope
 //!   fits used to check Table 1's growth shapes.
+//! * [`elastic`] — the chaos-plane surface ([`ElasticAlgorithm`]) and the
+//!   churn harness that interleaves kill/revive/split/merge events with a
+//!   workload stream, recovering failures via checkpoint + replay.
 //! * [`report`] — plain-text table rendering for the bench binaries.
 //!
 //! # Example
@@ -33,6 +36,7 @@
 //! ```
 
 pub mod algorithm;
+pub mod elastic;
 pub mod experiment;
 pub mod model;
 pub mod report;
@@ -40,6 +44,10 @@ pub mod report;
 pub use algorithm::{
     answer_queries_looped, apply_batch_looped, apply_weighted_batch_looped, DynamicGraphAlgorithm,
     QueryableAlgorithm, WeightedDynamicGraphAlgorithm,
+};
+pub use elastic::{
+    apply_unweighted, digest_snapshots, run_chaos_stream, run_plain_stream, AppliedEvent,
+    ChurnReport, ElasticAlgorithm,
 };
 pub use experiment::{
     run_stream, run_stream_batched, run_stream_batched_verified, run_stream_verified, ScalingPoint,

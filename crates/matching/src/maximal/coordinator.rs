@@ -297,6 +297,12 @@ pub struct Coordinator {
     matched_pairs: usize,
     /// Query answers stashed for driver-side extraction after the wave.
     answers: Vec<(u32, usize)>,
+    /// Outbound recovery handoff in flight (the coordinator is the paper's
+    /// reliable machine, so it stages and ships revive snapshots).
+    courier: Option<dmpc_mpc::SnapCourier>,
+    /// Packed snapshot staged by the driver for the next
+    /// [`MatchMsg::HandoffBegin`].
+    staged: Option<Vec<u64>>,
     out: Vec<(MachineId, MatchMsg)>,
 }
 
@@ -324,8 +330,44 @@ impl Coordinator {
             queue: VecDeque::new(),
             matched_pairs: 0,
             answers: Vec::new(),
+            courier: None,
+            staged: None,
             out: Vec::new(),
         }
+    }
+
+    /// Driver-side staging of a packed snapshot for a recovery handoff
+    /// (consumed by the next [`MatchMsg::HandoffBegin`]).
+    pub fn stage_handoff(&mut self, words: Vec<u64>) {
+        self.staged = Some(words);
+    }
+
+    /// Words held by the recovery plane (metered as coordinator memory).
+    pub fn recovery_words(&self) -> usize {
+        self.courier.as_ref().map_or(0, |c| 2 + c.words_left())
+            + self.staged.as_ref().map_or(0, |s| s.len())
+    }
+
+    /// Plain-text snapshot of the coordinator's answer-bearing state (the
+    /// digest component; the coordinator itself is never killed).
+    pub fn snapshot_text(&self) -> String {
+        format!(
+            "coord v1\npairs {}\nseq {}\nhist {}\n",
+            self.matched_pairs,
+            self.next_seq,
+            self.hist.len()
+        )
+    }
+
+    fn courier_chunk(&mut self) -> Vec<(MachineId, MatchMsg)> {
+        let mut msgs = Vec::new();
+        if let Some(c) = &mut self.courier {
+            match c.next_chunk() {
+                Some((words, last)) => msgs.push((c.dst, MatchMsg::SnapChunk { words, last })),
+                None => self.courier = None,
+            }
+        }
+        msgs
     }
 
     /// Bulk-load hook: presets the matched-pair counter to the size of the
@@ -636,6 +678,20 @@ impl Coordinator {
 
     /// Feeds one reply message; returns outbound messages.
     pub fn reply(&mut self, msg: MatchMsg) -> Vec<(MachineId, MatchMsg)> {
+        // Recovery-handoff traffic is phase-independent: the courier runs
+        // only at driver-level quiescence, never inside an update.
+        match msg {
+            MatchMsg::HandoffBegin { to, budget } => {
+                let words = self
+                    .staged
+                    .take()
+                    .expect("handoff without a staged snapshot");
+                self.courier = Some(dmpc_mpc::SnapCourier::new(to, true, words, budget));
+                return self.courier_chunk();
+            }
+            MatchMsg::SnapAck => return self.courier_chunk(),
+            _ => {}
+        }
         let phase = std::mem::replace(&mut self.phase, Phase::Idle);
         match (phase, msg) {
             (Phase::AwaitStats { mut expect, then }, MatchMsg::StatReply(recs)) => {

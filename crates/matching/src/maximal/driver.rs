@@ -51,6 +51,7 @@ impl Machine for Role {
                                 c.answer_matching_size(qid);
                                 Vec::new()
                             }
+                            m @ MatchMsg::HandoffBegin { .. } => c.reply(m),
                             other => panic!("unexpected injected message {other:?}"),
                         }
                     } else {
@@ -92,7 +93,11 @@ impl Machine for Role {
             // during a batch — the queued updates and the carried stat
             // cache (both bounded by the chunking in `apply_batch`).
             Role::Coord(c) => {
-                8 + 4 * c.hist_len() + 4 * c.cache_len() + 2 * c.queue_len() + 2 * c.answers_len()
+                8 + 4 * c.hist_len()
+                    + 4 * c.cache_len()
+                    + 2 * c.queue_len()
+                    + 2 * c.answers_len()
+                    + c.recovery_words()
             }
             Role::Stats(s) => s.memory_words(),
             Role::Storage(s) => s.memory_words(),
@@ -516,5 +521,82 @@ impl DynamicGraphAlgorithm for DmpcMaximalMatching {
     }
 }
 
-#[allow(dead_code)]
-fn never(_: MachineId) {}
+impl Role {
+    /// Plain-text snapshot of this machine's program state (chaos plane).
+    fn snapshot_text(&self) -> String {
+        match self {
+            Role::Coord(c) => c.snapshot_text(),
+            Role::Stats(s) => s.snapshot_text(),
+            Role::Storage(s) => s.snapshot_text(),
+            Role::Overflow(o) => o.snapshot_text(),
+        }
+    }
+
+    /// Fail-stop wipe (chaos plane).
+    fn wipe(&mut self) {
+        match self {
+            Role::Coord(_) => unreachable!("the coordinator is the reliable machine"),
+            Role::Stats(s) => s.wipe(),
+            Role::Storage(s) => s.wipe(),
+            Role::Overflow(o) => o.wipe(),
+        }
+    }
+}
+
+/// Chaos-plane surface (paper Section 3 keeps the coordinator `M_C` on the
+/// model's one reliable machine, so it is never killable; it doubles as the
+/// staging peer for revive handoffs). The algorithm keeps no full-cluster
+/// checkpoint support — the history-repair protocol makes per-machine
+/// snapshots cheap but restoring a *consistent cut* across the coordinator's
+/// un-snapshotted working state is not worth the surface — so the harness
+/// recovers machines by full-log replay on an off-cluster replica.
+impl dmpc_core::ElasticAlgorithm for DmpcMaximalMatching {
+    fn n_shards(&self) -> usize {
+        self.cluster.n_machines()
+    }
+
+    fn killable(&self, m: MachineId) -> bool {
+        m != COORDINATOR
+    }
+
+    fn is_alive(&self, m: MachineId) -> bool {
+        self.cluster.is_alive(m)
+    }
+
+    fn supports_restore(&self) -> bool {
+        false
+    }
+
+    fn snapshot_machine(&self, m: MachineId) -> String {
+        self.cluster.machine(m).snapshot_text()
+    }
+
+    fn restore(&mut self, _snaps: &[String]) {
+        unreachable!("full-log replay mode: the harness never restores checkpoints");
+    }
+
+    fn kill(&mut self, m: MachineId) {
+        assert_ne!(m, COORDINATOR, "the coordinator is the reliable machine");
+        self.cluster.kill(m);
+        self.cluster.machine_mut(m).wipe();
+    }
+
+    fn revive(&mut self, m: MachineId, snap: &str) -> UpdateMetrics {
+        self.cluster.revive(m);
+        let budget = (self.params.capacity_words() / 4).max(1);
+        match self.cluster.machine_mut(COORDINATOR) {
+            Role::Coord(c) => c.stage_handoff(dmpc_mpc::pack_text(snap)),
+            _ => unreachable!(),
+        }
+        self.cluster
+            .inject(COORDINATOR, MatchMsg::HandoffBegin { to: m, budget });
+        self.cluster.run_update()
+    }
+
+    fn state_digest(&self) -> u64 {
+        let snaps: Vec<String> = (0..self.cluster.n_machines() as MachineId)
+            .map(|m| self.cluster.machine(m).snapshot_text())
+            .collect();
+        dmpc_core::digest_snapshots(snaps.iter().map(|s| s.as_str()))
+    }
+}

@@ -13,6 +13,8 @@ pub struct StatsMachine {
     recs: BTreeMap<V, StatRec>,
     /// Query answers stashed for driver-side extraction after the wave.
     answers: Vec<(u32, bool)>,
+    /// Inbound recovery-snapshot chunks accumulated so far.
+    snap_buf: Vec<u64>,
 }
 
 impl StatsMachine {
@@ -21,6 +23,50 @@ impl StatsMachine {
         StatsMachine {
             recs: (lo..hi).map(|v| (v, StatRec::new())).collect(),
             answers: Vec::new(),
+            snap_buf: Vec::new(),
+        }
+    }
+
+    /// Fail-stop wipe (chaos plane): drops all program state.
+    pub fn wipe(&mut self) {
+        self.recs.clear();
+        self.answers.clear();
+        self.snap_buf = Vec::new();
+    }
+
+    /// Plain-text snapshot of the record table (deterministic: key order).
+    pub fn snapshot_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("stats v1\n");
+        for (&v, r) in &self.recs {
+            writeln!(
+                s,
+                "rec {v} {} {} {} {}",
+                r.degree, r.mate, r.heavy as u8, r.free_nbrs
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    /// Full state restore from [`StatsMachine::snapshot_text`] output.
+    pub fn restore_text(&mut self, text: &str) {
+        self.wipe();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("stats v1"), "snapshot header");
+        for line in lines {
+            let mut it = line.split_ascii_whitespace();
+            assert_eq!(it.next(), Some("rec"));
+            let v: V = it.next().unwrap().parse().unwrap();
+            self.recs.insert(
+                v,
+                StatRec {
+                    degree: it.next().unwrap().parse().unwrap(),
+                    mate: it.next().unwrap().parse().unwrap(),
+                    heavy: it.next().unwrap() == "1",
+                    free_nbrs: it.next().unwrap().parse().unwrap(),
+                },
+            );
         }
     }
 
@@ -68,13 +114,21 @@ impl StatsMachine {
                 self.answers.push((qid, self.recs[&v].matched()));
                 None
             }
+            MatchMsg::SnapChunk { words, last } => {
+                self.snap_buf.extend_from_slice(&words);
+                if last {
+                    let buf = std::mem::take(&mut self.snap_buf);
+                    self.restore_text(&dmpc_mpc::unpack_text(&buf));
+                }
+                Some(MatchMsg::SnapAck)
+            }
             other => panic!("stats machine got unexpected message {other:?}"),
         }
     }
 
     /// Memory footprint in words.
     pub fn memory_words(&self) -> usize {
-        1 + 4 * self.recs.len() + 2 * self.answers.len()
+        1 + 4 * self.recs.len() + 2 * self.answers.len() + self.snap_buf.len()
     }
 }
 

@@ -21,6 +21,8 @@ pub struct StorageMachine {
     verts: BTreeMap<V, StoreVertex>,
     last_seen: u64,
     tau: usize,
+    /// Inbound recovery-snapshot chunks accumulated so far.
+    snap_buf: Vec<u64>,
 }
 
 impl StorageMachine {
@@ -31,6 +33,70 @@ impl StorageMachine {
             verts: (lo..hi).map(|v| (v, StoreVertex::default())).collect(),
             last_seen: 0,
             tau,
+            snap_buf: Vec::new(),
+        }
+    }
+
+    /// Fail-stop wipe (chaos plane): drops program state; `tau` is
+    /// construction-time configuration and survives.
+    pub fn wipe(&mut self) {
+        self.verts.clear();
+        self.last_seen = 0;
+        self.snap_buf = Vec::new();
+    }
+
+    /// Plain-text snapshot: sync point, then per-vertex heavy flag and
+    /// entries in stored (scan) order. Deterministic: the vertex map
+    /// iterates in key order and entry `Vec`s serialize positionally.
+    pub fn snapshot_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("storage v1\n");
+        writeln!(s, "seen {}", self.last_seen).unwrap();
+        for (&v, sv) in &self.verts {
+            writeln!(s, "svert {v} {}", sv.heavy as u8).unwrap();
+            for &(nbr, ann) in &sv.entries {
+                writeln!(
+                    s,
+                    "sedge {v} {nbr} {} {} {}",
+                    ann.matched as u8, ann.mate, ann.mate_light as u8
+                )
+                .unwrap();
+            }
+        }
+        s
+    }
+
+    /// Full state restore from [`StorageMachine::snapshot_text`] output.
+    pub fn restore_text(&mut self, text: &str) {
+        self.wipe();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("storage v1"), "snapshot header");
+        for line in lines {
+            let mut it = line.split_ascii_whitespace();
+            match it.next().expect("non-empty snapshot line") {
+                "seen" => self.last_seen = it.next().unwrap().parse().unwrap(),
+                "svert" => {
+                    let v: V = it.next().unwrap().parse().unwrap();
+                    let heavy = it.next().unwrap() == "1";
+                    self.verts.insert(
+                        v,
+                        StoreVertex {
+                            heavy,
+                            entries: Vec::new(),
+                        },
+                    );
+                }
+                "sedge" => {
+                    let v: V = it.next().unwrap().parse().unwrap();
+                    let (nbr, ann) = parse_entry(&mut it);
+                    self.verts
+                        .get_mut(&v)
+                        .expect("sedge line before its svert line")
+                        .entries
+                        .push((nbr, ann));
+                }
+                k => panic!("unknown snapshot line {k:?}"),
+            }
         }
     }
 
@@ -170,6 +236,14 @@ impl StorageMachine {
                 sv.heavy = false;
                 None
             }
+            MatchMsg::SnapChunk { words, last } => {
+                self.snap_buf.extend_from_slice(&words);
+                if last {
+                    let buf = std::mem::take(&mut self.snap_buf);
+                    self.restore_text(&dmpc_mpc::unpack_text(&buf));
+                }
+                Some(MatchMsg::SnapAck)
+            }
             other => panic!("storage machine got unexpected message {other:?}"),
         }
     }
@@ -181,7 +255,20 @@ impl StorageMachine {
             .values()
             .map(|sv| 2 + 4 * sv.entries.len())
             .sum::<usize>()
+            + self.snap_buf.len()
     }
+}
+
+/// Parses the tail of an `sedge`/`oedge` snapshot line:
+/// `nbr matched mate mate_light`.
+fn parse_entry<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> (V, Ann) {
+    let nbr: V = it.next().unwrap().parse().unwrap();
+    let ann = Ann {
+        matched: it.next().unwrap() == "1",
+        mate: it.next().unwrap().parse().unwrap(),
+        mate_light: it.next().unwrap() == "1",
+    };
+    (nbr, ann)
 }
 
 /// An overflow machine: the suspended-edge stack of (at most) one heavy
@@ -191,6 +278,8 @@ pub struct OverflowMachine {
     assigned: Option<V>,
     edges: Vec<(V, Ann)>,
     last_seen: u64,
+    /// Inbound recovery-snapshot chunks accumulated so far.
+    snap_buf: Vec<u64>,
 }
 
 impl OverflowMachine {
@@ -219,6 +308,50 @@ impl OverflowMachine {
         self.assigned = Some(v);
         self.edges = edges;
         self.last_seen = last_seen;
+    }
+
+    /// Fail-stop wipe (chaos plane): drops all program state.
+    pub fn wipe(&mut self) {
+        self.assigned = None;
+        self.edges = Vec::new();
+        self.last_seen = 0;
+        self.snap_buf = Vec::new();
+    }
+
+    /// Plain-text snapshot: sync point, assignment, and the suspended
+    /// stack in positional order.
+    pub fn snapshot_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("overflow v1\n");
+        writeln!(s, "seen {}", self.last_seen).unwrap();
+        if let Some(v) = self.assigned {
+            writeln!(s, "assigned {v}").unwrap();
+        }
+        for &(nbr, ann) in &self.edges {
+            writeln!(
+                s,
+                "oedge {nbr} {} {} {}",
+                ann.matched as u8, ann.mate, ann.mate_light as u8
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    /// Full state restore from [`OverflowMachine::snapshot_text`] output.
+    pub fn restore_text(&mut self, text: &str) {
+        self.wipe();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("overflow v1"), "snapshot header");
+        for line in lines {
+            let mut it = line.split_ascii_whitespace();
+            match it.next().expect("non-empty snapshot line") {
+                "seen" => self.last_seen = it.next().unwrap().parse().unwrap(),
+                "assigned" => self.assigned = Some(it.next().unwrap().parse().unwrap()),
+                "oedge" => self.edges.push(parse_entry(&mut it)),
+                k => panic!("unknown snapshot line {k:?}"),
+            }
+        }
     }
 
     fn repair(&mut self, hist: &HistSlice) {
@@ -291,13 +424,21 @@ impl OverflowMachine {
                 self.assigned = None;
                 None
             }
+            MatchMsg::SnapChunk { words, last } => {
+                self.snap_buf.extend_from_slice(&words);
+                if last {
+                    let buf = std::mem::take(&mut self.snap_buf);
+                    self.restore_text(&dmpc_mpc::unpack_text(&buf));
+                }
+                Some(MatchMsg::SnapAck)
+            }
             other => panic!("overflow machine got unexpected message {other:?}"),
         }
     }
 
     /// Memory footprint in words.
     pub fn memory_words(&self) -> usize {
-        3 + 4 * self.edges.len()
+        3 + 4 * self.edges.len() + self.snap_buf.len()
     }
 }
 

@@ -18,6 +18,7 @@
 //! `docs/ARCHITECTURE.md` ("Executor internals") for the full lifecycle
 //! and the determinism argument.
 
+use crate::chaos::ChaosPlan;
 use crate::machine::{Envelope, Machine, Payload as _};
 use crate::metrics::{BatchMetrics, RoundMetrics, UpdateMetrics, Violation};
 use crate::parallel::{step_scope, worker_task, Group, StepEnv, WorkerScratch};
@@ -112,6 +113,11 @@ pub struct ClusterConfig {
     /// streams that only need aggregates can switch this off; `rounds` and
     /// `total_words` are identical either way.
     pub record_per_round: bool,
+    /// Optional chaos fault-injection plan. The cluster only *stores* it
+    /// (and drops messages to machines killed via [`Cluster::kill`]);
+    /// harnesses read the plan and apply its events between batches, so an
+    /// idle plan costs nothing on the executor hot path.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for ClusterConfig {
@@ -123,6 +129,7 @@ impl Default for ClusterConfig {
             backend: Backend::Serial,
             threads: 0,
             record_per_round: true,
+            chaos: None,
         }
     }
 }
@@ -145,6 +152,12 @@ impl ClusterConfig {
         if let Some(flows) = exec.track_flows {
             self.track_flows = flows;
         }
+        self
+    }
+
+    /// Attaches a chaos fault-injection plan (see [`crate::chaos`]).
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 }
@@ -173,6 +186,11 @@ pub struct Cluster<M: Machine> {
     touch_stamp: Vec<u64>,
     /// Current update's epoch (bumped by every `run_update`).
     update_epoch: u64,
+    /// Liveness flags for the chaos plane (`true` = accepting messages).
+    alive: Vec<bool>,
+    /// Count of dead machines — the steady-state fast path is one integer
+    /// compare per round, so an idle chaos plane stays allocation-free.
+    dead_count: usize,
     /// Per-worker reusable buffers (index 0 doubles as the serial lane).
     workers: Vec<WorkerScratch<M::Msg>>,
     /// Persistent threads (only for [`Backend::WorkerPool`]).
@@ -203,6 +221,7 @@ impl<M: Machine> Cluster<M> {
         let mut workers = Vec::new();
         workers.resize_with(threads.max(1), WorkerScratch::default);
         let touch_stamp = vec![0; machines.len()];
+        let alive = vec![true; machines.len()];
         Cluster {
             machines,
             cfg,
@@ -214,6 +233,8 @@ impl<M: Machine> Cluster<M> {
             groups: Vec::new(),
             touch_stamp,
             update_epoch: 0,
+            alive,
+            dead_count: 0,
             workers,
             pool,
             threads,
@@ -245,6 +266,40 @@ impl<M: Machine> Cluster<M> {
     /// Iterate over all machines.
     pub fn machines(&self) -> impl Iterator<Item = &M> {
         self.machines.iter()
+    }
+
+    /// Fail-stop machine `m` (chaos plane): until [`Cluster::revive`], every
+    /// message addressed to it is dropped and recorded as
+    /// [`Violation::DeadMachine`]. The machine's program state is untouched
+    /// here — drivers wipe and later restore it.
+    pub fn kill(&mut self, m: MachineId) {
+        if std::mem::replace(&mut self.alive[m as usize], false) {
+            self.dead_count += 1;
+        }
+    }
+
+    /// Marks machine `m` as accepting messages again. Must precede the
+    /// recovery handoff that rebuilds its state.
+    pub fn revive(&mut self, m: MachineId) {
+        if !std::mem::replace(&mut self.alive[m as usize], true) {
+            self.dead_count -= 1;
+        }
+    }
+
+    /// True if machine `m` currently accepts messages.
+    pub fn is_alive(&self, m: MachineId) -> bool {
+        self.alive[m as usize]
+    }
+
+    /// True when no machine is killed.
+    pub fn all_alive(&self) -> bool {
+        self.dead_count == 0
+    }
+
+    /// The attached chaos plan, if any (harnesses read it; the executor
+    /// never schedules events itself).
+    pub fn chaos_plan(&self) -> Option<&ChaosPlan> {
+        self.cfg.chaos.as_ref()
     }
 
     /// Queues an external message (the arriving update) for delivery in the
@@ -329,6 +384,23 @@ impl<M: Machine> Cluster<M> {
         // after the swap it holds this round's messages and `pending` is the
         // empty buffer that will collect the next round's.
         std::mem::swap(&mut self.pending, &mut self.delivered);
+        // Messages to killed machines are dropped before routing, one
+        // recorded violation each. `mem::take` sidesteps the closure's
+        // borrow of `delivered` without allocating (the flags go back after).
+        if self.dead_count > 0 {
+            let alive = std::mem::take(&mut self.alive);
+            self.delivered.retain(|e| {
+                let ok = alive[e.to as usize];
+                if !ok {
+                    update.violations.push(Violation::DeadMachine {
+                        machine: e.to,
+                        round,
+                    });
+                }
+                ok
+            });
+            self.alive = alive;
+        }
         self.sort_delivered();
 
         let mut rm = RoundMetrics {
@@ -629,6 +701,45 @@ mod tests {
         looped.absorb_update(&run_single_update(&mut c2, 1, 3));
         assert_eq!(looped.rounds, 10);
         assert!(looped.amortized_rounds() > b.amortized_rounds());
+    }
+
+    #[test]
+    fn dead_machines_drop_messages_with_violations() {
+        let mut c = relay_cluster(4, ClusterConfig::default());
+        c.kill(2);
+        assert!(!c.is_alive(2) && !c.all_alive());
+        // The token dies at machine 2's door: 0 -> 1 -> (2 dropped); the
+        // dropping round still runs (and meters empty).
+        let m = run_single_update(&mut c, 0, 5);
+        assert_eq!(m.rounds, 3);
+        assert_eq!(
+            m.violations,
+            vec![Violation::DeadMachine {
+                machine: 2,
+                round: 3
+            }]
+        );
+        assert_eq!(c.machine(2).seen, 0);
+        // Revived, the same token crosses the whole ring again.
+        c.revive(2);
+        assert!(c.all_alive());
+        let m = run_single_update(&mut c, 0, 5);
+        assert!(m.clean());
+        assert_eq!(m.rounds, 6);
+        assert!(c.machine(2).seen > 0);
+    }
+
+    #[test]
+    fn idle_chaos_plan_is_stored_not_scheduled() {
+        use crate::chaos::{ChaosKind, ChaosPlan};
+        let plan = ChaosPlan::new(9).with_event(1_000_000, ChaosKind::Kill(1));
+        let cfg = ClusterConfig::default().with_chaos(plan.clone());
+        let mut c = relay_cluster(3, cfg);
+        assert_eq!(c.chaos_plan(), Some(&plan));
+        // The executor never applies plan events on its own.
+        let m = run_single_update(&mut c, 0, 4);
+        assert!(m.clean());
+        assert!(c.all_alive());
     }
 
     #[test]

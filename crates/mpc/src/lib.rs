@@ -68,17 +68,19 @@
 //! assert_eq!(metrics.total_messages, 5);
 //! ```
 
+pub mod chaos;
 pub mod cluster;
 pub mod machine;
 pub mod metrics;
 pub mod parallel;
 pub mod pool;
 
+pub use chaos::{pack_text, unpack_text, ChaosCaps, ChaosEvent, ChaosKind, ChaosPlan, SnapCourier};
 pub use cluster::{Backend, Cluster, ClusterConfig, ExecOptions};
 pub use machine::{Envelope, Machine, Outbox, Payload, RoundCtx};
 pub use metrics::{
-    entropy_bits, loglog_slope, AggregateMetrics, BatchMetrics, QueryMetrics, RoundMetrics,
-    UpdateMetrics, Violation,
+    entropy_bits, loglog_slope, AggregateMetrics, BatchMetrics, QueryMetrics, RecoveryMetrics,
+    RoundMetrics, UpdateMetrics, Violation,
 };
 pub use pool::WorkerPool;
 

@@ -47,6 +47,15 @@ pub enum Violation {
         /// The limit that was hit.
         limit: usize,
     },
+    /// A message was addressed to a killed machine and dropped (chaos
+    /// plane; see [`crate::cluster::Cluster::kill`]). One violation per
+    /// dropped message — correct recovery protocols never message the dead.
+    DeadMachine {
+        /// The dead addressee.
+        machine: MachineId,
+        /// Round within the update.
+        round: u32,
+    },
 }
 
 /// Per-round measurements.
@@ -309,6 +318,74 @@ impl QueryMetrics {
     }
 
     /// True if the wave respected every model constraint.
+    pub fn clean(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Cost of the chaos plane's recovery work — the Table-1-style accounting
+/// for machine churn. Separate from [`BatchMetrics`] so harnesses can report
+/// workload cost and recovery cost side by side: recovery rounds/words are
+/// real model traffic (handoffs flow through the metered `Outbox`), while
+/// `replay_*` counts the off-cluster replica replay that rebuilds a killed
+/// machine's state before the metered handoff ships it back in.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryMetrics {
+    /// Chaos events applied (kills are free; revives/splits/merges meter).
+    pub events: usize,
+    /// Total synchronous rounds across all recovery/migration runs.
+    pub rounds: usize,
+    /// Maximum over recovery runs of distinct machines touched per run.
+    pub machines_touched: usize,
+    /// Maximum over rounds of words communicated during recovery.
+    pub max_words_per_round: usize,
+    /// Total words over all recovery/migration rounds.
+    pub total_words: usize,
+    /// Total messages over all recovery/migration rounds.
+    pub total_messages: usize,
+    /// Logical updates replayed onto recovery replicas (checkpoint-suffix
+    /// replay, or full-log replay for algorithms without snapshots).
+    pub replay_updates: usize,
+    /// Rounds the replica replays consumed (off-cluster work).
+    pub replay_rounds: usize,
+    /// Capacity violations observed during recovery traffic.
+    pub violations: usize,
+}
+
+impl RecoveryMetrics {
+    /// Folds one metered recovery/migration run (a revive handoff or a
+    /// shard migration) into the totals and counts it as one event.
+    pub fn absorb_event(&mut self, m: &UpdateMetrics) {
+        self.events += 1;
+        self.rounds += m.rounds;
+        self.machines_touched = self.machines_touched.max(m.machines_touched);
+        self.max_words_per_round = self.max_words_per_round.max(m.max_words_per_round);
+        self.total_words += m.total_words;
+        self.total_messages += m.total_messages;
+        self.violations += m.violations.len();
+    }
+
+    /// Folds a replica's replay cost (off-cluster state reconstruction).
+    pub fn absorb_replay(&mut self, b: &BatchMetrics) {
+        self.replay_updates += b.updates;
+        self.replay_rounds += b.rounds;
+        self.violations += b.violations;
+    }
+
+    /// Merges another recovery tally.
+    pub fn merge(&mut self, other: &RecoveryMetrics) {
+        self.events += other.events;
+        self.rounds += other.rounds;
+        self.machines_touched = self.machines_touched.max(other.machines_touched);
+        self.max_words_per_round = self.max_words_per_round.max(other.max_words_per_round);
+        self.total_words += other.total_words;
+        self.total_messages += other.total_messages;
+        self.replay_updates += other.replay_updates;
+        self.replay_rounds += other.replay_rounds;
+        self.violations += other.violations;
+    }
+
+    /// True if every recovery run respected every model constraint.
     pub fn clean(&self) -> bool {
         self.violations == 0
     }

@@ -9,7 +9,8 @@
 //! (other tests running concurrently would pollute the counter).
 
 use dmpc_mpc::{
-    Cluster, ClusterConfig, Envelope, ExecOptions, Machine, MachineId, Outbox, RoundCtx,
+    ChaosKind, ChaosPlan, Cluster, ClusterConfig, Envelope, ExecOptions, Machine, MachineId,
+    Outbox, RoundCtx, Violation,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -112,4 +113,90 @@ fn steady_state_rounds_allocate_nothing() {
     // Sanity: the measured phase actually did work.
     let seen: u64 = cluster.machines().map(|m| m.seen).sum();
     assert!(seen > 1000);
+}
+
+/// The PR-6 chaos plane rides along without a steady-state tax: with a
+/// chaos plan *compiled in but idle* (stored in the config, no machine
+/// dead), rounds still allocate nothing. During a recovery epoch —
+/// a machine dead, traffic addressed to it dropped with [`Violation::
+/// DeadMachine`] records — allocation is bounded (violation bookkeeping
+/// only), and after the revive the zero-alloc steady state returns: the
+/// recovery scratch is released back to the reused buffers.
+#[test]
+fn chaos_plane_idle_is_zero_alloc_and_recovery_is_bounded() {
+    let plan = ChaosPlan::new(99).with_event(usize::MAX, ChaosKind::Kill(3));
+    let cfg = ClusterConfig::default()
+        .with_exec(ExecOptions::lean())
+        .with_chaos(plan);
+    let machines = (0..16 as MachineId)
+        .map(|id| Relay { id, seen: 0 })
+        .collect();
+    let mut cluster = Cluster::new(machines, cfg);
+    assert!(cluster.chaos_plan().is_some());
+
+    // Warm-up, as in the steady-state test.
+    for i in 0..50u64 {
+        cluster.inject((i % 16) as MachineId, 24);
+        cluster.run_update();
+    }
+
+    // Phase 1: chaos plane present but idle — still zero allocations.
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for i in 0..100u64 {
+        cluster.inject((i % 16) as MachineId, 24);
+        let m = cluster.run_update();
+        assert!(m.clean());
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    assert_eq!(
+        ALLOCS.load(Ordering::SeqCst),
+        0,
+        "an idle chaos plane must not tax steady-state rounds"
+    );
+
+    // Phase 2: recovery epoch. A dead machine turns every message addressed
+    // to it into a DeadMachine violation record; that bookkeeping may
+    // allocate, but boundedly — no per-round runaway.
+    cluster.kill(3);
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let mut dead_drops = 0usize;
+    for i in 0..50u64 {
+        cluster.inject((i % 16) as MachineId, 24);
+        let m = cluster.run_update();
+        dead_drops += m
+            .violations
+            .iter()
+            .filter(|v| matches!(v, Violation::DeadMachine { machine: 3, .. }))
+            .count();
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let recovery_allocs = ALLOCS.load(Ordering::SeqCst);
+    assert!(dead_drops > 0, "the outage must actually drop traffic");
+    assert!(
+        recovery_allocs <= 2048,
+        "recovery-epoch allocation must stay bounded, got {recovery_allocs}"
+    );
+
+    // Phase 3: revive and re-warm once — the steady state is zero-alloc
+    // again (recovery scratch released, buffers back to reuse).
+    cluster.revive(3);
+    for i in 0..50u64 {
+        cluster.inject((i % 16) as MachineId, 24);
+        cluster.run_update();
+    }
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for i in 0..100u64 {
+        cluster.inject((i % 16) as MachineId, 24);
+        let m = cluster.run_update();
+        assert!(m.clean());
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    assert_eq!(
+        ALLOCS.load(Ordering::SeqCst),
+        0,
+        "post-recovery rounds must return to zero allocation"
+    );
 }
