@@ -27,9 +27,9 @@
 //! `BENCH_PR3.json`; CI smokes it with tiny sizes and checks the JSON
 //! parses).
 
-use dmpc_bench::{standard_stream, time_stream_batched, TimedRun};
+use dmpc_bench::{canonical_params, canonical_workload, time_stream_batched, TimedRun};
 use dmpc_connectivity::DmpcConnectivity;
-use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
+use dmpc_core::DynamicGraphAlgorithm;
 use dmpc_graph::Update;
 use dmpc_matching::DmpcMaximalMatching;
 use dmpc_mpc::{Backend, ExecOptions};
@@ -85,7 +85,7 @@ fn exec_for(backend: &str) -> ExecOptions {
 }
 
 fn make_alg(alg: &str, n: usize, exec: ExecOptions) -> Box<dyn DynamicGraphAlgorithm> {
-    let params = DmpcParams::new(n, 3 * n);
+    let params = canonical_params(n);
     match alg {
         "connectivity" => Box::new(DmpcConnectivity::with_exec(params, exec)),
         "matching" => Box::new(DmpcMaximalMatching::with_exec(params, exec)),
@@ -183,7 +183,7 @@ fn main() {
              reflect hardware, not the executor).\n"
         );
     }
-    let ups: Vec<Update> = standard_stream(n, updates, SEED);
+    let (_, ups): (_, Vec<Update>) = canonical_workload(n, updates, SEED);
 
     println!(
         "Executor throughput: n = {n}, {} churn updates, {} worker threads\n",

@@ -32,6 +32,38 @@ pub fn standard_stream(n: usize, steps: usize, seed: u64) -> Vec<Update> {
     streams::churn_stream(n, 2 * n, steps, 0.5, seed)
 }
 
+/// The canonical deployment at vertex count `n`: `m_max = 3n`, so the
+/// model provisions `P = Θ(N/S)` storage machines. Every bench bin sizes
+/// its instances through this one helper.
+pub fn canonical_params(n: usize) -> DmpcParams {
+    DmpcParams::new(n, 3 * n)
+}
+
+/// Canonical bench setup shared by the scaling, throughput and large-n
+/// trajectory bins: the [`canonical_params`] deployment plus the standard
+/// churn stream (`2n` build-up inserts, then `steps` mixed updates).
+pub fn canonical_workload(n: usize, steps: usize, seed: u64) -> (DmpcParams, Vec<Update>) {
+    (canonical_params(n), standard_stream(n, steps, seed))
+}
+
+/// Cluster grain of the large-n trajectory workload: components stay inside
+/// 256-vertex ranges, so a structural op's owner set is bounded by a
+/// constant as `n` (and with it `P`) grows. The uniform churn stream would
+/// instead grow one giant component owned by every machine, making each
+/// simulated update cost Θ(n) — a property of simulating the *model* on one
+/// host, not of the algorithms.
+pub const TRAJECTORY_CLUSTER: usize = 256;
+
+/// Large-n trajectory setup: the [`canonical_params`] deployment plus
+/// clustered churn at the fixed [`TRAJECTORY_CLUSTER`] grain, density
+/// matched to the canonical stream (2 edges per vertex build-up, then
+/// `steps` mixed updates at 50% inserts).
+pub fn trajectory_workload(n: usize, steps: usize, seed: u64) -> (DmpcParams, Vec<Update>) {
+    let grain = TRAJECTORY_CLUSTER.min(n);
+    let ups = streams::clustered_churn_stream(n, (n / grain).max(1), 2 * grain, steps, 0.5, seed);
+    (canonical_params(n), ups)
+}
+
 /// Worst-case connectivity workload: every deletion splits a tree.
 pub fn tree_stream(n: usize, steps: usize, seed: u64) -> Vec<Update> {
     streams::tree_churn_stream(n, steps, seed)
@@ -243,9 +275,8 @@ where
 /// Measures all eight Table-1 rows at vertex count `n` with `steps` churn
 /// updates.
 pub fn measure_table1(n: usize, steps: usize, seed: u64) -> Vec<Table1Row> {
-    let m_max = 3 * n;
-    let params = DmpcParams::new(n, m_max);
-    let ups = standard_stream(n, steps, seed);
+    let (params, ups) = canonical_workload(n, steps, seed);
+    let m_max = params.m_max;
     let tree_ups = tree_stream(n, steps, seed);
     let wups = streams::with_weights(&ups, 1000, seed);
 
@@ -350,7 +381,7 @@ where
 {
     let mut sw = ScalingSweep::default();
     for &n in sizes {
-        let params = DmpcParams::new(n, 3 * n);
+        let params = canonical_params(n);
         let mut alg = make(n, params);
         let ups = if tree {
             tree_stream(n, steps, seed)

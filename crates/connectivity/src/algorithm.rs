@@ -12,7 +12,8 @@ use dmpc_eulertour::indexed::CompId;
 use dmpc_graph::streams::coalesce;
 use dmpc_graph::{Edge, Query, QueryAnswer, Update, Weight, V};
 use dmpc_mpc::{
-    BatchMetrics, Cluster, ClusterConfig, ExecOptions, MachineId, QueryMetrics, UpdateMetrics,
+    BatchMetrics, Cluster, ClusterConfig, ExecOptions, Layout, MachineId, QueryMetrics,
+    UpdateMetrics,
 };
 use std::collections::{BTreeSet, HashMap};
 
@@ -31,24 +32,40 @@ impl ConnDriver {
     }
 
     fn with_exec(params: DmpcParams, mst_mode: bool, exec: ExecOptions) -> Self {
-        Self::with_opts(params, mst_mode, exec, Routing::default(), None)
+        Self::with_opts(
+            params,
+            mst_mode,
+            exec,
+            Routing::default(),
+            Layout::default(),
+            None,
+        )
     }
 
     /// Full-control constructor: executor tuning, multicast/broadcast
-    /// routing, and an optional machine-count override (the `active_scaling`
-    /// bench sweeps P at fixed n; `None` uses the model's O(sqrt N) count).
+    /// routing, state layout, and an optional machine-count override (the
+    /// `active_scaling` bench sweeps P at fixed n; `None` uses the model's
+    /// O(sqrt N) count).
     fn with_opts(
         params: DmpcParams,
         mst_mode: bool,
         exec: ExecOptions,
         routing: Routing,
+        layout: Layout,
         machines: Option<usize>,
     ) -> Self {
         let machines = machines.unwrap_or_else(|| params.storage_machines()).max(1);
         let block = params.n.div_ceil(machines).max(1);
         let machines = params.n.div_ceil(block); // machines actually used
         let progs = (0..machines as MachineId)
-            .map(|id| ConnMachine::with_routing(id, params.n, block, mst_mode, routing))
+            .map(|id| {
+                let mut m = ConnMachine::with_opts(id, params.n, block, mst_mode, routing, layout);
+                // Leave the shard headroom under S for the machine's
+                // non-shard state (scalars, directory, transient buffers),
+                // which is metered in the same budget.
+                m.set_memory_budget(params.capacity_words().saturating_sub(32));
+                m
+            })
             .collect();
         // Flow tracking is on by default for drivers (the entropy bench
         // relies on it); `exec` can override it (e.g. `ExecOptions::lean()`
@@ -351,7 +368,7 @@ impl ConnDriver {
         self.cluster.machines()
     }
 
-    fn vertex_state(&self, v: V) -> &VertexState {
+    fn vertex_state(&self, v: V) -> VertexState {
         self.cluster
             .machine(self.owner(v))
             .vertex(v)
@@ -378,7 +395,7 @@ impl ConnDriver {
     pub fn tree_edges(&self) -> Vec<(Edge, Weight)> {
         let mut out = Vec::new();
         for m in self.cluster.machines() {
-            for (&v, st) in m.vertices() {
+            for (v, st) in m.vertices() {
                 for (&far, &(kind, w)) in &st.adj {
                     if let EntryKind::Tree { lo, .. } = kind {
                         if lo % 2 == 0 {
@@ -430,7 +447,7 @@ impl ConnDriver {
         let comp = self.comp_of(v);
         let mut set = BTreeSet::new();
         for (mid, m) in self.cluster.machines().enumerate() {
-            if m.vertices().any(|(_, st)| st.comp == comp) {
+            if m.vertices().iter().any(|(_, st)| st.comp == comp) {
                 set.insert(mid as MachineId);
             }
         }
@@ -459,8 +476,8 @@ impl ConnDriver {
                 .cluster
                 .machine(self.owner(e.u))
                 .vertex(e.u)
-                .and_then(|st| st.adj.get(&e.v))
-                .is_some_and(|&(kind, _)| matches!(kind, EntryKind::Tree { .. })),
+                .and_then(|st| st.adj.get(&e.v).copied())
+                .is_some_and(|(kind, _)| matches!(kind, EntryKind::Tree { .. })),
         }
     }
 
@@ -662,7 +679,16 @@ impl DmpcConnectivity {
     /// like the executor-backend trio).
     pub fn with_routing(params: DmpcParams, exec: ExecOptions, routing: Routing) -> Self {
         DmpcConnectivity {
-            driver: ConnDriver::with_opts(params, false, exec, routing, None),
+            driver: ConnDriver::with_opts(params, false, exec, routing, Layout::default(), None),
+        }
+    }
+
+    /// New empty instance with an explicit state layout (the map/SoA
+    /// differential-testing knob; see [`Layout`]). States, digests and
+    /// metrics are bit-identical across layouts.
+    pub fn with_layout(params: DmpcParams, exec: ExecOptions, layout: Layout) -> Self {
+        DmpcConnectivity {
+            driver: ConnDriver::with_opts(params, false, exec, Routing::default(), layout, None),
         }
     }
 
@@ -676,7 +702,14 @@ impl DmpcConnectivity {
         machines: usize,
     ) -> Self {
         DmpcConnectivity {
-            driver: ConnDriver::with_opts(params, false, exec, routing, Some(machines)),
+            driver: ConnDriver::with_opts(
+                params,
+                false,
+                exec,
+                routing,
+                Layout::default(),
+                Some(machines),
+            ),
         }
     }
 
@@ -794,7 +827,31 @@ impl DmpcMst {
     pub fn with_routing(params: DmpcParams, epsilon: f64, routing: Routing) -> Self {
         assert!(epsilon > 0.0);
         DmpcMst {
-            driver: ConnDriver::with_opts(params, true, ExecOptions::default(), routing, None),
+            driver: ConnDriver::with_opts(
+                params,
+                true,
+                ExecOptions::default(),
+                routing,
+                Layout::default(),
+                None,
+            ),
+            epsilon,
+        }
+    }
+
+    /// New empty instance with an explicit state layout (see
+    /// [`DmpcConnectivity::with_layout`]).
+    pub fn with_layout(params: DmpcParams, epsilon: f64, layout: Layout) -> Self {
+        assert!(epsilon > 0.0);
+        DmpcMst {
+            driver: ConnDriver::with_opts(
+                params,
+                true,
+                ExecOptions::default(),
+                Routing::default(),
+                layout,
+                None,
+            ),
             epsilon,
         }
     }

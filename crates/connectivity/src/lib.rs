@@ -45,6 +45,7 @@ pub mod algorithm;
 pub mod machine;
 pub mod messages;
 pub mod preprocess;
+mod shard;
 pub mod static_cc;
 pub mod static_mst;
 

@@ -114,11 +114,14 @@
 //! before its flow finishes.
 
 use crate::messages::{BatchItem, ConnMsg, CutMode, StructBroadcast, VertexInfo};
-use dmpc_eulertour::indexed::{apply_op_to_vertex, map_reroot, CompId, TourOp};
+use crate::shard::{ApplyOutcome, Shard};
+use dmpc_eulertour::indexed::{CompId, TourOp};
 use dmpc_eulertour::TourIx;
 use dmpc_graph::{Edge, QueryAnswer, Update, Weight, V};
-use dmpc_mpc::{pack_text, unpack_text, Envelope, Machine, MachineId, Outbox, RoundCtx};
+use dmpc_mpc::{pack_text, unpack_text, Envelope, Layout, Machine, MachineId, Outbox, RoundCtx};
 use std::collections::{BTreeMap, VecDeque};
+
+pub use crate::shard::{EntryKind, VertexState};
 
 /// The machine doubling as batch controller (id 0).
 pub const BATCH_CTRL: MachineId = 0;
@@ -147,84 +150,6 @@ struct BatchCtl {
     queue: VecDeque<BatchItem>,
     /// Phase 2 has begun (the queue is authoritative).
     serving: bool,
-}
-
-/// An adjacency entry at one endpoint.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum EntryKind {
-    /// Spanning-tree edge; `lo`/`hi` are its two tour indexes on this side.
-    /// This endpoint is the child iff `lo` is even (arrival parity).
-    Tree {
-        /// Lower tour index on this side.
-        lo: TourIx,
-        /// Higher tour index on this side.
-        hi: TourIx,
-    },
-    /// Non-tree edge; `cached` is some current tour index of the far
-    /// endpoint (0 iff the far endpoint is a singleton) and `far_comp` is
-    /// the far endpoint's component id. Between a cut and its replacement
-    /// link, a non-tree edge can *cross* the two sides, so all cached-index
-    /// maps are keyed by `far_comp`, not the owner's component.
-    NonTree {
-        /// Cached far-endpoint tour index.
-        cached: TourIx,
-        /// Far endpoint's component id.
-        far_comp: CompId,
-    },
-}
-
-/// Per-owned-vertex state.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct VertexState {
-    /// Component id (= current root vertex of its tree).
-    pub comp: CompId,
-    /// Component size in vertices.
-    pub size: u64,
-    /// Sorted tour indexes of this vertex.
-    pub idx: Vec<TourIx>,
-    /// neighbor -> (kind, weight).
-    pub adj: BTreeMap<V, (EntryKind, Weight)>,
-}
-
-impl VertexState {
-    fn singleton(v: V) -> Self {
-        VertexState {
-            comp: v,
-            size: 1,
-            idx: Vec::new(),
-            adj: BTreeMap::new(),
-        }
-    }
-
-    fn f(&self) -> TourIx {
-        self.idx.first().copied().unwrap_or(0)
-    }
-
-    fn l(&self) -> TourIx {
-        self.idx.last().copied().unwrap_or(0)
-    }
-
-    fn info(&self, v: V) -> VertexInfo {
-        VertexInfo {
-            v,
-            comp: self.comp,
-            size: self.size,
-            f: self.f(),
-            l: self.l(),
-        }
-    }
-}
-
-/// What [`ConnMachine::apply_struct`] learned while applying a structural op
-/// to the local shard.
-#[derive(Debug, Default)]
-struct ApplyOutcome {
-    /// Local best replacement candidate (searching cuts only).
-    best: Option<(Edge, Weight)>,
-    /// This machine still owns >= 1 vertex of the cut's surviving side.
-    owns_parent: bool,
-    /// This machine owns >= 1 vertex of the cut's detached side.
-    owns_child: bool,
 }
 
 /// Rendezvous-side state of an in-flight searching cut: the local apply
@@ -366,7 +291,7 @@ pub struct ConnMachine {
     bounds: Vec<V>,
     mst_mode: bool,
     routing: Routing,
-    verts: BTreeMap<V, VertexState>,
+    verts: Shard,
     /// Owner directory shard: authoritative sets for components rooted in
     /// this machine's block (entries only for sets of size >= 2; the
     /// implicit fallback is `{owner_of(comp)}`).
@@ -399,7 +324,14 @@ pub struct ConnMachine {
 impl ConnMachine {
     /// Creates the machine with its owned vertex block.
     pub fn new(id: MachineId, n_vertices: usize, block: usize, mst_mode: bool) -> Self {
-        Self::with_routing(id, n_vertices, block, mst_mode, Routing::default())
+        Self::with_opts(
+            id,
+            n_vertices,
+            block,
+            mst_mode,
+            Routing::default(),
+            Layout::default(),
+        )
     }
 
     /// Creates the machine with an explicit multicast/broadcast routing.
@@ -410,10 +342,22 @@ impl ConnMachine {
         mst_mode: bool,
         routing: Routing,
     ) -> Self {
+        Self::with_opts(id, n_vertices, block, mst_mode, routing, Layout::default())
+    }
+
+    /// Creates the machine with explicit routing and state-layout choices.
+    pub fn with_opts(
+        id: MachineId,
+        n_vertices: usize,
+        block: usize,
+        mst_mode: bool,
+        routing: Routing,
+        layout: Layout,
+    ) -> Self {
         let bounds = Self::uniform_bounds(n_vertices, block);
         let lo = bounds[id as usize];
         let hi = bounds[id as usize + 1];
-        let verts = (lo..hi).map(|v| (v, VertexState::singleton(v))).collect();
+        let verts = Shard::new_range(layout, lo, hi);
         ConnMachine {
             id,
             bounds,
@@ -488,13 +432,26 @@ impl ConnMachine {
     }
 
     /// Read access for result extraction and audits (not part of the model).
-    pub fn vertex(&self, v: V) -> Option<&VertexState> {
-        self.verts.get(&v)
+    pub fn vertex(&self, v: V) -> Option<VertexState> {
+        self.verts.vertex(v)
     }
 
-    /// All owned vertex states.
-    pub fn vertices(&self) -> impl Iterator<Item = (&V, &VertexState)> {
-        self.verts.iter()
+    /// All owned vertex states (materialized; audits/tests only).
+    pub fn vertices(&self) -> Vec<(V, VertexState)> {
+        self.verts.vertices()
+    }
+
+    /// The state layout this machine runs with.
+    pub fn layout(&self) -> Layout {
+        self.verts.layout()
+    }
+
+    /// Sets the machine's resident budget (the model capacity `S`, in
+    /// words). The SoA shard compacts its arenas whenever a mutation would
+    /// leave it above this while slack remains, so arena holes never turn a
+    /// compactly-fitting shard into a memory violation.
+    pub fn set_memory_budget(&mut self, words: usize) {
+        self.verts.set_soft_cap(words);
     }
 
     /// This machine's directory shard (audits/tests; not part of the model).
@@ -504,7 +461,7 @@ impl ConnMachine {
 
     /// Direct state injection for bulk loading during preprocessing.
     pub fn load_vertex(&mut self, v: V, st: VertexState) {
-        self.verts.insert(v, st);
+        self.verts.load_vertex(v, st);
     }
 
     /// Direct directory injection for bulk loading during preprocessing.
@@ -584,9 +541,7 @@ impl ConnMachine {
             write!(s, " {b}").unwrap();
         }
         s.push('\n');
-        for (&v, st) in &self.verts {
-            write_vert(&mut s, v, st);
-        }
+        self.verts.write_all(&mut s);
         for (comp, owners) in &self.dir {
             write!(s, "dir {comp}").unwrap();
             for m in owners {
@@ -622,7 +577,7 @@ impl ConnMachine {
                     let owners: Vec<MachineId> = it.map(|t| t.parse().unwrap()).collect();
                     self.dir.insert(comp, owners);
                 }
-                _ => parse_vert_line(line, &mut self.verts),
+                _ => self.verts.parse_line(line),
             }
         }
     }
@@ -631,7 +586,7 @@ impl ConnMachine {
     /// repair travels separately in the patch phase).
     fn install_vert_lines(&mut self, text: &str) {
         for line in text.lines() {
-            parse_vert_line(line, &mut self.verts);
+            self.verts.parse_line(line);
         }
     }
 
@@ -668,12 +623,7 @@ impl ConnMachine {
         self.bounds[idx as usize] = val;
         out.broadcast(ctx.n_machines, ConnMsg::Boundary { idx, val });
         // Extract the moving vertices and serialize them.
-        let keys: Vec<V> = self.verts.range(lo..hi).map(|(&v, _)| v).collect();
-        let mut text = String::new();
-        for v in keys {
-            let st = self.verts.remove(&v).expect("listed vertex");
-            write_vert(&mut text, v, &st);
-        }
+        let text = self.verts.extract_range(lo, hi);
         // Directory repair, one O(1)-word patch per affected component.
         let moved_comps: std::collections::BTreeSet<CompId> = text
             .lines()
@@ -682,7 +632,7 @@ impl ConnMachine {
             .collect();
         let mut patches: VecDeque<(MachineId, ConnMsg)> = VecDeque::new();
         for comp in moved_comps {
-            let src_retains = self.verts.values().any(|st| st.comp == comp);
+            let src_retains = self.verts.any_in_comp(comp);
             let root = comp as V;
             if old_lo <= root && root < old_hi {
                 // Rooted in our old range: we held the exact owner set, so
@@ -790,18 +740,6 @@ impl ConnMachine {
         }
     }
 
-    fn st(&self, v: V) -> &VertexState {
-        self.verts
-            .get(&v)
-            .expect("vertex not owned by this machine")
-    }
-
-    fn st_mut(&mut self, v: V) -> &mut VertexState {
-        self.verts
-            .get_mut(&v)
-            .expect("vertex not owned by this machine")
-    }
-
     // ----- routing helpers ------------------------------------------------
 
     /// Sends `msg` to `to`, executing locally (same round, free in the MPC
@@ -853,8 +791,8 @@ impl ConnMachine {
 
     fn handle_insert(&mut self, e: Edge, w: Weight, batched: bool, out: &mut Outbox<ConnMsg>) {
         let u = e.u;
-        debug_assert!(!self.st(u).adj.contains_key(&e.v), "duplicate insert {e}");
-        let x = self.st(u).info(u);
+        debug_assert!(self.verts.adj_get(u, e.v).is_none(), "duplicate insert {e}");
+        let x = self.verts.info(u);
         self.route(
             self.owner(e.v),
             ConnMsg::InsQuery {
@@ -873,18 +811,16 @@ impl ConnMachine {
     /// owner. Shared by the single-update flow and the batch classifier.
     fn add_non_tree_pair(&mut self, e: Edge, w: Weight, x: &VertexInfo, out: &mut Outbox<ConnMsg>) {
         let y = e.other(x.v);
-        let y_f = self.st(y).f();
+        let y_f = self.verts.f_of(y);
         let owner_x = self.owner(x.v);
-        let ys = self.st_mut(y);
-        ys.adj.insert(
+        self.verts.adj_set(
+            y,
             x.v,
-            (
-                EntryKind::NonTree {
-                    cached: x.f,
-                    far_comp: x.comp,
-                },
-                w,
-            ),
+            EntryKind::NonTree {
+                cached: x.f,
+                far_comp: x.comp,
+            },
+            w,
         );
         self.route(
             owner_x,
@@ -910,8 +846,7 @@ impl ConnMachine {
         out: &mut Outbox<ConnMsg>,
     ) {
         let y = e.other(x.v);
-        let ys = self.st(y);
-        let (y_comp, y_size) = (ys.comp, ys.size);
+        let (y_comp, y_size) = (self.verts.comp_of(y), self.verts.size_of(y));
         if y_comp == x.comp {
             // Intra-component edge.
             if self.mst_mode {
@@ -1000,8 +935,8 @@ impl ConnMachine {
         out: &mut Outbox<ConnMsg>,
     ) {
         let y = e.other(x.v);
-        let ys = self.st(y);
-        let (y_comp, y_size, y_f, y_l) = (ys.comp, ys.size, ys.f(), ys.l());
+        let yi = self.verts.info(y);
+        let (y_comp, y_size, y_f, y_l) = (yi.comp, yi.size, yi.f, yi.l);
         // Reroot y's tree at y, then link after f(x).
         let reroot = if y_size > 1 && y_f != 1 {
             Some(TourOp::Reroot {
@@ -1036,7 +971,7 @@ impl ConnMachine {
         for m in self.audience(&union, ctx) {
             out.send(m, ConnMsg::Apply(b));
         }
-        self.apply_struct(&b);
+        self.verts.apply_struct(&b);
         // Directory: the merged component keeps x's id; y's id is absorbed.
         self.route(
             self.root_owner(x.comp),
@@ -1058,14 +993,13 @@ impl ConnMachine {
 
     fn handle_delete(&mut self, e: Edge, batched: bool, ctx: &RoundCtx, out: &mut Outbox<ConnMsg>) {
         let u = e.u;
-        let (kind, _w) = *self
-            .st(u)
-            .adj
-            .get(&e.v)
+        let (kind, _w) = self
+            .verts
+            .adj_get(u, e.v)
             .unwrap_or_else(|| panic!("delete of absent edge {e}"));
         match kind {
             EntryKind::NonTree { .. } => {
-                self.st_mut(u).adj.remove(&e.v);
+                self.verts.adj_remove(u, e.v);
                 self.route(self.owner(e.v), ConnMsg::DelNonTree { e, at: e.v }, out);
                 if batched {
                     self.route(BATCH_CTRL, ConnMsg::BatchStructDone, out);
@@ -1131,7 +1065,7 @@ impl ConnMachine {
         let owners = match owners {
             Some(o) => o,
             None => {
-                let comp = self.st(parent).comp;
+                let comp = self.verts.comp_of(parent);
                 if self.root_owner(comp) == self.id {
                     self.dir_owners(comp)
                 } else {
@@ -1174,11 +1108,11 @@ impl ConnMachine {
         out: &mut Outbox<ConnMsg>,
     ) {
         let child = e.other(parent);
-        let ps = self.st(parent);
-        let comp = ps.comp;
+        let comp = self.verts.comp_of(parent);
         let span = (ly - fy + 1) + 2;
-        let x_after = ps
-            .idx
+        let x_after = self
+            .verts
+            .idx_of(parent)
             .iter()
             .filter(|&&s| s != fy - 1 && s != ly + 1)
             .map(|&s| if s > ly { s - span } else { s })
@@ -1222,7 +1156,7 @@ impl ConnMachine {
                 out,
             );
         }
-        let outcome = self.apply_struct(&b);
+        let outcome = self.verts.apply_struct(&b);
         if search {
             let remote_n = remote.len();
             self.pending_cut = Some(PendingCut {
@@ -1308,275 +1242,6 @@ impl ConnMachine {
         }
     }
 
-    /// Applies a structural op to all owned state; returns the local
-    /// replacement candidate and split-side membership (cuts).
-    fn apply_struct(&mut self, b: &StructBroadcast) -> ApplyOutcome {
-        let mut best: Option<(Weight, Edge)> = None;
-        let mut outcome = ApplyOutcome::default();
-        let verts: Vec<V> = self.verts.keys().copied().collect();
-        for v in verts {
-            let mut st = self.verts.remove(&v).unwrap();
-            self.apply_to_vertex(v, &mut st, b, &mut best);
-            // Collect cut-side membership inline (`st.comp` is final here;
-            // the entry materialization below never changes comp ids).
-            if let TourOp::Cut { comp, new_comp, .. } = b.main {
-                if st.comp == comp {
-                    outcome.owns_parent = true;
-                } else if st.comp == new_comp {
-                    outcome.owns_child = true;
-                }
-            }
-            self.verts.insert(v, st);
-        }
-        // Materialize the new/updated edge entries at owned endpoints.
-        match b.main {
-            TourOp::Link {
-                x, y, fx, elen_b, ..
-            } => {
-                if let Some(st) = self.verts.get_mut(&x) {
-                    st.adj.insert(
-                        y,
-                        (
-                            EntryKind::Tree {
-                                lo: fx + 1,
-                                hi: fx + elen_b + 4,
-                            },
-                            b.weight,
-                        ),
-                    );
-                }
-                if let Some(st) = self.verts.get_mut(&y) {
-                    st.adj.insert(
-                        x,
-                        (
-                            EntryKind::Tree {
-                                lo: fx + 2,
-                                hi: fx + elen_b + 3,
-                            },
-                            b.weight,
-                        ),
-                    );
-                }
-            }
-            TourOp::Cut { x, y, fy, ly, .. } => match b.cut_mode {
-                CutMode::Remove => {
-                    if let Some(st) = self.verts.get_mut(&x) {
-                        st.adj.remove(&y);
-                    }
-                    if let Some(st) = self.verts.get_mut(&y) {
-                        st.adj.remove(&x);
-                    }
-                }
-                CutMode::Demote => {
-                    // The edge stays in the graph as a (crossing, until the
-                    // follow-up link) non-tree edge.
-                    let child_singleton = ly == fy + 1;
-                    let (comp, new_comp) = match b.main {
-                        TourOp::Cut { comp, new_comp, .. } => (comp, new_comp),
-                        _ => unreachable!(),
-                    };
-                    if let Some(st) = self.verts.get_mut(&x) {
-                        let w = st.adj.get(&y).map(|&(_, w)| w).unwrap_or(0);
-                        st.adj.insert(
-                            y,
-                            (
-                                EntryKind::NonTree {
-                                    cached: if child_singleton { 0 } else { 1 },
-                                    far_comp: new_comp,
-                                },
-                                w,
-                            ),
-                        );
-                    }
-                    if let Some(st) = self.verts.get_mut(&y) {
-                        let w = st.adj.get(&x).map(|&(_, w)| w).unwrap_or(0);
-                        st.adj.insert(
-                            x,
-                            (
-                                EntryKind::NonTree {
-                                    cached: b.x_after,
-                                    far_comp: comp,
-                                },
-                                w,
-                            ),
-                        );
-                    }
-                }
-            },
-            TourOp::Reroot { .. } => unreachable!("reroot is never a main op"),
-        }
-        outcome.best = best.map(|(w, e)| (e, w));
-        outcome
-    }
-
-    /// Applies the broadcast ops to one vertex's indexes, size, component id
-    /// and adjacency annotations; collects crossing candidates during cuts.
-    ///
-    /// Tree entries always live in the owner's component's index space;
-    /// non-tree cached indexes live in `far_comp`'s index space (the two can
-    /// differ transiently between a cut and its reconnecting link).
-    fn apply_to_vertex(
-        &self,
-        v: V,
-        st: &mut VertexState,
-        b: &StructBroadcast,
-        best: &mut Option<(Weight, Edge)>,
-    ) {
-        // 1. Reroot (links only): a bijection on the absorbed component's
-        // index space.
-        if let Some(
-            r @ TourOp::Reroot {
-                comp, elen, l_y, ..
-            },
-        ) = b.reroot
-        {
-            if st.comp == comp {
-                apply_op_to_vertex(&r, v, st.comp, &mut st.idx);
-                for (_, (kind, _)) in st.adj.iter_mut() {
-                    if let EntryKind::Tree { lo, hi } = kind {
-                        let (a, c) = (map_reroot(*lo, elen, l_y), map_reroot(*hi, elen, l_y));
-                        *lo = a.min(c);
-                        *hi = a.max(c);
-                    }
-                }
-            }
-            for (_, (kind, _)) in st.adj.iter_mut() {
-                if let EntryKind::NonTree { cached, far_comp } = kind {
-                    if *far_comp == comp {
-                        *cached = map_reroot(*cached, elen, l_y);
-                    }
-                }
-            }
-        }
-        // 2. Main op.
-        match b.main {
-            TourOp::Link {
-                a,
-                b: bc,
-                fx,
-                elen_b,
-                ..
-            } => {
-                let old = st.comp;
-                let shift_b = fx + 2;
-                let shift_a = elen_b + 4;
-                if old == a || old == bc {
-                    st.comp = apply_op_to_vertex(&b.main, v, old, &mut st.idx);
-                    st.size = b.merged_size;
-                    for (_, (kind, _)) in st.adj.iter_mut() {
-                        if let EntryKind::Tree { lo, hi } = kind {
-                            let map = |i: TourIx| {
-                                if old == bc {
-                                    i + shift_b
-                                } else if i > fx {
-                                    i + shift_a
-                                } else {
-                                    i
-                                }
-                            };
-                            *lo = map(*lo);
-                            *hi = map(*hi);
-                        }
-                    }
-                }
-                for (_, (kind, _)) in st.adj.iter_mut() {
-                    if let EntryKind::NonTree { cached, far_comp } = kind {
-                        if *far_comp == bc {
-                            // cached == 0 means the far endpoint was a
-                            // singleton, i.e. it is the link's y, whose
-                            // first new index is fx+2 (== 0 + shift_b).
-                            *cached += shift_b;
-                            *far_comp = a;
-                        } else if *far_comp == a {
-                            if *cached == 0 {
-                                // Far endpoint was a singleton = the link's
-                                // x; its first new index is fx+1 (fx = 0).
-                                *cached = fx + 1;
-                            } else if *cached > fx {
-                                *cached += shift_a;
-                            }
-                        }
-                    }
-                }
-            }
-            TourOp::Cut {
-                comp,
-                x,
-                y,
-                fy,
-                ly,
-                new_comp,
-            } => {
-                let was_member = st.comp == comp;
-                let span = (ly - fy + 1) + 2;
-                let k_sub = (ly - fy).div_ceil(4);
-                let child_singleton = ly == fy + 1;
-                let mut my_detached = false;
-                if was_member {
-                    let old_size = st.size;
-                    st.comp = apply_op_to_vertex(&b.main, v, st.comp, &mut st.idx);
-                    my_detached = st.comp == new_comp;
-                    st.size = if my_detached { k_sub } else { old_size - k_sub };
-                }
-                for (&far, (kind, w)) in st.adj.iter_mut() {
-                    // The cut edge's own entries are rewritten afterwards.
-                    if (v == x && far == y) || (v == y && far == x) {
-                        continue;
-                    }
-                    match kind {
-                        EntryKind::Tree { lo, hi } => {
-                            if !was_member {
-                                continue;
-                            }
-                            // A surviving tree edge lies on one side.
-                            let map = |i: TourIx| {
-                                if i > fy && i < ly {
-                                    i - fy
-                                } else if i > ly {
-                                    i - span
-                                } else {
-                                    i
-                                }
-                            };
-                            *lo = map(*lo);
-                            *hi = map(*hi);
-                        }
-                        EntryKind::NonTree { cached, far_comp } => {
-                            if *far_comp != comp {
-                                continue;
-                            }
-                            // Classify the far side, repairing the dying
-                            // indexes of the cut edge's endpoints.
-                            if far == y {
-                                *far_comp = new_comp;
-                                *cached = if child_singleton { 0 } else { 1 };
-                            } else if far == x {
-                                *cached = b.x_after;
-                            } else if *cached > fy && *cached < ly {
-                                *far_comp = new_comp;
-                                *cached -= fy;
-                            } else if *cached > ly {
-                                *cached -= span;
-                            }
-                            if b.rendezvous.is_some()
-                                && was_member
-                                && (*far_comp == new_comp) != my_detached
-                            {
-                                // Crossing edge: replacement candidate.
-                                let e = Edge::new(v, far);
-                                let cand = (*w, e);
-                                if best.is_none_or(|cur| cand < cur) {
-                                    *best = Some(cand);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            TourOp::Reroot { .. } => unreachable!(),
-        }
-    }
-
     /// Multicasts the path-max query to the component's owner set, stashes
     /// the local on-path maximum, and finishes immediately when this machine
     /// is the only owner.
@@ -1590,8 +1255,8 @@ impl ConnMachine {
         out: &mut Outbox<ConnMsg>,
     ) {
         let y = e.other(x.v);
-        let ys = self.st(y);
-        let (y_comp, y_f, y_l) = (ys.comp, ys.f(), ys.l());
+        let yi = self.verts.info(y);
+        let (y_comp, y_f, y_l) = (yi.comp, yi.f, yi.l);
         let q = ConnMsg::PathMaxQuery {
             comp: y_comp,
             fx: x.f,
@@ -1606,7 +1271,7 @@ impl ConnMachine {
         for &m in &remote {
             out.send(m, q.clone());
         }
-        let local_best = self.local_path_max(y_comp, x.f, x.l, y_f, y_l);
+        let local_best = self.verts.path_max(y_comp, x.f, x.l, y_f, y_l);
         self.pending_mst = Some(PendingMst {
             e,
             w,
@@ -1618,47 +1283,6 @@ impl ConnMachine {
         if remote.is_empty() {
             self.finish_path_max(Vec::new(), out);
         }
-    }
-
-    /// The max-weight locally-owned tree edge on the path between the two
-    /// spans (ties broken toward the smaller edge for determinism).
-    fn local_path_max(
-        &self,
-        comp: CompId,
-        fx: TourIx,
-        lx: TourIx,
-        fy: TourIx,
-        ly: TourIx,
-    ) -> Option<(Edge, Weight)> {
-        let mut best: Option<(Weight, Edge)> = None;
-        for (&v, st) in &self.verts {
-            if st.comp != comp {
-                continue;
-            }
-            for (&far, &(kind, w)) in &st.adj {
-                if let EntryKind::Tree { lo, hi } = kind {
-                    // Process each tree edge once: at its child endpoint.
-                    if lo % 2 != 0 {
-                        continue;
-                    }
-                    // Child's subtree span is [lo, hi]; the edge is on the
-                    // x..y path iff the span contains exactly one endpoint.
-                    let contains_x = lo <= fx && lx <= hi;
-                    let contains_y = lo <= fy && ly <= hi;
-                    if contains_x ^ contains_y {
-                        let cand = (w, Edge::new(v, far));
-                        let better = match best {
-                            None => true,
-                            Some((bw, be)) => w > bw || (w == bw && Edge::new(v, far) < be),
-                        };
-                        if better {
-                            best = Some(cand);
-                        }
-                    }
-                }
-            }
-        }
-        best.map(|(w, e)| (e, w))
     }
 
     // The parameters mirror the PathMaxQuery wire-message fields one-to-one;
@@ -1675,7 +1299,7 @@ impl ConnMachine {
         out: &mut Outbox<ConnMsg>,
     ) {
         debug_assert_ne!(rendezvous, self.id, "the rendezvous answers locally");
-        let best = self.local_path_max(comp, fx, lx, fy, ly);
+        let best = self.verts.path_max(comp, fx, lx, fy, ly);
         out.send(rendezvous, ConnMsg::PathMaxReply { best });
     }
 
@@ -1711,17 +1335,16 @@ impl ConnMachine {
             }
             _ => {
                 // Keep the tree; e becomes a non-tree edge.
-                let cached_far = self.st(y).f();
-                let comp = self.st(y).comp;
-                self.st_mut(y).adj.insert(
+                let cached_far = self.verts.f_of(y);
+                let comp = self.verts.comp_of(y);
+                self.verts.adj_set(
+                    y,
                     x_v,
-                    (
-                        EntryKind::NonTree {
-                            cached: fx,
-                            far_comp: comp,
-                        },
-                        w,
-                    ),
+                    EntryKind::NonTree {
+                        cached: fx,
+                        far_comp: comp,
+                    },
+                    w,
                 );
                 self.route(
                     self.owner(x_v),
@@ -1747,7 +1370,7 @@ impl ConnMachine {
         out: &mut Outbox<ConnMsg>,
     ) {
         let u = d.u;
-        let (kind, _) = *self.st(u).adj.get(&d.v).expect("swap edge missing");
+        let (kind, _) = self.verts.adj_get(u, d.v).expect("swap edge missing");
         let EntryKind::Tree { lo, hi } = kind else {
             panic!("swap target {d} is not a tree edge");
         };
@@ -1798,7 +1421,7 @@ impl ConnMachine {
         out: &mut Outbox<ConnMsg>,
     ) {
         let u = e.u;
-        let x = self.st(u).info(u);
+        let x = self.verts.info(u);
         self.route(
             self.owner(e.v),
             ConnMsg::InsQuery {
@@ -1854,7 +1477,7 @@ impl ConnMachine {
                 then_link,
                 batched,
             } => {
-                debug_assert_eq!(self.st(parent).comp, comp);
+                debug_assert_eq!(self.verts.comp_of(parent), comp);
                 self.do_cut(
                     e, parent, fy, ly, mode, search, then_link, batched, owners, ctx, out,
                 );
@@ -1882,7 +1505,7 @@ impl ConnMachine {
         rendezvous: MachineId,
         out: &mut Outbox<ConnMsg>,
     ) {
-        let comp = self.st(probe).comp;
+        let comp = self.verts.comp_of(probe);
         self.route(rendezvous, ConnMsg::QConnJoin { qid, comp, expect }, out);
     }
 
@@ -1928,8 +1551,8 @@ impl ConnMachine {
         rendezvous: MachineId,
         out: &mut Outbox<ConnMsg>,
     ) {
-        let us = self.st(u);
-        let (comp, fx, lx) = (us.comp, us.f(), us.l());
+        let ui = self.verts.info(u);
+        let (comp, fx, lx) = (ui.comp, ui.f, ui.l);
         self.route(
             self.owner(v),
             ConnMsg::QPathProbe {
@@ -1957,8 +1580,8 @@ impl ConnMachine {
         rendezvous: MachineId,
         out: &mut Outbox<ConnMsg>,
     ) {
-        let vs = self.st(v);
-        if vs.comp != comp {
+        let vi = self.verts.info(v);
+        if vi.comp != comp {
             self.route(
                 rendezvous,
                 ConnMsg::QPathJoin {
@@ -1971,7 +1594,7 @@ impl ConnMachine {
             );
             return;
         }
-        let (fy, ly) = (vs.f(), vs.l());
+        let (fy, ly) = (vi.f, vi.l);
         self.route(
             self.root_owner(comp),
             ConnMsg::QPathResolve {
@@ -2039,7 +1662,7 @@ impl ConnMachine {
         expect: u16,
         out: &mut Outbox<ConnMsg>,
     ) {
-        let best = self.local_path_max(comp, fx, lx, fy, ly);
+        let best = self.verts.path_max(comp, fx, lx, fy, ly);
         self.route(
             rendezvous,
             ConnMsg::QPathJoin {
@@ -2143,10 +1766,10 @@ impl ConnMachine {
             match item.upd {
                 Update::Insert(e) => {
                     debug_assert!(
-                        !self.st(e.u).adj.contains_key(&e.v),
+                        self.verts.adj_get(e.u, e.v).is_none(),
                         "duplicate insert {e} in batch"
                     );
-                    let x = self.st(e.u).info(e.u);
+                    let x = self.verts.info(e.u);
                     self.route(
                         self.owner(e.v),
                         ConnMsg::BatchInsClassify {
@@ -2159,14 +1782,13 @@ impl ConnMachine {
                     );
                 }
                 Update::Delete(e) => {
-                    let (kind, _w) = *self
-                        .st(e.u)
-                        .adj
-                        .get(&e.v)
+                    let (kind, _w) = self
+                        .verts
+                        .adj_get(e.u, e.v)
                         .unwrap_or_else(|| panic!("delete of absent edge {e} in batch"));
                     match kind {
                         EntryKind::NonTree { .. } => {
-                            self.st_mut(e.u).adj.remove(&e.v);
+                            self.verts.adj_remove(e.u, e.v);
                             self.route(self.owner(e.v), ConnMsg::DelNonTree { e, at: e.v }, out);
                             report.done += 1;
                         }
@@ -2190,7 +1812,7 @@ impl ConnMachine {
         out: &mut Outbox<ConnMsg>,
     ) {
         let y = e.other(x.v);
-        if self.st(y).comp == x.comp {
+        if self.verts.comp_of(y) == x.comp {
             self.add_non_tree_pair(e, w, &x, out);
             report.done += 1;
         } else {
@@ -2268,21 +1890,20 @@ impl ConnMachine {
                 cached_far,
             } => {
                 let far = e.other(at);
-                let comp = self.st(at).comp;
-                self.st_mut(at).adj.insert(
+                let comp = self.verts.comp_of(at);
+                self.verts.adj_set(
+                    at,
                     far,
-                    (
-                        EntryKind::NonTree {
-                            cached: cached_far,
-                            far_comp: comp,
-                        },
-                        w,
-                    ),
+                    EntryKind::NonTree {
+                        cached: cached_far,
+                        far_comp: comp,
+                    },
+                    w,
                 );
             }
             ConnMsg::DelNonTree { e, at } => {
                 let far = e.other(at);
-                self.st_mut(at).adj.remove(&far);
+                self.verts.adj_remove(at, far);
             }
             ConnMsg::NeedParentCut {
                 e,
@@ -2427,69 +2048,6 @@ impl ConnMachine {
     }
 }
 
-/// Serializes one vertex's full state as `vert`/`adj` snapshot lines.
-fn write_vert(s: &mut String, v: V, st: &VertexState) {
-    use std::fmt::Write as _;
-    write!(s, "vert {v} {} {}", st.comp, st.size).unwrap();
-    for i in &st.idx {
-        write!(s, " {i}").unwrap();
-    }
-    s.push('\n');
-    for (&u, (kind, w)) in &st.adj {
-        match kind {
-            EntryKind::Tree { lo, hi } => writeln!(s, "adj {v} {u} t {lo} {hi} {w}").unwrap(),
-            EntryKind::NonTree { cached, far_comp } => {
-                writeln!(s, "adj {v} {u} n {cached} {far_comp} {w}").unwrap()
-            }
-        }
-    }
-}
-
-/// Inverse of [`write_vert`] for one line (an `adj` line requires its `vert`
-/// line to have been parsed first).
-fn parse_vert_line(line: &str, verts: &mut BTreeMap<V, VertexState>) {
-    let mut it = line.split_ascii_whitespace();
-    match it.next().expect("non-empty snapshot line") {
-        "vert" => {
-            let v: V = it.next().unwrap().parse().unwrap();
-            let comp: CompId = it.next().unwrap().parse().unwrap();
-            let size: u64 = it.next().unwrap().parse().unwrap();
-            let idx: Vec<TourIx> = it.map(|t| t.parse().unwrap()).collect();
-            verts.insert(
-                v,
-                VertexState {
-                    comp,
-                    size,
-                    idx,
-                    adj: BTreeMap::new(),
-                },
-            );
-        }
-        "adj" => {
-            let v: V = it.next().unwrap().parse().unwrap();
-            let u: V = it.next().unwrap().parse().unwrap();
-            let kind = match it.next().unwrap() {
-                "t" => EntryKind::Tree {
-                    lo: it.next().unwrap().parse().unwrap(),
-                    hi: it.next().unwrap().parse().unwrap(),
-                },
-                "n" => EntryKind::NonTree {
-                    cached: it.next().unwrap().parse().unwrap(),
-                    far_comp: it.next().unwrap().parse().unwrap(),
-                },
-                k => panic!("unknown adj kind {k:?}"),
-            };
-            let w: Weight = it.next().unwrap().parse().unwrap();
-            verts
-                .get_mut(&v)
-                .expect("adj line before its vert line")
-                .adj
-                .insert(u, (kind, w));
-        }
-        k => panic!("unknown snapshot line {k:?}"),
-    }
-}
-
 /// Merges two sorted-or-not owner sets into a sorted, deduplicated union.
 fn merge_sets(mut a: Vec<MachineId>, b: &[MachineId]) -> Vec<MachineId> {
     a.extend_from_slice(b);
@@ -2530,7 +2088,7 @@ impl Machine for ConnMachine {
         for env in inbox.drain(..) {
             match env.msg {
                 ConnMsg::Apply(b) => {
-                    let outcome = self.apply_struct(&b);
+                    let outcome = self.verts.apply_struct(&b);
                     if let Some(r) = b.rendezvous {
                         debug_assert_ne!(r, self.id, "the rendezvous applies locally");
                         out.send(
@@ -2618,10 +2176,7 @@ impl Machine for ConnMachine {
     }
 
     fn memory_words(&self) -> usize {
-        let mut words = 4;
-        for st in self.verts.values() {
-            words += 4 + st.idx.len() + 4 * st.adj.len();
-        }
+        let mut words = 4 + self.verts.memory_words();
         for owners in self.dir.values() {
             words += 2 + owners.len();
         }

@@ -25,7 +25,7 @@ fn snapshot(d: &ConnDriver) -> Snapshot {
     d.machines()
         .map(|m| {
             (
-                m.vertices().map(|(&v, st)| (v, st.clone())).collect(),
+                m.vertices(),
                 m.directory().iter().map(|(&c, o)| (c, o.clone())).collect(),
             )
         })

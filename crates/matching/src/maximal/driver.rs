@@ -9,6 +9,7 @@ use super::Layout;
 use dmpc_core::{DmpcParams, DynamicGraphAlgorithm, QueryableAlgorithm};
 use dmpc_graph::matching::Matching;
 use dmpc_graph::{DynamicGraph, Edge, Query, QueryAnswer, Update, V};
+use dmpc_mpc::Layout as StateLayout;
 use dmpc_mpc::{
     BatchMetrics, Cluster, ClusterConfig, Envelope, ExecOptions, Machine, MachineId, Outbox,
     QueryMetrics, RoundCtx, UpdateMetrics, COORDINATOR,
@@ -129,6 +130,12 @@ impl DmpcMaximalMatching {
         Self::with_mode_exec(params, false, exec)
     }
 
+    /// Creates an empty instance with an explicit storage state layout
+    /// (map/SoA; layout-differential testing and benches).
+    pub fn with_state_layout(params: DmpcParams, exec: ExecOptions, state: StateLayout) -> Self {
+        Self::with_opts(params, false, exec, state)
+    }
+
     pub(crate) fn with_mode(params: DmpcParams, three_halves: bool) -> Self {
         Self::with_mode_exec(params, three_halves, ExecOptions::default())
     }
@@ -137,6 +144,15 @@ impl DmpcMaximalMatching {
         params: DmpcParams,
         three_halves: bool,
         exec: ExecOptions,
+    ) -> Self {
+        Self::with_opts(params, three_halves, exec, StateLayout::default())
+    }
+
+    fn with_opts(
+        params: DmpcParams,
+        three_halves: bool,
+        exec: ExecOptions,
+        state: StateLayout,
     ) -> Self {
         let layout = Layout::new(&params);
         let mut machines = Vec::with_capacity(layout.total_machines());
@@ -153,7 +169,9 @@ impl DmpcMaximalMatching {
         for i in 0..layout.n_storage {
             let lo = (i * layout.storage_block) as V;
             let hi = (((i + 1) * layout.storage_block).min(layout.n)) as V;
-            machines.push(Role::Storage(StorageMachine::new(lo, hi, layout.tau)));
+            machines.push(Role::Storage(StorageMachine::with_layout(
+                lo, hi, layout.tau, state,
+            )));
         }
         for _ in 0..layout.n_overflow {
             machines.push(Role::Overflow(OverflowMachine::default()));
@@ -388,7 +406,7 @@ impl DmpcMaximalMatching {
         for v in 0..n as V {
             let sm = self.layout.storage_of(v);
             let sv = match self.cluster.machine(sm) {
-                Role::Storage(s) => s.vertex(v).expect("missing store vertex").clone(),
+                Role::Storage(s) => s.vertex(v).expect("missing store vertex"),
                 _ => unreachable!(),
             };
             let machine_seen = match self.cluster.machine(sm) {

@@ -1,8 +1,19 @@
 //! Storage machines (adjacency lists with repairable annotations) and the
 //! overflow pool (suspended-edge stacks of heavy vertices).
+//!
+//! Like the connectivity crate's vertex shards, a storage machine keeps its
+//! owned block behind a layout knob ([`dmpc_mpc::Layout`]): the map layout
+//! is the clarity-first original (`BTreeMap` of per-vertex entry `Vec`s,
+//! kept for differential testing), the SoA layout stores every vertex's
+//! entries as a segment of one shared arena split into parallel property
+//! arrays. Entry order is *semantic* here (the alive set is positional:
+//! the mate edge is moved to the front, `MakeHeavy` splits at `tau`, scans
+//! take the first hit), so all SoA mutations preserve segment order —
+//! removals shift the tail down instead of swapping.
 
 use super::msg::{repair_entry, Ann, HistSlice, MatchMsg};
 use dmpc_graph::V;
+use dmpc_mpc::Layout;
 use std::collections::BTreeMap;
 
 /// Per-owned-vertex storage: the full adjacency of a light vertex, or the
@@ -15,10 +26,510 @@ pub struct StoreVertex {
     pub entries: Vec<(V, Ann)>,
 }
 
-/// A storage machine owning a contiguous vertex block.
+/// A segment of the entry arena: `start..start+len` live, `cap` reserved.
+#[derive(Clone, Copy, Debug, Default)]
+struct Seg {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+/// Slot state: no vertex in this slot.
+const SLOT_ABSENT: u8 = 0;
+/// Slot state: light vertex.
+const SLOT_LIGHT: u8 = 1;
+/// Slot state: heavy vertex.
+const SLOT_HEAVY: u8 = 2;
+
+/// Headroom granted when an entry segment relocates.
+const ENTRY_HEADROOM: u32 = 2;
+
+/// Annotation flag bit: `matched`.
+const F_MATCHED: u8 = 1;
+/// Annotation flag bit: `mate_light`.
+const F_MATE_LIGHT: u8 = 2;
+
+#[inline]
+fn pack_ann(ann: Ann) -> (V, u8) {
+    let mut f = 0;
+    if ann.matched {
+        f |= F_MATCHED;
+    }
+    if ann.mate_light {
+        f |= F_MATE_LIGHT;
+    }
+    (ann.mate, f)
+}
+
+#[inline]
+fn unpack_ann(mate: V, f: u8) -> Ann {
+    Ann {
+        matched: f & F_MATCHED != 0,
+        mate,
+        mate_light: f & F_MATE_LIGHT != 0,
+    }
+}
+
+/// The compact layout: per-slot state byte + arena segment, entries as
+/// three parallel arrays (neighbor, mate, flag byte).
 #[derive(Debug, Default)]
+struct SoaStore {
+    /// Direct-mapped interner base: vertex `v` lives in slot `v - base`.
+    base: V,
+    /// [`SLOT_ABSENT`] / [`SLOT_LIGHT`] / [`SLOT_HEAVY`] per slot.
+    state: Vec<u8>,
+    /// Entry segment per slot.
+    pos: Vec<Seg>,
+    /// Neighbor per entry.
+    nbr: Vec<V>,
+    /// Annotation mate per entry.
+    mate: Vec<V>,
+    /// Annotation flags per entry.
+    flags: Vec<u8>,
+    /// Live entries in the arena (the rest are holes).
+    live: usize,
+}
+
+impl SoaStore {
+    fn new_range(lo: V, hi: V) -> Self {
+        SoaStore {
+            base: lo,
+            state: vec![SLOT_LIGHT; (hi - lo) as usize],
+            pos: vec![Seg::default(); (hi - lo) as usize],
+            ..Default::default()
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, v: V) -> Option<usize> {
+        let i = v.checked_sub(self.base)? as usize;
+        (i < self.state.len() && self.state[i] != SLOT_ABSENT).then_some(i)
+    }
+
+    #[inline]
+    fn slot(&self, v: V) -> usize {
+        self.slot_of(v).expect("vertex not owned")
+    }
+
+    /// Grows the slot range to cover `v` (installs an absent slot).
+    fn ensure_slot(&mut self, v: V) -> usize {
+        if self.state.is_empty() {
+            self.base = v;
+        }
+        if v < self.base {
+            let k = (self.base - v) as usize;
+            self.state.splice(0..0, std::iter::repeat_n(SLOT_ABSENT, k));
+            self.pos
+                .splice(0..0, std::iter::repeat_n(Seg::default(), k));
+            self.base = v;
+        }
+        let i = (v - self.base) as usize;
+        while self.state.len() <= i {
+            self.state.push(SLOT_ABSENT);
+            self.pos.push(Seg::default());
+        }
+        i
+    }
+
+    #[inline]
+    fn range(&self, slot: usize) -> std::ops::Range<usize> {
+        let s = self.pos[slot];
+        s.start as usize..(s.start + s.len) as usize
+    }
+
+    /// Appends one entry to a slot's segment, relocating (with headroom) on
+    /// overflow; order-preserving.
+    fn push(&mut self, slot: usize, n: V, ann: Ann) {
+        let (m, f) = pack_ann(ann);
+        let s = self.pos[slot];
+        if s.len < s.cap {
+            let i = (s.start + s.len) as usize;
+            self.nbr[i] = n;
+            self.mate[i] = m;
+            self.flags[i] = f;
+            self.pos[slot].len += 1;
+        } else if (s.start + s.cap) as usize == self.nbr.len() {
+            // The segment ends at the arena tail: grow in place, no hole.
+            self.nbr.push(n);
+            self.mate.push(m);
+            self.flags.push(f);
+            self.pos[slot].len += 1;
+            self.pos[slot].cap += 1;
+        } else {
+            let start = self.nbr.len() as u32;
+            let cap = s.len + 1 + ENTRY_HEADROOM;
+            for i in self.range(slot) {
+                let (xn, xm, xf) = (self.nbr[i], self.mate[i], self.flags[i]);
+                self.nbr.push(xn);
+                self.mate.push(xm);
+                self.flags.push(xf);
+            }
+            self.nbr.push(n);
+            self.mate.push(m);
+            self.flags.push(f);
+            let pad = (cap - s.len - 1) as usize;
+            self.nbr.resize(self.nbr.len() + pad, 0);
+            self.mate.resize(self.mate.len() + pad, 0);
+            self.flags.resize(self.flags.len() + pad, 0);
+            self.pos[slot] = Seg {
+                start,
+                len: s.len + 1,
+                cap,
+            };
+        }
+        self.live += 1;
+        self.maybe_compact();
+    }
+
+    /// Removes the entry with neighbor `n`, shifting the tail down (order
+    /// is semantic). Returns whether it was found.
+    fn remove(&mut self, slot: usize, n: V) -> bool {
+        let r = self.range(slot);
+        let Some(i) = r.clone().find(|&i| self.nbr[i] == n) else {
+            return false;
+        };
+        for j in i..r.end - 1 {
+            self.nbr[j] = self.nbr[j + 1];
+            self.mate[j] = self.mate[j + 1];
+            self.flags[j] = self.flags[j + 1];
+        }
+        self.pos[slot].len -= 1;
+        self.live -= 1;
+        self.maybe_compact();
+        true
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.nbr.len() <= self.live + self.live / 8 + 16 {
+            return;
+        }
+        let mut nbr = Vec::with_capacity(self.live);
+        let mut mate = Vec::with_capacity(self.live);
+        let mut flags = Vec::with_capacity(self.live);
+        for s in self.pos.iter_mut() {
+            let start = nbr.len() as u32;
+            for i in s.start as usize..(s.start + s.len) as usize {
+                nbr.push(self.nbr[i]);
+                mate.push(self.mate[i]);
+                flags.push(self.flags[i]);
+            }
+            *s = Seg {
+                start,
+                len: s.len,
+                cap: s.len,
+            };
+        }
+        self.nbr = nbr;
+        self.mate = mate;
+        self.flags = flags;
+    }
+
+    fn materialize(&self, slot: usize) -> StoreVertex {
+        StoreVertex {
+            heavy: self.state[slot] == SLOT_HEAVY,
+            entries: self
+                .range(slot)
+                .map(|i| (self.nbr[i], unpack_ann(self.mate[i], self.flags[i])))
+                .collect(),
+        }
+    }
+}
+
+/// A machine's owned vertex block, in one of the two storage layouts.
+#[derive(Debug)]
+enum Store {
+    /// Per-vertex map containers (legacy, differential testing).
+    Map(BTreeMap<V, StoreVertex>),
+    /// Arena-backed structure-of-arrays (default).
+    Soa(SoaStore),
+}
+
+impl Store {
+    fn new_range(layout: Layout, lo: V, hi: V) -> Self {
+        match layout {
+            Layout::Map => Store::Map((lo..hi).map(|v| (v, StoreVertex::default())).collect()),
+            Layout::Soa => Store::Soa(SoaStore::new_range(lo, hi)),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Store::Map(m) => m.clear(),
+            Store::Soa(s) => *s = SoaStore::default(),
+        }
+    }
+
+    /// Installs vertex `v` with no entries (snapshot restore).
+    fn insert_vertex(&mut self, v: V, heavy: bool) {
+        match self {
+            Store::Map(m) => {
+                m.insert(
+                    v,
+                    StoreVertex {
+                        heavy,
+                        entries: Vec::new(),
+                    },
+                );
+            }
+            Store::Soa(s) => {
+                let slot = s.ensure_slot(v);
+                s.live -= s.pos[slot].len as usize;
+                s.pos[slot].len = 0;
+                s.state[slot] = if heavy { SLOT_HEAVY } else { SLOT_LIGHT };
+            }
+        }
+    }
+
+    /// Appends one entry at `at` (order-preserving).
+    fn push_entry(&mut self, at: V, n: V, ann: Ann) {
+        match self {
+            Store::Map(m) => m
+                .get_mut(&at)
+                .expect("vertex not owned")
+                .entries
+                .push((n, ann)),
+            Store::Soa(s) => {
+                let slot = s.slot(at);
+                s.push(slot, n, ann);
+            }
+        }
+    }
+
+    /// Removes the entry `at -> n`; returns whether it was present.
+    fn remove_entry(&mut self, at: V, n: V) -> bool {
+        match self {
+            Store::Map(m) => {
+                let sv = m.get_mut(&at).expect("vertex not owned");
+                let before = sv.entries.len();
+                sv.entries.retain(|&(x, _)| x != n);
+                sv.entries.len() < before
+            }
+            Store::Soa(s) => {
+                let slot = s.slot(at);
+                s.remove(slot, n)
+            }
+        }
+    }
+
+    fn has_entry(&self, at: V, n: V) -> bool {
+        match self {
+            Store::Map(m) => m
+                .get(&at)
+                .is_some_and(|sv| sv.entries.iter().any(|&(x, _)| x == n)),
+            Store::Soa(s) => {
+                let slot = s.slot(at);
+                s.range(slot).any(|i| s.nbr[i] == n)
+            }
+        }
+    }
+
+    fn heavy(&self, v: V) -> bool {
+        match self {
+            Store::Map(m) => m.get(&v).expect("vertex not owned").heavy,
+            Store::Soa(s) => s.state[s.slot(v)] == SLOT_HEAVY,
+        }
+    }
+
+    /// Sets the heavy flag, ignoring non-owned vertices (history repair
+    /// addresses every owner of the changed vertex's *neighbors* too).
+    fn set_heavy_if_present(&mut self, v: V, heavy: bool) {
+        match self {
+            Store::Map(m) => {
+                if let Some(sv) = m.get_mut(&v) {
+                    sv.heavy = heavy;
+                }
+            }
+            Store::Soa(s) => {
+                if let Some(slot) = s.slot_of(v) {
+                    s.state[slot] = if heavy { SLOT_HEAVY } else { SLOT_LIGHT };
+                }
+            }
+        }
+    }
+
+    /// First entry at `z` that is free and not excluded.
+    fn scan_free(&self, z: V, exclude: &[V]) -> Option<V> {
+        match self {
+            Store::Map(m) => m[&z]
+                .entries
+                .iter()
+                .find(|&&(n, ann)| !ann.matched && !exclude.contains(&n))
+                .map(|&(n, _)| n),
+            Store::Soa(s) => {
+                let slot = s.slot(z);
+                s.range(slot)
+                    .find(|&i| s.flags[i] & F_MATCHED == 0 && !exclude.contains(&s.nbr[i]))
+                    .map(|i| s.nbr[i])
+            }
+        }
+    }
+
+    /// Heavy-scan at `z`: first free entry, and first steal candidate
+    /// (matched to a light mate).
+    fn scan_heavy(&self, z: V) -> (Option<V>, Option<(V, V)>) {
+        match self {
+            Store::Map(m) => {
+                let sv = &m[&z];
+                let free = sv
+                    .entries
+                    .iter()
+                    .find(|&&(_, ann)| !ann.matched)
+                    .map(|&(n, _)| n);
+                let steal = sv
+                    .entries
+                    .iter()
+                    .find(|&&(_, ann)| ann.matched && ann.mate_light)
+                    .map(|&(n, ann)| (n, ann.mate));
+                (free, steal)
+            }
+            Store::Soa(s) => {
+                let slot = s.slot(z);
+                let free = s
+                    .range(slot)
+                    .find(|&i| s.flags[i] & F_MATCHED == 0)
+                    .map(|i| s.nbr[i]);
+                let steal = s
+                    .range(slot)
+                    .find(|&i| s.flags[i] & (F_MATCHED | F_MATE_LIGHT) == F_MATCHED | F_MATE_LIGHT)
+                    .map(|i| (s.nbr[i], s.mate[i]));
+                (free, steal)
+            }
+        }
+    }
+
+    /// All entries at `z`, in stored order.
+    fn entries_of(&self, z: V) -> Vec<(V, Ann)> {
+        match self {
+            Store::Map(m) => m[&z].entries.clone(),
+            Store::Soa(s) => {
+                let slot = s.slot(z);
+                s.range(slot)
+                    .map(|i| (s.nbr[i], unpack_ann(s.mate[i], s.flags[i])))
+                    .collect()
+            }
+        }
+    }
+
+    /// Marks `v` heavy, moves the mate edge to the front of the alive set,
+    /// and splits off everything past `keep` (the suspended entries).
+    fn make_heavy(&mut self, v: V, mate: Option<V>, keep: usize) -> Vec<(V, Ann)> {
+        match self {
+            Store::Map(m) => {
+                let sv = m.get_mut(&v).expect("vertex not owned");
+                sv.heavy = true;
+                if let Some(mv) = mate {
+                    if let Some(pos) = sv.entries.iter().position(|&(x, _)| x == mv) {
+                        sv.entries.swap(0, pos);
+                    }
+                }
+                if sv.entries.len() > keep {
+                    sv.entries.split_off(keep)
+                } else {
+                    Vec::new()
+                }
+            }
+            Store::Soa(s) => {
+                let slot = s.slot(v);
+                s.state[slot] = SLOT_HEAVY;
+                let r = s.range(slot);
+                if let Some(mv) = mate {
+                    if let Some(pos) = r.clone().find(|&i| s.nbr[i] == mv) {
+                        s.nbr.swap(r.start, pos);
+                        s.mate.swap(r.start, pos);
+                        s.flags.swap(r.start, pos);
+                    }
+                }
+                if r.len() > keep {
+                    let moved: Vec<(V, Ann)> = (r.start + keep..r.end)
+                        .map(|i| (s.nbr[i], unpack_ann(s.mate[i], s.flags[i])))
+                        .collect();
+                    s.pos[slot].len = keep as u32;
+                    s.live -= moved.len();
+                    s.maybe_compact();
+                    moved
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// Applies `f` to every entry's annotation (history repair; entry order
+    /// is immaterial — repairs are per-entry independent).
+    fn for_each_ann_mut(&mut self, mut f: impl FnMut(V, &mut Ann)) {
+        match self {
+            Store::Map(m) => {
+                for sv in m.values_mut() {
+                    for (n, ann) in sv.entries.iter_mut() {
+                        f(*n, ann);
+                    }
+                }
+            }
+            Store::Soa(s) => {
+                for slot in 0..s.pos.len() {
+                    let sg = s.pos[slot];
+                    for i in sg.start as usize..(sg.start + sg.len) as usize {
+                        let mut ann = unpack_ann(s.mate[i], s.flags[i]);
+                        f(s.nbr[i], &mut ann);
+                        let (m, fl) = pack_ann(ann);
+                        s.mate[i] = m;
+                        s.flags[i] = fl;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Materialized state of one vertex (audits; not the update path).
+    fn vertex(&self, v: V) -> Option<StoreVertex> {
+        match self {
+            Store::Map(m) => m.get(&v).cloned(),
+            Store::Soa(s) => s.slot_of(v).map(|slot| s.materialize(slot)),
+        }
+    }
+
+    /// All owned vertices in id order (snapshots).
+    fn vertices(&self) -> Vec<(V, StoreVertex)> {
+        match self {
+            Store::Map(m) => m.iter().map(|(&v, sv)| (v, sv.clone())).collect(),
+            Store::Soa(s) => (0..s.state.len())
+                .filter(|&slot| s.state[slot] != SLOT_ABSENT)
+                .map(|slot| (s.base + slot as V, s.materialize(slot)))
+                .collect(),
+        }
+    }
+
+    /// Direct state injection (bulk loading).
+    fn load(&mut self, v: V, sv: StoreVertex) {
+        match self {
+            Store::Map(m) => {
+                m.insert(v, sv);
+            }
+            Store::Soa(_) => {
+                self.insert_vertex(v, sv.heavy);
+                for (n, ann) in sv.entries {
+                    self.push_entry(v, n, ann);
+                }
+            }
+        }
+    }
+
+    /// Exact resident footprint in words, counting the backing stores as
+    /// allocated. Map: 2 header + 4 per entry per vertex. SoA: 13 bytes per
+    /// slot (state byte + segment) plus 9 bytes per arena entry capacity
+    /// (neighbor + mate + flag byte), rounded up to whole words.
+    fn memory_words(&self) -> usize {
+        match self {
+            Store::Map(m) => m.values().map(|sv| 2 + 4 * sv.entries.len()).sum(),
+            Store::Soa(s) => (s.state.len() + s.pos.len() * 12 + s.nbr.len() * 9).div_ceil(8),
+        }
+    }
+}
+
+/// A storage machine owning a contiguous vertex block.
+#[derive(Debug)]
 pub struct StorageMachine {
-    verts: BTreeMap<V, StoreVertex>,
+    verts: Store,
     last_seen: u64,
     tau: usize,
     /// Inbound recovery-snapshot chunks accumulated so far.
@@ -27,10 +538,15 @@ pub struct StorageMachine {
 
 impl StorageMachine {
     /// Creates the machine owning vertices `lo..hi`, with heavy threshold
-    /// `tau` (the alive-set capacity).
+    /// `tau` (the alive-set capacity), in the default layout.
     pub fn new(lo: V, hi: V, tau: usize) -> Self {
+        Self::with_layout(lo, hi, tau, Layout::default())
+    }
+
+    /// Creates the machine with an explicit state layout.
+    pub fn with_layout(lo: V, hi: V, tau: usize, layout: Layout) -> Self {
         StorageMachine {
-            verts: (lo..hi).map(|v| (v, StoreVertex::default())).collect(),
+            verts: Store::new_range(layout, lo, hi),
             last_seen: 0,
             tau,
             snap_buf: Vec::new(),
@@ -38,7 +554,7 @@ impl StorageMachine {
     }
 
     /// Fail-stop wipe (chaos plane): drops program state; `tau` is
-    /// construction-time configuration and survives.
+    /// construction-time configuration and survives (as does the layout).
     pub fn wipe(&mut self) {
         self.verts.clear();
         self.last_seen = 0;
@@ -46,13 +562,13 @@ impl StorageMachine {
     }
 
     /// Plain-text snapshot: sync point, then per-vertex heavy flag and
-    /// entries in stored (scan) order. Deterministic: the vertex map
-    /// iterates in key order and entry `Vec`s serialize positionally.
+    /// entries in stored (scan) order. Deterministic and bit-identical
+    /// across layouts: vertices emit in id order and entries positionally.
     pub fn snapshot_text(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::from("storage v1\n");
         writeln!(s, "seen {}", self.last_seen).unwrap();
-        for (&v, sv) in &self.verts {
+        for (v, sv) in self.verts.vertices() {
             writeln!(s, "svert {v} {}", sv.heavy as u8).unwrap();
             for &(nbr, ann) in &sv.entries {
                 writeln!(
@@ -78,36 +594,26 @@ impl StorageMachine {
                 "svert" => {
                     let v: V = it.next().unwrap().parse().unwrap();
                     let heavy = it.next().unwrap() == "1";
-                    self.verts.insert(
-                        v,
-                        StoreVertex {
-                            heavy,
-                            entries: Vec::new(),
-                        },
-                    );
+                    self.verts.insert_vertex(v, heavy);
                 }
                 "sedge" => {
                     let v: V = it.next().unwrap().parse().unwrap();
                     let (nbr, ann) = parse_entry(&mut it);
-                    self.verts
-                        .get_mut(&v)
-                        .expect("sedge line before its svert line")
-                        .entries
-                        .push((nbr, ann));
+                    self.verts.push_entry(v, nbr, ann);
                 }
                 k => panic!("unknown snapshot line {k:?}"),
             }
         }
     }
 
-    /// Read access for audits.
-    pub fn vertex(&self, v: V) -> Option<&StoreVertex> {
-        self.verts.get(&v)
+    /// Read access for audits (materialized; not the update path).
+    pub fn vertex(&self, v: V) -> Option<StoreVertex> {
+        self.verts.vertex(v)
     }
 
     /// Direct load for bulk preprocessing.
     pub fn load(&mut self, v: V, sv: StoreVertex) {
-        self.verts.insert(v, sv);
+        self.verts.load(v, sv);
     }
 
     /// Sets the history synchronization point (bulk preprocessing).
@@ -125,23 +631,11 @@ impl StorageMachine {
             if seq <= self.last_seen {
                 continue;
             }
-            for sv in self.verts.values_mut() {
-                // Heavy/light flag of the *owned* vertex itself.
-                for (nbr, ann) in sv.entries.iter_mut() {
-                    repair_entry(&entry, *nbr, ann);
-                }
-            }
+            self.verts
+                .for_each_ann_mut(|nbr, ann| repair_entry(&entry, nbr, ann));
             match entry {
-                super::msg::HistEntry::Heavy(c) => {
-                    if let Some(sv) = self.verts.get_mut(&c) {
-                        sv.heavy = true;
-                    }
-                }
-                super::msg::HistEntry::Light(c) => {
-                    if let Some(sv) = self.verts.get_mut(&c) {
-                        sv.heavy = false;
-                    }
-                }
+                super::msg::HistEntry::Heavy(c) => self.verts.set_heavy_if_present(c, true),
+                super::msg::HistEntry::Light(c) => self.verts.set_heavy_if_present(c, false),
                 _ => {}
             }
             self.last_seen = seq;
@@ -157,83 +651,50 @@ impl StorageMachine {
             }
             MatchMsg::AddEdge { at, nbr, ann, hist } => {
                 self.repair(&hist);
-                let sv = self.verts.get_mut(&at).expect("vertex not owned");
-                debug_assert!(sv.entries.iter().all(|&(x, _)| x != nbr));
-                sv.entries.push((nbr, ann));
+                debug_assert!(!self.verts.has_entry(at, nbr));
+                self.verts.push_entry(at, nbr, ann);
                 None
             }
             MatchMsg::DelEdge { at, nbr, hist } => {
                 self.repair(&hist);
-                let sv = self.verts.get_mut(&at).expect("vertex not owned");
-                let before = sv.entries.len();
-                sv.entries.retain(|&(x, _)| x != nbr);
+                let found = self.verts.remove_entry(at, nbr);
                 Some(MatchMsg::DelReply {
                     at,
-                    found: sv.entries.len() < before,
+                    found,
                     alive: true,
                 })
             }
             MatchMsg::ScanFree { z, exclude, hist } => {
                 self.repair(&hist);
-                let sv = &self.verts[&z];
-                let q = sv
-                    .entries
-                    .iter()
-                    .find(|&&(nbr, ann)| !ann.matched && !exclude.contains(&nbr))
-                    .map(|&(nbr, _)| nbr);
+                let q = self.verts.scan_free(z, &exclude);
                 Some(MatchMsg::ScanFreeReply { z, q })
             }
             MatchMsg::ScanAdj { z, hist } => {
                 self.repair(&hist);
                 Some(MatchMsg::ScanAdjReply {
                     z,
-                    entries: self.verts[&z].entries.clone(),
+                    entries: self.verts.entries_of(z),
                 })
             }
             MatchMsg::ScanHeavy { z, hist } => {
                 self.repair(&hist);
-                let sv = &self.verts[&z];
-                debug_assert!(sv.heavy);
-                let free = sv
-                    .entries
-                    .iter()
-                    .find(|&&(_, ann)| !ann.matched)
-                    .map(|&(nbr, _)| nbr);
-                let steal = sv
-                    .entries
-                    .iter()
-                    .find(|&&(_, ann)| ann.matched && ann.mate_light)
-                    .map(|&(nbr, ann)| (nbr, ann.mate));
+                debug_assert!(self.verts.heavy(z));
+                let (free, steal) = self.verts.scan_heavy(z);
                 Some(MatchMsg::ScanHeavyReply { z, free, steal })
             }
             MatchMsg::MakeHeavy { v, mate, hist } => {
                 self.repair(&hist);
-                let keep = self.tau;
-                let sv = self.verts.get_mut(&v).expect("vertex not owned");
-                sv.heavy = true;
-                // Keep the mate edge among the alive set: move it first.
-                if let Some(m) = mate {
-                    if let Some(pos) = sv.entries.iter().position(|&(x, _)| x == m) {
-                        sv.entries.swap(0, pos);
-                    }
-                }
-                let entries = if sv.entries.len() > keep {
-                    sv.entries.split_off(keep)
-                } else {
-                    Vec::new()
-                };
+                let entries = self.verts.make_heavy(v, mate, self.tau);
                 Some(MatchMsg::MovedOut { v, entries })
             }
             MatchMsg::AddAlive { at, entry, hist } => {
                 self.repair(&hist);
-                let sv = self.verts.get_mut(&at).expect("vertex not owned");
-                sv.entries.push(entry);
+                self.verts.push_entry(at, entry.0, entry.1);
                 None
             }
             MatchMsg::MakeLight { v, hist } => {
                 self.repair(&hist);
-                let sv = self.verts.get_mut(&v).expect("vertex not owned");
-                sv.heavy = false;
+                self.verts.set_heavy_if_present(v, false);
                 None
             }
             MatchMsg::SnapChunk { words, last } => {
@@ -250,12 +711,7 @@ impl StorageMachine {
 
     /// Memory footprint in words.
     pub fn memory_words(&self) -> usize {
-        2 + self
-            .verts
-            .values()
-            .map(|sv| 2 + 4 * sv.entries.len())
-            .sum::<usize>()
-            + self.snap_buf.len()
+        2 + self.verts.memory_words() + self.snap_buf.len()
     }
 }
 
@@ -561,5 +1017,65 @@ mod tests {
         assert!(o.is_empty());
         o.handle(MatchMsg::ReleaseOverflow { v: 3 });
         assert_eq!(o.assigned(), None);
+    }
+
+    /// The two layouts agree on every storage operation and snapshot.
+    #[test]
+    fn layouts_agree_on_storage_protocol() {
+        let mk = |l: Layout| {
+            let mut m = StorageMachine::with_layout(0, 4, 2, l);
+            for (at, nbr) in [(0, 5), (0, 6), (1, 5), (2, 7), (0, 7)] {
+                m.handle(MatchMsg::AddEdge {
+                    at,
+                    nbr,
+                    ann: Ann::free(),
+                    hist: vec![],
+                });
+            }
+            m
+        };
+        let mut a = mk(Layout::Map);
+        let mut b = mk(Layout::Soa);
+        assert_eq!(a.snapshot_text(), b.snapshot_text());
+
+        // MakeHeavy splits positionally; moved-out entries must match.
+        for m in [&mut a, &mut b] {
+            let hist = vec![(1, HistEntry::MatchAdd(Edge::new(6, 0), true, true))];
+            m.handle(MatchMsg::Refresh(hist));
+        }
+        let ra = a.handle(MatchMsg::MakeHeavy {
+            v: 0,
+            mate: Some(6),
+            hist: vec![],
+        });
+        let rb = b.handle(MatchMsg::MakeHeavy {
+            v: 0,
+            mate: Some(6),
+            hist: vec![],
+        });
+        match (ra.unwrap(), rb.unwrap()) {
+            (MatchMsg::MovedOut { entries: ea, .. }, MatchMsg::MovedOut { entries: eb, .. }) => {
+                assert_eq!(ea, eb);
+                assert_eq!(ea.len(), 1);
+            }
+            _ => panic!(),
+        }
+        assert_eq!(a.snapshot_text(), b.snapshot_text());
+
+        // Order-preserving delete in the middle of a segment.
+        for m in [&mut a, &mut b] {
+            m.handle(MatchMsg::DelEdge {
+                at: 0,
+                nbr: 6,
+                hist: vec![],
+            });
+        }
+        assert_eq!(a.snapshot_text(), b.snapshot_text());
+
+        // Round-trip through the snapshot codec.
+        let text = b.snapshot_text();
+        let mut c = StorageMachine::with_layout(0, 4, 2, Layout::Soa);
+        c.restore_text(&text);
+        assert_eq!(c.snapshot_text(), text);
     }
 }

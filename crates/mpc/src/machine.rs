@@ -2,6 +2,24 @@
 
 use crate::MachineId;
 
+/// How a machine program stores its per-vertex shard state.
+///
+/// Both layouts run the identical protocol and produce bit-identical
+/// snapshots, digests and metrics (pinned by layout-differential property
+/// tests, like the PR 3 backend trio and the PR 4 routing pair); they differ
+/// only in memory representation and wall-clock speed. The map layout is the
+/// clarity-first original (per-vertex `BTreeMap`s); the SoA layout packs the
+/// shard into arena-backed structure-of-arrays slices keyed by dense local
+/// slot ids (see `docs/ARCHITECTURE.md`, "Compact machine state").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Layout {
+    /// Per-vertex map containers (legacy, kept for differential testing).
+    Map,
+    /// Arena-backed structure-of-arrays slices (default).
+    #[default]
+    Soa,
+}
+
 /// A message payload. Every payload reports its size in 64-bit words so the
 /// simulator can meter communication and enforce per-round send/receive caps.
 pub trait Payload: Send + Clone + std::fmt::Debug {
