@@ -12,20 +12,29 @@
 //! trajectory (rounds, words, machines touched, replica replay size) is
 //! what lands in the JSON.
 //!
-//! CI smoke-runs this bin at tiny sizes and gates on `violations == 0` and
-//! `digest_match == true`; the canonical numbers live in `BENCH_PR6.json`
-//! at the repo root.
+//! **PR 8 adds the mid-flight cells.** A second sweep kills a machine *at
+//! round r inside* a structural batch for several r: the epoch aborts,
+//! survivors roll back to the pre-batch frontier, the victim rebuilds via
+//! checkpoint+replay, degraded reads are served during the rebuild, and the
+//! batch re-executes. Each cell records the retry/backoff/recovery
+//! trajectory and asserts bit-identical recovery with exact in-flight
+//! accounting; the cells land in `BENCH_PR8.json`.
 //!
-//! Usage: `churn_scaling [n] [steps] [events] [json-path]` (defaults: 256,
-//! 512, 12, `BENCH_PR6.json`).
+//! CI smoke-runs this bin at tiny sizes and gates on `violations == 0` and
+//! `digest_match == true` (plus the mid-flight gates: retries fired, zero
+//! untracked loss, degraded reads answered); the canonical numbers live in
+//! `BENCH_PR6.json` / `BENCH_PR8.json` at the repo root.
+//!
+//! Usage: `churn_scaling [n] [steps] [events] [json-path] [midflight-json]`
+//! (defaults: 256, 512, 12, `BENCH_PR6.json`, `BENCH_PR8.json`).
 
 use dmpc_connectivity::{DmpcConnectivity, Routing};
 use dmpc_core::{
-    apply_unweighted, run_chaos_stream, run_plain_stream, ChurnReport, DmpcParams,
-    DynamicGraphAlgorithm, ElasticAlgorithm,
+    apply_unweighted, run_chaos_stream, run_chaos_stream_with, run_plain_stream, ChaosOptions,
+    ChurnReport, DmpcParams, DynamicGraphAlgorithm, ElasticAlgorithm, QueryableAlgorithm,
 };
-use dmpc_graph::streams;
-use dmpc_mpc::{ChaosCaps, ChaosPlan, ExecOptions};
+use dmpc_graph::{streams, Query};
+use dmpc_mpc::{ChaosCaps, ChaosKind, ChaosPlan, ExecOptions};
 
 const CANON_N: usize = 256;
 const CANON_STEPS: usize = 512;
@@ -144,6 +153,9 @@ fn main() {
     let json_path = std::env::args()
         .nth(4)
         .unwrap_or_else(|| "BENCH_PR6.json".into());
+    let mid_json_path = std::env::args()
+        .nth(5)
+        .unwrap_or_else(|| "BENCH_PR8.json".into());
 
     let batches = streams::chaos_churn_batches(n, CLUSTERS, n / (2 * CLUSTERS), steps, BATCH, SEED);
     let plan = ChaosPlan::generate(SEED, batches.len(), P, events, ChaosCaps::default());
@@ -227,4 +239,132 @@ fn main() {
     let json = report_json(n, batches.len(), &chaos, &plain, digest_match);
     std::fs::write(&json_path, &json).expect("write churn-scaling JSON");
     println!("wrote {json_path}");
+
+    // ----- PR 8: the mid-flight kill-round sweep ---------------------------
+    let target = batches.len() / 2;
+    let victim: u32 = 2;
+    let block = n.div_ceil(P);
+    // Outage reads: two hitting the victim's vertex range (degrade), one
+    // wholly on live machines (exact), one conservative path query.
+    let reads = [
+        Query::Connected((victim as usize * block) as u32, 0),
+        Query::ComponentOf((victim as usize * block + 1) as u32),
+        Query::Connected(0, 1),
+        Query::PathMax(0, 1),
+    ];
+    println!(
+        "\nMid-flight sweep: kill machine {victim} at round r of batch {target} \
+         ({} outage reads per abort)",
+        reads.len()
+    );
+    println!(
+        "{:>6} | {:>5} | {:>7} | {:>5} | {:>8} | {:>8} | {:>7} | {:>8} | {:>8}",
+        "round",
+        "fired",
+        "aborted",
+        "lost",
+        "rec rnds",
+        "rec wrds",
+        "backoff",
+        "latency",
+        "degraded"
+    );
+    let mut cells: Vec<String> = Vec::new();
+    let mut total_fired = 0usize;
+    let mut total_degraded = 0usize;
+    for r in [1u32, 2, 4, 8] {
+        let plan =
+            ChaosPlan::new(SEED + r as u64).with_event_in_round(target, r, ChaosKind::Kill(victim));
+        let opts = ChaosOptions {
+            checkpoint_every: CHECKPOINT_EVERY,
+            outage_reads: &reads,
+            ..Default::default()
+        };
+        let mid = run_chaos_stream_with(
+            || make_alg(n),
+            apply_unweighted,
+            |a: &mut DmpcConnectivity, qs: &[Query]| a.answer_queries(qs),
+            &batches,
+            &plan,
+            opts,
+        );
+        let cell_match = mid.final_digest == plain.final_digest;
+        // The PR 8 gates, per cell: bit-identical recovery and exact
+        // accounting (no lost word ever reaches the merged workload).
+        assert!(cell_match, "mid-flight kill at round {r} diverged");
+        let accounting_exact = mid.workload.lost_words == 0 && mid.workload.lost_messages == 0;
+        assert!(accounting_exact, "untracked in-flight loss at round {r}");
+        assert_eq!(mid.workload.violations, 0);
+        let rec = mid.mid_flight.first();
+        let (aborted, lw, lm, rr, rw, ru, bo, lat, ra, da) =
+            rec.map_or((0, 0, 0, 0, 0, 0, 0, 0, 0, 0), |m| {
+                (
+                    m.aborted_rounds,
+                    m.lost_words,
+                    m.lost_messages,
+                    m.recovery_rounds,
+                    m.recovery_words,
+                    m.replay_updates,
+                    m.backoff_rounds,
+                    m.latency_rounds,
+                    m.reads_answered,
+                    m.degraded_answers,
+                )
+            });
+        total_fired += mid.retries;
+        total_degraded += mid.degraded_answers;
+        println!(
+            "{:>6} | {:>5} | {:>7} | {:>5} | {:>8} | {:>8} | {:>7} | {:>8} | {:>8}",
+            r, mid.retries, aborted, lw, rr, rw, bo, lat, da
+        );
+        cells.push(format!(
+            "    {{\"kill_round\": {r}, \"retries\": {}, \"aborted_rounds\": {aborted}, \
+             \"lost_words\": {lw}, \"lost_messages\": {lm}, \"recovery_rounds\": {rr}, \
+             \"recovery_words\": {rw}, \"replay_updates\": {ru}, \"backoff_rounds\": {bo}, \
+             \"latency_rounds\": {lat}, \"reads_answered\": {ra}, \"degraded_answers\": {da}, \
+             \"digest_match\": {cell_match}, \"accounting_exact\": {accounting_exact}}}",
+            mid.retries,
+        ));
+    }
+    // Sweep-level gates: the early offsets must actually abort an epoch, and
+    // degraded reads must have been served during at least one rebuild.
+    assert!(total_fired >= 1, "no mid-flight kill fired in the sweep");
+    assert!(
+        total_degraded >= 1,
+        "no degraded read was served during the rebuilds"
+    );
+    let mid_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"churn_scaling_midflight\",\n",
+            "  \"pr\": 8,\n",
+            "  \"n\": {n},\n",
+            "  \"p\": {p},\n",
+            "  \"batches\": {nb},\n",
+            "  \"target_batch\": {tb},\n",
+            "  \"victim\": {victim},\n",
+            "  \"seed\": {seed},\n",
+            "  \"retries_fired\": {tf},\n",
+            "  \"degraded_answers\": {td},\n",
+            "  \"note\": \"kill machine `victim` at round r inside batch \
+             `target_batch`; the epoch aborts, survivors roll back to the \
+             pre-batch frontier, the victim rebuilds via checkpoint+replay \
+             while reads degrade, and the batch re-executes bit-identically. \
+             accounting_exact asserts every in-flight word was quarantined \
+             as LostInFlight (never merged into the clean workload).\",\n",
+            "  \"cells\": [\n{cells}\n  ]\n",
+            "}}\n"
+        ),
+        n = n,
+        p = P,
+        nb = batches.len(),
+        tb = target,
+        victim = victim,
+        seed = SEED,
+        tf = total_fired,
+        td = total_degraded,
+        cells = cells.join(",\n"),
+    );
+    std::fs::write(&mid_json_path, &mid_json).expect("write mid-flight JSON");
+    println!("wrote {mid_json_path}");
 }

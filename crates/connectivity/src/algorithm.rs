@@ -11,6 +11,7 @@ use dmpc_core::{
 use dmpc_eulertour::indexed::CompId;
 use dmpc_graph::streams::coalesce;
 use dmpc_graph::{Edge, Query, QueryAnswer, Update, Weight, V};
+use dmpc_mpc::chaos::ChaosKind;
 use dmpc_mpc::{
     BatchMetrics, Cluster, ClusterConfig, ExecOptions, Layout, MachineId, QueryMetrics,
     UpdateMetrics,
@@ -130,15 +131,34 @@ impl ConnDriver {
     pub fn query_wave(&mut self, chunk: &[Query]) -> (Vec<QueryAnswer>, UpdateMetrics) {
         self.clear_stale_batch_state();
         let n_machines = self.cluster.n_machines() as MachineId;
+        // During an outage the wave routes around the dead machines: a query
+        // whose owner set intersects a dead machine answers `Degraded`
+        // locally ("writes pause, reads degrade"); the rest rendezvous on
+        // live machines and stay exact, because component labels at live
+        // owners are current (writes are paused while any machine is down).
+        let alive: Vec<MachineId> = (0..n_machines)
+            .filter(|&m| self.cluster.is_alive(m))
+            .collect();
+        let outage = alive.len() < n_machines as usize;
+        let owner_dead = |d: &Self, v: V| !d.cluster.is_alive(d.owner(v));
         let mut wave: Vec<(MachineId, ConnMsg)> = Vec::with_capacity(2 * chunk.len());
         // Answers resolvable without any machine involvement (degenerate or
         // unsupported queries) are zero-round, zero-cost by definition.
         let mut got: Vec<(u32, QueryAnswer)> = Vec::new();
         for (i, &q) in chunk.iter().enumerate() {
             let qid = i as u32;
-            let rendezvous = qid % n_machines;
+            let rendezvous = if outage {
+                alive[qid as usize % alive.len()]
+            } else {
+                qid % n_machines
+            };
             match q {
                 Query::Connected(a, b) if a == b => got.push((qid, QueryAnswer::Bool(true))),
+                Query::Connected(a, b)
+                    if outage && (owner_dead(self, a) || owner_dead(self, b)) =>
+                {
+                    got.push((qid, QueryAnswer::Degraded));
+                }
                 Query::Connected(a, b) => {
                     for probe in [a, b] {
                         wave.push((
@@ -152,6 +172,9 @@ impl ConnDriver {
                         ));
                     }
                 }
+                Query::ComponentOf(v) if outage && owner_dead(self, v) => {
+                    got.push((qid, QueryAnswer::Degraded));
+                }
                 Query::ComponentOf(v) => wave.push((
                     self.owner(v),
                     ConnMsg::QConnProbe {
@@ -164,6 +187,10 @@ impl ConnDriver {
                 Query::PathMax(u, v) if u == v => {
                     got.push((qid, QueryAnswer::PathMax(None)));
                 }
+                // Path-max traversals fan out across a component's whole
+                // owner set; any dead machine may hold on-path state, so the
+                // answer is conservatively degraded during an outage.
+                Query::PathMax(_, _) if outage => got.push((qid, QueryAnswer::Degraded)),
                 Query::PathMax(u, v) => wave.push((
                     self.owner(u),
                     ConnMsg::QPathStart {
@@ -328,6 +355,25 @@ impl ConnDriver {
             self.cluster.machine_mut(m as MachineId).restore_text(s);
         }
         self.bounds = self.cluster.machine(0).bounds().to_vec();
+    }
+
+    /// The executor's quiescence cap (legal mid-flight round offsets).
+    pub fn round_limit(&self) -> usize {
+        self.cluster.round_limit()
+    }
+
+    /// Arms a mid-flight chaos event on the underlying cluster.
+    pub fn arm_in_round(&mut self, at_round: u32, kind: ChaosKind) {
+        self.cluster.arm_in_round(at_round, kind);
+    }
+
+    /// Machine-local restore of a single machine from its snapshot, without
+    /// metered traffic (the epoch-abort rollback path). The partition-table
+    /// mirror is re-synced from the restored snapshot — migrations never run
+    /// mid-batch, so this is the same table every machine holds.
+    pub fn restore_machine(&mut self, m: MachineId, snap: &str) {
+        self.cluster.machine_mut(m).restore_text(snap);
+        self.bounds = self.cluster.machine(m).bounds().to_vec();
     }
 
     /// Digest of the **logical** state: all `vert`/`adj` snapshot lines
@@ -939,6 +985,18 @@ macro_rules! elastic_via_driver {
 
             fn is_alive(&self, m: MachineId) -> bool {
                 self.driver.is_alive(m)
+            }
+
+            fn round_limit(&self) -> usize {
+                self.driver.round_limit()
+            }
+
+            fn arm_in_round(&mut self, at_round: u32, kind: ChaosKind) {
+                self.driver.arm_in_round(at_round, kind)
+            }
+
+            fn restore_machine(&mut self, m: MachineId, snap: &str) {
+                self.driver.restore_machine(m, snap)
             }
 
             fn snapshot_machine(&self, m: MachineId) -> String {

@@ -90,7 +90,7 @@ pub fn render_table(title: &str, rows: &[TableRow]) -> String {
 /// verbatim and [`batch_from_plain`] round-trips it.
 pub fn batch_to_plain(b: &BatchMetrics) -> String {
     format!(
-        "updates={} rounds={} max_active={} machines_touched={} max_words={} total_words={} total_msgs={} violations={}",
+        "updates={} rounds={} max_active={} machines_touched={} max_words={} total_words={} total_msgs={} lost_words={} lost_msgs={} violations={}",
         b.updates,
         b.rounds,
         b.max_active_machines,
@@ -98,6 +98,8 @@ pub fn batch_to_plain(b: &BatchMetrics) -> String {
         b.max_words_per_round,
         b.total_words,
         b.total_messages,
+        b.lost_words,
+        b.lost_messages,
         b.violations
     )
 }
@@ -123,6 +125,8 @@ pub fn batch_from_plain(s: &str) -> Result<BatchMetrics, String> {
             "max_words" => b.max_words_per_round = val,
             "total_words" => b.total_words = val,
             "total_msgs" => b.total_messages = val,
+            "lost_words" => b.lost_words = val,
+            "lost_msgs" => b.lost_messages = val,
             "violations" => b.violations = val,
             other => return Err(format!("unknown key {other:?}")),
         }
@@ -278,6 +282,8 @@ mod tests {
             max_words_per_round: 210,
             total_words: 9000,
             total_messages: 1888,
+            lost_words: 17,
+            lost_messages: 3,
             violations: 2,
         };
         let line = batch_to_plain(&b);

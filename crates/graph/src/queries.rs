@@ -48,6 +48,20 @@ pub enum QueryAnswer {
     Count(usize),
     /// The algorithm does not answer this query kind.
     Unsupported,
+    /// The query's owner set intersects a machine that is currently dead
+    /// (chaos plane): the service stays up and acknowledges the read, but
+    /// cannot produce an exact answer until recovery completes. Degraded
+    /// answers are the read-side contract of an outage — "writes pause,
+    /// reads degrade" — and callers distinguish them from
+    /// [`QueryAnswer::Unsupported`] (a capability gap, not an outage).
+    Degraded,
+}
+
+impl QueryAnswer {
+    /// True for answers degraded by an ongoing outage.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, QueryAnswer::Degraded)
+    }
 }
 
 /// One operation of a mixed read/write workload.

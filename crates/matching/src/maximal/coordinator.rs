@@ -348,15 +348,127 @@ impl Coordinator {
             + self.staged.as_ref().map_or(0, |s| s.len())
     }
 
-    /// Plain-text snapshot of the coordinator's answer-bearing state (the
-    /// digest component; the coordinator itself is never killed).
+    /// Plain-text snapshot of the coordinator's full durable state. The
+    /// coordinator is never killed, but the epoch-abort path rolls *every*
+    /// live machine back to the pre-batch frontier, so the snapshot must be
+    /// lossless: history buffer, sync table, overflow directory and the
+    /// matched-pair counter all round-trip through
+    /// [`Coordinator::restore_text`]. Transient working state (phase, ctx,
+    /// queue, stashed answers, courier) is empty at every quiescent boundary
+    /// and is not serialized.
     pub fn snapshot_text(&self) -> String {
-        format!(
-            "coord v1\npairs {}\nseq {}\nhist {}\n",
-            self.matched_pairs,
-            self.next_seq,
-            self.hist.len()
+        use std::fmt::Write as _;
+        let mut s = String::from("coord v2\n");
+        writeln!(
+            s,
+            "pairs {}\nseq {}\nrr {}",
+            self.matched_pairs, self.next_seq, self.rr_cursor
         )
+        .unwrap();
+        for &(seq, ref h) in &self.hist {
+            match *h {
+                HistEntry::MatchAdd(e, la, lb) => {
+                    writeln!(
+                        s,
+                        "hist {seq} add {} {} {} {}",
+                        e.u, e.v, la as u8, lb as u8
+                    )
+                }
+                HistEntry::MatchDel(e) => writeln!(s, "hist {seq} del {} {}", e.u, e.v),
+                HistEntry::Heavy(v) => writeln!(s, "hist {seq} heavy {v}"),
+                HistEntry::Light(v) => writeln!(s, "hist {seq} light {v}"),
+            }
+            .unwrap();
+        }
+        let mut seen: Vec<(MachineId, u64)> =
+            self.last_seen.iter().map(|(&m, &q)| (m, q)).collect();
+        seen.sort_unstable();
+        for (m, q) in seen {
+            writeln!(s, "seen {m} {q}").unwrap();
+        }
+        let mut ovf: Vec<(V, MachineId)> = self.overflow_of.iter().map(|(&v, &m)| (v, m)).collect();
+        ovf.sort_unstable();
+        for (v, m) in ovf {
+            writeln!(s, "ovf {v} {m}").unwrap();
+        }
+        // Stack order is load-bearing: future overflow assignments pop from
+        // the back, so the restored vector must be bit-identical.
+        for &m in &self.free_overflow {
+            writeln!(s, "free {m}").unwrap();
+        }
+        let mut susp: Vec<(V, usize)> = self.suspended.iter().map(|(&v, &c)| (v, c)).collect();
+        susp.sort_unstable();
+        for (v, c) in susp {
+            writeln!(s, "susp {v} {c}").unwrap();
+        }
+        s
+    }
+
+    /// Full state restore from [`Coordinator::snapshot_text`] output: the
+    /// epoch-abort rollback. Transients reset to the quiescent idle state
+    /// the snapshot was taken in.
+    pub fn restore_text(&mut self, text: &str) {
+        self.hist.clear();
+        self.last_seen.clear();
+        self.overflow_of.clear();
+        self.free_overflow.clear();
+        self.suspended.clear();
+        self.phase = Phase::Idle;
+        self.ctx = Ctx::default();
+        self.queue.clear();
+        self.answers.clear();
+        self.courier = None;
+        self.staged = None;
+        self.out.clear();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("coord v2"), "snapshot header");
+        for line in lines {
+            let mut it = line.split_ascii_whitespace();
+            let key = it.next().unwrap();
+            match key {
+                "pairs" => self.matched_pairs = it.next().unwrap().parse().unwrap(),
+                "seq" => self.next_seq = it.next().unwrap().parse().unwrap(),
+                "rr" => self.rr_cursor = it.next().unwrap().parse().unwrap(),
+                "hist" => {
+                    let seq: u64 = it.next().unwrap().parse().unwrap();
+                    let entry = match it.next().unwrap() {
+                        "add" => HistEntry::MatchAdd(
+                            Edge::new(
+                                it.next().unwrap().parse().unwrap(),
+                                it.next().unwrap().parse().unwrap(),
+                            ),
+                            it.next().unwrap() == "1",
+                            it.next().unwrap() == "1",
+                        ),
+                        "del" => HistEntry::MatchDel(Edge::new(
+                            it.next().unwrap().parse().unwrap(),
+                            it.next().unwrap().parse().unwrap(),
+                        )),
+                        "heavy" => HistEntry::Heavy(it.next().unwrap().parse().unwrap()),
+                        "light" => HistEntry::Light(it.next().unwrap().parse().unwrap()),
+                        other => panic!("unknown hist entry kind {other}"),
+                    };
+                    self.hist.push_back((seq, entry));
+                }
+                "seen" => {
+                    let m: MachineId = it.next().unwrap().parse().unwrap();
+                    self.last_seen
+                        .insert(m, it.next().unwrap().parse().unwrap());
+                }
+                "ovf" => {
+                    let v: V = it.next().unwrap().parse().unwrap();
+                    self.overflow_of
+                        .insert(v, it.next().unwrap().parse().unwrap());
+                }
+                "free" => self.free_overflow.push(it.next().unwrap().parse().unwrap()),
+                "susp" => {
+                    let v: V = it.next().unwrap().parse().unwrap();
+                    self.suspended
+                        .insert(v, it.next().unwrap().parse().unwrap());
+                }
+                other => panic!("unknown snapshot key {other}"),
+            }
+        }
     }
 
     fn courier_chunk(&mut self) -> Vec<(MachineId, MatchMsg)> {

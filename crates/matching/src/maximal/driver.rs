@@ -9,6 +9,7 @@ use super::Layout;
 use dmpc_core::{DmpcParams, DynamicGraphAlgorithm, QueryableAlgorithm};
 use dmpc_graph::matching::Matching;
 use dmpc_graph::{DynamicGraph, Edge, Query, QueryAnswer, Update, V};
+use dmpc_mpc::chaos::ChaosKind;
 use dmpc_mpc::Layout as StateLayout;
 use dmpc_mpc::{
     BatchMetrics, Cluster, ClusterConfig, Envelope, ExecOptions, Machine, MachineId, Outbox,
@@ -324,6 +325,11 @@ impl DmpcMaximalMatching {
         for (i, &q) in chunk.iter().enumerate() {
             let qid = i as u32;
             match q {
+                // A dead stats owner can't answer; the service acknowledges
+                // the read as `Degraded` ("writes pause, reads degrade").
+                Query::IsMatched(v) if !self.cluster.is_alive(self.layout.stats_of(v)) => {
+                    got.push((qid, QueryAnswer::Degraded));
+                }
                 Query::IsMatched(v) => {
                     wave.push((self.layout.stats_of(v), MatchMsg::QIsMatched { qid, v }));
                 }
@@ -559,6 +565,17 @@ impl Role {
             Role::Overflow(o) => o.wipe(),
         }
     }
+
+    /// Machine-local restore from [`Role::snapshot_text`] output (the
+    /// epoch-abort rollback path).
+    fn restore_text(&mut self, text: &str) {
+        match self {
+            Role::Coord(c) => c.restore_text(text),
+            Role::Stats(s) => s.restore_text(text),
+            Role::Storage(s) => s.restore_text(text),
+            Role::Overflow(o) => o.restore_text(text),
+        }
+    }
 }
 
 /// Chaos-plane surface (paper Section 3 keeps the coordinator `M_C` on the
@@ -579,6 +596,18 @@ impl dmpc_core::ElasticAlgorithm for DmpcMaximalMatching {
 
     fn is_alive(&self, m: MachineId) -> bool {
         self.cluster.is_alive(m)
+    }
+
+    fn round_limit(&self) -> usize {
+        self.cluster.round_limit()
+    }
+
+    fn arm_in_round(&mut self, at_round: u32, kind: ChaosKind) {
+        self.cluster.arm_in_round(at_round, kind)
+    }
+
+    fn restore_machine(&mut self, m: MachineId, snap: &str) {
+        self.cluster.machine_mut(m).restore_text(snap);
     }
 
     fn supports_restore(&self) -> bool {

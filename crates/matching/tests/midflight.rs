@@ -1,0 +1,178 @@
+//! Mid-flight kills for the matching cluster: the coordinator is protected,
+//! but any stats/storage/overflow machine may die inside a round. The
+//! epoch-fenced harness aborts the batch, rolls every survivor (including
+//! the coordinator, whose v2 snapshot is lossless) back to the pre-batch
+//! frontier, rebuilds the victim by full-log replay, and re-executes —
+//! bit-identical to the failure-free run.
+
+use dmpc_core::{
+    apply_unweighted, run_chaos_stream, run_chaos_stream_with, run_plain_stream, ChaosOptions,
+    DmpcParams, DynamicGraphAlgorithm, ElasticAlgorithm, QueryableAlgorithm,
+};
+use dmpc_graph::{streams, DynamicGraph, Query, QueryAnswer, Update};
+use dmpc_matching::DmpcMaximalMatching;
+use dmpc_mpc::{ChaosKind, ChaosPlan};
+
+/// Round sweep over two victims (a stats machine and the far-end machine):
+/// every offset recovers bit-identically and audits against ground truth.
+#[test]
+fn mid_round_kill_recovers_bit_identical() {
+    let n = 32;
+    let params = DmpcParams::new(n, 160);
+    let batches = streams::chaos_churn_batches(n, 4, 4, 80, 8, 13);
+    let make = || DmpcMaximalMatching::new(params);
+    let plain = run_plain_stream(make, apply_unweighted, &batches);
+    let last = make().n_shards() as u32 - 1;
+    let mut fired = 0usize;
+    for r in 1..=6u32 {
+        for victim in [1u32, last] {
+            let plan = ChaosPlan::new(5).with_event_in_round(1, r, ChaosKind::Kill(victim));
+            let chaos = run_chaos_stream(make, apply_unweighted, &batches, &plan, 0);
+            assert_eq!(
+                chaos.final_digest, plain.final_digest,
+                "kill {victim} at round {r} diverged"
+            );
+            assert_eq!(chaos.workload.violations, 0);
+            assert_eq!(chaos.workload.lost_words, 0);
+            assert_eq!(chaos.mid_flight.len(), chaos.retries);
+            for rec in &chaos.mid_flight {
+                assert_eq!(rec.victims, vec![victim]);
+                assert_eq!(rec.attempt, 1, "one clean retry must suffice");
+            }
+            fired += chaos.retries;
+        }
+    }
+    assert!(
+        fired >= 2,
+        "the sweep should abort live rounds (fired={fired})"
+    );
+
+    // Ground truth: a directly-driven instance matches the failure-free
+    // digest and audits against the replayed graph.
+    let mut alg = make();
+    let mut g = DynamicGraph::new(n);
+    for b in &batches {
+        for &u in b {
+            match u {
+                Update::Insert(e) => {
+                    g.insert(e).unwrap();
+                }
+                Update::Delete(e) => {
+                    g.delete(e).unwrap();
+                }
+            }
+        }
+        alg.apply_batch(b);
+    }
+    assert_eq!(alg.state_digest(), plain.final_digest);
+    alg.audit(&g).unwrap();
+}
+
+/// The coordinator's v2 snapshot is lossless: snapshot → restore on a twin
+/// reproduces the digest, and the restored instance keeps answering and
+/// updating identically.
+#[test]
+fn coordinator_snapshot_roundtrips() {
+    let n = 32;
+    let params = DmpcParams::new(n, 160);
+    let ups = streams::churn_stream(n, 90, 180, 0.5, 5);
+    let (pre, post) = ups.split_at(2 * ups.len() / 3);
+    let mut alg = DmpcMaximalMatching::new(params);
+    let mut twin = DmpcMaximalMatching::new(params);
+    for &u in pre {
+        match u {
+            Update::Insert(e) => {
+                alg.insert(e);
+                twin.insert(e);
+            }
+            Update::Delete(e) => {
+                alg.delete(e);
+                twin.delete(e);
+            }
+        }
+    }
+    // Roll every machine of the twin back onto itself from its own
+    // snapshot: a lossy codec would diverge here.
+    for m in 0..twin.n_shards() as u32 {
+        let snap = twin.snapshot_machine(m);
+        twin.restore_machine(m, &snap);
+    }
+    assert_eq!(alg.state_digest(), twin.state_digest());
+    // Both keep evolving identically after the round-trip.
+    for &u in post {
+        match u {
+            Update::Insert(e) => {
+                alg.insert(e);
+                twin.insert(e);
+            }
+            Update::Delete(e) => {
+                alg.delete(e);
+                twin.delete(e);
+            }
+        }
+    }
+    assert_eq!(alg.state_digest(), twin.state_digest());
+}
+
+/// Degraded reads during a mid-flight rebuild: `IsMatched` for a vertex
+/// whose stats owner died comes back `Degraded`; `MatchingSize` stays exact
+/// (the coordinator is the reliable machine and answers from its local
+/// counter).
+#[test]
+fn matching_size_stays_exact_while_stats_owner_is_down() {
+    let n = 32;
+    let params = DmpcParams::new(n, 160);
+    let batches = streams::chaos_churn_batches(n, 4, 4, 80, 8, 29);
+    let make = || DmpcMaximalMatching::new(params);
+    // Machine 1 is the first stats machine: it owns vertex 0's record.
+    let plan = ChaosPlan::new(7).with_event_in_round(1, 1, ChaosKind::Kill(1));
+    let reads = [Query::IsMatched(0), Query::MatchingSize];
+    let opts = ChaosOptions {
+        checkpoint_every: 0,
+        outage_reads: &reads,
+        ..Default::default()
+    };
+    let chaos = run_chaos_stream_with(
+        make,
+        apply_unweighted,
+        |a: &mut DmpcMaximalMatching, qs: &[Query]| a.answer_queries(qs),
+        &batches,
+        &plan,
+        opts,
+    );
+    let plain = run_plain_stream(make, apply_unweighted, &batches);
+    assert_eq!(chaos.final_digest, plain.final_digest);
+    assert_eq!(chaos.retries, 1, "the round-1 kill must fire exactly once");
+    assert_eq!(chaos.reads_answered, reads.len());
+    assert_eq!(
+        chaos.degraded_answers, 1,
+        "IsMatched degrades; MatchingSize stays exact at the coordinator"
+    );
+}
+
+/// Direct unit check of the degraded wave shape.
+#[test]
+fn degraded_wave_answers_locally() {
+    let n = 32;
+    let params = DmpcParams::new(n, 160);
+    let mut alg = DmpcMaximalMatching::new(params);
+    let ups = streams::churn_stream(n, 40, 80, 0.5, 3);
+    for &u in &ups {
+        match u {
+            Update::Insert(e) => {
+                alg.insert(e);
+            }
+            Update::Delete(e) => {
+                alg.delete(e);
+            }
+        }
+    }
+    let size_before = match alg.answer_queries(&[Query::MatchingSize]).0[0] {
+        QueryAnswer::Count(c) => c,
+        other => panic!("unexpected {other:?}"),
+    };
+    alg.kill(1);
+    let (answers, _) = alg.answer_queries(&[Query::IsMatched(0), Query::MatchingSize]);
+    assert_eq!(answers[0], QueryAnswer::Degraded);
+    assert_eq!(answers[1], QueryAnswer::Count(size_before));
+}

@@ -38,8 +38,24 @@ pub struct ChaosEvent {
     /// The event fires before the batch with this index is applied (an
     /// index one past the last batch fires after the whole stream).
     pub at_batch: usize,
+    /// `None`: the event fires *between* batches (the PR 6 boundary model).
+    /// `Some(r)`: the event fires *inside* batch `at_batch`'s quiescence
+    /// run, at the start of round `r` (1-based, like round metrics) — the
+    /// victim's round `r-1` sends still deliver, and every message
+    /// addressed to it from round `r` on is quarantined as
+    /// [`crate::Violation::LostInFlight`]. Only meaningful on
+    /// [`ChaosKind::Kill`] and [`ChaosKind::Revive`].
+    pub at_round: Option<u32>,
     /// What happens.
     pub kind: ChaosKind,
+}
+
+impl ChaosEvent {
+    /// True if the event fires inside the round loop rather than at a
+    /// batch boundary.
+    pub fn mid_flight(&self) -> bool {
+        self.at_round.is_some()
+    }
 }
 
 /// Which event kinds a generated plan may contain, and which machines are
@@ -85,9 +101,144 @@ impl ChaosPlan {
 
     /// Builder: append one event (kept sorted by batch index).
     pub fn with_event(mut self, at_batch: usize, kind: ChaosKind) -> Self {
-        self.events.push(ChaosEvent { at_batch, kind });
+        self.events.push(ChaosEvent {
+            at_batch,
+            at_round: None,
+            kind,
+        });
         self.events.sort_by_key(|e| e.at_batch);
         self
+    }
+
+    /// Builder: append one *mid-flight* event that fires at the start of
+    /// round `at_round` (1-based) inside batch `at_batch`'s quiescence run.
+    pub fn with_event_in_round(mut self, at_batch: usize, at_round: u32, kind: ChaosKind) -> Self {
+        self.events.push(ChaosEvent {
+            at_batch,
+            at_round: Some(at_round),
+            kind,
+        });
+        self.events.sort_by_key(|e| e.at_batch);
+        self
+    }
+
+    /// True if any event in the plan fires inside a round loop.
+    pub fn has_mid_flight(&self) -> bool {
+        self.events.iter().any(|e| e.mid_flight())
+    }
+
+    /// Validates the plan against a cluster shape *before* any run starts,
+    /// so malformed plans fail with a message naming the offending event
+    /// instead of surfacing as a mid-run panic.
+    ///
+    /// `n_machines` is the cluster size, `killable` the number of machines
+    /// the algorithm allows chaos to take (e.g. all but a protected
+    /// coordinator), and `max_rounds` the quiescence cap
+    /// ([`crate::ClusterConfig::max_rounds_per_update`]) that bounds legal
+    /// round offsets.
+    /// Mid-flight kills are *transient*: the elastic harness aborts the
+    /// epoch and recovers the victim before the next batch, so they count
+    /// against the simultaneous-dead budget only within their own batch.
+    pub fn validate(
+        &self,
+        n_machines: usize,
+        killable: usize,
+        max_rounds: usize,
+    ) -> Result<(), String> {
+        let mut dead: Vec<MachineId> = Vec::new();
+        let mut transient: Vec<MachineId> = Vec::new();
+        let mut cur_batch = usize::MAX;
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.at_batch != cur_batch {
+                // Batch boundary: every mid-flight victim of the previous
+                // batch has been auto-recovered by abort-and-retry.
+                transient.clear();
+                cur_batch = ev.at_batch;
+            }
+            let name = |m: MachineId| {
+                format!("event #{i} ({:?} at batch {})", ev.kind, ev.at_batch)
+                    + &match ev.at_round {
+                        Some(r) => format!(" round {r} targeting machine {m}"),
+                        None => format!(" targeting machine {m}"),
+                    }
+            };
+            let m = match ev.kind {
+                ChaosKind::Kill(m)
+                | ChaosKind::Revive(m)
+                | ChaosKind::Split(m)
+                | ChaosKind::Merge(m) => m,
+            };
+            if m as usize >= n_machines {
+                return Err(format!(
+                    "{}: machine id out of range (cluster has {n_machines} machines)",
+                    name(m)
+                ));
+            }
+            if let Some(r) = ev.at_round {
+                if !matches!(ev.kind, ChaosKind::Kill(_) | ChaosKind::Revive(_)) {
+                    return Err(format!(
+                        "{}: round offsets are only legal on Kill/Revive (reshapes \
+                         need a quiescent cluster)",
+                        name(m)
+                    ));
+                }
+                if r == 0 || r as usize > max_rounds {
+                    return Err(format!(
+                        "{}: round offset {r} is outside the quiescence cap \
+                         1..={max_rounds}",
+                        name(m)
+                    ));
+                }
+            }
+            match ev.kind {
+                ChaosKind::Kill(m) => {
+                    if dead.contains(&m) || transient.contains(&m) {
+                        return Err(format!("{}: machine is already dead", name(m)));
+                    }
+                    if ev.at_round.is_some() {
+                        transient.push(m);
+                    } else {
+                        dead.push(m);
+                    }
+                    let down = dead.len() + transient.len();
+                    if down > killable {
+                        return Err(format!(
+                            "{}: {down} machines dead at once exceeds the killable \
+                             count {killable}",
+                            name(m)
+                        ));
+                    }
+                    if down >= n_machines {
+                        return Err(format!(
+                            "{}: killing every machine leaves no live peer to recover \
+                             from",
+                            name(m)
+                        ));
+                    }
+                }
+                ChaosKind::Revive(m) => {
+                    if let Some(p) = transient.iter().position(|&d| d == m) {
+                        transient.remove(p);
+                    } else if let Some(p) = dead.iter().position(|&d| d == m) {
+                        if ev.at_round.is_some() {
+                            // A mid-round revive cannot rebuild state lost
+                            // at a batch boundary: recovery needs a
+                            // quiescent handoff.
+                            return Err(format!(
+                                "{}: mid-round revive of a machine killed at a batch \
+                                 boundary (state recovery needs a quiescent handoff)",
+                                name(m)
+                            ));
+                        }
+                        dead.remove(p);
+                    } else {
+                        return Err(format!("{}: machine is not dead", name(m)));
+                    }
+                }
+                ChaosKind::Split(_) | ChaosKind::Merge(_) => {}
+            }
+        }
+        Ok(())
     }
 
     /// Generates a well-formed plan: kills target alive, unprotected
@@ -117,6 +268,7 @@ impl ChaosPlan {
                 let m = dead.remove(splitmix64(&mut rng) as usize % dead.len());
                 events.push(ChaosEvent {
                     at_batch: at,
+                    at_round: None,
                     kind: ChaosKind::Revive(m),
                 });
             } else if caps.split_merge && dead.is_empty() && r & 6 != 0 {
@@ -126,7 +278,11 @@ impl ChaosPlan {
                 } else {
                     ChaosKind::Merge(m)
                 };
-                events.push(ChaosEvent { at_batch: at, kind });
+                events.push(ChaosEvent {
+                    at_batch: at,
+                    at_round: None,
+                    kind,
+                });
             } else if caps.kill_revive {
                 let alive: Vec<MachineId> = killable
                     .iter()
@@ -140,6 +296,7 @@ impl ChaosPlan {
                 dead.push(m);
                 events.push(ChaosEvent {
                     at_batch: at,
+                    at_round: None,
                     kind: ChaosKind::Kill(m),
                 });
             }
@@ -147,6 +304,7 @@ impl ChaosPlan {
         for m in dead {
             events.push(ChaosEvent {
                 at_batch: n_batches,
+                at_round: None,
                 kind: ChaosKind::Revive(m),
             });
         }
@@ -318,6 +476,78 @@ mod tests {
                 ChaosKind::Revive(_) => {}
             }
         }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_plans() {
+        let plan = ChaosPlan::generate(7, 20, 8, 10, ChaosCaps::default());
+        assert_eq!(plan.validate(8, 8, 10_000), Ok(()));
+        // Mid-flight kills are transient (auto-recovered by abort-and-retry
+        // within their batch), so the same machine may die again later.
+        let mid = ChaosPlan::new(0)
+            .with_event_in_round(2, 5, ChaosKind::Kill(3))
+            .with_event_in_round(4, 2, ChaosKind::Kill(3))
+            .with_event_in_round(4, 6, ChaosKind::Revive(3));
+        assert!(mid.has_mid_flight());
+        assert_eq!(mid.validate(8, 8, 10_000), Ok(()));
+        assert!(!ChaosPlan::new(0).has_mid_flight());
+    }
+
+    #[test]
+    fn validate_names_the_offending_event() {
+        // Round offset past the quiescence cap.
+        let err = ChaosPlan::new(0)
+            .with_event_in_round(1, 64, ChaosKind::Kill(2))
+            .validate(8, 8, 50)
+            .unwrap_err();
+        assert!(err.contains("event #0"), "{err}");
+        assert!(err.contains("Kill(2)"), "{err}");
+        assert!(err.contains("round offset 64"), "{err}");
+        assert!(err.contains("1..=50"), "{err}");
+
+        // Round offsets are illegal on reshapes.
+        let err = ChaosPlan::new(0)
+            .with_event_in_round(0, 3, ChaosKind::Split(1))
+            .validate(8, 8, 100)
+            .unwrap_err();
+        assert!(err.contains("only legal on Kill/Revive"), "{err}");
+
+        // Machine id out of range.
+        let err = ChaosPlan::new(0)
+            .with_event(0, ChaosKind::Kill(9))
+            .validate(8, 8, 100)
+            .unwrap_err();
+        assert!(err.contains("machine 9"), "{err}");
+        assert!(err.contains("8 machines"), "{err}");
+
+        // More simultaneous kills than the algorithm allows.
+        let err = ChaosPlan::new(0)
+            .with_event(0, ChaosKind::Kill(1))
+            .with_event(0, ChaosKind::Kill(2))
+            .validate(8, 1, 100)
+            .unwrap_err();
+        assert!(err.contains("exceeds the killable count 1"), "{err}");
+
+        // Killing everything leaves no live peer to recover from.
+        let err = ChaosPlan::new(0)
+            .with_event(0, ChaosKind::Kill(0))
+            .with_event(0, ChaosKind::Kill(1))
+            .validate(2, 2, 100)
+            .unwrap_err();
+        assert!(err.contains("no live peer"), "{err}");
+
+        // Double-kill and spurious revive.
+        let err = ChaosPlan::new(0)
+            .with_event(0, ChaosKind::Kill(1))
+            .with_event(1, ChaosKind::Kill(1))
+            .validate(8, 8, 100)
+            .unwrap_err();
+        assert!(err.contains("already dead"), "{err}");
+        let err = ChaosPlan::new(0)
+            .with_event(0, ChaosKind::Revive(1))
+            .validate(8, 8, 100)
+            .unwrap_err();
+        assert!(err.contains("not dead"), "{err}");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! `docs/ARCHITECTURE.md` ("Executor internals") for the full lifecycle
 //! and the determinism argument.
 
-use crate::chaos::ChaosPlan;
+use crate::chaos::{ChaosKind, ChaosPlan};
 use crate::machine::{Envelope, Machine, Payload as _};
 use crate::metrics::{BatchMetrics, RoundMetrics, UpdateMetrics, Violation};
 use crate::parallel::{step_scope, worker_task, Group, StepEnv, WorkerScratch};
@@ -191,6 +191,18 @@ pub struct Cluster<M: Machine> {
     /// Count of dead machines — the steady-state fast path is one integer
     /// compare per round, so an idle chaos plane stays allocation-free.
     dead_count: usize,
+    /// In-round chaos events armed for the *next* quiescence run, as
+    /// `(round, kind)` pairs; fired at the start of the matching round and
+    /// cleared when the run ends (epoch fencing — armed events never leak
+    /// into a later epoch). Empty in steady state: the idle check is one
+    /// `is_empty` branch per round.
+    armed: Vec<(u32, ChaosKind)>,
+    /// Per-machine epoch stamps marking *mid-flight* kills:
+    /// `lost_stamp[m] == update_epoch` iff machine `m` was killed inside
+    /// the current run, so messages dropped at its door are quarantined as
+    /// [`Violation::LostInFlight`] (exactly accounted) rather than flagged
+    /// as [`Violation::DeadMachine`] protocol bugs.
+    lost_stamp: Vec<u64>,
     /// Per-worker reusable buffers (index 0 doubles as the serial lane).
     workers: Vec<WorkerScratch<M::Msg>>,
     /// Persistent threads (only for [`Backend::WorkerPool`]).
@@ -221,6 +233,7 @@ impl<M: Machine> Cluster<M> {
         let mut workers = Vec::new();
         workers.resize_with(threads.max(1), WorkerScratch::default);
         let touch_stamp = vec![0; machines.len()];
+        let lost_stamp = vec![0; machines.len()];
         let alive = vec![true; machines.len()];
         Cluster {
             machines,
@@ -235,6 +248,8 @@ impl<M: Machine> Cluster<M> {
             update_epoch: 0,
             alive,
             dead_count: 0,
+            armed: Vec::new(),
+            lost_stamp,
             workers,
             pool,
             threads,
@@ -302,6 +317,46 @@ impl<M: Machine> Cluster<M> {
         self.cfg.chaos.as_ref()
     }
 
+    /// The current update epoch: bumped at the start of every quiescence
+    /// run, so each [`Cluster::run_update`]/[`Cluster::run_batch`] call is
+    /// fenced by a distinct epoch. Harnesses stamp frontier snapshots and
+    /// abort records with this value.
+    pub fn epoch(&self) -> u64 {
+        self.update_epoch
+    }
+
+    /// The configured quiescence cap (the legal range of in-round chaos
+    /// offsets is `1..=round_limit()`).
+    pub fn round_limit(&self) -> usize {
+        self.cfg.max_rounds_per_update
+    }
+
+    /// Arms a mid-flight chaos event: `kind` fires at the *start* of round
+    /// `at_round` (1-based) of the next quiescence run. A killed machine is
+    /// fail-stopped before it processes that round's inbox — its previous
+    /// round's sends still deliver, and everything addressed to it from
+    /// `at_round` on is quarantined as [`Violation::LostInFlight`] with
+    /// exact word counts. Armed events that never fire (the run quiesces
+    /// first) are discarded when the run ends: arming is per-epoch, never
+    /// carried across runs.
+    ///
+    /// Only kills and revives can fire mid-round; reshapes need a
+    /// quiescent cluster (validated up front by
+    /// [`crate::ChaosPlan::validate`], enforced here for hand-armed
+    /// events).
+    pub fn arm_in_round(&mut self, at_round: u32, kind: ChaosKind) {
+        assert!(
+            matches!(kind, ChaosKind::Kill(_) | ChaosKind::Revive(_)),
+            "only Kill/Revive can fire mid-round, got {kind:?}"
+        );
+        self.armed.push((at_round, kind));
+    }
+
+    /// Number of armed mid-flight events not yet fired this run.
+    pub fn armed_len(&self) -> usize {
+        self.armed.len()
+    }
+
     /// Queues an external message (the arriving update) for delivery in the
     /// first round of the next `run_update` call.
     pub fn inject(&mut self, to: MachineId, msg: M::Msg) {
@@ -336,6 +391,12 @@ impl<M: Machine> Cluster<M> {
             if self.cfg.record_per_round {
                 metrics.per_round.push(rm);
             }
+        }
+        // Epoch fence: armed mid-flight events are scoped to this run.
+        // Events that never fired (the run quiesced before their round)
+        // are discarded, not deferred — a later epoch starts clean.
+        if !self.armed.is_empty() {
+            self.armed.clear();
         }
         self.rounds_total += metrics.rounds as u64;
         metrics
@@ -384,22 +445,65 @@ impl<M: Machine> Cluster<M> {
         // after the swap it holds this round's messages and `pending` is the
         // empty buffer that will collect the next round's.
         std::mem::swap(&mut self.pending, &mut self.delivered);
+        // Fire armed mid-flight chaos events scheduled for this round. A
+        // kill lands *before* the inbox drop below, so the victim never
+        // processes this round — fail-stop semantics: its previous round's
+        // sends deliver, its queued inbox quarantines.
+        if !self.armed.is_empty() {
+            let mut i = 0;
+            while i < self.armed.len() {
+                if self.armed[i].0 == round {
+                    let (_, kind) = self.armed.swap_remove(i);
+                    match kind {
+                        ChaosKind::Kill(m) => {
+                            self.kill(m);
+                            self.lost_stamp[m as usize] = self.update_epoch;
+                        }
+                        ChaosKind::Revive(m) => self.revive(m),
+                        _ => unreachable!("arm_in_round rejects reshapes"),
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
         // Messages to killed machines are dropped before routing, one
-        // recorded violation each. `mem::take` sidesteps the closure's
-        // borrow of `delivered` without allocating (the flags go back after).
+        // recorded violation each: `LostInFlight` (with exact word counts)
+        // when the machine died mid-flight this epoch, `DeadMachine` (a
+        // protocol bug) when it was already dead at the epoch's start.
+        // `mem::take` sidesteps the closure's borrow of `delivered` without
+        // allocating (the buffers go back after).
         if self.dead_count > 0 {
+            let epoch = self.update_epoch;
             let alive = std::mem::take(&mut self.alive);
+            let lost = std::mem::take(&mut self.lost_stamp);
             self.delivered.retain(|e| {
                 let ok = alive[e.to as usize];
                 if !ok {
-                    update.violations.push(Violation::DeadMachine {
-                        machine: e.to,
-                        round,
-                    });
+                    if lost[e.to as usize] == epoch {
+                        let external = e.from == Envelope::<M::Msg>::EXTERNAL;
+                        let words = e.msg.size_words();
+                        if !external {
+                            update.lost_words += words;
+                            update.lost_messages += 1;
+                        }
+                        update.violations.push(Violation::LostInFlight {
+                            machine: e.to,
+                            round,
+                            words,
+                            external,
+                        });
+                    } else {
+                        update.violations.push(Violation::DeadMachine {
+                            machine: e.to,
+                            round,
+                        });
+                    }
                 }
                 ok
             });
             self.alive = alive;
+            self.lost_stamp = lost;
         }
         self.sort_delivered();
 
@@ -494,6 +598,7 @@ impl<M: Machine> Cluster<M> {
         for t in 0..used {
             let w = &mut self.workers[t];
             for &(machine, sent) in &w.sent {
+                update.total_words_sent += sent;
                 rm.max_send_words = rm.max_send_words.max(sent);
                 if let Some(cap) = cap {
                     if sent > cap {
@@ -740,6 +845,123 @@ mod tests {
         let m = run_single_update(&mut c, 0, 4);
         assert!(m.clean());
         assert!(c.all_alive());
+    }
+
+    #[test]
+    fn mid_round_kill_quarantines_with_exact_accounting() {
+        use crate::chaos::ChaosKind;
+        let mut c = relay_cluster(4, ClusterConfig::default());
+        // Token 0 -> 1 -> 2 -> ...: machine 2 dies at the start of round 3,
+        // exactly when 1's relay to it is queued for delivery.
+        c.arm_in_round(3, ChaosKind::Kill(2));
+        let m = run_single_update(&mut c, 0, 5);
+        assert_eq!(m.rounds, 3);
+        assert_eq!(
+            m.violations,
+            vec![Violation::LostInFlight {
+                machine: 2,
+                round: 3,
+                words: 1,
+                external: false,
+            }]
+        );
+        // Flow conservation: sent == delivered + lost, word for word.
+        // Sends: 0->1 (round 1), 1->2 (round 2). Delivered m2m: 0->1 only.
+        assert_eq!(m.total_words_sent, 2);
+        assert_eq!(m.total_words, 1);
+        assert_eq!(m.lost_words, 1);
+        assert_eq!(m.lost_messages, 1);
+        assert_eq!(m.total_words_sent, m.total_words + m.lost_words);
+        // The victim never processed a round after its death.
+        assert_eq!(c.machine(2).seen, 0);
+        assert!(!c.is_alive(2));
+    }
+
+    #[test]
+    fn late_sends_to_mid_round_victim_stay_lost_not_dead() {
+        use crate::chaos::ChaosKind;
+        // Broadcast ring: every machine relays to the next, so the victim
+        // keeps being addressed for several rounds after its death — all of
+        // it must quarantine as LostInFlight (accounted), never DeadMachine.
+        let mut c = relay_cluster(3, ClusterConfig::default());
+        c.arm_in_round(2, ChaosKind::Kill(1));
+        let m = run_single_update(&mut c, 0, 7);
+        assert!(m.violations.iter().all(|v| matches!(
+            v,
+            Violation::LostInFlight {
+                external: false,
+                ..
+            }
+        )));
+        assert!(!m.violations.is_empty());
+        assert_eq!(m.total_words_sent, m.total_words + m.lost_words);
+    }
+
+    #[test]
+    fn lost_external_injection_is_flagged_and_excluded_from_flow() {
+        use crate::chaos::ChaosKind;
+        let mut c = relay_cluster(3, ClusterConfig::default());
+        c.arm_in_round(1, ChaosKind::Kill(0));
+        let m = run_single_update(&mut c, 0, 4);
+        assert_eq!(m.rounds, 1);
+        assert_eq!(
+            m.violations,
+            vec![Violation::LostInFlight {
+                machine: 0,
+                round: 1,
+                words: 1,
+                external: true,
+            }]
+        );
+        // External injections are free in the model: nothing sent, nothing
+        // lost from the machine-to-machine flow map.
+        assert_eq!(m.total_words_sent, 0);
+        assert_eq!(m.lost_words, 0);
+        assert_eq!(m.lost_messages, 0);
+    }
+
+    #[test]
+    fn mid_round_revive_restores_delivery_within_the_run() {
+        use crate::chaos::ChaosKind;
+        let mut c = relay_cluster(4, ClusterConfig::default());
+        // Machine 2 blinks: dead for rounds 1-2, back at round 3 — before
+        // any message is addressed to it, so the run stays clean.
+        c.arm_in_round(1, ChaosKind::Kill(2));
+        c.arm_in_round(3, ChaosKind::Revive(2));
+        let m = run_single_update(&mut c, 0, 5);
+        assert!(m.clean());
+        assert_eq!(m.rounds, 6);
+        assert!(c.all_alive());
+        assert!(c.machine(2).seen > 0);
+    }
+
+    #[test]
+    fn unfired_armed_events_are_fenced_to_their_epoch() {
+        use crate::chaos::ChaosKind;
+        let mut c = relay_cluster(4, ClusterConfig::default());
+        let fenced_epoch = c.epoch() + 1;
+        // Armed far past quiescence: the run ends before it fires, and the
+        // fence drops it — the next epoch must run clean and fully alive.
+        c.arm_in_round(500, ChaosKind::Kill(1));
+        assert_eq!(c.armed_len(), 1);
+        let m = run_single_update(&mut c, 0, 5);
+        assert!(m.clean());
+        assert_eq!(c.epoch(), fenced_epoch);
+        assert_eq!(c.armed_len(), 0);
+        assert!(c.all_alive());
+        let m2 = run_single_update(&mut c, 0, 5);
+        assert!(m2.clean());
+        assert!(c.all_alive());
+    }
+
+    #[test]
+    fn epoch_and_round_limit_accessors() {
+        let mut c = relay_cluster(2, ClusterConfig::default());
+        assert_eq!(c.round_limit(), 10_000);
+        let e0 = c.epoch();
+        c.run_update(); // quiescent runs still open (and fence) an epoch
+        run_single_update(&mut c, 0, 1);
+        assert_eq!(c.epoch(), e0 + 2);
     }
 
     #[test]

@@ -56,6 +56,25 @@ pub enum Violation {
         /// Round within the update.
         round: u32,
     },
+    /// A message was in flight (sent, or queued in the victim's inbox) when
+    /// a *mid-round* kill fired, and was quarantined. Unlike
+    /// [`Violation::DeadMachine`] — which marks protocol bugs (messaging a
+    /// machine known to be dead) — `LostInFlight` is the expected,
+    /// exactly-accounted cost of an in-round failure: the flow-map
+    /// conservation law `sent == delivered + lost` holds word-for-word over
+    /// every machine-to-machine message (external injections are flagged
+    /// and excluded, since injections are free in the model).
+    LostInFlight {
+        /// The machine that died with the message addressed to it.
+        machine: MachineId,
+        /// Round within the update at which the message was quarantined.
+        round: u32,
+        /// Exact payload size of the lost message, in words.
+        words: usize,
+        /// True if the lost message was an external injection (not counted
+        /// in machine-to-machine flow conservation).
+        external: bool,
+    },
 }
 
 /// Per-round measurements.
@@ -96,6 +115,16 @@ pub struct UpdateMetrics {
     pub total_words: usize,
     /// Total messages over all rounds.
     pub total_messages: usize,
+    /// Total machine-to-machine words *sent* over all rounds. Equal to
+    /// `total_words` minus delivered external-injection words when no
+    /// mid-round kill fired; under in-round chaos the conservation law is
+    /// `total_words_sent == delivered machine words + lost machine words`
+    /// (see [`Violation::LostInFlight`]).
+    pub total_words_sent: usize,
+    /// Words quarantined by mid-round kills (machine-to-machine only).
+    pub lost_words: usize,
+    /// Messages quarantined by mid-round kills (machine-to-machine only).
+    pub lost_messages: usize,
     /// Per-round detail.
     pub per_round: Vec<RoundMetrics>,
     /// Capacity violations observed.
@@ -163,6 +192,10 @@ pub struct BatchMetrics {
     pub total_words: usize,
     /// Total messages over all rounds.
     pub total_messages: usize,
+    /// Words quarantined by mid-round kills across the batch's runs.
+    pub lost_words: usize,
+    /// Messages quarantined by mid-round kills across the batch's runs.
+    pub lost_messages: usize,
     /// Capacity violations observed under the combined load.
     pub violations: usize,
 }
@@ -188,6 +221,8 @@ impl BatchMetrics {
         self.max_words_per_round = self.max_words_per_round.max(m.max_words_per_round);
         self.total_words += m.total_words;
         self.total_messages += m.total_messages;
+        self.lost_words += m.lost_words;
+        self.lost_messages += m.lost_messages;
         self.violations += m.violations.len();
     }
 
@@ -207,6 +242,8 @@ impl BatchMetrics {
         self.max_words_per_round = self.max_words_per_round.max(other.max_words_per_round);
         self.total_words += other.total_words;
         self.total_messages += other.total_messages;
+        self.lost_words += other.lost_words;
+        self.lost_messages += other.lost_messages;
         self.violations += other.violations;
     }
 

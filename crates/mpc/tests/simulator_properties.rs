@@ -296,6 +296,7 @@ fn reference_update(
             let mut out = Outbox::open(idx as MachineId, &mut sink);
             machines[idx].on_messages(&ctx, &mut inbox, &mut out);
             rm.max_send_words = rm.max_send_words.max(out.queued_words());
+            metrics.total_words_sent += out.queued_words();
             pending.extend(sink);
         }
         metrics.rounds += 1;
