@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Conflict-scheduler gate: assert from batch_scaling conflict JSON(s) that
+overlapping disjoint conflict groups pays off and never changes results.
+
+Usage: check_conflict_scaling.py <conflict.json> [<conflict.json> ...]
+
+Per file, depth sweep (16 ops/batch, d in {1,4,16}):
+  - conflict and serialized digests are equal at every d (one protocol,
+    two schedules, bit-identical states);
+  - zero violations everywhere;
+  - conflict rounds <= serialized rounds at every d;
+  - conflict rounds strictly increase with d at fixed op count — rounds
+    scale with the serialization floor, not the op count;
+  - op count is identical within each (d, scheduler) pair.
+
+Per file, mixed 50/50 service cells: digests equal per dist, zero
+violations, conflict never costs extra rounds. Strict gate when n >= 256:
+the clustered (locality-heavy) cell must show serialized/conflict >= 2x.
+"""
+
+import json
+import sys
+
+
+def check(path: str) -> list[str]:
+    d = json.load(open(path))
+    failures = []
+    tag = f"{path} (n={d['n']})"
+
+    by_depth = {}
+    for c in d["depth_sweep"]:
+        by_depth.setdefault(c["depth"], {})[c["scheduler"]] = c
+    prev_rounds = 0
+    for depth in sorted(by_depth):
+        pair = by_depth[depth]
+        con, ser = pair["conflict"], pair["serialized"]
+        print(
+            f"{tag} d={depth}: conflict {con['rounds']} rounds, "
+            f"serialized {ser['rounds']}, digest {con['digest']}"
+        )
+        if con["digest"] != ser["digest"]:
+            failures.append(f"{tag} d={depth}: scheduler digests diverge")
+        if con["ops"] != ser["ops"]:
+            failures.append(f"{tag} d={depth}: op counts differ across schedulers")
+        for c in (con, ser):
+            if c["violations"] != 0:
+                failures.append(
+                    f"{tag} d={depth}/{c['scheduler']}: {c['violations']} violations"
+                )
+        if con["rounds"] > ser["rounds"]:
+            failures.append(
+                f"{tag} d={depth}: conflict ({con['rounds']}) costs more rounds "
+                f"than serialized ({ser['rounds']})"
+            )
+        if con["rounds"] <= prev_rounds:
+            failures.append(
+                f"{tag} d={depth}: conflict rounds {con['rounds']} did not grow "
+                f"with depth (prev {prev_rounds}) — rounds must track the "
+                f"serialization floor, not the op count"
+            )
+        prev_rounds = con["rounds"]
+
+    by_dist = {}
+    for c in d["mixed"]:
+        by_dist.setdefault(c["dist"], {})[c["scheduler"]] = c
+    for dist in sorted(by_dist):
+        pair = by_dist[dist]
+        con, ser = pair["conflict"], pair["serialized"]
+        ratio = ser["rounds"] / max(con["rounds"], 1)
+        print(
+            f"{tag} mixed/{dist}: conflict {con['rounds']} rounds, "
+            f"serialized {ser['rounds']} ({ratio:.2f}x)"
+        )
+        if con["digest"] != ser["digest"]:
+            failures.append(f"{tag} mixed/{dist}: scheduler digests diverge")
+        for c in (con, ser):
+            if c["violations"] != 0:
+                failures.append(
+                    f"{tag} mixed/{dist}/{c['scheduler']}: "
+                    f"{c['violations']} violations"
+                )
+        if con["rounds"] > ser["rounds"]:
+            failures.append(
+                f"{tag} mixed/{dist}: conflict ({con['rounds']}) costs more "
+                f"rounds than serialized ({ser['rounds']})"
+            )
+        if dist == "clustered" and d["n"] >= 256 and ser["rounds"] < 2 * con["rounds"]:
+            failures.append(
+                f"{tag} mixed/clustered: canonical cell ratio {ratio:.2f}x "
+                f"below the 2x gate"
+            )
+    return failures
+
+
+def main() -> int:
+    failures = []
+    for path in sys.argv[1:]:
+        failures.extend(check(path))
+    if failures:
+        print("\nconflict-scaling gate FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("conflict-scaling gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

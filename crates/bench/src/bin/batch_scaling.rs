@@ -15,15 +15,32 @@
 //! shared prefetch) and through the looped single-update baseline, and
 //! prints amortized rounds/words per update plus the speedup.
 //!
-//! Usage: `batch_scaling [n] [steps]` (defaults: 256 vertices, 512 churn
-//! updates; CI smokes it with a tiny `batch_scaling 32 64`).
+//! **Conflict cells (PR 9).** With a third `json-path` argument the bin
+//! additionally runs the conflict-group scheduler experiment and writes the
+//! results as JSON: a *depth sweep* holds the structural ops per batch
+//! fixed at 16 while the conflict-graph depth d sweeps {1, 4, 16} (via the
+//! known-depth `conflict_batches` generator), showing batch rounds scale
+//! with d — the serialization floor — not with the op count; and a 50/50
+//! *mixed service cell* (reads answered between write windows of 64)
+//! compares `Scheduler::Conflict` against `Scheduler::Serialized` on the
+//! canonical workload, asserting bit-identical digests and answers. CI
+//! gates both via `ci/check_conflict_scaling.py`; canonical numbers live in
+//! `BENCH_PR9.json`.
+//!
+//! Usage: `batch_scaling [n] [steps] [json-path]` (defaults: 256 vertices,
+//! 512 churn updates, no JSON; CI smokes it with a tiny `batch_scaling 32
+//! 64` and runs the conflict cells with `batch_scaling 64 128
+//! BENCH_PR9_ci.json`).
 
 use dmpc_bench::{batch_scaling_sweep, standard_stream, BatchScalingPoint};
-use dmpc_connectivity::DmpcConnectivity;
+use dmpc_connectivity::{DmpcConnectivity, Routing};
 use dmpc_core::report::batch_to_plain;
-use dmpc_core::{DmpcParams, DynamicGraphAlgorithm};
-use dmpc_graph::Update;
+use dmpc_core::{DmpcParams, DynamicGraphAlgorithm, ElasticAlgorithm, QueryableAlgorithm};
+use dmpc_graph::queries::Op;
+use dmpc_graph::streams::{self, QueryMix, TargetDist};
+use dmpc_graph::{Query, Update};
 use dmpc_matching::DmpcMaximalMatching;
+use dmpc_mpc::{BatchMetrics, ExecOptions, QueryMetrics, Scheduler};
 
 fn print_sweep(name: &str, points: &[BatchScalingPoint]) {
     println!("{name}: amortized cost per update vs batch size k");
@@ -50,6 +67,286 @@ fn print_sweep(name: &str, points: &[BatchScalingPoint]) {
     println!();
 }
 
+/// One scheduler's totals for a depth-sweep or mixed conflict cell.
+struct ConflictCell {
+    scheduler: &'static str,
+    dist: &'static str,
+    groups: usize,
+    depth: usize,
+    ops: usize,
+    rounds: usize,
+    conflict_groups: usize,
+    conflict_depth: usize,
+    max_lanes: usize,
+    violations: usize,
+    digest: u64,
+}
+
+fn conflict_cell_json(c: &ConflictCell) -> String {
+    format!(
+        concat!(
+            "    {{\"scheduler\": \"{}\", \"dist\": \"{}\", \"groups\": {}, \"depth\": {}, ",
+            "\"ops\": {},\n",
+            "     \"rounds\": {}, \"conflict_groups\": {}, \"conflict_depth\": {}, ",
+            "\"max_lanes\": {},\n",
+            "     \"violations\": {}, \"digest\": \"{:#018x}\"}}"
+        ),
+        c.scheduler,
+        c.dist,
+        c.groups,
+        c.depth,
+        c.ops,
+        c.rounds,
+        c.conflict_groups,
+        c.conflict_depth,
+        c.max_lanes,
+        c.violations,
+        c.digest,
+    )
+}
+
+const SCHEDULERS: [(Scheduler, &str); 2] = [
+    (Scheduler::Conflict, "conflict"),
+    (Scheduler::Serialized, "serialized"),
+];
+
+/// Depth sweep: 16 structural link ops per batch, conflict depth d in
+/// {1, 4, 16} (so 16, 4 and 1 disjoint groups respectively), both
+/// schedulers on identical streams. Returns one cell per (d, scheduler).
+fn run_depth_sweep(n: usize, seed: u64) -> Vec<ConflictCell> {
+    let batches = if n >= 128 { 4 } else { 2 };
+    let mut cells = Vec::new();
+    println!("conflict depth sweep: 16 structural ops/batch, {batches} batches, d in {{1, 4, 16}}");
+    println!(
+        "{:>3} | {:>10} | {:>7} | {:>7} | {:>9} | {:>5}",
+        "d", "scheduler", "rounds", "groups", "max lanes", "viol"
+    );
+    for (groups, depth) in [(16usize, 1usize), (4, 4), (1, 16)] {
+        assert!(
+            groups * (depth + 1) * batches <= n,
+            "depth sweep needs more vertices"
+        );
+        let stream = streams::conflict_batches(n, groups, depth, batches, seed);
+        let mut digests = Vec::new();
+        for (sched, name) in SCHEDULERS {
+            let mut alg = DmpcConnectivity::with_scheduler(
+                DmpcParams::new(n, 3 * n),
+                ExecOptions::default(),
+                sched,
+            );
+            let mut bm = BatchMetrics::default();
+            for batch in &stream {
+                bm.merge(&alg.apply_batch(batch));
+            }
+            let digest = ElasticAlgorithm::state_digest(&alg);
+            digests.push(digest);
+            println!(
+                "{depth:>3} | {name:>10} | {:>7} | {:>7} | {:>9} | {:>5}",
+                bm.rounds, bm.conflict_groups, bm.max_lanes, bm.violations
+            );
+            assert_eq!(bm.violations, 0, "{name} d={depth} violated the model");
+            assert_eq!(
+                bm.conflict_depth, depth,
+                "{name}: generator depth not reproduced by the partitioner"
+            );
+            cells.push(ConflictCell {
+                scheduler: name,
+                dist: "-",
+                groups,
+                depth,
+                ops: groups * depth * batches,
+                rounds: bm.rounds,
+                conflict_groups: bm.conflict_groups,
+                conflict_depth: bm.conflict_depth,
+                max_lanes: bm.max_lanes,
+                violations: bm.violations,
+                digest,
+            });
+        }
+        assert_eq!(
+            digests[0], digests[1],
+            "schedulers diverged on the d={depth} stream"
+        );
+    }
+    // Rounds must grow with depth, not op count (ops are fixed per batch).
+    let conflict_rounds: Vec<usize> = cells
+        .iter()
+        .filter(|c| c.scheduler == "conflict")
+        .map(|c| c.rounds)
+        .collect();
+    assert!(
+        conflict_rounds.windows(2).all(|w| w[0] < w[1]),
+        "conflict rounds must increase with depth: {conflict_rounds:?}"
+    );
+    println!();
+    cells
+}
+
+/// Mixed 50/50 service cell: reads answered between write windows of 64,
+/// both schedulers on the identical windowed schedule (n vertices, 16
+/// machines). Returns one cell per scheduler plus the query-round totals.
+/// Uniform targets merge everything into few giant components as the run
+/// progresses (shrinking the exploitable disjointness); clustered targets
+/// keep components community-local, the service shape where the conflict
+/// scheduler's canonical >= 2x claim is gated.
+fn run_mixed_cell(
+    n: usize,
+    steps: usize,
+    dist: TargetDist,
+    dist_name: &'static str,
+    seed: u64,
+) -> Vec<(ConflictCell, QueryMetrics)> {
+    let ops = streams::mixed_stream(n, steps, 50, dist, QueryMix::Connectivity, seed);
+    let mut out = Vec::new();
+    let mut answers_ref: Option<Vec<dmpc_graph::QueryAnswer>> = None;
+    println!(
+        "mixed 50/50 service cell ({dist_name}): {} ops, write windows of 64, 16 machines",
+        ops.len()
+    );
+    for (sched, name) in SCHEDULERS {
+        let exec = ExecOptions {
+            scheduler: sched,
+            ..ExecOptions::default()
+        };
+        let mut alg =
+            DmpcConnectivity::with_cluster(DmpcParams::new(n, 3 * n), exec, Routing::Multicast, 16);
+        let mut bm = BatchMetrics::default();
+        let mut qm = QueryMetrics::default();
+        let mut answers = Vec::new();
+        let mut writes: Vec<Update> = Vec::new();
+        let mut reads: Vec<Query> = Vec::new();
+        let flush = |alg: &mut DmpcConnectivity,
+                     writes: &mut Vec<Update>,
+                     reads: &mut Vec<Query>,
+                     bm: &mut BatchMetrics,
+                     qm: &mut QueryMetrics,
+                     answers: &mut Vec<dmpc_graph::QueryAnswer>| {
+            if !writes.is_empty() {
+                bm.merge(&alg.apply_batch(writes));
+                writes.clear();
+            }
+            if !reads.is_empty() {
+                let (a, m) = alg.answer_queries(reads);
+                answers.extend(a);
+                qm.merge(&m);
+                reads.clear();
+            }
+        };
+        for op in &ops {
+            match op {
+                Op::Write(u) => writes.push(*u),
+                Op::Read(q) => reads.push(*q),
+            }
+            if writes.len() == 64 {
+                flush(
+                    &mut alg,
+                    &mut writes,
+                    &mut reads,
+                    &mut bm,
+                    &mut qm,
+                    &mut answers,
+                );
+            }
+        }
+        flush(
+            &mut alg,
+            &mut writes,
+            &mut reads,
+            &mut bm,
+            &mut qm,
+            &mut answers,
+        );
+        match &answers_ref {
+            None => answers_ref = Some(answers),
+            Some(r) => assert_eq!(r, &answers, "mixed answers diverged between schedulers"),
+        }
+        println!(
+            "  {name:>10}: batch rounds {} (query rounds {}), groups {}, max lanes {}, viol {}",
+            bm.rounds,
+            qm.rounds,
+            bm.conflict_groups,
+            bm.max_lanes,
+            bm.violations + qm.violations
+        );
+        out.push((
+            ConflictCell {
+                scheduler: name,
+                dist: dist_name,
+                groups: 0,
+                depth: 0,
+                ops: ops.len(),
+                rounds: bm.rounds,
+                conflict_groups: bm.conflict_groups,
+                conflict_depth: bm.conflict_depth,
+                max_lanes: bm.max_lanes,
+                violations: bm.violations + qm.violations,
+                digest: ElasticAlgorithm::state_digest(&alg),
+            },
+            qm,
+        ));
+    }
+    assert_eq!(
+        out[0].0.digest, out[1].0.digest,
+        "schedulers diverged on the {dist_name} mixed cell"
+    );
+    assert!(
+        out[0].0.rounds <= out[1].0.rounds,
+        "conflict scheduling must not cost extra rounds ({dist_name})"
+    );
+    println!();
+    out
+}
+
+fn write_conflict_json(
+    path: &str,
+    n: usize,
+    steps: usize,
+    seed: u64,
+    sweep: &[ConflictCell],
+    mixed: &[(ConflictCell, QueryMetrics)],
+) {
+    let sweep_rows: Vec<String> = sweep.iter().map(conflict_cell_json).collect();
+    let mixed_rows: Vec<String> = mixed
+        .iter()
+        .map(|(c, qm)| {
+            let mut row = conflict_cell_json(c);
+            let tail = format!(", \"query_rounds\": {}}}", qm.rounds);
+            row.truncate(row.len() - 1);
+            row.push_str(&tail);
+            row
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"batch_scaling_conflict\",\n",
+            "  \"pr\": 9,\n",
+            "  \"n\": {},\n",
+            "  \"steps\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"note\": \"depth sweep: 16 structural link ops per batch from the known-depth \
+             conflict_batches generator, d in {{1,4,16}}; rounds must grow with d (the \
+             serialization floor) at fixed op count, and the conflict scheduler must never \
+             exceed the serialized controller. mixed: 50/50 read/write service loop, reads \
+             answered between write windows of 64, 16 machines; digests and answers are \
+             bit-identical across schedulers. uniform targets merge toward giant components \
+             (little exploitable disjointness late in the run); the clustered cell is the \
+             canonical locality-heavy service shape where conflict must cut total batch \
+             rounds >= 2x at n >= 256.\",\n",
+            "  \"depth_sweep\": [\n{}\n  ],\n",
+            "  \"mixed\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        n,
+        steps,
+        seed,
+        sweep_rows.join(",\n"),
+        mixed_rows.join(",\n")
+    );
+    std::fs::write(path, &json).expect("write conflict-scaling JSON");
+    println!("wrote {path}");
+}
+
 fn main() {
     let n: usize = std::env::args()
         .nth(1)
@@ -59,6 +356,7 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(512);
+    let conflict_json = std::env::args().nth(3);
     let params = DmpcParams::new(n, 3 * n);
     let ups: Vec<Update> = standard_stream(n, steps, 42);
     let ks: Vec<usize> = [1usize, 4, 16, 64, 256]
@@ -88,4 +386,29 @@ fn main() {
     println!("Rounds are totals over the whole stream divided by updates (amortized);");
     println!("the looped baseline pays every update's quiescence run separately, the");
     println!("batched run shares injection, classification/prefetch, and drain rounds.");
+
+    if let Some(path) = conflict_json {
+        println!();
+        let sweep = run_depth_sweep(n, 42);
+        let mut mixed = run_mixed_cell(n, steps, TargetDist::Uniform, "uniform", 42);
+        let clustered = run_mixed_cell(
+            n,
+            steps,
+            TargetDist::Clustered { clusters: 16 },
+            "clustered",
+            42,
+        );
+        if n >= 256 {
+            let (con, ser) = (&clustered[0].0, &clustered[1].0);
+            assert!(
+                2 * con.rounds <= ser.rounds,
+                "canonical clustered cell: conflict must cut batch rounds >= 2x \
+                 ({} vs {})",
+                con.rounds,
+                ser.rounds
+            );
+        }
+        mixed.extend(clustered);
+        write_conflict_json(&path, n, steps, 42, &sweep, &mixed);
+    }
 }

@@ -13,7 +13,7 @@ use dmpc_graph::streams::coalesce;
 use dmpc_graph::{Edge, Query, QueryAnswer, Update, Weight, V};
 use dmpc_mpc::chaos::ChaosKind;
 use dmpc_mpc::{
-    BatchMetrics, Cluster, ClusterConfig, ExecOptions, Layout, MachineId, QueryMetrics,
+    BatchMetrics, Cluster, ClusterConfig, ExecOptions, Layout, MachineId, QueryMetrics, Scheduler,
     UpdateMetrics,
 };
 use std::collections::{BTreeSet, HashMap};
@@ -58,13 +58,20 @@ impl ConnDriver {
         let machines = machines.unwrap_or_else(|| params.storage_machines()).max(1);
         let block = params.n.div_ceil(machines).max(1);
         let machines = params.n.div_ceil(block); // machines actually used
+        let scheduler = exec.scheduler;
         let progs = (0..machines as MachineId)
             .map(|id| {
-                let mut m = ConnMachine::with_opts(id, params.n, block, mst_mode, routing, layout);
+                let mut m = ConnMachine::with_opts(
+                    id, params.n, block, mst_mode, routing, layout, scheduler,
+                );
                 // Leave the shard headroom under S for the machine's
                 // non-shard state (scalars, directory, transient buffers),
                 // which is metered in the same budget.
                 m.set_memory_budget(params.capacity_words().saturating_sub(32));
+                // Cap concurrent lanes so the per-lane protocol state and
+                // the controller's lane bookkeeping stay a small fraction
+                // of the machine budget.
+                m.set_lane_cap((params.capacity_words() / 64).max(1));
                 m
             })
             .collect();
@@ -104,14 +111,21 @@ impl ConnDriver {
     }
 
     /// Runs one pre-coalesced batch chunk through the two-phase batch
-    /// protocol as a single metered quiescence run.
+    /// protocol as a single metered quiescence run, folding the
+    /// controller's conflict-partition statistics into the metrics.
     fn run_batch_chunk(&mut self, items: Vec<BatchItem>) -> BatchMetrics {
         self.clear_stale_batch_state();
         let k = items.len();
-        self.cluster.run_batch(
+        let mut bm = self.cluster.run_batch(
             std::iter::once((BATCH_CTRL, ConnMsg::BatchStart { items })),
             k,
-        )
+        );
+        if let Some(st) = self.cluster.machine_mut(BATCH_CTRL).take_conflict_stats() {
+            bm.conflict_groups += st.groups;
+            bm.conflict_depth = bm.conflict_depth.max(st.depth);
+            bm.max_lanes = bm.max_lanes.max(st.max_lanes);
+        }
+        bm
     }
 
     /// Chunk size for batched execution: the controller's transient batch
@@ -738,6 +752,17 @@ impl DmpcConnectivity {
         }
     }
 
+    /// New empty instance with an explicit batch scheduler (the
+    /// conflict/serialized differential-testing knob; see [`Scheduler`]).
+    /// States, digests and query answers are bit-identical across
+    /// schedulers; only the batch round counts differ.
+    pub fn with_scheduler(params: DmpcParams, mut exec: ExecOptions, scheduler: Scheduler) -> Self {
+        exec.scheduler = scheduler;
+        DmpcConnectivity {
+            driver: ConnDriver::with_exec(params, false, exec),
+        }
+    }
+
     /// New empty instance with an explicit machine count (the
     /// `active_scaling` bench sweeps P at fixed n; the model default is
     /// `params.storage_machines()`).
@@ -817,14 +842,14 @@ impl DynamicGraphAlgorithm for DmpcConnectivity {
             ConnMsg::Insert {
                 e,
                 w: 1,
-                batched: false,
+                lane: None,
             },
         )
     }
 
     fn delete(&mut self, e: Edge) -> UpdateMetrics {
         let to = self.driver.owner(e.u);
-        self.driver.run(to, ConnMsg::Delete { e, batched: false })
+        self.driver.run(to, ConnMsg::Delete { e, lane: None })
     }
 
     /// Genuinely batched execution (machine program, not a loop): the batch
@@ -952,19 +977,12 @@ impl WeightedDynamicGraphAlgorithm for DmpcMst {
 
     fn insert(&mut self, e: Edge, w: Weight) -> UpdateMetrics {
         let to = self.driver.owner(e.u);
-        self.driver.run(
-            to,
-            ConnMsg::Insert {
-                e,
-                w,
-                batched: false,
-            },
-        )
+        self.driver.run(to, ConnMsg::Insert { e, w, lane: None })
     }
 
     fn delete(&mut self, e: Edge) -> UpdateMetrics {
         let to = self.driver.owner(e.u);
-        self.driver.run(to, ConnMsg::Delete { e, batched: false })
+        self.driver.run(to, ConnMsg::Delete { e, lane: None })
     }
 }
 

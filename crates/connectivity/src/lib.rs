@@ -50,6 +50,6 @@ pub mod static_cc;
 pub mod static_mst;
 
 pub use algorithm::{DmpcConnectivity, DmpcMst};
-pub use machine::Routing;
+pub use machine::{ConflictStats, Routing};
 pub use static_cc::StaticCc;
 pub use static_mst::StaticMst;

@@ -97,34 +97,80 @@
 //!    commute because they never touch tour indexes, component ids, or
 //!    sizes, and coalescing guarantees edge-disjointness. Classifiers
 //!    report counts (and the leftover structural items) to the controller.
-//! 2. **Structural serialization.** Links and tree cuts change the tour
-//!    index space cluster-wide, so they cannot overlap. The controller
-//!    replays them one at a time, in batch order, through the normal
-//!    insert/delete flow with the `batched` flag set; every terminal step
-//!    of a batched flow signals [`ConnMsg::BatchStructDone`] back, which
-//!    releases the next item.
+//! 2. **Conflict-group scheduling.** Links and tree cuts change tour
+//!    indexes, component ids and sizes — but only of the components they
+//!    touch. The classifiers report each structural leftover with the
+//!    pre-batch component pair it touches, and the controller partitions
+//!    the items into *conflict groups* (union-find over those pairs, see
+//!    `dmpc_graph::conflict`). Items of one group run serialized, in batch
+//!    order, as one protocol *lane*; disjoint groups run concurrently, each
+//!    lane's rendezvous/fetch/pending state keyed by its lane id (the same
+//!    map-keyed idiom the query plane uses for `pending_queries`). Every
+//!    terminal step of a lane's flow signals [`ConnMsg::BatchStructDone`]
+//!    (with the lane id) back to the controller, which dispatches that
+//!    lane's next item. Under [`dmpc_mpc::Scheduler::Serialized`] the
+//!    controller still computes the partition (the stats are reported
+//!    either way) but runs everything as a single lane — the differential-
+//!    testing baseline, bit-identical in outcomes.
 //!
 //! Classifications stay valid across phase 1 because only structural ops
 //! (phase 2, strictly later) can change components; phase 2 re-classifies
 //! each item on dispatch, so items demoted to non-structural by an earlier
 //! structural op (e.g. a cross-component insert whose components were
-//! merged by a previous link) still execute correctly. The same
-//! serialization keeps directory fetches coherent: at most one structural
-//! op is in flight cluster-wide, so a fetched owner set cannot go stale
-//! before its flow finishes.
+//! merged by a previous link) still execute correctly.
+//!
+//! Concurrent lanes are sound because conflict groups are component-
+//! disjoint over a consistent pre-batch snapshot (phase 1 never changes
+//! components): flows in different lanes touch disjoint vertex sets, owner
+//! sets and directory entries, so their Applies commute and their
+//! DirFetch/DirStore traffic never races — a component id created mid-lane
+//! (a cut's detached child) is a vertex of that lane's own group, so even
+//! new directory entries stay inside the lane. True conflicts (items whose
+//! component pairs connect) share a lane and serialize exactly as before,
+//! which keeps fetched owner sets coherent: within a lane at most one
+//! structural op is in flight, so a fetched set cannot go stale before its
+//! flow finishes.
 
-use crate::messages::{BatchItem, ConnMsg, CutMode, StructBroadcast, VertexInfo};
+use crate::messages::{BatchItem, ConnMsg, CutMode, StructBroadcast, StructItem, VertexInfo};
 use crate::shard::{ApplyOutcome, Shard};
 use dmpc_eulertour::indexed::{CompId, TourOp};
 use dmpc_eulertour::TourIx;
-use dmpc_graph::{Edge, QueryAnswer, Update, Weight, V};
-use dmpc_mpc::{pack_text, unpack_text, Envelope, Layout, Machine, MachineId, Outbox, RoundCtx};
+use dmpc_graph::{partition_conflicts, Edge, QueryAnswer, Update, Weight, V};
+use dmpc_mpc::{
+    pack_text, unpack_text, Envelope, Layout, Machine, MachineId, Outbox, RoundCtx, Scheduler,
+};
 use std::collections::{BTreeMap, VecDeque};
 
 pub use crate::shard::{EntryKind, VertexState};
 
 /// The machine doubling as batch controller (id 0).
 pub const BATCH_CTRL: MachineId = 0;
+
+/// Pending-state map key for flows outside any batch lane (single updates,
+/// MST swaps) — exactly one such flow is ever in flight cluster-wide, so
+/// one reserved key suffices. Lane ids are dense batch-group indexes and
+/// never reach this value.
+const SOLO_LANE: u32 = u32::MAX;
+
+/// Map key of a flow's pending state: its lane id, or [`SOLO_LANE`].
+fn lane_key(lane: Option<u32>) -> u32 {
+    lane.unwrap_or(SOLO_LANE)
+}
+
+/// Controller-side statistics of one batch's structural phase, harvested by
+/// the driver after the run and folded into
+/// [`dmpc_mpc::BatchMetrics`]' conflict fields.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConflictStats {
+    /// Conflict groups in the partition. Reported under both schedulers —
+    /// `Serialized` computes the partition it declines to exploit.
+    pub groups: usize,
+    /// Items in the largest group (the serialization floor).
+    pub depth: usize,
+    /// Maximum lanes concurrently in flight (1 under `Serialized` whenever
+    /// any structural item ran).
+    pub max_lanes: usize,
+}
 
 /// How structural multicasts are addressed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -145,16 +191,24 @@ struct BatchCtl {
     /// Updates whose classification report is still outstanding.
     expect: usize,
     /// Classified-as-structural items, collected during phase 1.
-    structural: Vec<BatchItem>,
-    /// Phase 2 queue (sorted by batch position).
-    queue: VecDeque<BatchItem>,
-    /// Phase 2 has begun (the queue is authoritative).
+    structural: Vec<StructItem>,
+    /// Phase 2 per-lane queues (each sorted by batch position); index =
+    /// lane id. Under `Scheduler::Serialized` there is at most one lane.
+    lanes: Vec<VecDeque<BatchItem>>,
+    /// First lane not yet started (lanes start in id order as slots free).
+    next_lane: usize,
+    /// Lanes currently in flight.
+    live: usize,
+    /// Phase 2 has begun (the lanes are authoritative).
     serving: bool,
+    /// Partition statistics of this batch, published on completion.
+    stats: ConflictStats,
 }
 
 /// Rendezvous-side state of an in-flight searching cut: the local apply
 /// outcome stashed until the remote [`ConnMsg::CutReport`]s arrive (they all
-/// arrive in the round after the multicast).
+/// arrive in the round after the multicast). Keyed by lane in
+/// `pending_cuts` so concurrently searching lanes fold separately.
 #[derive(Debug)]
 struct PendingCut {
     /// Surviving (parent) side component id.
@@ -168,8 +222,8 @@ struct PendingCut {
     remote: usize,
     /// The rendezvous' own apply outcome.
     local: ApplyOutcome,
-    /// Part of a batch's structural phase.
-    batched: bool,
+    /// Batch lane of this cut's flow (`None` outside a batch).
+    lane: Option<u32>,
 }
 
 /// Rendezvous-side state of an in-flight MST path-max query.
@@ -191,8 +245,9 @@ struct PendingMst {
 }
 
 /// A structural flow suspended on a directory fetch; resumed by the
-/// [`ConnMsg::DirReply`]. At most one structural op is in flight
-/// cluster-wide, so one slot suffices.
+/// [`ConnMsg::DirReply`]. Keyed by lane in `pending_fetches`: within one
+/// lane at most one structural op is in flight, so one slot per lane
+/// suffices, and concurrently fetching lanes never collide.
 #[derive(Debug)]
 enum FetchCont {
     /// A cross-component insert waiting for one or both owner sets.
@@ -200,7 +255,7 @@ enum FetchCont {
         e: Edge,
         w: Weight,
         x: VertexInfo,
-        batched: bool,
+        lane: Option<u32>,
         /// Union of the sets resolved so far.
         acc: Vec<MachineId>,
         /// Outstanding DirReply count (1 or 2).
@@ -215,7 +270,7 @@ enum FetchCont {
         mode: CutMode,
         search: bool,
         then_link: Option<(Edge, Weight)>,
-        batched: bool,
+        lane: Option<u32>,
     },
     /// An MST intra-component insert waiting for the owner set before
     /// multicasting the path-max query.
@@ -226,8 +281,8 @@ enum FetchCont {
 /// owns_parent, owns_child).
 type CutReportIn = (MachineId, Option<(Edge, Weight)>, bool, bool);
 
-/// Rendezvous-side partial fold of one in-flight query. Unlike the
-/// single-slot update state (`pending_cut` etc.), query folds are keyed by
+/// Rendezvous-side partial fold of one in-flight query. Like the
+/// lane-keyed update state (`pending_cuts` etc.), query folds are keyed by
 /// query id so a whole wave of queries aggregates concurrently; an entry is
 /// removed (and the answer stashed) the moment its last join arrives.
 #[derive(Debug)]
@@ -263,8 +318,10 @@ enum QueryFold {
 struct RoundAcc {
     /// This classifier's report to the controller.
     report: BatchReportAcc,
-    /// Remote cut reports.
-    cut_reports: Vec<CutReportIn>,
+    /// Remote cut reports, folded per lane so concurrently searching lanes
+    /// finalize independently (all of one lane's reports arrive in one
+    /// round; reports of different lanes may share a round).
+    cut_reports: BTreeMap<u32, Vec<CutReportIn>>,
     /// Remote path-max replies.
     path_replies: Vec<Option<(Edge, Weight)>>,
 }
@@ -298,14 +355,26 @@ pub struct ConnMachine {
     dir: BTreeMap<CompId, Vec<MachineId>>,
     /// Self-addressed messages executed locally within the same round.
     local: VecDeque<ConnMsg>,
-    /// Structural flow suspended on a directory fetch.
-    pending_fetch: Option<FetchCont>,
-    /// In-flight searching cut at the rendezvous (this machine).
-    pending_cut: Option<PendingCut>,
-    /// In-flight MST path-max aggregation at the rendezvous.
+    /// Structural flows suspended on directory fetches, keyed by lane
+    /// ([`SOLO_LANE`] for unbatched flows).
+    pending_fetches: BTreeMap<u32, FetchCont>,
+    /// In-flight searching cuts at the rendezvous (this machine), keyed by
+    /// lane.
+    pending_cuts: BTreeMap<u32, PendingCut>,
+    /// In-flight MST path-max aggregation at the rendezvous (MST mode has
+    /// no batched path, so a single slot still suffices).
     pending_mst: Option<PendingMst>,
     /// Controller state of the in-flight batch (machine 0 only).
     batch: Option<BatchCtl>,
+    /// How the controller schedules a batch's structural leftovers.
+    scheduler: Scheduler,
+    /// Maximum lanes the controller keeps in flight at once (bounds the
+    /// transient per-lane state and concurrent multicast fan-in; set by the
+    /// driver from the machine capacity).
+    lane_cap: usize,
+    /// Statistics of the last completed batch (controller only), harvested
+    /// by the driver after the run.
+    last_conflict: Option<ConflictStats>,
     /// Rendezvous-side partial folds of in-flight queries, keyed by query id
     /// (the whole wave aggregates concurrently).
     pending_queries: BTreeMap<u32, QueryFold>,
@@ -331,6 +400,7 @@ impl ConnMachine {
             mst_mode,
             Routing::default(),
             Layout::default(),
+            Scheduler::default(),
         )
     }
 
@@ -342,10 +412,20 @@ impl ConnMachine {
         mst_mode: bool,
         routing: Routing,
     ) -> Self {
-        Self::with_opts(id, n_vertices, block, mst_mode, routing, Layout::default())
+        Self::with_opts(
+            id,
+            n_vertices,
+            block,
+            mst_mode,
+            routing,
+            Layout::default(),
+            Scheduler::default(),
+        )
     }
 
-    /// Creates the machine with explicit routing and state-layout choices.
+    /// Creates the machine with explicit routing, state-layout and batch
+    /// scheduler choices.
+    #[allow(clippy::too_many_arguments)]
     pub fn with_opts(
         id: MachineId,
         n_vertices: usize,
@@ -353,6 +433,7 @@ impl ConnMachine {
         mst_mode: bool,
         routing: Routing,
         layout: Layout,
+        scheduler: Scheduler,
     ) -> Self {
         let bounds = Self::uniform_bounds(n_vertices, block);
         let lo = bounds[id as usize];
@@ -366,16 +447,33 @@ impl ConnMachine {
             verts,
             dir: BTreeMap::new(),
             local: VecDeque::new(),
-            pending_fetch: None,
-            pending_cut: None,
+            pending_fetches: BTreeMap::new(),
+            pending_cuts: BTreeMap::new(),
             pending_mst: None,
             batch: None,
+            scheduler,
+            lane_cap: usize::MAX,
+            last_conflict: None,
             pending_queries: BTreeMap::new(),
             answers: Vec::new(),
             transfer: None,
             snap_buf: Vec::new(),
             staged: None,
         }
+    }
+
+    /// Bounds the lanes the batch controller keeps in flight at once. The
+    /// driver derives this from the machine capacity `S` so per-lane
+    /// transient state and concurrent multicast fan-in stay within the
+    /// model's memory budget.
+    pub fn set_lane_cap(&mut self, cap: usize) {
+        self.lane_cap = cap.max(1);
+    }
+
+    /// Takes the statistics of the last completed batch (controller only;
+    /// driver-side harvesting after a run, not part of the model).
+    pub fn take_conflict_stats(&mut self) -> Option<ConflictStats> {
+        self.last_conflict.take()
     }
 
     /// The initial (uniform `block`-sized) partition table: machine `i`
@@ -408,11 +506,12 @@ impl ConnMachine {
     /// reset in `handle_batch_start` covers the batch-after-batch case).
     pub fn clear_stale_batch(&mut self) {
         self.batch = None;
-        self.pending_cut = None;
-        self.pending_fetch = None;
+        self.pending_cuts.clear();
+        self.pending_fetches.clear();
         self.pending_mst = None;
         self.pending_queries.clear();
         self.answers.clear();
+        self.last_conflict = None;
     }
 
     /// Drains the query answers stashed at this rendezvous (driver-side
@@ -505,10 +604,11 @@ impl ConnMachine {
         self.verts.clear();
         self.dir.clear();
         self.local.clear();
-        self.pending_fetch = None;
-        self.pending_cut = None;
+        self.pending_fetches.clear();
+        self.pending_cuts.clear();
         self.pending_mst = None;
         self.batch = None;
+        self.last_conflict = None;
         self.pending_queries.clear();
         self.answers.clear();
         self.transfer = None;
@@ -789,7 +889,15 @@ impl ConnMachine {
 
     // ----- protocol steps -------------------------------------------------
 
-    fn handle_insert(&mut self, e: Edge, w: Weight, batched: bool, out: &mut Outbox<ConnMsg>) {
+    /// Signals the controller that this lane's structural item finished
+    /// (no-op for unbatched flows).
+    fn signal_struct_done(&mut self, lane: Option<u32>, out: &mut Outbox<ConnMsg>) {
+        if let Some(l) = lane {
+            self.route(BATCH_CTRL, ConnMsg::BatchStructDone { lane: l }, out);
+        }
+    }
+
+    fn handle_insert(&mut self, e: Edge, w: Weight, lane: Option<u32>, out: &mut Outbox<ConnMsg>) {
         let u = e.u;
         debug_assert!(self.verts.adj_get(u, e.v).is_none(), "duplicate insert {e}");
         let x = self.verts.info(u);
@@ -799,7 +907,7 @@ impl ConnMachine {
                 e,
                 w,
                 x,
-                batched,
+                lane,
                 known_owners: None,
             },
             out,
@@ -840,7 +948,7 @@ impl ConnMachine {
         e: Edge,
         w: Weight,
         x: VertexInfo,
-        batched: bool,
+        lane: Option<u32>,
         known_owners: Option<Vec<MachineId>>,
         ctx: &RoundCtx,
         out: &mut Outbox<ConnMsg>,
@@ -850,21 +958,25 @@ impl ConnMachine {
         if y_comp == x.comp {
             // Intra-component edge.
             if self.mst_mode {
-                debug_assert!(!batched, "MST mode has no batched path");
+                debug_assert!(lane.is_none(), "MST mode has no batched path");
                 // Find the max-weight tree edge on the x..y path first; the
                 // query multicast needs the component's owner set.
                 match self.set_if_local(y_comp, y_size) {
                     Some(owners) => self.launch_path_max(e, w, x, owners, ctx, out),
                     None => {
-                        self.pending_fetch = Some(FetchCont::PathMax { e, w, x });
-                        out.send(self.root_owner(y_comp), ConnMsg::DirFetch { comp: y_comp });
+                        let prev = self
+                            .pending_fetches
+                            .insert(lane_key(lane), FetchCont::PathMax { e, w, x });
+                        debug_assert!(prev.is_none(), "fetch slot already occupied");
+                        out.send(
+                            self.root_owner(y_comp),
+                            ConnMsg::DirFetch { comp: y_comp, lane },
+                        );
                     }
                 }
             } else {
                 self.add_non_tree_pair(e, w, &x, out);
-                if batched {
-                    self.route(BATCH_CTRL, ConnMsg::BatchStructDone, out);
-                }
+                self.signal_struct_done(lane, out);
             }
         } else {
             // Cross-component: resolve the union of both owner sets, then
@@ -884,7 +996,7 @@ impl ConnMachine {
                                 None => {
                                     out.send(
                                         self.root_owner(x.comp),
-                                        ConnMsg::DirFetch { comp: x.comp },
+                                        ConnMsg::DirFetch { comp: x.comp, lane },
                                     );
                                     waiting += 1;
                                 }
@@ -894,26 +1006,30 @@ impl ConnMachine {
                                 None => {
                                     out.send(
                                         self.root_owner(y_comp),
-                                        ConnMsg::DirFetch { comp: y_comp },
+                                        ConnMsg::DirFetch { comp: y_comp, lane },
                                     );
                                     waiting += 1;
                                 }
                             }
-                            self.pending_fetch = Some(FetchCont::Link {
-                                e,
-                                w,
-                                x,
-                                batched,
-                                acc,
-                                waiting,
-                            });
+                            let prev = self.pending_fetches.insert(
+                                lane_key(lane),
+                                FetchCont::Link {
+                                    e,
+                                    w,
+                                    x,
+                                    lane,
+                                    acc,
+                                    waiting,
+                                },
+                            );
+                            debug_assert!(prev.is_none(), "fetch slot already occupied");
                             None
                         }
                     }
                 }
             };
             if let Some(u) = union {
-                self.do_link(e, w, &x, u, batched, ctx, out);
+                self.do_link(e, w, &x, u, lane, ctx, out);
             }
         }
     }
@@ -930,7 +1046,7 @@ impl ConnMachine {
         w: Weight,
         x: &VertexInfo,
         union: Vec<MachineId>,
-        batched: bool,
+        lane: Option<u32>,
         ctx: &RoundCtx,
         out: &mut Outbox<ConnMsg>,
     ) {
@@ -967,6 +1083,7 @@ impl ConnMachine {
             weight: w,
             cut_mode: CutMode::Remove,
             rendezvous: None,
+            lane,
         };
         for m in self.audience(&union, ctx) {
             out.send(m, ConnMsg::Apply(b));
@@ -986,12 +1103,16 @@ impl ConnMachine {
             ConnMsg::DirDrop { comp: y_comp },
             out,
         );
-        if batched {
-            self.route(BATCH_CTRL, ConnMsg::BatchStructDone, out);
-        }
+        self.signal_struct_done(lane, out);
     }
 
-    fn handle_delete(&mut self, e: Edge, batched: bool, ctx: &RoundCtx, out: &mut Outbox<ConnMsg>) {
+    fn handle_delete(
+        &mut self,
+        e: Edge,
+        lane: Option<u32>,
+        ctx: &RoundCtx,
+        out: &mut Outbox<ConnMsg>,
+    ) {
         let u = e.u;
         let (kind, _w) = self
             .verts
@@ -1001,9 +1122,7 @@ impl ConnMachine {
             EntryKind::NonTree { .. } => {
                 self.verts.adj_remove(u, e.v);
                 self.route(self.owner(e.v), ConnMsg::DelNonTree { e, at: e.v }, out);
-                if batched {
-                    self.route(BATCH_CTRL, ConnMsg::BatchStructDone, out);
-                }
+                self.signal_struct_done(lane, out);
             }
             EntryKind::Tree { lo, hi } => {
                 if lo % 2 == 0 {
@@ -1019,7 +1138,7 @@ impl ConnMachine {
                             mode: CutMode::Remove,
                             search: true,
                             then_link: None,
-                            batched,
+                            lane,
                             owners: None,
                         },
                         out,
@@ -1034,7 +1153,7 @@ impl ConnMachine {
                         CutMode::Remove,
                         true,
                         None,
-                        batched,
+                        lane,
                         None,
                         ctx,
                         out,
@@ -1057,7 +1176,7 @@ impl ConnMachine {
         mode: CutMode,
         search: bool,
         then_link: Option<(Edge, Weight)>,
-        batched: bool,
+        lane: Option<u32>,
         owners: Option<Vec<MachineId>>,
         ctx: &RoundCtx,
         out: &mut Outbox<ConnMsg>,
@@ -1069,23 +1188,27 @@ impl ConnMachine {
                 if self.root_owner(comp) == self.id {
                     self.dir_owners(comp)
                 } else {
-                    self.pending_fetch = Some(FetchCont::Cut {
-                        e,
-                        parent,
-                        fy,
-                        ly,
-                        mode,
-                        search,
-                        then_link,
-                        batched,
-                    });
-                    out.send(self.root_owner(comp), ConnMsg::DirFetch { comp });
+                    let prev = self.pending_fetches.insert(
+                        lane_key(lane),
+                        FetchCont::Cut {
+                            e,
+                            parent,
+                            fy,
+                            ly,
+                            mode,
+                            search,
+                            then_link,
+                            lane,
+                        },
+                    );
+                    debug_assert!(prev.is_none(), "fetch slot already occupied");
+                    out.send(self.root_owner(comp), ConnMsg::DirFetch { comp, lane });
                     return;
                 }
             }
         };
         self.do_cut(
-            e, parent, fy, ly, mode, search, then_link, batched, owners, ctx, out,
+            e, parent, fy, ly, mode, search, then_link, lane, owners, ctx, out,
         );
     }
 
@@ -1102,7 +1225,7 @@ impl ConnMachine {
         mode: CutMode,
         search: bool,
         then_link: Option<(Edge, Weight)>,
-        batched: bool,
+        lane: Option<u32>,
         owners: Vec<MachineId>,
         ctx: &RoundCtx,
         out: &mut Outbox<ConnMsg>,
@@ -1135,6 +1258,7 @@ impl ConnMachine {
             weight: 0,
             cut_mode: mode,
             rendezvous: if search { Some(self.id) } else { None },
+            lane,
         };
         let remote = self.audience(&owners, ctx);
         for &m in &remote {
@@ -1150,7 +1274,7 @@ impl ConnMachine {
                 ConnMsg::StartLink {
                     e: le,
                     w: lw,
-                    batched,
+                    lane,
                     owners: owners.clone(),
                 },
                 out,
@@ -1159,25 +1283,32 @@ impl ConnMachine {
         let outcome = self.verts.apply_struct(&b);
         if search {
             let remote_n = remote.len();
-            self.pending_cut = Some(PendingCut {
-                comp,
-                new_comp: child,
-                old_owners: owners,
-                remote: remote_n,
-                local: outcome,
-                batched,
-            });
+            let prev = self.pending_cuts.insert(
+                lane_key(lane),
+                PendingCut {
+                    comp,
+                    new_comp: child,
+                    old_owners: owners,
+                    remote: remote_n,
+                    local: outcome,
+                    lane,
+                },
+            );
+            debug_assert!(prev.is_none(), "cut rendezvous slot already occupied");
             if remote_n == 0 {
-                self.finalize_cut(Vec::new(), out);
+                self.finalize_cut(lane_key(lane), Vec::new(), out);
             }
         }
     }
 
-    /// Rendezvous: folds the round's remote [`ConnMsg::CutReport`]s with the
+    /// Rendezvous: folds one lane's remote [`ConnMsg::CutReport`]s with the
     /// stashed local outcome — either launching the replacement link (which
     /// restores the old owner set) or installing the refined split sets.
-    fn finalize_cut(&mut self, reports: Vec<CutReportIn>, out: &mut Outbox<ConnMsg>) {
-        let pc = self.pending_cut.take().expect("cut reports without a cut");
+    fn finalize_cut(&mut self, key: u32, reports: Vec<CutReportIn>, out: &mut Outbox<ConnMsg>) {
+        let pc = self
+            .pending_cuts
+            .remove(&key)
+            .expect("cut reports without a cut");
         debug_assert!(reports.len() == pc.remote, "cut reports missing");
         let best = reports
             .iter()
@@ -1192,7 +1323,7 @@ impl ConnMachine {
                     ConnMsg::StartLink {
                         e,
                         w,
-                        batched: pc.batched,
+                        lane: pc.lane,
                         owners: pc.old_owners,
                     },
                     out,
@@ -1235,9 +1366,7 @@ impl ConnMachine {
                     },
                     out,
                 );
-                if pc.batched {
-                    self.route(BATCH_CTRL, ConnMsg::BatchStructDone, out);
-                }
+                self.signal_struct_done(pc.lane, out);
             }
         }
     }
@@ -1386,7 +1515,7 @@ impl ConnMachine {
                     mode: CutMode::Demote,
                     search: false,
                     then_link: Some((e, w)),
-                    batched: false,
+                    lane: None,
                     owners: Some(owners),
                 },
                 out,
@@ -1400,7 +1529,7 @@ impl ConnMachine {
                 CutMode::Demote,
                 false,
                 Some((e, w)),
-                false,
+                None,
                 Some(owners),
                 ctx,
                 out,
@@ -1416,7 +1545,7 @@ impl ConnMachine {
         &mut self,
         e: Edge,
         w: Weight,
-        batched: bool,
+        lane: Option<u32>,
         owners: Vec<MachineId>,
         out: &mut Outbox<ConnMsg>,
     ) {
@@ -1428,43 +1557,52 @@ impl ConnMachine {
                 e,
                 w,
                 x,
-                batched,
+                lane,
                 known_owners: Some(owners),
             },
             out,
         );
     }
 
-    /// Resumes the structural flow suspended on a directory fetch.
+    /// Resumes the structural flow suspended on a directory fetch. The
+    /// reply carries the lane id of the flow that issued the fetch, so
+    /// concurrent lanes resume the right continuation.
     fn handle_dir_reply(
         &mut self,
         comp: CompId,
         owners: Vec<MachineId>,
+        reply_lane: Option<u32>,
         ctx: &RoundCtx,
         out: &mut Outbox<ConnMsg>,
     ) {
-        let cont = self.pending_fetch.take().expect("DirReply without a fetch");
+        let cont = self
+            .pending_fetches
+            .remove(&lane_key(reply_lane))
+            .expect("DirReply without a fetch");
         match cont {
             FetchCont::Link {
                 e,
                 w,
                 x,
-                batched,
+                lane,
                 acc,
                 waiting,
             } => {
                 let acc = merge_sets(acc, &owners);
                 if waiting == 1 {
-                    self.do_link(e, w, &x, acc, batched, ctx, out);
+                    self.do_link(e, w, &x, acc, lane, ctx, out);
                 } else {
-                    self.pending_fetch = Some(FetchCont::Link {
-                        e,
-                        w,
-                        x,
-                        batched,
-                        acc,
-                        waiting: waiting - 1,
-                    });
+                    self.pending_fetches.insert(
+                        lane_key(lane),
+                        FetchCont::Link {
+                            e,
+                            w,
+                            x,
+                            lane,
+                            acc,
+                            waiting: waiting - 1,
+                        },
+                    );
                 }
             }
             FetchCont::Cut {
@@ -1475,11 +1613,11 @@ impl ConnMachine {
                 mode,
                 search,
                 then_link,
-                batched,
+                lane,
             } => {
                 debug_assert_eq!(self.verts.comp_of(parent), comp);
                 self.do_cut(
-                    e, parent, fy, ly, mode, search, then_link, batched, owners, ctx, out,
+                    e, parent, fy, ly, mode, search, then_link, lane, owners, ctx, out,
                 );
             }
             FetchCont::PathMax { e, w, x } => {
@@ -1730,8 +1868,8 @@ impl ConnMachine {
         // here means the previous run was aborted by the round-limit guard
         // (its violation is already metered); drop it and start fresh.
         self.batch = None;
-        self.pending_cut = None;
-        self.pending_fetch = None;
+        self.pending_cuts.clear();
+        self.pending_fetches.clear();
         if items.is_empty() {
             return;
         }
@@ -1792,7 +1930,11 @@ impl ConnMachine {
                             self.route(self.owner(e.v), ConnMsg::DelNonTree { e, at: e.v }, out);
                             report.done += 1;
                         }
-                        EntryKind::Tree { .. } => report.structural.push(item),
+                        EntryKind::Tree { .. } => {
+                            // A cut touches one component (twice).
+                            let c = self.verts.comp_of(e.u);
+                            report.structural.push(StructItem { item, ca: c, cb: c });
+                        }
                     }
                 }
             }
@@ -1812,13 +1954,18 @@ impl ConnMachine {
         out: &mut Outbox<ConnMsg>,
     ) {
         let y = e.other(x.v);
-        if self.verts.comp_of(y) == x.comp {
+        let cb = self.verts.comp_of(y);
+        if cb == x.comp {
             self.add_non_tree_pair(e, w, &x, out);
             report.done += 1;
         } else {
-            report.structural.push(BatchItem {
-                upd: Update::Insert(e),
-                seq,
+            report.structural.push(StructItem {
+                item: BatchItem {
+                    upd: Update::Insert(e),
+                    seq,
+                },
+                ca: x.comp,
+                cb,
             });
         }
     }
@@ -1828,40 +1975,111 @@ impl ConnMachine {
     fn handle_batch_report(
         &mut self,
         done: u32,
-        structural: Vec<BatchItem>,
+        structural: Vec<StructItem>,
         out: &mut Outbox<ConnMsg>,
     ) {
         let ctl = self.batch.as_mut().expect("report without a batch");
         ctl.expect -= done as usize + structural.len();
         ctl.structural.extend(structural);
         if ctl.expect == 0 {
-            ctl.structural.sort_unstable_by_key(|i| i.seq);
-            ctl.queue = std::mem::take(&mut ctl.structural).into();
-            ctl.serving = true;
-            self.batch_dispatch_next(out);
+            self.batch_begin_structural(out);
         }
     }
 
-    /// Controller: dispatch the next structural item through the normal
-    /// (re-classifying) update flow, or finish the batch.
-    fn batch_dispatch_next(&mut self, out: &mut Outbox<ConnMsg>) {
-        let ctl = self.batch.as_mut().expect("dispatch without a batch");
+    /// Controller: partition the structural leftovers into conflict groups
+    /// and start phase 2. The partition is computed under *both* schedulers
+    /// (the stats always report the batch's true conflict structure);
+    /// `Scheduler::Serialized` then collapses everything into one lane.
+    fn batch_begin_structural(&mut self, out: &mut Outbox<ConnMsg>) {
+        let scheduler = self.scheduler;
+        let ctl = self.batch.as_mut().expect("phase 2 without a batch");
+        let mut items = std::mem::take(&mut ctl.structural);
+        items.sort_unstable_by_key(|s| s.item.seq);
+        let touches: Vec<(u64, u64)> = items
+            .iter()
+            .map(|s| (u64::from(s.ca), u64::from(s.cb)))
+            .collect();
+        let part = partition_conflicts(&touches);
+        let n_lanes = match scheduler {
+            Scheduler::Conflict => part.groups,
+            Scheduler::Serialized => items.len().min(1),
+        };
+        let mut lanes: Vec<VecDeque<BatchItem>> = vec![VecDeque::new(); n_lanes];
+        for (i, s) in items.into_iter().enumerate() {
+            let lane = match scheduler {
+                Scheduler::Conflict => part.group_of[i] as usize,
+                Scheduler::Serialized => 0,
+            };
+            lanes[lane].push_back(s.item);
+        }
+        ctl.stats = ConflictStats {
+            groups: part.groups,
+            depth: part.depth,
+            max_lanes: 0,
+        };
+        ctl.lanes = lanes;
+        ctl.serving = true;
+        self.batch_fill_lanes(out);
+    }
+
+    /// Controller: start lanes (in id order) until the concurrency cap is
+    /// reached or all lanes have started; finish the batch once every lane
+    /// has drained.
+    fn batch_fill_lanes(&mut self, out: &mut Outbox<ConnMsg>) {
+        let cap = self.lane_cap;
+        let ctl = self.batch.as_mut().expect("lane fill without a batch");
         debug_assert!(ctl.serving);
-        match ctl.queue.pop_front() {
-            Some(item) => {
-                let e = item.upd.edge();
-                let to = self.owner(e.u);
-                let msg = match item.upd {
-                    Update::Insert(_) => ConnMsg::Insert {
-                        e,
-                        w: 1,
-                        batched: true,
-                    },
-                    Update::Delete(_) => ConnMsg::Delete { e, batched: true },
-                };
-                self.route(to, msg, out);
-            }
-            None => self.batch = None,
+        let mut to_start = Vec::new();
+        while ctl.next_lane < ctl.lanes.len() && ctl.live < cap {
+            to_start.push(ctl.next_lane as u32);
+            ctl.next_lane += 1;
+            ctl.live += 1;
+            ctl.stats.max_lanes = ctl.stats.max_lanes.max(ctl.live);
+        }
+        let finished = ctl.live == 0 && ctl.next_lane >= ctl.lanes.len();
+        let stats = ctl.stats;
+        for lane in to_start {
+            self.batch_dispatch(lane, out);
+        }
+        if finished {
+            self.last_conflict = Some(stats);
+            self.batch = None;
+        }
+    }
+
+    /// Controller: dispatch `lane`'s next structural item through the
+    /// normal (re-classifying) update flow, tagged with the lane id.
+    fn batch_dispatch(&mut self, lane: u32, out: &mut Outbox<ConnMsg>) {
+        let ctl = self.batch.as_mut().expect("dispatch without a batch");
+        let item = ctl.lanes[lane as usize]
+            .pop_front()
+            .expect("dispatch on a drained lane");
+        let e = item.upd.edge();
+        let to = self.owner(e.u);
+        let msg = match item.upd {
+            Update::Insert(_) => ConnMsg::Insert {
+                e,
+                w: 1,
+                lane: Some(lane),
+            },
+            Update::Delete(_) => ConnMsg::Delete {
+                e,
+                lane: Some(lane),
+            },
+        };
+        self.route(to, msg, out);
+    }
+
+    /// Controller: one lane's in-flight structural op completed — advance
+    /// that lane, or retire it and pull the next waiting lane in.
+    fn batch_lane_done(&mut self, lane: u32, out: &mut Outbox<ConnMsg>) {
+        let ctl = self.batch.as_mut().expect("lane done without a batch");
+        debug_assert!(ctl.serving);
+        if !ctl.lanes[lane as usize].is_empty() {
+            self.batch_dispatch(lane, out);
+        } else {
+            ctl.live -= 1;
+            self.batch_fill_lanes(out);
         }
     }
 
@@ -1874,15 +2092,15 @@ impl ConnMachine {
         out: &mut Outbox<ConnMsg>,
     ) {
         match msg {
-            ConnMsg::Insert { e, w, batched } => self.handle_insert(e, w, batched, out),
-            ConnMsg::Delete { e, batched } => self.handle_delete(e, batched, ctx, out),
+            ConnMsg::Insert { e, w, lane } => self.handle_insert(e, w, lane, out),
+            ConnMsg::Delete { e, lane } => self.handle_delete(e, lane, ctx, out),
             ConnMsg::InsQuery {
                 e,
                 w,
                 x,
-                batched,
+                lane,
                 known_owners,
-            } => self.handle_ins_query(e, w, x, batched, known_owners, ctx, out),
+            } => self.handle_ins_query(e, w, x, lane, known_owners, ctx, out),
             ConnMsg::AddNonTree {
                 e,
                 w,
@@ -1913,19 +2131,16 @@ impl ConnMachine {
                 mode,
                 search,
                 then_link,
-                batched,
+                lane,
                 owners,
             } => {
                 self.start_cut(
-                    e, parent, fy, ly, mode, search, then_link, batched, owners, ctx, out,
+                    e, parent, fy, ly, mode, search, then_link, lane, owners, ctx, out,
                 );
             }
-            ConnMsg::StartLink {
-                e,
-                w,
-                batched,
-                owners,
-            } => self.handle_insert_replacement(e, w, batched, owners, out),
+            ConnMsg::StartLink { e, w, lane, owners } => {
+                self.handle_insert_replacement(e, w, lane, owners, out)
+            }
             ConnMsg::PathMaxQuery {
                 comp,
                 fx,
@@ -1942,7 +2157,9 @@ impl ConnMachine {
             ConnMsg::DirFetch { .. } | ConnMsg::CutReport { .. } | ConnMsg::Apply(_) => {
                 unreachable!("handled before dispatch")
             }
-            ConnMsg::DirReply { comp, owners } => self.handle_dir_reply(comp, owners, ctx, out),
+            ConnMsg::DirReply { comp, owners, lane } => {
+                self.handle_dir_reply(comp, owners, lane, ctx, out)
+            }
             ConnMsg::DirStore { comp, owners } => {
                 debug_assert_eq!(self.root_owner(comp), self.id);
                 if owners.len() >= 2 {
@@ -2011,7 +2228,7 @@ impl ConnMachine {
             ConnMsg::BatchReport { done, structural } => {
                 self.handle_batch_report(done, structural, out)
             }
-            ConnMsg::BatchStructDone => self.batch_dispatch_next(out),
+            ConnMsg::BatchStructDone { lane } => self.batch_lane_done(lane, out),
             ConnMsg::MigrateBegin { to, lo, hi, budget } => {
                 self.handle_migrate_begin(to, lo, hi, budget, ctx, out)
             }
@@ -2061,7 +2278,7 @@ fn merge_sets(mut a: Vec<MachineId>, b: &[MachineId]) -> Vec<MachineId> {
 #[derive(Default)]
 struct BatchReportAcc {
     done: u32,
-    structural: Vec<BatchItem>,
+    structural: Vec<StructItem>,
 }
 
 impl BatchReportAcc {
@@ -2097,6 +2314,7 @@ impl Machine for ConnMachine {
                                 best: outcome.best,
                                 owns_parent: outcome.owns_parent,
                                 owns_child: outcome.owns_child,
+                                lane: b.lane,
                             },
                         );
                     }
@@ -2118,13 +2336,14 @@ impl Machine for ConnMachine {
                 // Patch-phase pacing bounce: ack so the source's next
                 // budgeted patch round fires (see `transfer_step`).
                 ConnMsg::MigrateKick => out.send(env.from, ConnMsg::SnapAck),
-                ConnMsg::DirFetch { comp } => {
+                ConnMsg::DirFetch { comp, lane } => {
                     debug_assert_eq!(self.root_owner(comp), self.id);
                     out.send(
                         env.from,
                         ConnMsg::DirReply {
                             comp,
                             owners: self.dir_owners(comp),
+                            lane,
                         },
                     );
                 }
@@ -2132,9 +2351,13 @@ impl Machine for ConnMachine {
                     best,
                     owns_parent,
                     owns_child,
-                } => acc
-                    .cut_reports
-                    .push((env.from, best, owns_parent, owns_child)),
+                    lane,
+                } => acc.cut_reports.entry(lane_key(lane)).or_default().push((
+                    env.from,
+                    best,
+                    owns_parent,
+                    owns_child,
+                )),
                 msg => self.dispatch(msg, ctx, &mut acc, out),
             }
         }
@@ -2146,9 +2369,9 @@ impl Machine for ConnMachine {
                 self.dispatch(msg, ctx, &mut acc, out);
                 continue;
             }
-            if !acc.cut_reports.is_empty() {
-                let reports = std::mem::take(&mut acc.cut_reports);
-                self.finalize_cut(reports, out);
+            if let Some((&key, _)) = acc.cut_reports.iter().next() {
+                let reports = acc.cut_reports.remove(&key).unwrap();
+                self.finalize_cut(key, reports, out);
                 continue;
             }
             if !acc.path_replies.is_empty() {
@@ -2181,15 +2404,18 @@ impl Machine for ConnMachine {
             words += 2 + owners.len();
         }
         if let Some(ctl) = &self.batch {
-            words += 2 + 3 * (ctl.structural.len() + ctl.queue.len());
+            words += 2 + 5 * ctl.structural.len();
+            for lane in &ctl.lanes {
+                words += 2 + 3 * lane.len();
+            }
         }
-        if let Some(pc) = &self.pending_cut {
+        for pc in self.pending_cuts.values() {
             words += 4 + pc.old_owners.len();
         }
         if let Some(p) = &self.pending_mst {
             words += 6 + p.owners.len();
         }
-        if let Some(f) = &self.pending_fetch {
+        for f in self.pending_fetches.values() {
             words += 4 + match f {
                 FetchCont::Link { acc, .. } => acc.len(),
                 FetchCont::Cut { .. } | FetchCont::PathMax { .. } => 0,

@@ -6,13 +6,28 @@ use dmpc_graph::{Edge, Update, Weight, V};
 use dmpc_mpc::{MachineId, Payload};
 
 /// One update inside a batch, tagged with its position in the batch so the
-/// serialized (structural) phase replays items in original order.
+/// structural phase replays each conflict group's items in original order.
 #[derive(Clone, Copy, Debug)]
 pub struct BatchItem {
     /// The update.
     pub upd: Update,
     /// Position within the batch.
     pub seq: u32,
+}
+
+/// A structural leftover reported back to the batch controller: the item
+/// plus the pre-batch component ids it touches, the input of the conflict
+/// partitioner. Classifiers read the components during phase 1, which never
+/// changes them (non-structural work touches no tree), so the snapshot is
+/// consistent across the whole batch.
+#[derive(Clone, Copy, Debug)]
+pub struct StructItem {
+    /// The structural update.
+    pub item: BatchItem,
+    /// Component of one endpoint (for cuts: the edge's component, twice).
+    pub ca: CompId,
+    /// Component of the other endpoint.
+    pub cb: CompId,
 }
 
 /// O(1)-word summary of one endpoint's tour state, shipped between the two
@@ -65,13 +80,21 @@ pub struct StructBroadcast {
     /// search; `None` disables the search (MST swap cuts reconnect
     /// immediately via the new edge).
     pub rendezvous: Option<MachineId>,
+    /// Batch lane of the originating flow, echoed in the [`ConnMsg::CutReport`]s
+    /// so replies from concurrently running conflict groups never cross-talk.
+    pub lane: Option<u32>,
 }
 
-/// Protocol messages. The `batched` flags mark messages belonging to the
-/// serialized structural phase of a batch: every terminal step of a batched
-/// flow signals [`ConnMsg::BatchStructDone`] to the batch controller so it
-/// can dispatch the next structural item. The flags pack into the op word,
-/// so they do not change message sizes.
+/// Protocol messages. The `lane` tags mark messages belonging to the
+/// structural phase of a batch: the controller partitions leftover
+/// structural items into conflict groups and runs each group as its own
+/// protocol *lane*, so every in-flight message carries its lane id and
+/// every terminal step of a lane's flow signals [`ConnMsg::BatchStructDone`]
+/// (with the lane) to the controller, which then dispatches that lane's next
+/// item. `lane: None` marks a flow outside any batch (single updates, MST
+/// swaps), of which at most one is ever in flight. Lane ids pack into the
+/// op word, so — like the old boolean flags they replace — they do not
+/// change message sizes.
 ///
 /// Owner-set payloads (`Vec<MachineId>`) are O(active machines) = O(sqrt N)
 /// words and only ever travel in point-to-point messages (directory fetches
@@ -86,15 +109,15 @@ pub enum ConnMsg {
         e: Edge,
         /// Its weight (1 for plain connectivity).
         w: Weight,
-        /// Dispatched by the batch controller (structural phase).
-        batched: bool,
+        /// Batch lane when dispatched by the controller's structural phase.
+        lane: Option<u32>,
     },
     /// Injected: delete edge `e`.
     Delete {
         /// The edge to remove.
         e: Edge,
-        /// Dispatched by the batch controller (structural phase).
-        batched: bool,
+        /// Batch lane when dispatched by the controller's structural phase.
+        lane: Option<u32>,
     },
     /// owner(x) -> owner(y): continue an insertion with x's state.
     InsQuery {
@@ -104,8 +127,8 @@ pub enum ConnMsg {
         w: Weight,
         /// State of the endpoint owned by the sender.
         x: VertexInfo,
-        /// Part of a batch's structural phase: signal completion.
-        batched: bool,
+        /// Batch lane of this flow: signal completion with it.
+        lane: Option<u32>,
         /// Pre-resolved owner set of the merged component, when the sender
         /// already knows it (replacement links after a cut, MST swap links).
         /// `None` makes the receiver resolve the union via the directory.
@@ -149,8 +172,8 @@ pub enum ConnMsg {
         search: bool,
         /// Link this edge right after the cut (MST swaps).
         then_link: Option<(Edge, Weight)>,
-        /// Part of a batch's structural phase: signal completion.
-        batched: bool,
+        /// Batch lane of this flow: signal completion with it.
+        lane: Option<u32>,
         /// Owner set of the component being cut, when the sender already
         /// holds it (MST swap flows resolve it once for the whole swap).
         owners: Option<Vec<MachineId>>,
@@ -167,6 +190,9 @@ pub enum ConnMsg {
         owns_parent: bool,
         /// This machine owns >= 1 vertex of the detached (child) side.
         owns_child: bool,
+        /// Batch lane of the cut (echoed from the Apply), so the rendezvous
+        /// folds each lane's reports separately.
+        lane: Option<u32>,
     },
     /// rendezvous -> owner(e.u): link edge `e` (already present as a
     /// non-tree entry at both owners, or about to be created by a swap).
@@ -175,8 +201,8 @@ pub enum ConnMsg {
         e: Edge,
         /// Its weight.
         w: Weight,
-        /// Part of a batch's structural phase: signal completion.
-        batched: bool,
+        /// Batch lane of this flow: signal completion with it.
+        lane: Option<u32>,
         /// Owner set of the component the link will re-merge (the sender —
         /// a cut rendezvous or swap initiator — always knows it).
         owners: Vec<MachineId>,
@@ -230,6 +256,9 @@ pub enum ConnMsg {
     DirFetch {
         /// Component whose owner set is requested.
         comp: CompId,
+        /// Batch lane of the fetching flow, echoed in the reply so the
+        /// requester resumes the right lane's pending continuation.
+        lane: Option<u32>,
     },
     /// root owner -> requester: the component's owner set.
     DirReply {
@@ -237,6 +266,8 @@ pub enum ConnMsg {
         comp: CompId,
         /// Machines owning >= 1 vertex of it (sorted, deduplicated).
         owners: Vec<MachineId>,
+        /// Batch lane of the fetching flow (echoed from the fetch).
+        lane: Option<u32>,
     },
     /// any machine -> root owner of `comp`: install the component's owner
     /// set (sets of size < 2 are erased — the implicit singleton fallback
@@ -438,15 +469,21 @@ pub enum ConnMsg {
         seq: u32,
     },
     /// classifier -> controller: how many updates completed non-structurally
-    /// this round, and which turned out structural (links / tree cuts).
+    /// this round, and which turned out structural (links / tree cuts) —
+    /// each tagged with the pre-batch components it touches, the conflict
+    /// partitioner's input.
     BatchReport {
         /// Updates executed in the concurrent (non-structural) phase.
         done: u32,
-        /// Updates requiring serialized structural processing.
-        structural: Vec<BatchItem>,
+        /// Updates requiring structural processing, with touched components.
+        structural: Vec<StructItem>,
     },
-    /// terminal step -> controller: the in-flight structural item finished.
-    BatchStructDone,
+    /// terminal step -> controller: the lane's in-flight structural item
+    /// finished; dispatch the lane's next item (or retire the lane).
+    BatchStructDone {
+        /// The lane that finished its item.
+        lane: u32,
+    },
 }
 
 impl Payload for ConnMsg {
@@ -483,8 +520,10 @@ impl Payload for ConnMsg {
             ConnMsg::QPathJoin { .. } => 6,
             ConnMsg::BatchStart { items } | ConnMsg::BatchClassify { items } => 1 + 3 * items.len(),
             ConnMsg::BatchInsClassify { .. } => 9,
-            ConnMsg::BatchReport { structural, .. } => 2 + 3 * structural.len(),
-            ConnMsg::BatchStructDone => 1,
+            // 3 per item + the two touched component ids.
+            ConnMsg::BatchReport { structural, .. } => 2 + 5 * structural.len(),
+            // The lane id packs into the op word.
+            ConnMsg::BatchStructDone { .. } => 1,
         }
     }
 }
@@ -500,13 +539,18 @@ mod tests {
             ConnMsg::Insert {
                 e,
                 w: 1,
-                batched: false
+                lane: None
             }
             .size_words()
                 <= 16
         );
         assert!(ConnMsg::Ack.size_words() >= 1);
-        assert_eq!(ConnMsg::Delete { e, batched: false }.size_words(), 2);
+        assert_eq!(ConnMsg::Delete { e, lane: None }.size_words(), 2);
+        // Lane ids pack into the op word: a laned message costs the same.
+        assert_eq!(
+            ConnMsg::Delete { e, lane: Some(7) }.size_words(),
+            ConnMsg::Delete { e, lane: None }.size_words()
+        );
         // The multicast payload itself stays O(1) words: owner sets never
         // travel inside an Apply.
         let b = StructBroadcast {
@@ -525,6 +569,7 @@ mod tests {
             weight: 1,
             cut_mode: CutMode::Remove,
             rendezvous: None,
+            lane: None,
         };
         assert_eq!(ConnMsg::Apply(b).size_words(), 16);
     }
@@ -532,11 +577,19 @@ mod tests {
     #[test]
     fn owner_set_messages_scale_with_set_size() {
         let owners: Vec<MachineId> = (0..7).collect();
-        assert_eq!(ConnMsg::DirFetch { comp: 3 }.size_words(), 2);
+        assert_eq!(
+            ConnMsg::DirFetch {
+                comp: 3,
+                lane: None
+            }
+            .size_words(),
+            2
+        );
         assert_eq!(
             ConnMsg::DirReply {
                 comp: 3,
-                owners: owners.clone()
+                owners: owners.clone(),
+                lane: Some(2)
             }
             .size_words(),
             9
@@ -545,7 +598,7 @@ mod tests {
             ConnMsg::StartLink {
                 e: Edge::new(0, 1),
                 w: 1,
-                batched: false,
+                lane: None,
                 owners
             }
             .size_words(),
@@ -562,7 +615,7 @@ mod tests {
                     f: 0,
                     l: 0
                 },
-                batched: false,
+                lane: None,
                 known_owners: None,
             }
             .size_words(),
@@ -632,14 +685,17 @@ mod tests {
             .size_words(),
             16
         );
+        // Each structural leftover ships its item plus the two touched
+        // component ids (the conflict partitioner's input): 5 words.
+        let s = StructItem { item, ca: 0, cb: 1 };
         assert_eq!(
             ConnMsg::BatchReport {
                 done: 3,
-                structural: vec![item; 2]
+                structural: vec![s; 2]
             }
             .size_words(),
-            8
+            12
         );
-        assert_eq!(ConnMsg::BatchStructDone.size_words(), 1);
+        assert_eq!(ConnMsg::BatchStructDone { lane: 3 }.size_words(), 1);
     }
 }

@@ -1,0 +1,274 @@
+//! Scheduler differential: the conflict-group scheduler against the
+//! serialized controller — one protocol, two phase-2 schedules,
+//! bit-identical everything.
+//!
+//! Both schedulers run the identical per-item structural flow; the conflict
+//! scheduler merely overlaps flows whose pre-batch components are disjoint.
+//! So final states, state digests, query answers and audits must be *equal*
+//! on every workload — mixed read/write streams, adversarial same-component
+//! conflict batches, and chaos runs with a kill landing mid-round inside a
+//! multi-lane batch (the PR 8 epoch fence aborts and retries either
+//! schedule bit-identically). Round counts are where they may — and on
+//! shallow conflict graphs must — differ; see `conflict_scaling` in the
+//! `batch_scaling` bench for the quantitative claim.
+
+use dmpc_connectivity::{ConflictStats, DmpcConnectivity};
+use dmpc_core::{
+    apply_unweighted, run_chaos_stream, run_plain_stream, DmpcParams, DynamicGraphAlgorithm,
+    ElasticAlgorithm, QueryableAlgorithm,
+};
+use dmpc_graph::streams::{self, chunk_stream, QueryMix, TargetDist, Update};
+use dmpc_graph::{Op, Query};
+use dmpc_mpc::{ChaosKind, ChaosPlan, ExecOptions, Scheduler};
+use proptest::prelude::*;
+
+fn pair(n: usize, m_max: usize) -> (DmpcConnectivity, DmpcConnectivity) {
+    let params = DmpcParams::new(n, m_max);
+    (
+        DmpcConnectivity::with_scheduler(params, ExecOptions::default(), Scheduler::Conflict),
+        DmpcConnectivity::with_scheduler(params, ExecOptions::default(), Scheduler::Serialized),
+    )
+}
+
+fn partitions_equal(a: &[u32], b: &[u32]) -> bool {
+    let norm = |labels: &[u32]| {
+        let mut map = std::collections::HashMap::new();
+        labels
+            .iter()
+            .map(|&l| {
+                let next = map.len() as u32;
+                *map.entry(l).or_insert(next)
+            })
+            .collect::<Vec<u32>>()
+    };
+    norm(a) == norm(b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Batched churn streams: both schedulers report the same conflict
+    /// partition, zero violations, and identical digests at every batch
+    /// boundary; the final components match the `DynamicGraph` replay.
+    #[test]
+    fn conflict_equals_serialized_on_churn_batches(seed in 0u64..1u64 << 48) {
+        let n = 48;
+        let (mut con, mut ser) = pair(n, 4 * n);
+        let ups = streams::churn_stream(n, 80, 160, 0.55, seed);
+        let batches = chunk_stream(&ups, 8);
+        for (i, batch) in batches.iter().enumerate() {
+            let bc = con.apply_batch(batch);
+            let bs = ser.apply_batch(batch);
+            prop_assert_eq!(bc.violations, 0, "conflict violations at batch {}", i);
+            prop_assert_eq!(bs.violations, 0, "serialized violations at batch {}", i);
+            // The partition is computed under both schedulers and must agree.
+            prop_assert_eq!(bc.conflict_groups, bs.conflict_groups);
+            prop_assert_eq!(bc.conflict_depth, bs.conflict_depth);
+            // Overlap never hurts: the conflict schedule takes no more
+            // rounds than full serialization.
+            prop_assert!(bc.rounds <= bs.rounds,
+                "conflict {} rounds > serialized {} at batch {}", bc.rounds, bs.rounds, i);
+            prop_assert_eq!(con.state_digest(), ser.state_digest(),
+                "digest diverged at batch {}", i);
+        }
+        prop_assert!(partitions_equal(&con.component_labels(), &ser.component_labels()));
+        let g = streams::replay(n, &ups);
+        prop_assert!(partitions_equal(&con.component_labels(), &g.components()));
+        con.driver().audit().map_err(TestCaseError::fail)?;
+        ser.driver().audit().map_err(TestCaseError::fail)?;
+        con.driver().audit_directory().map_err(TestCaseError::fail)?;
+    }
+
+    /// Mixed read/write streams: interleaving query waves between batches
+    /// yields identical answers under both schedulers.
+    #[test]
+    fn conflict_equals_serialized_on_mixed_streams(seed in 0u64..1u64 << 48) {
+        let n = 40;
+        let (mut con, mut ser) = pair(n, 4 * n);
+        let ops = streams::mixed_stream(
+            n, 160, 50, TargetDist::Uniform, QueryMix::Connectivity, seed,
+        );
+        let mut writes: Vec<Update> = Vec::new();
+        let mut reads: Vec<Query> = Vec::new();
+        let flush = |con: &mut DmpcConnectivity,
+                         ser: &mut DmpcConnectivity,
+                         writes: &mut Vec<Update>,
+                         reads: &mut Vec<Query>|
+         -> Result<(), TestCaseError> {
+            if !writes.is_empty() {
+                con.apply_batch(writes);
+                ser.apply_batch(writes);
+                writes.clear();
+            }
+            if !reads.is_empty() {
+                let (ac, _) = con.answer_queries(reads);
+                let (as_, _) = ser.answer_queries(reads);
+                prop_assert_eq!(ac, as_, "answers diverged");
+                reads.clear();
+            }
+            Ok(())
+        };
+        for op in &ops {
+            match op {
+                Op::Write(u) => {
+                    if !reads.is_empty() {
+                        flush(&mut con, &mut ser, &mut writes, &mut reads)?;
+                    }
+                    writes.push(*u);
+                }
+                Op::Read(q) => {
+                    if !writes.is_empty() {
+                        flush(&mut con, &mut ser, &mut writes, &mut reads)?;
+                    }
+                    reads.push(*q);
+                }
+            }
+        }
+        flush(&mut con, &mut ser, &mut writes, &mut reads)?;
+        prop_assert_eq!(con.state_digest(), ser.state_digest());
+    }
+
+    /// Adversarial all-conflict batches: every structural item of a batch
+    /// lands in the same component, so the partition is one group of full
+    /// depth and the conflict scheduler degenerates to the serialized
+    /// schedule — same rounds, same digests.
+    #[test]
+    fn same_component_batches_serialize_identically(seed in 0u64..1u64 << 48) {
+        let n = 32;
+        let (mut con, mut ser) = pair(n, 4 * n);
+        // One growing path: batch i links vertices 4i..4i+4 onto the
+        // component of vertex 0 — every link touches the same component
+        // chain, so each batch is a single conflict group.
+        let mut batches: Vec<Vec<Update>> = Vec::new();
+        for i in 0..7u32 {
+            let base = 4 * i;
+            batches.push(
+                (0..4)
+                    .map(|j| Update::Insert(dmpc_graph::Edge::new(base + j, base + j + 1)))
+                    .collect(),
+            );
+        }
+        // Seed only shuffles which batch gets a deletion replayed.
+        let del = (seed % 7) as usize;
+        for (i, batch) in batches.iter().enumerate() {
+            let bc = con.apply_batch(batch);
+            let bs = ser.apply_batch(batch);
+            prop_assert_eq!(bc.conflict_groups, 1, "batch {} should be one group", i);
+            prop_assert_eq!(bc.conflict_depth, 4);
+            prop_assert_eq!(bc.max_lanes, 1, "a single group never overlaps");
+            prop_assert_eq!(bc.rounds, bs.rounds,
+                "one lane must cost the same as the serialized schedule");
+            prop_assert_eq!(con.state_digest(), ser.state_digest());
+        }
+        // A tree delete in the middle of the path is also a single group.
+        let e = dmpc_graph::Edge::new(4 * del as u32, 4 * del as u32 + 1);
+        let bc = con.apply_batch(&[Update::Delete(e)]);
+        let bs = ser.apply_batch(&[Update::Delete(e)]);
+        prop_assert_eq!(bc.conflict_groups, 1);
+        prop_assert_eq!(bc.rounds, bs.rounds);
+        prop_assert_eq!(con.state_digest(), ser.state_digest());
+        con.driver().audit().map_err(TestCaseError::fail)?;
+    }
+
+    /// Chaos interleave: a kill firing mid-round inside a multi-lane batch
+    /// aborts the epoch and retries; the recovered digest equals the
+    /// failure-free run under *both* schedulers.
+    #[test]
+    fn mid_flight_kill_in_multi_lane_batch_recovers(seed in 0u64..200u64, r in 1u32..8) {
+        let n = 64;
+        // Disjoint fresh paths per batch: guaranteed multi-lane phase 2.
+        let batches = streams::conflict_batches(n, 4, 2, 3, seed);
+        let target = 1usize; // kill inside the second batch
+        let mk = |s: Scheduler| move || {
+            DmpcConnectivity::with_scheduler(
+                DmpcParams::new(n, 4 * n), ExecOptions::default(), s,
+            )
+        };
+        let plan = ChaosPlan::new(seed).with_event_in_round(target, r, ChaosKind::Kill(1));
+        let plain_c = run_plain_stream(mk(Scheduler::Conflict), apply_unweighted, &batches);
+        let plain_s = run_plain_stream(mk(Scheduler::Serialized), apply_unweighted, &batches);
+        prop_assert_eq!(&plain_c.final_digest, &plain_s.final_digest);
+        let chaos_c = run_chaos_stream(
+            mk(Scheduler::Conflict), apply_unweighted, &batches, &plan, 3,
+        );
+        let chaos_s = run_chaos_stream(
+            mk(Scheduler::Serialized), apply_unweighted, &batches, &plan, 3,
+        );
+        prop_assert_eq!(&chaos_c.final_digest, &plain_c.final_digest,
+            "conflict-scheduled chaos diverged (kill round {})", r);
+        prop_assert_eq!(&chaos_s.final_digest, &plain_s.final_digest,
+            "serialized chaos diverged (kill round {})", r);
+        prop_assert_eq!(chaos_c.workload.violations, 0);
+        prop_assert_eq!(chaos_c.workload.lost_words, 0);
+        prop_assert_eq!(chaos_s.workload.violations, 0);
+    }
+}
+
+/// Deterministic shape check on the known-depth generator driven end to
+/// end: the controller's reported partition matches the generator's
+/// construction, multiple lanes actually overlap, and the conflict
+/// schedule beats full serialization on a shallow conflict graph.
+#[test]
+fn conflict_batches_overlap_and_win() {
+    let n = 128;
+    let (mut con, mut ser) = pair(n, 4 * n);
+    let (groups, depth) = (6, 1);
+    for batch in streams::conflict_batches(n, groups, depth, 3, 11) {
+        let bc = con.apply_batch(&batch);
+        let bs = ser.apply_batch(&batch);
+        assert_eq!(bc.conflict_groups, groups);
+        assert_eq!(bc.conflict_depth, depth);
+        assert!(
+            bc.max_lanes >= 2,
+            "disjoint groups must overlap (max_lanes = {})",
+            bc.max_lanes
+        );
+        assert_eq!(bs.max_lanes, 1, "serialized runs one lane");
+        assert_eq!(
+            bs.conflict_groups, groups,
+            "stats are scheduler-independent"
+        );
+        assert!(
+            bc.rounds < bs.rounds,
+            "overlapping {groups} disjoint groups must beat serialization \
+             ({} vs {} rounds)",
+            bc.rounds,
+            bs.rounds
+        );
+        assert_eq!(bc.violations, 0);
+        assert_eq!(bs.violations, 0);
+        assert_eq!(con.state_digest(), ser.state_digest());
+    }
+    con.driver().audit().unwrap();
+    ser.driver().audit().unwrap();
+}
+
+/// The controller publishes its partition stats through the driver exactly
+/// once per batch run; an unbatched update publishes none.
+#[test]
+fn conflict_stats_surface_in_metrics() {
+    let n = 64;
+    let params = DmpcParams::new(n, 4 * n);
+    let mut alg = DmpcConnectivity::new(params);
+    let batch: Vec<Update> = (0..4)
+        .map(|i| Update::Insert(dmpc_graph::Edge::new(2 * i, 2 * i + 1)))
+        .collect();
+    let bm = alg.apply_batch(&batch);
+    assert_eq!(bm.conflict_groups, 4);
+    assert_eq!(bm.conflict_depth, 1);
+    assert!(bm.max_lanes >= 2);
+    // Single-update runs bypass the batch plane: no stats.
+    let um = alg.insert(dmpc_graph::Edge::new(40, 41));
+    assert!(um.clean());
+    let bm2 = alg.apply_batch(&[Update::Insert(dmpc_graph::Edge::new(50, 51))]);
+    assert_eq!(bm2.conflict_groups, 1);
+    assert_eq!(bm2.conflict_depth, 1);
+    assert_eq!(bm2.max_lanes, 1);
+    // The exported stats type is plain data.
+    let st = ConflictStats {
+        groups: 2,
+        depth: 1,
+        max_lanes: 2,
+    };
+    assert_eq!(st, st.clone());
+}

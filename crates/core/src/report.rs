@@ -90,7 +90,7 @@ pub fn render_table(title: &str, rows: &[TableRow]) -> String {
 /// verbatim and [`batch_from_plain`] round-trips it.
 pub fn batch_to_plain(b: &BatchMetrics) -> String {
     format!(
-        "updates={} rounds={} max_active={} machines_touched={} max_words={} total_words={} total_msgs={} lost_words={} lost_msgs={} violations={}",
+        "updates={} rounds={} max_active={} machines_touched={} max_words={} total_words={} total_msgs={} lost_words={} lost_msgs={} violations={} conflict_groups={} conflict_depth={} max_lanes={}",
         b.updates,
         b.rounds,
         b.max_active_machines,
@@ -100,7 +100,10 @@ pub fn batch_to_plain(b: &BatchMetrics) -> String {
         b.total_messages,
         b.lost_words,
         b.lost_messages,
-        b.violations
+        b.violations,
+        b.conflict_groups,
+        b.conflict_depth,
+        b.max_lanes
     )
 }
 
@@ -128,6 +131,9 @@ pub fn batch_from_plain(s: &str) -> Result<BatchMetrics, String> {
             "lost_words" => b.lost_words = val,
             "lost_msgs" => b.lost_messages = val,
             "violations" => b.violations = val,
+            "conflict_groups" => b.conflict_groups = val,
+            "conflict_depth" => b.conflict_depth = val,
+            "max_lanes" => b.max_lanes = val,
             other => return Err(format!("unknown key {other:?}")),
         }
     }
@@ -285,6 +291,9 @@ mod tests {
             lost_words: 17,
             lost_messages: 3,
             violations: 2,
+            conflict_groups: 7,
+            conflict_depth: 3,
+            max_lanes: 5,
         };
         let line = batch_to_plain(&b);
         assert_eq!(batch_from_plain(&line).unwrap(), b);
@@ -293,6 +302,19 @@ mod tests {
         assert!(batch_from_plain("nope=1").is_err());
         assert!(batch_from_plain("updates").is_err());
         assert!(batch_from_plain("updates=x").is_err());
+    }
+
+    #[test]
+    fn batch_plain_text_reads_pre_conflict_lines() {
+        // Lines written before the conflict-scheduler fields existed
+        // (BENCH_PR2..PR8 reports) parse with the new fields zeroed.
+        let old = "updates=64 rounds=120 max_active=9 machines_touched=14 max_words=210 total_words=9000 total_msgs=1888 lost_words=17 lost_msgs=3 violations=2";
+        let b = batch_from_plain(old).unwrap();
+        assert_eq!(b.updates, 64);
+        assert_eq!(b.violations, 2);
+        assert_eq!(b.conflict_groups, 0);
+        assert_eq!(b.conflict_depth, 0);
+        assert_eq!(b.max_lanes, 0);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Batch conflict partitioner for the conflict-group scheduler.
+//!
+//! A batch of structural updates (links and cuts) can run concurrently
+//! exactly when the items touch disjoint components: structural protocol
+//! flows on vertex-disjoint components never share an owner set, a
+//! directory entry, or a rendezvous, so their message traffic commutes.
+//! [`partition_conflicts`] computes the finest such partition — union-find
+//! over the (pre-batch) component pairs each item touches — and reports the
+//! two quantities that govern batch cost under a conflict-group scheduler:
+//! the number of groups (available parallelism) and the *depth*, the size
+//! of the largest group, which is the serialization floor no scheduler can
+//! beat without reordering semantics.
+
+use crate::unionfind::UnionFind;
+use std::collections::BTreeMap;
+
+/// The conflict partition of one batch's structural items.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConflictPartition {
+    /// Group id per item, parallel to the input slice. Group ids are dense
+    /// `0..groups`, numbered by each group's first appearance in item order,
+    /// so the partition is deterministic for a given input order.
+    pub group_of: Vec<u32>,
+    /// Number of disjoint conflict groups.
+    pub groups: usize,
+    /// Items in the largest group — the conflict-graph depth. Zero for an
+    /// empty batch.
+    pub depth: usize,
+}
+
+/// Partitions structural items into conflict groups.
+///
+/// Each item is described by the pair of component ids it touches: for a
+/// link, the two endpoint components; for a cut, the edge's component
+/// twice. Items land in the same group iff their component pairs are
+/// connected in the conflict graph (the multigraph whose vertices are
+/// component ids and whose edges are the items). Component ids are opaque
+/// — only equality matters — so callers pass whatever id space they have
+/// (the connectivity layer passes Euler-tour component ids).
+pub fn partition_conflicts(touches: &[(u64, u64)]) -> ConflictPartition {
+    // Dense-remap the distinct component ids so union-find can be indexed.
+    let mut dense: BTreeMap<u64, u32> = BTreeMap::new();
+    for &(a, b) in touches {
+        let next = dense.len() as u32;
+        dense.entry(a).or_insert(next);
+        let next = dense.len() as u32;
+        dense.entry(b).or_insert(next);
+    }
+    let mut uf = UnionFind::new(dense.len());
+    for &(a, b) in touches {
+        uf.union(dense[&a], dense[&b]);
+    }
+    // Number groups by first appearance so group 0 holds the earliest item.
+    let mut group_ids: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut group_of = Vec::with_capacity(touches.len());
+    let mut sizes: Vec<usize> = Vec::new();
+    for &(a, _) in touches {
+        let root = uf.find(dense[&a]);
+        let next = group_ids.len() as u32;
+        let g = *group_ids.entry(root).or_insert(next);
+        if g as usize == sizes.len() {
+            sizes.push(0);
+        }
+        sizes[g as usize] += 1;
+        group_of.push(g);
+    }
+    ConflictPartition {
+        group_of,
+        groups: sizes.len(),
+        depth: sizes.iter().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch_has_no_groups() {
+        let p = partition_conflicts(&[]);
+        assert_eq!(p.groups, 0);
+        assert_eq!(p.depth, 0);
+        assert!(p.group_of.is_empty());
+    }
+
+    #[test]
+    fn disjoint_items_get_distinct_groups() {
+        // Four links over eight distinct components: fully parallel.
+        let p = partition_conflicts(&[(0, 1), (2, 3), (4, 5), (6, 7)]);
+        assert_eq!(p.groups, 4);
+        assert_eq!(p.depth, 1);
+        assert_eq!(p.group_of, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_component_chains_items() {
+        // A chain 0-1, 1-2, 2-3 conflicts end to end; 9-10 is free.
+        let p = partition_conflicts(&[(0, 1), (9, 10), (1, 2), (2, 3)]);
+        assert_eq!(p.groups, 2);
+        assert_eq!(p.depth, 3);
+        assert_eq!(p.group_of, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn cuts_touch_one_component_twice() {
+        // Two cuts in the same component conflict; a cut elsewhere does not.
+        let p = partition_conflicts(&[(7, 7), (7, 7), (5, 5)]);
+        assert_eq!(p.groups, 2);
+        assert_eq!(p.depth, 2);
+        assert_eq!(p.group_of, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn group_ids_are_dense_and_first_appearance_ordered() {
+        // Later items joining earlier groups keep the earlier id.
+        let p = partition_conflicts(&[(0, 1), (2, 3), (3, 0)]);
+        assert_eq!(p.groups, 1);
+        assert_eq!(p.depth, 3);
+        assert_eq!(p.group_of, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn opaque_ids_only_compare_for_equality() {
+        let big = u64::MAX;
+        let p = partition_conflicts(&[(big, big - 1), (big - 1, 0)]);
+        assert_eq!(p.groups, 1);
+        assert_eq!(p.depth, 2);
+    }
+}

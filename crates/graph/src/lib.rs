@@ -11,6 +11,9 @@
 //! * [`generators`] — graph and update-stream generators (G(n,m), preferential
 //!   attachment, grids, churn/sliding-window streams).
 //! * [`UnionFind`] — reference connectivity.
+//! * [`conflict`] — the batch conflict partitioner backing the
+//!   conflict-group scheduler (`streams::conflict_batches` generates batches
+//!   with a known conflict depth).
 //! * [`matching`] — matching validity/maximality checks, greedy baselines, and
 //!   the short-augmenting-path detector used by the 3/2-approximation proofs.
 //! * [`maxmatch`] — an Edmonds blossom maximum-matching implementation used to
@@ -32,6 +35,7 @@
 //! assert_eq!(uf.components(), 3);
 //! ```
 
+pub mod conflict;
 pub mod dynamic_graph;
 pub mod generators;
 pub mod matching;
@@ -41,6 +45,7 @@ pub mod queries;
 pub mod streams;
 pub mod unionfind;
 
+pub use conflict::{partition_conflicts, ConflictPartition};
 pub use dynamic_graph::DynamicGraph;
 pub use queries::{Op, Query, QueryAnswer};
 pub use streams::{Update, WeightedUpdate};

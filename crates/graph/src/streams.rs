@@ -275,6 +275,9 @@ pub const SALT_MIXED: u64 = 0x0dd5_7e4d_0dd5_7e4d;
 /// clustered benches over one seed stay uncorrelated).
 pub const SALT_CHAOS: u64 = 0x00c4_a05c_4a05_c4a0;
 
+/// Salt of [`conflict_batches`].
+pub const SALT_CONFLICT: u64 = 0x00c0_4f11_c7ba_7c45;
+
 /// The single seeded-RNG entry point of all stream generators: a
 /// deterministic [`StdRng`] from one user seed, domain-separated by the
 /// generator's salt.
@@ -431,6 +434,57 @@ pub fn chaos_churn_batches(
 ) -> Vec<Vec<Update>> {
     let ups = clustered_churn(n, clusters, m_per_cluster, steps, 0.5, seed, SALT_CHAOS);
     chunk_stream(&ups, k)
+}
+
+/// Batches with a *known* conflict-graph depth, for the conflict-group
+/// scheduler's depth-scaling experiments. Each batch consists of `groups`
+/// vertex-disjoint paths of `depth` link insertions, every path built from
+/// fresh vertices that were singletons before the batch: the conflict
+/// partition of such a batch is exactly `groups` groups of `depth` items
+/// each (consecutive path edges share a vertex, so a path chains into one
+/// group; distinct paths share nothing). Items are interleaved round-robin
+/// across the paths so a scheduler cannot exploit submission order.
+/// Successive batches draw from disjoint vertex pools, so the whole stream
+/// applied to one instance keeps the per-batch partition exact; the pool is
+/// shuffled by the seeded RNG so vertex placement (and thus machine
+/// ownership) varies with the seed. Requires
+/// `groups * (depth + 1) * batches <= n`.
+pub fn conflict_batches(
+    n: usize,
+    groups: usize,
+    depth: usize,
+    batches: usize,
+    seed: u64,
+) -> Vec<Vec<Update>> {
+    assert!(groups >= 1 && depth >= 1 && batches >= 1);
+    let per_batch = groups * (depth + 1);
+    assert!(
+        per_batch * batches <= n,
+        "conflict_batches needs {} fresh vertices but n = {n}",
+        per_batch * batches
+    );
+    let mut rng = stream_rng(seed, SALT_CONFLICT);
+    let mut pool: Vec<V> = (0..n as V).collect();
+    // Fisher-Yates; the vendored rand's slice shuffle is not assumed.
+    for i in (1..pool.len()).rev() {
+        pool.swap(i, rng.gen_range(0..i + 1));
+    }
+    let mut next = 0usize;
+    let mut out = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let paths: Vec<&[V]> = (0..groups)
+            .map(|g| &pool[next + g * (depth + 1)..next + (g + 1) * (depth + 1)])
+            .collect();
+        next += per_batch;
+        let mut batch = Vec::with_capacity(groups * depth);
+        for s in 0..depth {
+            for path in &paths {
+                batch.push(Update::Insert(Edge::new(path[s], path[s + 1])));
+            }
+        }
+        out.push(batch);
+    }
+    out
 }
 
 /// Shared core of [`clustered_churn_stream`] and [`chaos_churn_batches`].
@@ -762,6 +816,53 @@ mod tests {
         // Every deletion in the stream is immediately followed by a reconnect.
         let labels = g.components();
         assert!(labels.iter().all(|&l| l == labels[0]));
+    }
+
+    #[test]
+    fn conflict_batches_have_the_advertised_partition() {
+        // Every vertex is a singleton before its batch (fresh, disjoint
+        // pools), so an insert touches the components named by its own
+        // endpoints — exactly what the connectivity classifier would
+        // report. The partitioner must see `groups` groups of `depth`
+        // items in every batch.
+        for (groups, depth) in [(1, 1), (4, 1), (3, 4), (2, 7)] {
+            let batches = conflict_batches(128, groups, depth, 3, 42);
+            assert_eq!(batches.len(), 3);
+            for batch in &batches {
+                assert_eq!(batch.len(), groups * depth);
+                let touches: Vec<(u64, u64)> = batch
+                    .iter()
+                    .map(|u| {
+                        let e = u.edge();
+                        (u64::from(e.u), u64::from(e.v))
+                    })
+                    .collect();
+                let p = crate::conflict::partition_conflicts(&touches);
+                assert_eq!(p.groups, groups, "groups at depth {depth}");
+                assert_eq!(p.depth, depth, "depth with {groups} groups");
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_batches_pools_are_disjoint_across_batches() {
+        let batches = conflict_batches(64, 2, 3, 4, 7);
+        let mut seen: std::collections::BTreeSet<V> = std::collections::BTreeSet::new();
+        for batch in &batches {
+            let mut mine: std::collections::BTreeSet<V> = std::collections::BTreeSet::new();
+            for u in batch {
+                let e = u.edge();
+                mine.insert(e.u);
+                mine.insert(e.v);
+            }
+            assert!(seen.is_disjoint(&mine), "batches share vertices");
+            seen.extend(mine);
+        }
+        // Round-robin interleave: consecutive items belong to distinct paths.
+        let b0 = &batches[0];
+        let e0 = b0[0].edge();
+        let e1 = b0[1].edge();
+        assert!(!e0.touches(e1.u) && !e0.touches(e1.v));
     }
 
     #[test]

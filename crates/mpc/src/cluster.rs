@@ -19,7 +19,7 @@
 //! and the determinism argument.
 
 use crate::chaos::{ChaosKind, ChaosPlan};
-use crate::machine::{Envelope, Machine, Payload as _};
+use crate::machine::{Envelope, Machine, Payload as _, Scheduler};
 use crate::metrics::{BatchMetrics, RoundMetrics, UpdateMetrics, Violation};
 use crate::parallel::{step_scope, worker_task, Group, StepEnv, WorkerScratch};
 use crate::pool::WorkerPool;
@@ -59,6 +59,10 @@ pub struct ExecOptions {
     /// tracking costs a hash-map update per delivered message, so
     /// timing-focused runs force it off via [`ExecOptions::lean`].
     pub track_flows: Option<bool>,
+    /// How batch pipelines schedule leftover structural items (see
+    /// [`Scheduler`]): conflict-group lanes by default, one serialized lane
+    /// for differential testing. Bit-identical outcomes either way.
+    pub scheduler: Scheduler,
 }
 
 impl Default for ExecOptions {
@@ -68,6 +72,7 @@ impl Default for ExecOptions {
             threads: 0,
             record_per_round: true,
             track_flows: None,
+            scheduler: Scheduler::default(),
         }
     }
 }
@@ -118,6 +123,10 @@ pub struct ClusterConfig {
     /// harnesses read the plan and apply its events between batches, so an
     /// idle plan costs nothing on the executor hot path.
     pub chaos: Option<ChaosPlan>,
+    /// Batch structural scheduler (see [`Scheduler`]). The executor never
+    /// reads this — machine programs running a batch pipeline do — but it
+    /// rides in the config so every driver constructor threads it for free.
+    pub scheduler: Scheduler,
 }
 
 impl Default for ClusterConfig {
@@ -130,6 +139,7 @@ impl Default for ClusterConfig {
             threads: 0,
             record_per_round: true,
             chaos: None,
+            scheduler: Scheduler::default(),
         }
     }
 }
@@ -149,6 +159,7 @@ impl ClusterConfig {
         self.backend = exec.backend;
         self.threads = exec.threads;
         self.record_per_round = exec.record_per_round;
+        self.scheduler = exec.scheduler;
         if let Some(flows) = exec.track_flows {
             self.track_flows = flows;
         }

@@ -77,7 +77,7 @@ pub mod pool;
 
 pub use chaos::{pack_text, unpack_text, ChaosCaps, ChaosEvent, ChaosKind, ChaosPlan, SnapCourier};
 pub use cluster::{Backend, Cluster, ClusterConfig, ExecOptions};
-pub use machine::{Envelope, Layout, Machine, Outbox, Payload, RoundCtx};
+pub use machine::{Envelope, Layout, Machine, Outbox, Payload, RoundCtx, Scheduler};
 pub use metrics::{
     entropy_bits, loglog_slope, AggregateMetrics, BatchMetrics, QueryMetrics, RecoveryMetrics,
     RoundMetrics, UpdateMetrics, Violation,

@@ -198,6 +198,19 @@ pub struct BatchMetrics {
     pub lost_messages: usize,
     /// Capacity violations observed under the combined load.
     pub violations: usize,
+    /// Conflict groups the batch's structural phases partitioned into,
+    /// summed over the batch's runs (0 when no structural phase ran, or for
+    /// drivers that predate the conflict scheduler). Reported for both
+    /// schedulers: `Serialized` still computes the partition it declines to
+    /// exploit.
+    pub conflict_groups: usize,
+    /// Largest conflict group (structural items that must serialize) across
+    /// the batch's runs — the round floor of the conflict scheduler.
+    pub conflict_depth: usize,
+    /// Maximum structural protocol lanes concurrently in flight across the
+    /// batch's runs (1 under `Scheduler::Serialized` whenever a structural
+    /// phase ran).
+    pub max_lanes: usize,
 }
 
 impl BatchMetrics {
@@ -245,6 +258,9 @@ impl BatchMetrics {
         self.lost_words += other.lost_words;
         self.lost_messages += other.lost_messages;
         self.violations += other.violations;
+        self.conflict_groups += other.conflict_groups;
+        self.conflict_depth = self.conflict_depth.max(other.conflict_depth);
+        self.max_lanes = self.max_lanes.max(other.max_lanes);
     }
 
     /// Amortized rounds per update (0 for an empty batch).
