@@ -3,6 +3,7 @@
 overlapping disjoint conflict groups pays off and never changes results.
 
 Usage: check_conflict_scaling.py <conflict.json> [<conflict.json> ...]
+       check_conflict_scaling.py --schema
 
 Per file, depth sweep (16 ops/batch, d in {1,4,16}):
   - conflict and serialized digests are equal at every d (one protocol,
@@ -16,23 +17,34 @@ Per file, depth sweep (16 ops/batch, d in {1,4,16}):
 Per file, mixed 50/50 service cells: digests equal per dist, zero
 violations, conflict never costs extra rounds. Strict gate when n >= 256:
 the clustered (locality-heavy) cell must show serialized/conflict >= 2x.
-"""
 
-import json
+--schema runs a built-in self-test against synthetic documents (no files
+needed), including deliberate regressions that must trip the gate."""
+
 import sys
 
+from gate_common import die, load_json, require
 
-def check(path: str) -> list[str]:
-    d = json.load(open(path))
+
+def check(d: dict, path: str) -> list:
     failures = []
-    tag = f"{path} (n={d['n']})"
+    n = require(d, "n", path, int)
+    tag = f"{path} (n={n})"
 
     by_depth = {}
-    for c in d["depth_sweep"]:
-        by_depth.setdefault(c["depth"], {})[c["scheduler"]] = c
+    for i, c in enumerate(require(d, "depth_sweep", path, list)):
+        ctx = f"{path}: depth_sweep[{i}]"
+        if not isinstance(c, dict):
+            die(f"{ctx}: expected an object")
+        by_depth.setdefault(require(c, "depth", ctx, int), {})[
+            require(c, "scheduler", ctx)
+        ] = c
     prev_rounds = 0
     for depth in sorted(by_depth):
         pair = by_depth[depth]
+        for sched in ("conflict", "serialized"):
+            if sched not in pair:
+                die(f"{tag} d={depth}: missing the {sched} cell")
         con, ser = pair["conflict"], pair["serialized"]
         print(
             f"{tag} d={depth}: conflict {con['rounds']} rounds, "
@@ -61,10 +73,16 @@ def check(path: str) -> list[str]:
         prev_rounds = con["rounds"]
 
     by_dist = {}
-    for c in d["mixed"]:
-        by_dist.setdefault(c["dist"], {})[c["scheduler"]] = c
+    for i, c in enumerate(require(d, "mixed", path, list)):
+        ctx = f"{path}: mixed[{i}]"
+        if not isinstance(c, dict):
+            die(f"{ctx}: expected an object")
+        by_dist.setdefault(require(c, "dist", ctx), {})[require(c, "scheduler", ctx)] = c
     for dist in sorted(by_dist):
         pair = by_dist[dist]
+        for sched in ("conflict", "serialized"):
+            if sched not in pair:
+                die(f"{tag} mixed/{dist}: missing the {sched} cell")
         con, ser = pair["conflict"], pair["serialized"]
         ratio = ser["rounds"] / max(con["rounds"], 1)
         print(
@@ -84,7 +102,7 @@ def check(path: str) -> list[str]:
                 f"{tag} mixed/{dist}: conflict ({con['rounds']}) costs more "
                 f"rounds than serialized ({ser['rounds']})"
             )
-        if dist == "clustered" and d["n"] >= 256 and ser["rounds"] < 2 * con["rounds"]:
+        if dist == "clustered" and n >= 256 and ser["rounds"] < 2 * con["rounds"]:
             failures.append(
                 f"{tag} mixed/clustered: canonical cell ratio {ratio:.2f}x "
                 f"below the 2x gate"
@@ -92,10 +110,75 @@ def check(path: str) -> list[str]:
     return failures
 
 
+def self_test() -> int:
+    """Synthetic pass + deliberate trips proving the gate fires."""
+    import copy
+
+    def cell(sched, depth, rounds, digest=7, ops=16, violations=0):
+        return {
+            "scheduler": sched,
+            "depth": depth,
+            "rounds": rounds,
+            "digest": digest,
+            "ops": ops,
+            "violations": violations,
+        }
+
+    good = {
+        "n": 64,
+        "depth_sweep": [
+            cell("conflict", 1, 4),
+            cell("serialized", 1, 8),
+            cell("conflict", 4, 10),
+            cell("serialized", 4, 16),
+        ],
+        "mixed": [
+            {
+                "scheduler": "conflict",
+                "dist": "clustered",
+                "rounds": 5,
+                "digest": 9,
+                "violations": 0,
+            },
+            {
+                "scheduler": "serialized",
+                "dist": "clustered",
+                "rounds": 12,
+                "digest": 9,
+                "violations": 0,
+            },
+        ],
+    }
+    diverged = copy.deepcopy(good)
+    diverged["depth_sweep"][0]["digest"] = 8
+    flat = copy.deepcopy(good)
+    flat["depth_sweep"][2]["rounds"] = 4
+    weak = copy.deepcopy(good)
+    weak["n"] = 256
+    weak["mixed"][1]["rounds"] = 6
+    for name, doc, want_failure in [
+        ("pass", good, False),
+        ("digest-divergence trip", diverged, True),
+        ("flat-depth trip", flat, True),
+        ("canonical-ratio trip", weak, True),
+    ]:
+        failures = check(doc, "<self-test>")
+        ok = bool(failures) == want_failure
+        print(f"self-test {name}: {'ok' if ok else 'FAILED'}")
+        if not ok:
+            die(f"self-test '{name}' expected failure={want_failure}, got {failures}")
+    print("schema self-test passed")
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--schema":
+        return self_test()
+    if len(sys.argv) < 2:
+        die("usage: check_conflict_scaling.py <conflict.json> [...] | --schema")
     failures = []
     for path in sys.argv[1:]:
-        failures.extend(check(path))
+        failures.extend(check(load_json(path), path))
     if failures:
         print("\nconflict-scaling gate FAILED:")
         for f in failures:

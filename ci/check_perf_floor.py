@@ -27,38 +27,9 @@ documents (no files needed) and exits 0 on success; CI invokes it so a
 schema drift in this script fails loudly even when the bench JSONs are
 healthy."""
 
-import json
 import sys
 
-
-def die(msg: str):
-    print(f"perf gate ERROR: {msg}", file=sys.stderr)
-    sys.exit(2)
-
-
-def load_json(path: str) -> dict:
-    """Loads a JSON object, failing loudly (not with a traceback) on a
-    missing file, malformed JSON, or a non-object top level."""
-    try:
-        with open(path) as f:
-            data = json.load(f)
-    except FileNotFoundError:
-        die(f"{path}: file not found (did the bench run fail silently?)")
-    except json.JSONDecodeError as e:
-        die(f"{path}: malformed JSON ({e})")
-    if not isinstance(data, dict):
-        die(f"{path}: expected a JSON object, got {type(data).__name__}")
-    return data
-
-
-def require(obj: dict, key: str, ctx: str, typ=None):
-    """Fetches obj[key], failing loudly when absent or of the wrong type."""
-    if key not in obj:
-        die(f"{ctx}: missing required key '{key}'")
-    val = obj[key]
-    if typ is not None and not isinstance(val, typ):
-        die(f"{ctx}: key '{key}' should be {typ}, got {type(val).__name__}")
-    return val
+from gate_common import die, load_json, require
 
 
 def pick_host_floors(hosts: dict, cores: str, ctx: str):

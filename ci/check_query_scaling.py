@@ -3,39 +3,96 @@
 waves beat the looped baseline and that no cell violated the model.
 
 Usage: check_query_scaling.py <query_scaling.json>
+       check_query_scaling.py --schema
 
 Checks, per algorithm: the q=256 cell's amortized rounds/query is strictly
 below the q=1 (looped) cell's and at most 3; every sweep and mixed cell
-reports violations == 0."""
+reports violations == 0.
 
-import json
+--schema runs a built-in self-test against synthetic documents (no files
+needed), including deliberate regressions that must trip the gate."""
+
 import sys
 
+from gate_common import die, load_json, require
 
-def main() -> int:
-    d = json.load(open(sys.argv[1]))
-    cells = {(c["alg"], c["q"]): c for c in d["cells"]}
-    assert cells, "no sweep cells emitted"
+
+def check(d: dict, path: str) -> list:
+    cells = {}
+    for i, c in enumerate(require(d, "cells", path, list)):
+        ctx = f"{path}: cells[{i}]"
+        if not isinstance(c, dict):
+            die(f"{ctx}: expected an object")
+        cells[(require(c, "alg", ctx), require(c, "q", ctx, int))] = c
+    if not cells:
+        die(f"{path}: no sweep cells emitted")
     algs = {alg for alg, _ in cells}
     failures = []
     for alg in sorted(algs):
+        for q in (1, 256):
+            if (alg, q) not in cells:
+                die(f"{path}: {alg} is missing the q={q} cell")
         looped = cells[(alg, 1)]
         batched = cells[(alg, 256)]
-        lr, br = looped["amortized_rounds"], batched["amortized_rounds"]
+        ctx = f"{path}: {alg}"
+        lr = require(looped, "amortized_rounds", ctx, (int, float))
+        br = require(batched, "amortized_rounds", ctx, (int, float))
         print(f"{alg}: looped {lr} rounds/query, batched (q=256) {br}")
         if not br < lr:
             failures.append(f"{alg}: batched ({br}) does not strictly beat looped ({lr})")
         if not br <= 3.0:
             failures.append(f"{alg}: batched amortized rounds {br} above 3")
-    for c in d["cells"]:
-        if c["violations"] != 0:
-            failures.append(f"sweep cell {c['alg']}/q={c['q']}: {c['violations']} violations")
-    for m in d.get("mixed", []):
-        if m["violations"] != 0:
+    for (alg, q), c in cells.items():
+        if require(c, "violations", f"{path}: {alg}/q={q}", int) != 0:
+            failures.append(f"sweep cell {alg}/q={q}: {c['violations']} violations")
+    for i, m in enumerate(d.get("mixed", [])):
+        ctx = f"{path}: mixed[{i}]"
+        if require(m, "violations", ctx, int) != 0:
             failures.append(
-                f"mixed cell {m['alg']}/{m['read_pct']}%/{m['dist']}: "
+                f"mixed cell {m.get('alg')}/{m.get('read_pct')}%/{m.get('dist')}: "
                 f"{m['violations']} violations"
             )
+    return failures
+
+
+def self_test() -> int:
+    """Synthetic pass + deliberate trips proving the gate fires."""
+    import copy
+
+    good = {
+        "cells": [
+            {"alg": "connectivity", "q": 1, "amortized_rounds": 2.0, "violations": 0},
+            {"alg": "connectivity", "q": 256, "amortized_rounds": 1.0, "violations": 0},
+        ],
+        "mixed": [
+            {"alg": "connectivity", "read_pct": 50, "dist": "uniform", "violations": 0}
+        ],
+    }
+    slow = copy.deepcopy(good)
+    slow["cells"][1]["amortized_rounds"] = 2.5
+    viol = copy.deepcopy(good)
+    viol["mixed"][0]["violations"] = 1
+    for name, doc, want_failure in [
+        ("pass", good, False),
+        ("batched-not-beating trip", slow, True),
+        ("mixed-violation trip", viol, True),
+    ]:
+        failures = check(doc, "<self-test>")
+        ok = bool(failures) == want_failure
+        print(f"self-test {name}: {'ok' if ok else 'FAILED'}")
+        if not ok:
+            die(f"self-test '{name}' expected failure={want_failure}, got {failures}")
+    print("schema self-test passed")
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--schema":
+        return self_test()
+    if len(sys.argv) < 2:
+        die("usage: check_query_scaling.py <query_scaling.json> | --schema")
+    path = sys.argv[1]
+    failures = check(load_json(path), path)
     if failures:
         print("\nquery smoke FAILED:")
         for f in failures:

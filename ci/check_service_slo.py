@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Service-latency SLO gate: assert from service_scaling JSON(s) that the
+continuous-service front-end is correct, accounted, and within its latency
+budget.
+
+Usage: check_service_slo.py <service.json> [<service.json> ...]
+       check_service_slo.py --schema
+
+Per file (CI passes both the fresh smoke run and the committed canonical
+BENCH_PR10.json):
+  - every cell reports zero model violations and an online digest equal to
+    its offline window replay (digest_match) — the numbers describe a
+    service that computes the same states as the batch plane;
+  - admission accounting balances in every cell:
+    arrived == admitted + shed;
+  - backpressure is exercised and visible: at least one shed cell actually
+    shed (and recorded it), at least one block cell parked arrivals and
+    lost nothing;
+  - amortization: within every (alg, rate, read_pct) steady-arrival group,
+    the windowed policy strictly beats per-op admission on amortized
+    rounds/op;
+  - latency SLO (canonical files only, n >= 256): every no-backpressure
+    cell must have a p99 ceiling in ci/perf_floors.json under
+    "pr10"."p99_rounds_ceiling" (keyed alg/process/rate/read_pct/policy),
+    and max(write_p99_rounds, read_p99_rounds) must stay at or under it.
+    Rounds are simulated and seeded, so the ceilings are host-independent;
+    wall-clock latency is reported but never gated.
+
+--schema runs a built-in self-test against synthetic documents (no files
+needed), including deliberate regressions that must trip the gate."""
+
+import sys
+
+from gate_common import die, load_json, require
+
+FLOORS_PATH = "ci/perf_floors.json"
+CANONICAL_N = 256
+
+
+def cell_key(c: dict) -> str:
+    return (
+        f"{c['alg']}/{c['process']}/{c['rate']:g}/{c['read_pct']}/{c['policy']}"
+    )
+
+
+def check(d: dict, path: str, pr10: dict) -> list:
+    failures = []
+    n = require(d, "n", path, int)
+    tag = f"{path} (n={n})"
+    cells = require(d, "cells", path, list)
+    if not cells:
+        die(f"{tag}: no cells emitted")
+
+    groups = {}
+    saw_shed = saw_block = False
+    ceilings = require(pr10, "p99_rounds_ceiling", f"{FLOORS_PATH}: pr10", dict)
+    for i, c in enumerate(cells):
+        ctx = f"{path}: cells[{i}]"
+        if not isinstance(c, dict):
+            die(f"{ctx}: expected an object")
+        for k in ("alg", "process", "policy", "backpressure"):
+            require(c, k, ctx, str)
+        for k in ("arrived", "admitted", "shed", "violations", "read_pct"):
+            require(c, k, ctx, int)
+        require(c, "rate", ctx, (int, float))
+        key = cell_key(c)
+
+        if c["violations"] != 0:
+            failures.append(f"{tag} {key}: {c['violations']} model violations")
+        if require(c, "digest_match", ctx) is not True:
+            failures.append(f"{tag} {key}: online digest != offline window replay")
+        if c["arrived"] != c["admitted"] + c["shed"]:
+            failures.append(
+                f"{tag} {key}: admission accounting broken "
+                f"({c['arrived']} arrived != {c['admitted']} admitted + {c['shed']} shed)"
+            )
+
+        bp = c["backpressure"]
+        if bp == "shed":
+            saw_shed = True
+            if c["shed"] == 0:
+                failures.append(f"{tag} {key}: shed cell shed nothing")
+        elif bp == "block":
+            saw_block = True
+            if c["shed"] != 0 or c["admitted"] != c["arrived"]:
+                failures.append(f"{tag} {key}: block cell lost ops")
+            if require(c, "peak_parked", ctx, int) == 0:
+                failures.append(f"{tag} {key}: block cell never parked")
+        elif bp == "none":
+            if c["process"] == "steady":
+                groups.setdefault((c["alg"], c["rate"], c["read_pct"]), {})[
+                    c["policy"]
+                ] = c
+            if n >= CANONICAL_N:
+                w99 = require(c, "write_p99_rounds", ctx, (int, float))
+                r99 = require(c, "read_p99_rounds", ctx, (int, float))
+                p99 = max(w99, r99)
+                ceiling = ceilings.get(key)
+                if ceiling is None:
+                    failures.append(
+                        f"{tag} {key}: canonical cell has no p99 ceiling in "
+                        f"{FLOORS_PATH} (add one from the fresh run + headroom)"
+                    )
+                    continue
+                verdict = "ok" if p99 <= ceiling else "OVER SLO"
+                print(f"  {key}: p99 {p99:g} rounds (ceiling {ceiling}) {verdict}")
+                if p99 > ceiling:
+                    failures.append(
+                        f"{tag} {key}: p99 {p99:g} rounds over the {ceiling} ceiling"
+                    )
+        else:
+            die(f"{ctx}: unknown backpressure mode {bp!r}")
+
+    if not saw_shed:
+        failures.append(f"{tag}: no shed backpressure cell in the sweep")
+    if not saw_block:
+        failures.append(f"{tag}: no block backpressure cell in the sweep")
+
+    for (alg, rate, pct), pair in sorted(groups.items()):
+        for policy in ("per_op", "windowed"):
+            if policy not in pair:
+                die(f"{tag} {alg}/steady/{rate:g}/{pct}: missing the {policy} cell")
+        po = require(
+            pair["per_op"], "amortized_rounds_per_op", tag, (int, float)
+        )
+        wi = require(
+            pair["windowed"], "amortized_rounds_per_op", tag, (int, float)
+        )
+        print(
+            f"  {alg} rate={rate:g} reads={pct}%: per-op {po:.3f} rounds/op, "
+            f"windowed {wi:.3f}"
+        )
+        if not wi < po:
+            failures.append(
+                f"{tag} {alg}/steady/{rate:g}/{pct}: windowed ({wi}) does not "
+                f"beat per-op ({po}) on amortized rounds/op"
+            )
+    return failures
+
+
+def self_test() -> int:
+    """Synthetic pass + deliberate trips proving the gate fires."""
+    import copy
+
+    def cell(policy, amort, bp="none", **kw):
+        c = {
+            "alg": "connectivity",
+            "process": "steady",
+            "rate": 2.0,
+            "read_pct": 50,
+            "policy": policy,
+            "backpressure": bp,
+            "arrived": 100,
+            "admitted": 100,
+            "shed": 0,
+            "violations": 0,
+            "digest_match": True,
+            "amortized_rounds_per_op": amort,
+            "write_p99_rounds": 20.0,
+            "read_p99_rounds": 18.0,
+            "peak_parked": 0,
+        }
+        c.update(kw)
+        return c
+
+    pr10 = {"p99_rounds_ceiling": {"connectivity/steady/2/50/per_op": 30,
+                                   "connectivity/steady/2/50/windowed": 101}}
+    good = {
+        "n": 256,
+        "cells": [
+            cell("per_op", 4.6),
+            cell("windowed", 2.6, write_p99_rounds=67.0, read_p99_rounds=67.0),
+            cell("windowed", 0.3, bp="shed", rate=16.0, read_pct=100,
+                 arrived=100, admitted=60, shed=40),
+            cell("windowed", 2.8, bp="block", rate=16.0, peak_parked=30),
+        ],
+    }
+    diverged = copy.deepcopy(good)
+    diverged["cells"][0]["digest_match"] = False
+    unbalanced = copy.deepcopy(good)
+    unbalanced["cells"][2]["shed"] = 10
+    no_win = copy.deepcopy(good)
+    no_win["cells"][1]["amortized_rounds_per_op"] = 5.0
+    over = copy.deepcopy(good)
+    over["cells"][1]["write_p99_rounds"] = 150.0
+    unkeyed = copy.deepcopy(good)
+    unkeyed["cells"][1]["rate"] = 3.0
+    unkeyed["cells"][0]["rate"] = 3.0
+    for name, doc, want_failure in [
+        ("pass", good, False),
+        ("digest trip", diverged, True),
+        ("accounting trip", unbalanced, True),
+        ("amortization trip", no_win, True),
+        ("slo trip", over, True),
+        ("missing-ceiling trip", unkeyed, True),
+    ]:
+        failures = check(doc, "<self-test>", pr10)
+        ok = bool(failures) == want_failure
+        print(f"self-test {name}: {'ok' if ok else 'FAILED'}")
+        if not ok:
+            die(f"self-test '{name}' expected failure={want_failure}, got {failures}")
+    print("schema self-test passed")
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--schema":
+        return self_test()
+    if len(sys.argv) < 2:
+        die("usage: check_service_slo.py <service.json> [...] | --schema")
+    spec = load_json(FLOORS_PATH)
+    pr10 = require(spec, "pr10", FLOORS_PATH, dict)
+    failures = []
+    for path in sys.argv[1:]:
+        failures.extend(check(load_json(path), path, pr10))
+    if failures:
+        print("\nservice SLO gate FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("service SLO gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

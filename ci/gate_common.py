@@ -1,0 +1,50 @@
+"""Shared plumbing for the CI bench gates.
+
+Every gate script loads one or more bench JSONs and fails loudly — exit 2
+with a one-line reason on stderr, never a traceback — when a file is
+missing, malformed, or schema-drifted. That boilerplate lived copy-pasted
+in each gate; it now lives here so a fix (or a new failure mode) lands in
+every gate at once.
+
+Conventions:
+
+* exit 2 = the gate could not run (missing/was-never-written/mis-shaped
+  input) — distinct from exit 1 = the gate ran and the numbers failed.
+* ``require`` is the schema check: every key a gate reads from a bench
+  document goes through it, so a renamed field fails with the document
+  path and key, not a KeyError three frames deep.
+"""
+
+import json
+import sys
+
+
+def die(msg: str):
+    """Exit 2 with a one-line reason: the gate could not run."""
+    print(f"gate ERROR: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path: str) -> dict:
+    """Loads a JSON object, failing loudly (not with a traceback) on a
+    missing file, malformed JSON, or a non-object top level."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        die(f"{path}: file not found (did the bench run fail silently?)")
+    except json.JSONDecodeError as e:
+        die(f"{path}: malformed JSON ({e})")
+    if not isinstance(data, dict):
+        die(f"{path}: expected a JSON object, got {type(data).__name__}")
+    return data
+
+
+def require(obj: dict, key: str, ctx: str, typ=None):
+    """Fetches obj[key], failing loudly when absent or of the wrong type."""
+    if key not in obj:
+        die(f"{ctx}: missing required key '{key}'")
+    val = obj[key]
+    if typ is not None and not isinstance(val, typ):
+        die(f"{ctx}: key '{key}' should be {typ}, got {type(val).__name__}")
+    return val

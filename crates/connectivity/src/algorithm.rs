@@ -835,6 +835,10 @@ impl DynamicGraphAlgorithm for DmpcConnectivity {
         self.driver.cluster.resident_words()
     }
 
+    fn admission_budget(&self) -> Option<usize> {
+        Some(self.driver.batch_chunk())
+    }
+
     fn insert(&mut self, e: Edge) -> UpdateMetrics {
         let to = self.driver.owner(e.u);
         self.driver.run(
@@ -973,6 +977,10 @@ impl QueryableAlgorithm for DmpcMst {
 impl WeightedDynamicGraphAlgorithm for DmpcMst {
     fn name(&self) -> &'static str {
         "dmpc-mst"
+    }
+
+    fn admission_budget(&self) -> Option<usize> {
+        Some(self.driver.batch_chunk())
     }
 
     fn insert(&mut self, e: Edge, w: Weight) -> UpdateMetrics {

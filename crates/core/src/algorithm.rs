@@ -121,6 +121,15 @@ pub trait DynamicGraphAlgorithm: QueryableAlgorithm {
     fn resident_words(&self) -> usize {
         0
     }
+
+    /// The largest batch of updates the algorithm's machine program admits
+    /// as one unit of work under the send-cap budget (`None`: no
+    /// driver-imposed bound). The service front-end caps its admission
+    /// windows at this budget so a closed window never outruns what one
+    /// chunked [`Self::apply_batch`] round trip can carry.
+    fn admission_budget(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// A fully-dynamic distributed algorithm on weighted graphs (the MST
@@ -149,6 +158,12 @@ pub trait WeightedDynamicGraphAlgorithm: QueryableAlgorithm {
     /// [`DynamicGraphAlgorithm::apply_batch`] for the override contract.
     fn apply_batch(&mut self, updates: &[WeightedUpdate]) -> BatchMetrics {
         apply_weighted_batch_looped(self, updates)
+    }
+
+    /// Largest admissible batch under the send-cap budget; see
+    /// [`DynamicGraphAlgorithm::admission_budget`].
+    fn admission_budget(&self) -> Option<usize> {
+        None
     }
 }
 
@@ -219,5 +234,14 @@ mod tests {
         assert_eq!((d.inserts, d.deletes), (2, 1));
         assert_eq!(b.updates, 3);
         assert!(b.clean());
+    }
+
+    #[test]
+    fn default_admission_budget_is_unbounded() {
+        let d = Dummy {
+            inserts: 0,
+            deletes: 0,
+        };
+        assert_eq!(d.admission_budget(), None);
     }
 }

@@ -6,6 +6,8 @@
 //! * [`Edge`], [`Update`] — the update-stream vocabulary shared by all crates.
 //! * [`Query`], [`QueryAnswer`], [`Op`] — the read-side vocabulary and mixed
 //!   read/write workload streams (`streams::mixed_stream`).
+//! * [`arrivals`] — clocked arrival processes (steady, bursty, diurnal) that
+//!   pin an op stream to simulated-clock ticks for the online service loop.
 //! * [`DynamicGraph`] — a simple adjacency-set dynamic graph used as ground
 //!   truth during verification.
 //! * [`generators`] — graph and update-stream generators (G(n,m), preferential
@@ -35,6 +37,7 @@
 //! assert_eq!(uf.components(), 3);
 //! ```
 
+pub mod arrivals;
 pub mod conflict;
 pub mod dynamic_graph;
 pub mod generators;
@@ -45,6 +48,7 @@ pub mod queries;
 pub mod streams;
 pub mod unionfind;
 
+pub use arrivals::{arrival_trace, Arrival, ArrivalProcess};
 pub use conflict::{partition_conflicts, ConflictPartition};
 pub use dynamic_graph::DynamicGraph;
 pub use queries::{Op, Query, QueryAnswer};

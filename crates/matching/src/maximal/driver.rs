@@ -503,6 +503,13 @@ impl DynamicGraphAlgorithm for DmpcMaximalMatching {
         self.cluster.resident_words()
     }
 
+    fn admission_budget(&self) -> Option<usize> {
+        // The batched coordinator program's chunk bound (see apply_batch);
+        // the looped 3/2 mode has no batching to protect, so any window
+        // size is admissible there too.
+        Some((self.params.sqrt_n() / 4).max(1))
+    }
+
     fn insert(&mut self, e: Edge) -> UpdateMetrics {
         self.cluster.inject(COORDINATOR, MatchMsg::Insert(e));
         self.cluster.run_update()

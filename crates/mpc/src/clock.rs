@@ -1,0 +1,173 @@
+//! The simulated service clock and exact latency histograms.
+//!
+//! The service front-end is deterministic end-to-end, so its clock is a
+//! plain tick counter ([`SimClock`]): ticks advance only when the harness
+//! says so, never from wall time. Latency is metered in three units —
+//! simulator rounds, clock ticks, and wall-clock seconds — and each unit
+//! aggregates into a [`LatencyStats`], which keeps the raw samples and
+//! reports exact nearest-rank percentiles (no bucketing error at the
+//! sample counts a service run produces).
+
+/// Deterministic simulated clock: a monotone tick counter. One tick is one
+/// admission opportunity of the service loop — arrivals land on ticks and
+/// window deadlines are measured in ticks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now: u64,
+}
+
+impl SimClock {
+    /// A clock at tick 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances by one tick and returns the new time.
+    pub fn tick(&mut self) -> u64 {
+        self.now += 1;
+        self.now
+    }
+
+    /// Advances by `ticks` at once (idle fast-forward between arrivals).
+    pub fn advance(&mut self, ticks: u64) {
+        self.now += ticks;
+    }
+}
+
+/// An exact latency histogram: stores every recorded sample and answers
+/// nearest-rank percentiles over the sorted set. Samples are `f64` so one
+/// type serves rounds (integral), ticks (integral), and wall-clock seconds.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    samples: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, sample: f64) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Nearest-rank percentile `p` in `(0, 100]` (0 when empty): the
+    /// smallest sample such that at least `p`% of samples are `<=` it.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Median (nearest rank).
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile (nearest rank).
+    pub fn p90(&self) -> f64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile (nearest rank).
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Absorbs another histogram's samples.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_ticks_monotonically() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.tick(), 1);
+        c.advance(9);
+        assert_eq!(c.now(), 10);
+    }
+
+    #[test]
+    fn empty_stats_report_zero() {
+        let s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.p99(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact() {
+        let mut s = LatencyStats::new();
+        for v in 1..=100 {
+            s.record(v as f64);
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.p50(), 50.0);
+        assert_eq!(s.p90(), 90.0);
+        assert_eq!(s.p99(), 99.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.max(), 100.0);
+        assert_eq!(s.mean(), 50.5);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut s = LatencyStats::new();
+        s.record(7.0);
+        assert_eq!(s.p50(), 7.0);
+        assert_eq!(s.p99(), 7.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        a.record(1.0);
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 3.0);
+    }
+}

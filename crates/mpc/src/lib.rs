@@ -69,6 +69,7 @@
 //! ```
 
 pub mod chaos;
+pub mod clock;
 pub mod cluster;
 pub mod machine;
 pub mod metrics;
@@ -76,6 +77,7 @@ pub mod parallel;
 pub mod pool;
 
 pub use chaos::{pack_text, unpack_text, ChaosCaps, ChaosEvent, ChaosKind, ChaosPlan, SnapCourier};
+pub use clock::{LatencyStats, SimClock};
 pub use cluster::{Backend, Cluster, ClusterConfig, ExecOptions};
 pub use machine::{Envelope, Layout, Machine, Outbox, Payload, RoundCtx, Scheduler};
 pub use metrics::{

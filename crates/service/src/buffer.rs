@@ -1,0 +1,181 @@
+//! The bounded admission buffer and its backpressure policies.
+//!
+//! Arrivals are *offered* to the buffer. While it has room they are
+//! admitted FIFO; when it is full the configured [`BackpressurePolicy`]
+//! decides what happens — and in both cases the outcome is explicit and
+//! observable, never silent loss.
+
+use dmpc_graph::Op;
+use std::collections::VecDeque;
+
+/// What happens when an arrival finds the admission buffer full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Drop the op and record it in the report's shed log — the service
+    /// sheds load visibly (`arrived == admitted + shed` always holds).
+    Shed,
+    /// Park the op in an unbounded ingress queue; parked ops move into the
+    /// buffer in arrival order as windows drain. Models clients blocking
+    /// on a full socket: nothing is lost, latency absorbs the pressure.
+    Block,
+}
+
+/// One shed op, recorded so load shedding is auditable (the CI gate
+/// checks `arrived == admitted + shed.len()`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShedRecord {
+    /// Tick the op arrived (and was shed).
+    pub tick: u64,
+    /// The dropped op.
+    pub op: Op,
+}
+
+/// Outcome of offering one arrival to the buffer.
+#[derive(Debug, PartialEq)]
+pub enum Offer<T> {
+    /// The op entered the bounded buffer.
+    Admitted,
+    /// Buffer full under [`BackpressurePolicy::Block`]: parked in the
+    /// ingress queue.
+    Blocked,
+    /// Buffer full under [`BackpressurePolicy::Shed`]: the op is handed
+    /// back for the caller to record.
+    Shed(T),
+}
+
+/// A bounded FIFO admission buffer with an optional blocked-ingress queue.
+#[derive(Clone, Debug)]
+pub struct AdmissionBuffer<T> {
+    cap: usize,
+    policy: BackpressurePolicy,
+    queue: VecDeque<T>,
+    parked: VecDeque<T>,
+}
+
+impl<T> AdmissionBuffer<T> {
+    /// An empty buffer holding at most `cap` ops (>= 1).
+    pub fn new(cap: usize, policy: BackpressurePolicy) -> Self {
+        assert!(cap >= 1, "the admission buffer must hold at least one op");
+        AdmissionBuffer {
+            cap,
+            policy,
+            queue: VecDeque::new(),
+            parked: VecDeque::new(),
+        }
+    }
+
+    /// Offers one arrival. Parked ops keep strict arrival order ahead of
+    /// it: a new arrival is parked whenever the ingress queue is nonempty,
+    /// even if the buffer itself has room.
+    pub fn offer(&mut self, item: T) -> Offer<T> {
+        if self.queue.len() < self.cap && self.parked.is_empty() {
+            self.queue.push_back(item);
+            return Offer::Admitted;
+        }
+        match self.policy {
+            BackpressurePolicy::Shed => Offer::Shed(item),
+            BackpressurePolicy::Block => {
+                self.parked.push_back(item);
+                Offer::Blocked
+            }
+        }
+    }
+
+    /// Moves parked ops into the buffer while there is room (called after
+    /// a window drains).
+    pub fn refill(&mut self) {
+        while self.queue.len() < self.cap {
+            match self.parked.pop_front() {
+                Some(item) => self.queue.push_back(item),
+                None => break,
+            }
+        }
+    }
+
+    /// Ops currently in the bounded buffer.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when the bounded buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Ops parked in the blocked-ingress queue.
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// True when both the buffer and the ingress queue are empty — the
+    /// service loop's termination condition.
+    pub fn fully_drained(&self) -> bool {
+        self.queue.is_empty() && self.parked.is_empty()
+    }
+
+    /// The oldest buffered op (deadline accounting).
+    pub fn front(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    /// Removes and returns the oldest `k` buffered ops (fewer if the
+    /// buffer holds fewer).
+    pub fn drain_front(&mut self, k: usize) -> Vec<T> {
+        let k = k.min(self.queue.len());
+        self.queue.drain(..k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_hands_the_overflow_back() {
+        let mut b: AdmissionBuffer<u32> = AdmissionBuffer::new(2, BackpressurePolicy::Shed);
+        assert_eq!(b.offer(1), Offer::Admitted);
+        assert_eq!(b.offer(2), Offer::Admitted);
+        assert_eq!(b.offer(3), Offer::Shed(3));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.parked_len(), 0);
+    }
+
+    #[test]
+    fn block_parks_and_refills_in_order() {
+        let mut b: AdmissionBuffer<u32> = AdmissionBuffer::new(2, BackpressurePolicy::Block);
+        for v in 1..=5 {
+            b.offer(v);
+        }
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.parked_len(), 3);
+        assert_eq!(b.drain_front(2), vec![1, 2]);
+        b.refill();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.parked_len(), 1);
+        // Arrival order is preserved across the parked queue.
+        assert_eq!(b.drain_front(2), vec![3, 4]);
+        b.refill();
+        assert_eq!(b.drain_front(2), vec![5]);
+        assert!(b.fully_drained());
+    }
+
+    #[test]
+    fn parked_ops_keep_priority_over_new_arrivals() {
+        let mut b: AdmissionBuffer<u32> = AdmissionBuffer::new(1, BackpressurePolicy::Block);
+        b.offer(1);
+        b.offer(2); // parked
+        b.drain_front(1);
+        // Buffer has room but 2 is still parked: 3 must queue behind it.
+        assert_eq!(b.offer(3), Offer::Blocked);
+        b.refill();
+        assert_eq!(b.drain_front(1), vec![2]);
+    }
+
+    #[test]
+    fn drain_front_is_clamped() {
+        let mut b: AdmissionBuffer<u32> = AdmissionBuffer::new(4, BackpressurePolicy::Shed);
+        b.offer(7);
+        assert_eq!(b.drain_front(10), vec![7]);
+        assert!(b.fully_drained());
+    }
+}

@@ -1,0 +1,84 @@
+//! The window-close policy: buffered ops coalesce into batch/wave windows
+//! that close on **size or deadline**, whichever fires first.
+
+use dmpc_graph::Op;
+
+/// When an admission window closes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowPolicy {
+    /// Close as soon as this many ops are buffered (>= 1). The service loop
+    /// additionally caps windows at the algorithm's `admission_budget`, so
+    /// a closed window never outruns what one chunked batch round trip can
+    /// carry under the send-cap budget.
+    pub max_ops: usize,
+    /// Close when the oldest buffered op has waited this many ticks
+    /// (0: every tick with a nonempty buffer closes a window).
+    pub deadline_ticks: u64,
+}
+
+impl WindowPolicy {
+    /// The per-op baseline: every op is admitted alone, the moment it
+    /// arrives — no batching, no amortization.
+    pub fn per_op() -> Self {
+        WindowPolicy {
+            max_ops: 1,
+            deadline_ticks: 0,
+        }
+    }
+
+    /// A size-or-deadline window. Panics when `max_ops` is 0.
+    pub fn windowed(max_ops: usize, deadline_ticks: u64) -> Self {
+        assert!(max_ops >= 1, "a window must admit at least one op");
+        WindowPolicy {
+            max_ops,
+            deadline_ticks,
+        }
+    }
+}
+
+/// Why a window closed. The service loop checks the size rule first, so
+/// when size and deadline fire on the same tick the close reason is
+/// deterministically [`CloseReason::Size`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The buffer reached the window cap.
+    Size,
+    /// The oldest buffered op hit its deadline. A deadline never fires on
+    /// an empty buffer: an idle tick is a no-op, not an empty window.
+    Deadline,
+}
+
+/// One closed admission window: the coalesced unit of work the service
+/// executed, recorded so an offline replay can re-run the identical
+/// windows (`service::replay_windows`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowRecord {
+    /// Zero-based window sequence number (chaos plans key on this).
+    pub index: usize,
+    /// Arrival tick of the window's oldest op.
+    pub opened_tick: u64,
+    /// Tick the window closed and executed.
+    pub closed_tick: u64,
+    /// Which rule closed it.
+    pub reason: CloseReason,
+    /// The admitted ops, in arrival order; never empty.
+    pub ops: Vec<Op>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_op_policy_is_one_op_zero_wait() {
+        let p = WindowPolicy::per_op();
+        assert_eq!(p.max_ops, 1);
+        assert_eq!(p.deadline_ticks, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn zero_size_window_is_rejected() {
+        let _ = WindowPolicy::windowed(0, 4);
+    }
+}

@@ -1,0 +1,221 @@
+//! Online == offline: the service loop over any seeded arrival trace must
+//! produce state digests, query answers, and audits bit-identical to an
+//! offline replay of the same coalesced windows — for connectivity, MST,
+//! and matching, and with a chaos plan armed.
+//!
+//! This is the PR 3/4/9 digest-differential pattern pointed at the service
+//! plane: the clock and the admission policy may only decide *where*
+//! windows close, never what a closed window computes.
+
+use dmpc_connectivity::{DmpcConnectivity, DmpcMst};
+use dmpc_core::DmpcParams;
+use dmpc_graph::arrivals::{arrival_trace, ArrivalProcess};
+use dmpc_graph::streams::{self, QueryMix, TargetDist};
+use dmpc_graph::{Op, Update};
+use dmpc_matching::DmpcMaximalMatching;
+use dmpc_mpc::{ChaosKind, ChaosPlan};
+use dmpc_service::{
+    replay_windows, run_service, run_service_chaos, BackpressurePolicy, ServiceConfig,
+    UnweightedService, WeightedEdgeService, WindowPolicy,
+};
+use proptest::prelude::*;
+
+/// The three arrival shapes, picked by the proptest case.
+fn process_for(pick: u64) -> ArrivalProcess {
+    match pick % 3 {
+        0 => ArrivalProcess::Steady { ops_per_tick: 2.0 },
+        1 => ArrivalProcess::Bursty {
+            base: 0.5,
+            burst: 6.0,
+            period: 12,
+            burst_len: 3,
+        },
+        _ => ArrivalProcess::Diurnal {
+            low: 0.5,
+            high: 5.0,
+            period: 24,
+        },
+    }
+}
+
+/// Equivalence runs use a buffer big enough that nothing sheds: the claim
+/// covers every op of the trace.
+fn cfg(max_ops: usize, deadline: u64) -> ServiceConfig {
+    ServiceConfig {
+        window: WindowPolicy::windowed(max_ops, deadline),
+        buffer_cap: 4096,
+        backpressure: BackpressurePolicy::Shed,
+        ..ServiceConfig::default()
+    }
+}
+
+fn writes_of(ops: &[Op]) -> Vec<Update> {
+    ops.iter()
+        .filter_map(|o| match o {
+            Op::Write(u) => Some(*u),
+            Op::Read(_) => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Connectivity: digests, answers, and per-plane metrics all match the
+    /// offline replay; the replayed state passes the deep audits.
+    #[test]
+    fn connectivity_online_equals_offline(seed in 0u64..1u64 << 48, pick in 0u64..3) {
+        let n = 40;
+        let params = DmpcParams::new(n, 4 * n);
+        let ops = streams::mixed_stream(
+            n, 120, 40, TargetDist::Uniform, QueryMix::Connectivity, seed,
+        );
+        let trace = arrival_trace(&ops, process_for(pick), seed);
+        let make = || UnweightedService::new(DmpcConnectivity::new(params));
+        let rep = run_service(make, &trace, &cfg(8, 3));
+        prop_assert_eq!(rep.violations(), 0);
+        prop_assert_eq!(rep.arrived, ops.len());
+        prop_assert_eq!(rep.admitted, ops.len(), "nothing may shed in equivalence runs");
+        let mut fresh = make();
+        let off = replay_windows(&mut fresh, &rep.windows);
+        prop_assert_eq!(off.final_digest, rep.final_digest, "online digest != offline replay");
+        prop_assert_eq!(&off.answers, &rep.answers, "answers diverged");
+        prop_assert_eq!(off.writes.updates, rep.writes.updates);
+        prop_assert_eq!(off.writes.rounds, rep.writes.rounds);
+        prop_assert_eq!(off.reads.rounds, rep.reads.rounds);
+        fresh.inner.driver().audit().map_err(TestCaseError::fail)?;
+        fresh.inner.driver().audit_directory().map_err(TestCaseError::fail)?;
+    }
+
+    /// MST through the weighted adapter: derived edge weights are a pure
+    /// function of the edge, so online and offline see identical weighted
+    /// updates and the replayed forest passes the invariant audit.
+    #[test]
+    fn mst_online_equals_offline(seed in 0u64..1u64 << 48, pick in 0u64..3) {
+        let n = 32;
+        let params = DmpcParams::new(n, 4 * n);
+        let ops = streams::mixed_stream(n, 100, 40, TargetDist::Uniform, QueryMix::Mst, seed);
+        let trace = arrival_trace(&ops, process_for(pick), seed);
+        let make = || WeightedEdgeService::new(DmpcMst::new(params, 0.1), 64, 7);
+        let rep = run_service(make, &trace, &cfg(6, 4));
+        prop_assert_eq!(rep.violations(), 0);
+        let mut fresh = make();
+        let off = replay_windows(&mut fresh, &rep.windows);
+        prop_assert_eq!(off.final_digest, rep.final_digest, "MST online digest != offline");
+        prop_assert_eq!(&off.answers, &rep.answers);
+        prop_assert_eq!(off.writes.rounds, rep.writes.rounds);
+        fresh.inner.driver().audit().map_err(TestCaseError::fail)?;
+    }
+
+    /// Matching: the replayed state audits clean against the ground-truth
+    /// graph of the admitted writes.
+    #[test]
+    fn matching_online_equals_offline(seed in 0u64..1u64 << 48, pick in 0u64..3) {
+        let n = 32;
+        let params = DmpcParams::new(n, 4 * n);
+        let ops = streams::mixed_stream(
+            n, 100, 40, TargetDist::Uniform, QueryMix::Matching, seed,
+        );
+        let trace = arrival_trace(&ops, process_for(pick), seed);
+        let make = || UnweightedService::new(DmpcMaximalMatching::new(params));
+        let rep = run_service(make, &trace, &cfg(8, 3));
+        prop_assert_eq!(rep.violations(), 0);
+        let mut fresh = make();
+        let off = replay_windows(&mut fresh, &rep.windows);
+        prop_assert_eq!(off.final_digest, rep.final_digest, "matching online digest != offline");
+        prop_assert_eq!(&off.answers, &rep.answers);
+        let g = streams::replay(n, &writes_of(&ops));
+        fresh.inner.audit(&g).map_err(TestCaseError::fail)?;
+    }
+
+    /// Chaos-armed service: a mid-flight kill inside a window's write epoch
+    /// aborts and retries; digests/answers equal the failure-free run and
+    /// the offline replay, and aborted rounds never leak into workload
+    /// metrics (only into latency).
+    #[test]
+    fn chaos_armed_connectivity_matches_failure_free(
+        seed in 0u64..200u64, r in 1u32..6, target in 0usize..4,
+    ) {
+        let n = 48;
+        let params = DmpcParams::new(n, 4 * n);
+        let ops = streams::mixed_stream(
+            n, 96, 30, TargetDist::Uniform, QueryMix::Connectivity, seed,
+        );
+        let trace = arrival_trace(&ops, ArrivalProcess::Steady { ops_per_tick: 3.0 }, seed);
+        let make = || UnweightedService::new(DmpcConnectivity::new(params));
+        let c = cfg(8, 3);
+        let plain = run_service(make, &trace, &c);
+        let plan = ChaosPlan::new(seed).with_event_in_round(target, r, ChaosKind::Kill(1));
+        let chaos = run_service_chaos(make, &trace, &c, &plan);
+        prop_assert_eq!(chaos.final_digest, plain.final_digest,
+            "chaos service diverged (window {}, round {})", target, r);
+        prop_assert_eq!(&chaos.answers, &plain.answers);
+        prop_assert_eq!(chaos.violations(), 0);
+        prop_assert_eq!(chaos.writes.rounds, plain.writes.rounds,
+            "aborted epochs must not leak into workload metrics");
+        prop_assert!(chaos.retries == 0 || chaos.aborted_rounds > 0);
+        let mut fresh = make();
+        let off = replay_windows(&mut fresh, &chaos.windows);
+        prop_assert_eq!(off.final_digest, chaos.final_digest);
+    }
+
+    /// Same chaos claim for the coordinator-protected matching driver.
+    #[test]
+    fn chaos_armed_matching_matches_failure_free(
+        seed in 0u64..200u64, r in 1u32..5, target in 0usize..3,
+    ) {
+        let n = 32;
+        let params = DmpcParams::new(n, 4 * n);
+        let ops = streams::mixed_stream(
+            n, 80, 30, TargetDist::Uniform, QueryMix::Matching, seed,
+        );
+        let trace = arrival_trace(&ops, ArrivalProcess::Steady { ops_per_tick: 4.0 }, seed);
+        let make = || UnweightedService::new(DmpcMaximalMatching::new(params));
+        let c = cfg(6, 3);
+        let plain = run_service(make, &trace, &c);
+        let plan = ChaosPlan::new(seed).with_event_in_round(target, r, ChaosKind::Kill(2));
+        let chaos = run_service_chaos(make, &trace, &c, &plan);
+        prop_assert_eq!(chaos.final_digest, plain.final_digest,
+            "matching chaos diverged (window {}, round {})", target, r);
+        prop_assert_eq!(&chaos.answers, &plain.answers);
+        prop_assert_eq!(chaos.violations(), 0);
+        let g = streams::replay(n, &writes_of(&ops));
+        let mut fresh = make();
+        let off = replay_windows(&mut fresh, &chaos.windows);
+        prop_assert_eq!(off.final_digest, chaos.final_digest);
+        fresh.inner.audit(&g).map_err(TestCaseError::fail)?;
+    }
+}
+
+/// Deterministic end-to-end shape check: one seed, every policy knob — the
+/// windowed run beats per-op admission on amortized rounds/op while both
+/// replay to identical digests.
+#[test]
+fn windowed_amortization_beats_per_op_at_equal_state() {
+    let n = 64;
+    let params = DmpcParams::new(n, 4 * n);
+    let ops = streams::mixed_stream(n, 160, 50, TargetDist::Uniform, QueryMix::Connectivity, 42);
+    let trace = arrival_trace(&ops, ArrivalProcess::Steady { ops_per_tick: 4.0 }, 42);
+    let make = || UnweightedService::new(DmpcConnectivity::new(params));
+    let windowed = run_service(make, &trace, &cfg(16, 4));
+    let per_op = run_service(
+        make,
+        &trace,
+        &ServiceConfig {
+            window: WindowPolicy::per_op(),
+            buffer_cap: 4096,
+            backpressure: BackpressurePolicy::Shed,
+            ..ServiceConfig::default()
+        },
+    );
+    assert_eq!(windowed.final_digest, per_op.final_digest);
+    assert_eq!(windowed.answers, per_op.answers);
+    assert!(
+        windowed.amortized_rounds_per_op() < per_op.amortized_rounds_per_op(),
+        "windowed admission must amortize rounds: {} vs {}",
+        windowed.amortized_rounds_per_op(),
+        per_op.amortized_rounds_per_op()
+    );
+    assert!(windowed.write_latency.rounds.p99() > 0.0);
+    assert!(windowed.read_latency.rounds.p99() > 0.0);
+}

@@ -22,6 +22,8 @@
 //!   (Section 4), (2+eps)-approximation (Section 6), static baseline.
 //! * [`seqdyn`] / [`reduction`] — sequential dynamic algorithms and the
 //!   Section 7 black-box reduction.
+//! * [`service`] — the continuous-service front-end: clocked arrivals,
+//!   windowed admission with backpressure, and per-op latency SLOs.
 //!
 //! ## Quickstart
 //!
@@ -47,3 +49,4 @@ pub use dmpc_matching as matching;
 pub use dmpc_mpc as mpc;
 pub use dmpc_reduction as reduction;
 pub use dmpc_seqdyn as seqdyn;
+pub use dmpc_service as service;
